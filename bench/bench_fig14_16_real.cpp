@@ -1,0 +1,128 @@
+// Reproduces Figures 14, 15, 16: construction time, storage space, and
+// average query response time of BUC, BU-BST, CURE, CURE+ on the two
+// real-world datasets (CovType, Sep85L — cardinality/skew-matched proxies,
+// see DESIGN.md) for flat cubes.
+//
+// Default scale: 1/32 of the published row counts (CURE_BENCH_SCALE
+// multiplies the divisor; set CURE_BENCH_SCALE=1 with row divisor 32 fixed
+// inside, or lower for bigger runs).
+
+#include "bench/bench_util.h"
+
+using namespace cure;         // NOLINT
+using namespace cure::bench;  // NOLINT
+
+namespace {
+
+void RunDataset(const gen::Dataset& ds, size_t num_queries) {
+  PrintSubHeader(ds.name + ": " + std::to_string(ds.table.num_rows()) +
+                 " rows, " + std::to_string(ds.schema.num_dims()) +
+                 " dims (Fig. 14/15: construction & storage)");
+  engine::FactInput input{.table = &ds.table};
+  const std::string tmp = "/tmp/cure_bench_fig14_" + ds.name;
+
+  // Construction time includes writing the materialized cube to disk;
+  // queries below then read the disk-resident cubes, as in the paper.
+  std::vector<BuildRow> rows;
+
+  // BUC.
+  auto buc = engine::BuildBuc(ds.schema, ds.table, {});
+  CURE_CHECK(buc.ok()) << buc.status().ToString();
+  Stopwatch watch;
+  CURE_CHECK_OK((*buc)->SpillStoreToDisk(tmp + "_buc.bin"));
+  rows.push_back({"BUC", (*buc)->stats().build_seconds + watch.ElapsedSeconds(),
+                  (*buc)->store().TotalBytes(), (*buc)->stats().plain, false,
+                  "no redundancy removal"});
+
+  // BU-BST.
+  auto bubst = engine::BuildBubst(ds.schema, ds.table, {});
+  CURE_CHECK(bubst.ok()) << bubst.status().ToString();
+  watch.Restart();
+  CURE_CHECK_OK((*bubst)->SpillToDisk(tmp + "_bubst.bin"));
+  rows.push_back({"BU-BST",
+                  (*bubst)->stats().build_seconds + watch.ElapsedSeconds(),
+                  (*bubst)->TotalBytes(),
+                  (*bubst)->stats().plain + (*bubst)->stats().tt, false,
+                  "monolithic condensed"});
+
+  // CURE and CURE+.
+  CureBuildResult cure_build =
+      BuildCureVariant("CURE", ds.schema, input, {}, /*post_process=*/false);
+  cure_build.row.seconds += SpillCure(cure_build.cube.get(), tmp + "_cure.bin");
+  rows.push_back(cure_build.row);
+  CureBuildResult cure_plus =
+      BuildCureVariant("CURE+", ds.schema, input, {}, /*post_process=*/true);
+  cure_plus.row.seconds += SpillCure(cure_plus.cube.get(), tmp + "_plus.bin");
+  rows.push_back(cure_plus.row);
+
+  PrintBuildRows(rows);
+
+  // Fig. 16: average QRT over random node queries (no selection).
+  PrintSubHeader(ds.name + " (Fig. 16: average query response time, " +
+                 std::to_string(num_queries) + " random node queries)");
+  const schema::NodeIdCodec codec(cure_build.cube->schema());
+  const std::vector<schema::NodeId> workload =
+      query::RandomNodeWorkload(codec, num_queries, /*seed=*/1216);
+
+  auto cure_engine = query::CureQueryEngine::Create(cure_build.cube.get(), 1.0);
+  auto cure_plus_engine = query::CureQueryEngine::Create(cure_plus.cube.get(), 1.0);
+  CURE_CHECK(cure_engine.ok() && cure_plus_engine.ok());
+  query::BucQueryEngine buc_engine(buc->get());
+  query::BubstQueryEngine bubst_engine(bubst->get());
+
+  struct QrtRow {
+    const char* label;
+    query::QrtStats stats;
+  };
+  std::vector<QrtRow> qrt;
+  qrt.push_back({"BUC", MeasureEngineQrt(workload,
+                                         [&](schema::NodeId id,
+                                             query::ResultSink* sink) {
+                                           return buc_engine.QueryNode(id, sink);
+                                         })});
+  qrt.push_back({"BU-BST",
+                 MeasureEngineQrt(workload, [&](schema::NodeId id,
+                                                query::ResultSink* sink) {
+                   return bubst_engine.QueryNode(id, sink);
+                 })});
+  qrt.push_back({"CURE", MeasureEngineQrt(workload,
+                                          [&](schema::NodeId id,
+                                              query::ResultSink* sink) {
+                                            return (*cure_engine)->QueryNode(id, sink);
+                                          })});
+  qrt.push_back({"CURE+",
+                 MeasureEngineQrt(workload, [&](schema::NodeId id,
+                                                query::ResultSink* sink) {
+                   return (*cure_plus_engine)->QueryNode(id, sink);
+                 })});
+  std::printf("%-14s %14s %16s\n", "method", "avg QRT", "total tuples");
+  for (const QrtRow& row : qrt) {
+    std::printf("%-14s %14s %16llu\n", row.label,
+                FormatSeconds(row.stats.avg_seconds).c_str(),
+                static_cast<unsigned long long>(row.stats.total_tuples));
+  }
+  for (const char* suffix : {"_buc.bin", "_bubst.bin", "_cure.bin", "_plus.bin"}) {
+    CURE_CHECK_OK(storage::RemoveFile(tmp + suffix));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figures 14-16 — real datasets (CovType & Sep85L proxies): "
+      "construction time, storage space, average QRT");
+  const uint64_t divisor = 32 * static_cast<uint64_t>(ScaleEnv(1));
+  const size_t num_queries = static_cast<size_t>(QueriesEnv(200));
+
+  RunDataset(gen::MakeCovTypeProxy(divisor), num_queries);
+  RunDataset(gen::MakeSep85LProxy(divisor), num_queries);
+
+  std::printf(
+      "\nShape check vs paper: CURE cube is ~an order of magnitude smaller "
+      "than BU-BST (which is smaller than BUC); BU-BST queries are orders of "
+      "magnitude slower (monolithic scan); CURE is comparable to or faster "
+      "than BUC in construction, possibly slightly slower on datasets with "
+      "dense areas (signature sorting), and CURE+ queries are fastest.\n");
+  return 0;
+}

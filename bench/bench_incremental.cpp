@@ -1,0 +1,83 @@
+// Extension benchmark (paper Sec. 8 future work): incremental maintenance
+// vs full reconstruction across delta sizes. The crossover shows up where
+// the delta stops being small relative to the base.
+
+#include "bench/bench_util.h"
+#include "engine/incremental.h"
+#include "gen/random.h"
+
+using namespace cure;         // NOLINT
+using namespace cure::bench;  // NOLINT
+
+namespace {
+
+void AppendRows(schema::FactTable* table, uint64_t rows, uint64_t seed) {
+  gen::Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(3000)),
+                             static_cast<uint32_t>(rng.NextRange(400)),
+                             static_cast<uint32_t>(rng.NextRange(15))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100));
+    table->AppendRow(row, &m);
+  }
+}
+
+schema::CubeSchema MakeSchema() {
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {3000, 150, 10}));
+  dims.push_back(schema::Dimension::Linear("B", {400, 25}));
+  dims.push_back(schema::Dimension::Flat("C", 15));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+  CURE_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Extension — incremental maintenance vs full rebuild");
+  const uint64_t base_rows = 200000 / static_cast<uint64_t>(ScaleEnv(1));
+  schema::CubeSchema schema = MakeSchema();
+
+  std::printf("\nbase: %llu rows\n",
+              static_cast<unsigned long long>(base_rows));
+  std::printf("%-12s %14s %14s %10s %14s %14s\n", "delta", "ApplyDelta",
+              "full rebuild", "speedup", "maintained", "rebuilt");
+  for (uint64_t delta : {uint64_t{10}, uint64_t{100}, uint64_t{1000},
+                         uint64_t{10000}, uint64_t{50000}}) {
+    schema::FactTable table(3, 1);
+    AppendRows(&table, base_rows, 42);
+    engine::CureOptions options;
+    engine::FactInput input{.table = &table};
+    auto cube = engine::BuildCure(schema, input, options);
+    CURE_CHECK(cube.ok());
+
+    const uint64_t old_rows = table.num_rows();
+    AppendRows(&table, delta, 43);
+    auto stats = engine::ApplyDelta(cube->get(), table, old_rows);
+    CURE_CHECK(stats.ok()) << stats.status().ToString();
+
+    // Full rebuild over the grown table.
+    Stopwatch watch;
+    auto rebuilt = engine::BuildCure(schema, input, options);
+    CURE_CHECK(rebuilt.ok());
+    const double rebuild_seconds = watch.ElapsedSeconds();
+
+    std::printf("%-12llu %14s %14s %9.1fx %14s %14s\n",
+                static_cast<unsigned long long>(delta),
+                FormatSeconds(stats->seconds).c_str(),
+                FormatSeconds(rebuild_seconds).c_str(),
+                rebuild_seconds / std::max(stats->seconds, 1e-9),
+                FormatBytes((*cube)->TotalBytes()).c_str(),
+                FormatBytes((*rebuilt)->TotalBytes()).c_str());
+  }
+  std::printf(
+      "\nShape check: incremental updates beat rebuilding for small deltas "
+      "(probing scans node relations but skips all re-sorting and most "
+      "output) and lose once the delta is a large fraction of the base; the "
+      "maintained cube stays close in size to the rebuilt one (missed "
+      "cross-delta CAT sharing only).\n");
+  return 0;
+}

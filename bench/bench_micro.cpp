@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of the performance-critical
+// substrates: segment sorting (counting vs comparison, the skew remedy of
+// Sec. 7), the Zipf sampler, signature-pool flushes, bitmap iteration, and
+// the external sorter.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "cube/cube_store.h"
+#include "cube/signature.h"
+#include "engine/sorters.h"
+#include "gen/random.h"
+#include "gen/zipf.h"
+#include "schema/cube_schema.h"
+#include "storage/bitmap.h"
+#include "storage/external_sort.h"
+
+namespace {
+
+using cure::engine::SortPolicy;
+using cure::engine::SortScratch;
+using cure::engine::SortSpan;
+
+std::vector<uint32_t> MakeKeys(size_t n, uint32_t cardinality, double zipf) {
+  cure::gen::Rng rng(42);
+  cure::gen::ZipfSampler sampler(cardinality, zipf);
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = sampler.Sample(&rng);
+  return keys;
+}
+
+void BM_SortSpan(benchmark::State& state, SortPolicy policy, double zipf) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t cardinality = static_cast<uint32_t>(state.range(1));
+  const std::vector<uint32_t> keys = MakeKeys(n, cardinality, zipf);
+  std::vector<uint32_t> idx(n);
+  SortScratch scratch;
+  for (auto _ : state) {
+    std::iota(idx.begin(), idx.end(), 0);
+    SortSpan(
+        idx.data(), n, cardinality, [&](uint32_t i) { return keys[i]; }, policy,
+        &scratch);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void RegisterSorts() {
+  for (const auto& [name, zipf] : {std::pair{"uniform", 0.0},
+                                   std::pair{"skew2", 2.0}}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_CountingSort/") + name).c_str(),
+        [z = zipf](benchmark::State& s) {
+          BM_SortSpan(s, SortPolicy::kCountingOnly, z);
+        })
+        ->Args({1 << 14, 1 << 10});
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ComparisonSort/") + name).c_str(),
+        [z = zipf](benchmark::State& s) {
+          BM_SortSpan(s, SortPolicy::kComparisonOnly, z);
+        })
+        ->Args({1 << 14, 1 << 10});
+  }
+}
+
+void BM_ZipfSample(benchmark::State& state) {
+  cure::gen::ZipfSampler sampler(static_cast<uint64_t>(state.range(0)), 1.0);
+  cure::gen::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_SignaturePoolFlush(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<cure::schema::Dimension> dims;
+  dims.push_back(cure::schema::Dimension::Flat("A", 100));
+  auto schema = cure::schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{cure::schema::AggFn::kSum, 0, "s"}, {cure::schema::AggFn::kCount, 0, "c"}});
+  cure::gen::Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cure::cube::CubeStore store(&schema.value(), {});
+    cure::cube::SignaturePool pool(2, 0, n);
+    for (size_t i = 0; i < n; ++i) {
+      // ~50% CAT rate: aggregates drawn from a small domain.
+      const int64_t aggrs[2] = {static_cast<int64_t>(rng.NextRange(n / 2 + 1)), 1};
+      pool.Add(aggrs, cure::cube::MakeRowId(0, rng.NextRange(n)), i % 64, nullptr);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pool.Flush(&store));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SignaturePoolFlush)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BitmapForEach(benchmark::State& state) {
+  const uint64_t universe = 1 << 20;
+  cure::storage::Bitmap bitmap(universe);
+  cure::gen::Rng rng(13);
+  for (int i = 0; i < state.range(0); ++i) bitmap.Set(rng.NextRange(universe));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    bitmap.ForEach([&](uint64_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitmapForEach)->Arg(1 << 10)->Arg(1 << 18);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  cure::storage::Relation input = cure::storage::Relation::Memory(16);
+  cure::gen::Rng rng(17);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t rec[2] = {rng.NextUint64(), i};
+    cure::Status s = input.Append(rec);
+    benchmark::DoNotOptimize(s);
+  }
+  cure::storage::RecordLess less = [](const uint8_t* a, const uint8_t* b) {
+    uint64_t ka, kb;
+    memcpy(&ka, a, 8);
+    memcpy(&kb, b, 8);
+    return ka < kb;
+  };
+  for (auto _ : state) {
+    cure::storage::Relation out = cure::storage::Relation::Memory(16);
+    cure::storage::ExternalSortOptions options;
+    options.memory_budget_bytes = n;  // force multi-run merge
+    options.temp_dir = "/tmp";
+    benchmark::DoNotOptimize(cure::storage::ExternalSort(input, less, options, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSort)->Arg(1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterSorts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

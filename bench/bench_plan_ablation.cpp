@@ -1,0 +1,109 @@
+// Ablation of Sec. 3.1: the tall execution plan P3 (CURE's choice) vs the
+// short plan P2 (the straightforward hierarchical extension of BUC).
+//
+// P3 refines hierarchy levels via dashed edges, re-sorting ever smaller
+// segments; P2 introduces each level from scratch via solid edges, paying
+// full-size sorts repeatedly. Both produce the same cube contents, so the
+// construction-time gap isolates the sort-sharing benefit — the paper's
+// argument for "the taller the better".
+
+#include "bench/bench_util.h"
+#include "gen/random.h"
+
+using namespace cure;         // NOLINT
+using namespace cure::bench;  // NOLINT
+
+namespace {
+
+void RunDataset(const std::string& label, const gen::Dataset& ds) {
+  engine::FactInput input{.table = &ds.table};
+  PrintSubHeader(label + ": " + std::to_string(ds.table.num_rows()) + " rows");
+  std::printf("%-12s %-12s %12s %14s %14s %14s\n", "plan", "sort", "time",
+              "stored TTs", "NT+CAT", "cube size");
+  // Comparison sort is where plan height matters (sharing n·log n sorts);
+  // counting sort makes every re-sort linear and neutralizes most of the
+  // gap — the interplay of the paper's Sec. 3.1 argument with its
+  // CountingSort remark in Sec. 7.
+  for (const auto& [sort_label, policy] :
+       {std::pair{"comparison", engine::SortPolicy::kComparisonOnly},
+        std::pair{"counting", engine::SortPolicy::kAuto}}) {
+    engine::CureOptions tall;
+    tall.sort_policy = policy;
+    engine::CureOptions short_plan;
+    short_plan.plan_style = plan::ExecutionPlan::Style::kShort;
+    short_plan.sort_policy = policy;
+    CureBuildResult p3 =
+        BuildCureVariant("P3 (tall)", ds.schema, input, tall, false);
+    CureBuildResult p2 =
+        BuildCureVariant("P2 (short)", ds.schema, input, short_plan, false);
+    // Same logical cube: identical non-trivial groups. TT *entries* differ —
+    // the taller plan maximizes the sub-trees a stored TT covers (Sec. 5.1),
+    // so P2 must store at least as many TTs.
+    const engine::BuildStats& s3 = p3.cube->stats();
+    const engine::BuildStats& s2 = p2.cube->stats();
+    CURE_CHECK_EQ(s3.nt + s3.cat, s2.nt + s2.cat);
+    CURE_CHECK_LE(s3.tt, s2.tt);
+    std::printf("%-12s %-12s %10.3f s %14llu %14llu %14s\n", "P3 (tall)",
+                sort_label, p3.row.seconds,
+                static_cast<unsigned long long>(s3.tt),
+                static_cast<unsigned long long>(s3.nt + s3.cat),
+                FormatBytes(p3.row.bytes).c_str());
+    std::printf("%-12s %-12s %10.3f s %14llu %14llu %14s\n", "P2 (short)",
+                sort_label, p2.row.seconds,
+                static_cast<unsigned long long>(s2.tt),
+                static_cast<unsigned long long>(s2.nt + s2.cat),
+                FormatBytes(p2.row.bytes).c_str());
+    std::printf("  -> P3 speedup: %.2fx; TT entries saved by taller plan: %llu\n",
+                p2.row.seconds / std::max(p3.row.seconds, 1e-9),
+                static_cast<unsigned long long>(s2.tt - s3.tt));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Plan ablation — tall (P3) vs short (P2) hierarchical plans");
+  const uint64_t scale = static_cast<uint64_t>(ScaleEnv(1));
+
+  // APB-1: deep Product hierarchy, where dashed refinement matters most.
+  gen::ApbSpec apb_spec;
+  apb_spec.density = 0.4;
+  apb_spec.scale_divisor = 200 * scale;
+  RunDataset("APB-1 (deep hierarchies)", gen::MakeApb(apb_spec));
+
+  // A *dense* synthetic schema: large segments survive deep into the plan,
+  // which is exactly where tall-plan sort sharing pays (sparse data prunes
+  // into trivial tuples before sorting costs accumulate).
+  gen::Dataset ds;
+  {
+    std::vector<schema::Dimension> dims;
+    dims.push_back(schema::Dimension::Linear("X", {120, 24, 4}));
+    dims.push_back(schema::Dimension::Linear("Y", {60, 12, 3}));
+    dims.push_back(schema::Dimension::Linear("Z", {30, 6}));
+    auto schema = schema::CubeSchema::Create(
+        std::move(dims), 1,
+        {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+    CURE_CHECK(schema.ok());
+    ds.schema = std::move(schema).value();
+    ds.table = schema::FactTable(3, 1);
+    gen::Rng rng(33);
+    const uint64_t rows = 400000 / scale;
+    for (uint64_t t = 0; t < rows; ++t) {
+      const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(120)),
+                               static_cast<uint32_t>(rng.NextRange(60)),
+                               static_cast<uint32_t>(rng.NextRange(30))};
+      const int64_t m = static_cast<int64_t>(rng.NextRange(1000));
+      ds.table.AppendRow(row, &m);
+    }
+    ds.name = "dense 3-hierarchy synthetic";
+  }
+  RunDataset(ds.name, ds);
+
+  std::printf(
+      "\nShape check vs paper: under comparison sorting P3 beats P2 because "
+      "expensive sorts sink to the bottom of the plan and are shared among "
+      "more nodes (Sec. 3.1); counting sort (linear re-sorts) closes most of "
+      "the time gap, but P3 always stores fewer TT entries (bigger shared "
+      "sub-trees, Sec. 5.1).\n");
+  return 0;
+}

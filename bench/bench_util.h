@@ -1,0 +1,134 @@
+#ifndef CURE_BENCH_BENCH_UTIL_H_
+#define CURE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction benches. Every bench
+// binary runs stand-alone with no arguments and prints the series of one or
+// more of the paper's figures. Environment knobs:
+//   CURE_BENCH_SCALE   — divides dataset sizes (default per bench; 1 =
+//                        the paper's published sizes where feasible)
+//   CURE_BENCH_QUERIES — number of random node queries for QRT figures
+//   CURE_MEM_BUDGET_MB — engine memory budget in MB (default per bench)
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "engine/bubst.h"
+#include "engine/buc.h"
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "query/node_query.h"
+#include "query/workload.h"
+
+namespace cure {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintSubHeader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// One measured cube build.
+struct BuildRow {
+  std::string label;
+  double seconds = 0;
+  uint64_t bytes = 0;
+  uint64_t tuples = 0;
+  bool skipped = false;
+  std::string note;
+};
+
+inline void PrintBuildRows(const std::vector<BuildRow>& rows) {
+  std::printf("%-14s %14s %14s %14s  %s\n", "method", "time", "size", "tuples",
+              "note");
+  for (const BuildRow& row : rows) {
+    if (row.skipped) {
+      std::printf("%-14s %14s %14s %14s  %s\n", row.label.c_str(), "-", "-", "-",
+                  row.note.c_str());
+    } else {
+      std::printf("%-14s %12.3f s %14s %14llu  %s\n", row.label.c_str(),
+                  row.seconds, FormatBytes(row.bytes).c_str(),
+                  static_cast<unsigned long long>(row.tuples), row.note.c_str());
+    }
+  }
+}
+
+/// Builds CURE (and optionally applies the CURE+ post-processing) and
+/// returns the cube plus a BuildRow. Post-processing time is included in
+/// the reported time for "+" variants, as in the paper.
+struct CureBuildResult {
+  std::unique_ptr<engine::CureCube> cube;
+  BuildRow row;
+};
+
+inline CureBuildResult BuildCureVariant(const std::string& label,
+                                        const schema::CubeSchema& schema,
+                                        const engine::FactInput& input,
+                                        engine::CureOptions options,
+                                        bool post_process) {
+  CureBuildResult result;
+  result.row.label = label;
+  auto cube = engine::BuildCure(schema, input, options);
+  CURE_CHECK(cube.ok()) << label << ": " << cube.status().ToString();
+  if (post_process) {
+    CURE_CHECK_OK(engine::CurePostProcess(cube->get()));
+  }
+  result.cube = std::move(cube).value();
+  const engine::BuildStats& stats = result.cube->stats();
+  result.row.seconds = stats.build_seconds + stats.postprocess_seconds;
+  result.row.bytes = result.cube->TotalBytes();
+  result.row.tuples = stats.tt + stats.nt + stats.cat;
+  if (stats.external) {
+    char note[128];
+    std::snprintf(note, sizeof(note), "external: L=%d, %llu partitions, |N|=%llu",
+                  stats.partition_level,
+                  static_cast<unsigned long long>(stats.num_partitions),
+                  static_cast<unsigned long long>(stats.n_rows));
+    result.row.note = note;
+  }
+  return result;
+}
+
+/// Average QRT of a query engine over a random node workload.
+inline query::QrtStats MeasureEngineQrt(
+    const std::vector<schema::NodeId>& workload,
+    const std::function<Status(schema::NodeId, query::ResultSink*)>& fn) {
+  Result<query::QrtStats> stats = query::MeasureQrt(workload, fn);
+  CURE_CHECK(stats.ok()) << stats.status().ToString();
+  return std::move(stats).value();
+}
+
+/// Spills a CURE cube's store to a packed file (timed); queries then read
+/// node relations from disk, as in the paper's setting.
+inline double SpillCure(engine::CureCube* cube, const std::string& path) {
+  Stopwatch watch;
+  CURE_CHECK_OK(cube->SpillStoreToDisk(path));
+  return watch.ElapsedSeconds();
+}
+
+inline int64_t ScaleEnv(int64_t def) { return EnvInt64("CURE_BENCH_SCALE", def); }
+
+inline int64_t QueriesEnv(int64_t def) {
+  return EnvInt64("CURE_BENCH_QUERIES", def);
+}
+
+inline uint64_t MemBudgetEnv(uint64_t def_bytes) {
+  const int64_t mb = EnvInt64("CURE_MEM_BUDGET_MB", 0);
+  return mb > 0 ? static_cast<uint64_t>(mb) << 20 : def_bytes;
+}
+
+}  // namespace bench
+}  // namespace cure
+
+#endif  // CURE_BENCH_BENCH_UTIL_H_

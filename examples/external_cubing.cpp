@@ -1,0 +1,91 @@
+// Out-of-core cubing: the paper's Sec. 4 external partitioning end to end.
+//
+//   $ ./build/examples/external_cubing
+//
+// Writes an APB-1-style fact table to disk, then builds the complete
+// hierarchical cube with a memory budget far smaller than the data. CURE
+// picks the partitioning level L on the first dimension, produces sound
+// partitions with a single read/write pass while hash-building node N in
+// memory, cubes each partition independently, and derives all remaining
+// nodes from N — 2 reads + 1 write of R in total before construction.
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+#include "storage/file_io.h"
+#include "storage/relation.h"
+
+using cure::engine::BuildCure;
+using cure::engine::CureOptions;
+using cure::engine::FactInput;
+
+int main() {
+  // Generate and spill the fact table to disk.
+  cure::gen::ApbSpec spec;
+  spec.density = 0.4;
+  spec.scale_divisor = 40;
+  cure::gen::Dataset apb = cure::gen::MakeApb(spec);
+  const std::string fact_path = "/tmp/cure_example_fact.bin";
+  auto relation =
+      cure::storage::Relation::CreateFile(fact_path, apb.table.RecordSize());
+  CURE_CHECK(relation.ok()) << relation.status().ToString();
+  CURE_CHECK_OK(apb.table.WriteTo(&relation.value()));
+  CURE_CHECK_OK(relation->Seal());
+  std::printf("fact relation on disk: %llu rows, %s\n",
+              static_cast<unsigned long long>(relation->num_rows()),
+              cure::FormatBytes(relation->bytes()).c_str());
+
+  // Build with a memory budget ~20x smaller than the fact table.
+  CureOptions options;
+  options.memory_budget_bytes = relation->bytes() / 20;
+  options.temp_dir = "/tmp";
+  std::printf("memory budget: %s (forces the external path)\n",
+              cure::FormatBytes(options.memory_budget_bytes).c_str());
+
+  FactInput input{.relation = &relation.value()};
+  auto cube = BuildCure(apb.schema, input, options);
+  CURE_CHECK(cube.ok()) << cube.status().ToString();
+  const cure::engine::BuildStats& stats = (*cube)->stats();
+  CURE_CHECK(stats.external);
+
+  std::printf("\nexternal construction report\n");
+  std::printf("  partitioning level L:   %d (of the Product hierarchy)\n",
+              stats.partition_level);
+  std::printf("  sound partitions:       %llu\n",
+              static_cast<unsigned long long>(stats.num_partitions));
+  std::printf("  node N (A_{L+1}B0C0D0): %llu rows, %s — built in memory "
+              "during the partition pass\n",
+              static_cast<unsigned long long>(stats.n_rows),
+              cure::FormatBytes(stats.n_bytes).c_str());
+  std::printf("  partition write volume: %s (1 write of R)\n",
+              cure::FormatBytes(stats.partition_write_bytes).c_str());
+  std::printf("  construction time:      %.2f s\n", stats.build_seconds);
+  std::printf("  cube size:              %s\n",
+              cure::FormatBytes(stats.cube_bytes).c_str());
+
+  // Validate a few nodes against brute force over the original table.
+  auto engine = cure::query::CureQueryEngine::Create(cube->get(), 0.25);
+  CURE_CHECK(engine.ok());
+  const cure::schema::NodeIdCodec& codec = (*cube)->store().codec();
+  int checked = 0;
+  for (cure::schema::NodeId id = 0; id < codec.num_nodes(); id += 23) {
+    cure::query::ResultSink sink(/*retain=*/true);
+    CURE_CHECK_OK((*engine)->QueryNode(id, &sink));
+    auto expected = cure::query::ReferenceNodeResult(apb.schema, apb.table, id);
+    CURE_CHECK(expected.ok());
+    CURE_CHECK(cure::query::SameResults(sink.TakeRows(),
+                                        std::move(expected).value()))
+        << "node " << id;
+    ++checked;
+  }
+  std::printf("\nverified %d nodes against brute-force aggregation — "
+              "external cube is exact.\n", checked);
+
+  CURE_CHECK_OK(cure::storage::RemoveFile(fact_path));
+  return 0;
+}

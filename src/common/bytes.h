@@ -1,0 +1,17 @@
+#ifndef CURE_COMMON_BYTES_H_
+#define CURE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cure {
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.50 MB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats seconds adaptively ("420 us", "1.2 ms", "3.45 s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace cure
+
+#endif  // CURE_COMMON_BYTES_H_

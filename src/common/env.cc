@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace cure {
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(env, &end, 10);
+  if (end == env) return def;
+  return value;
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env) return def;
+  return value;
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  return env;
+}
+
+}  // namespace cure

@@ -1,0 +1,21 @@
+#ifndef CURE_COMMON_ENV_H_
+#define CURE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cure {
+
+/// Reads an integer environment variable, returning `def` when unset or
+/// unparsable. Used by benchmarks for scale knobs (CURE_BENCH_SCALE, ...).
+int64_t EnvInt64(const char* name, int64_t def);
+
+/// Reads a floating-point environment variable.
+double EnvDouble(const char* name, double def);
+
+/// Reads a string environment variable.
+std::string EnvString(const char* name, const std::string& def);
+
+}  // namespace cure
+
+#endif  // CURE_COMMON_ENV_H_

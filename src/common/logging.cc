@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace cure {
+namespace internal_logging {
+
+namespace {
+
+LogLevel ParseLevelFromEnv() {
+  const char* env = std::getenv("CURE_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  switch (env[0]) {
+    case '0':
+      return LogLevel::kDebug;
+    case '1':
+      return LogLevel::kInfo;
+    case '2':
+      return LogLevel::kWarning;
+    case '3':
+      return LogLevel::kError;
+    default:
+      return LogLevel::kInfo;
+  }
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  static const LogLevel kLevel = ParseLevelFromEnv();
+  return kLevel;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (level_ == LogLevel::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace cure

@@ -1,0 +1,78 @@
+#ifndef CURE_COMMON_LOGGING_H_
+#define CURE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cure {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is actually emitted; controlled by CURE_LOG_LEVEL
+/// (0=debug .. 3=error). Defaults to Info.
+LogLevel MinLogLevel();
+
+/// Stream-style log sink that emits one line on destruction and aborts
+/// the process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Null sink used when a message is below the minimum level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cure
+
+#define CURE_LOG_INTERNAL(level)                                          \
+  ::cure::internal_logging::LogMessage(                                   \
+      ::cure::internal_logging::LogLevel::level, __FILE__, __LINE__)      \
+      .stream()
+
+#define CURE_LOG(level)                                                   \
+  if (::cure::internal_logging::LogLevel::level <                         \
+      ::cure::internal_logging::MinLogLevel()) {                          \
+  } else                                                                  \
+    CURE_LOG_INTERNAL(level)
+
+/// CHECK-style invariant macros: always on, abort with a message.
+#define CURE_CHECK(cond)                                                  \
+  if (cond) {                                                             \
+  } else                                                                  \
+    CURE_LOG_INTERNAL(kFatal) << "Check failed: " #cond " "
+
+#define CURE_CHECK_EQ(a, b) CURE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CURE_CHECK_NE(a, b) CURE_CHECK((a) != (b))
+#define CURE_CHECK_LT(a, b) CURE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CURE_CHECK_LE(a, b) CURE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CURE_CHECK_GT(a, b) CURE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CURE_CHECK_GE(a, b) CURE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts if a Status-returning expression fails. For use in examples,
+/// benchmarks, and tests where errors are programming mistakes.
+#define CURE_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::cure::Status _cure_st = (expr);                                     \
+    CURE_CHECK(_cure_st.ok()) << _cure_st.ToString();                     \
+  } while (0)
+
+#endif  // CURE_COMMON_LOGGING_H_

@@ -1,0 +1,136 @@
+#ifndef CURE_COMMON_STATUS_H_
+#define CURE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cure {
+
+/// Error categories used across the library. The library never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object carrying an error code and message.
+///
+/// Usage:
+///   Status s = DoWork();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Relation> r = Relation::OpenFile(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::IoError(...)`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Error status; Status::OK() when ok().
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace cure
+
+/// Propagates a non-OK Status from an expression.
+#define CURE_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::cure::Status _cure_status = (expr);           \
+    if (!_cure_status.ok()) return _cure_status;    \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, else assigning
+/// the value to `lhs` (which may include a declaration).
+#define CURE_ASSIGN_OR_RETURN(lhs, expr)            \
+  CURE_ASSIGN_OR_RETURN_IMPL_(                      \
+      CURE_STATUS_CONCAT_(_cure_result_, __LINE__), lhs, expr)
+
+#define CURE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define CURE_STATUS_CONCAT_(a, b) CURE_STATUS_CONCAT_IMPL_(a, b)
+#define CURE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CURE_COMMON_STATUS_H_

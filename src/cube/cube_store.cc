@@ -1,0 +1,458 @@
+#include "cube/cube_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace cube {
+
+using schema::NodeId;
+
+const char* CatFormatName(CatFormat format) {
+  switch (format) {
+    case CatFormat::kUndecided:
+      return "undecided";
+    case CatFormat::kFormatA:
+      return "format-a(common-source)";
+    case CatFormat::kFormatB:
+      return "format-b(coincidental)";
+    case CatFormat::kAsNT:
+      return "as-NT";
+  }
+  return "?";
+}
+
+CubeStore::CubeStore(const schema::CubeSchema* schema, const Options& options)
+    : schema_(schema), options_(options) {
+  // A null schema builds an empty placeholder store (move-assign target).
+  if (schema != nullptr) {
+    codec_ = schema::NodeIdCodec(*schema);
+    num_aggregates_ = schema->num_aggregates();
+  }
+  if (options.forced_cat_format != CatFormat::kUndecided) {
+    cat_format_ = options.forced_cat_format;
+  }
+}
+
+CubeStore::NodeData* CubeStore::GetNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) return &it->second;
+  NodeData& node = nodes_[id];
+  node.levels = codec_.Decode(id);
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (node.levels[d] != codec_.all_level(d)) node.grouping_dims.push_back(d);
+  }
+  return &node;
+}
+
+size_t CubeStore::NtRecordSize(int num_grouping) const {
+  if (options_.dims_in_nt) return 4ull * num_grouping + 8ull * num_aggregates_;
+  return 8 + 8ull * num_aggregates_;
+}
+
+size_t CubeStore::CatRecordSize() const {
+  return cat_format_ == CatFormat::kFormatB ? 16 : 8;
+}
+
+size_t CubeStore::PlainRecordSize(int num_grouping) const {
+  return 4ull * num_grouping + 8ull * num_aggregates_;
+}
+
+size_t CubeStore::AggregatesRecordSize(CatFormat format) const {
+  return (format == CatFormat::kFormatA ? 8 : 0) + 8ull * num_aggregates_;
+}
+
+Status CubeStore::WriteTT(NodeId id, RowId rowid) {
+  NodeData* node = GetNode(id);
+  if (!node->has_tt) {
+    node->tt = storage::Relation::Memory(TtRecordSize());
+    node->has_tt = true;
+    node->tt_source = RowIdSource(rowid);
+  } else {
+    CURE_CHECK_EQ(node->tt_source, RowIdSource(rowid))
+        << "TT source mismatch within a node";
+  }
+  return node->tt.Append(&rowid);
+}
+
+Status CubeStore::WriteNT(NodeId id, RowId rowid, const int64_t* aggrs,
+                          const uint32_t* full_dims) {
+  NodeData* node = GetNode(id);
+  const int g = static_cast<int>(node->grouping_dims.size());
+  if (!node->has_nt) {
+    node->nt = storage::Relation::Memory(NtRecordSize(g));
+    node->has_nt = true;
+  }
+  uint8_t rec[512];
+  CURE_CHECK_LE(NtRecordSize(g), sizeof(rec));
+  uint8_t* p = rec;
+  if (options_.dims_in_nt) {
+    CURE_CHECK(full_dims != nullptr) << "CURE_DR needs projected dims";
+    for (int d : node->grouping_dims) {
+      std::memcpy(p, &full_dims[d], 4);
+      p += 4;
+    }
+  } else {
+    std::memcpy(p, &rowid, 8);
+    p += 8;
+  }
+  std::memcpy(p, aggrs, 8ull * num_aggregates_);
+  return node->nt.Append(rec);
+}
+
+void CubeStore::DecideCatFormat(const CatStats& stats) {
+  cat_stats_.cats += stats.cats;
+  cat_stats_.source_groups += stats.source_groups;
+  cat_stats_.combos += stats.combos;
+  if (cat_format_ != CatFormat::kUndecided) return;
+  if (stats.combos == 0) return;  // No CATs yet; postpone.
+  // Paper's rule (Sec. 5.1): format (a) when k̄ > (Y+1)·n̄, i.e. common-source
+  // CATs prevail; otherwise NTs when Y = 1, else format (b).
+  const uint64_t y = static_cast<uint64_t>(num_aggregates_);
+  if (stats.cats > (y + 1) * stats.source_groups) {
+    cat_format_ = CatFormat::kFormatA;
+  } else if (y == 1) {
+    cat_format_ = CatFormat::kAsNT;
+  } else {
+    cat_format_ = CatFormat::kFormatB;
+  }
+  CURE_LOG(kDebug) << "CAT format decided: " << CatFormatName(cat_format_)
+                   << " (k=" << stats.cats << " n=" << stats.source_groups
+                   << " m=" << stats.combos << " Y=" << y << ")";
+}
+
+Result<uint64_t> CubeStore::AppendAggregateA(RowId rowid, const int64_t* aggrs) {
+  CURE_CHECK(cat_format_ == CatFormat::kFormatA);
+  if (!aggregates_init_) {
+    aggregates_ = storage::Relation::Memory(AggregatesRecordSize(cat_format_));
+    aggregates_init_ = true;
+  }
+  uint8_t rec[512];
+  std::memcpy(rec, &rowid, 8);
+  std::memcpy(rec + 8, aggrs, 8ull * num_aggregates_);
+  const uint64_t arowid = aggregates_.num_rows();
+  CURE_RETURN_IF_ERROR(aggregates_.Append(rec));
+  return arowid;
+}
+
+Status CubeStore::WriteCatA(NodeId id, uint64_t arowid) {
+  NodeData* node = GetNode(id);
+  if (!node->has_cat) {
+    node->cat = storage::Relation::Memory(CatRecordSize());
+    node->has_cat = true;
+  }
+  return node->cat.Append(&arowid);
+}
+
+Result<uint64_t> CubeStore::AppendAggregateB(const int64_t* aggrs) {
+  CURE_CHECK(cat_format_ == CatFormat::kFormatB);
+  if (!aggregates_init_) {
+    aggregates_ = storage::Relation::Memory(AggregatesRecordSize(cat_format_));
+    aggregates_init_ = true;
+  }
+  const uint64_t arowid = aggregates_.num_rows();
+  CURE_RETURN_IF_ERROR(aggregates_.Append(aggrs));
+  return arowid;
+}
+
+Status CubeStore::WriteCatB(NodeId id, RowId rowid, uint64_t arowid) {
+  NodeData* node = GetNode(id);
+  if (!node->has_cat) {
+    node->cat = storage::Relation::Memory(CatRecordSize());
+    node->has_cat = true;
+  }
+  uint8_t rec[16];
+  std::memcpy(rec, &rowid, 8);
+  std::memcpy(rec + 8, &arowid, 8);
+  return node->cat.Append(rec);
+}
+
+Status CubeStore::WritePlain(NodeId id, const uint32_t* full_dims,
+                             const int64_t* aggrs) {
+  NodeData* node = GetNode(id);
+  const int g = static_cast<int>(node->grouping_dims.size());
+  if (!node->has_plain) {
+    node->plain = storage::Relation::Memory(PlainRecordSize(g));
+    node->has_plain = true;
+  }
+  uint8_t rec[512];
+  CURE_CHECK_LE(PlainRecordSize(g), sizeof(rec));
+  uint8_t* p = rec;
+  for (int d : node->grouping_dims) {
+    std::memcpy(p, &full_dims[d], 4);
+    p += 4;
+  }
+  std::memcpy(p, aggrs, 8ull * num_aggregates_);
+  return node->plain.Append(rec);
+}
+
+Status CubeStore::PostProcess(const SourceSet& sources,
+                              const PostProcessOptions& options) {
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    if (node.post_processed) continue;
+    node.post_processed = true;
+    if (node.has_tt) {
+      const uint64_t count = node.tt.num_rows();
+      std::vector<RowId> rowids;
+      rowids.reserve(count);
+      storage::Relation::Scanner scan(node.tt);
+      while (const uint8_t* rec = scan.Next()) {
+        RowId r;
+        std::memcpy(&r, rec, 8);
+        rowids.push_back(r);
+      }
+      std::sort(rowids.begin(), rowids.end());
+      const SourceAccessor* src = sources.Get(node.tt_source);
+      const uint64_t universe = src != nullptr ? src->num_rows() : 0;
+      const bool bitmap_wins =
+          options.use_bitmaps && universe > 0 && (universe + 7) / 8 < count * 8;
+      if (bitmap_wins) {
+        node.tt_bitmap = std::make_unique<storage::Bitmap>(universe);
+        for (RowId r : rowids) node.tt_bitmap->Set(RowIdOrdinal(r));
+        node.tt = storage::Relation();  // Dropped; the bitmap replaces it.
+        node.has_tt = false;
+      } else {
+        storage::Relation sorted = storage::Relation::Memory(TtRecordSize());
+        for (RowId r : rowids) CURE_RETURN_IF_ERROR(sorted.Append(&r));
+        node.tt = std::move(sorted);
+      }
+    }
+    if (node.has_cat && cat_format_ == CatFormat::kFormatA) {
+      std::vector<uint64_t> arowids;
+      arowids.reserve(node.cat.num_rows());
+      storage::Relation::Scanner scan(node.cat);
+      while (const uint8_t* rec = scan.Next()) {
+        uint64_t a;
+        std::memcpy(&a, rec, 8);
+        arowids.push_back(a);
+      }
+      std::sort(arowids.begin(), arowids.end());
+      storage::Relation sorted = storage::Relation::Memory(CatRecordSize());
+      for (uint64_t a : arowids) CURE_RETURN_IF_ERROR(sorted.Append(&a));
+      node.cat = std::move(sorted);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Packed cube file layout: header, manifest, data segments.
+constexpr uint64_t kPackedMagic = 0x4342554345525543ull;  // "CURECUBC"
+constexpr uint32_t kPackedVersion = 1;
+
+enum PackedKind : uint32_t {
+  kPackedNt = 0,
+  kPackedTt = 1,
+  kPackedCat = 2,
+  kPackedPlain = 3,
+  kPackedTtBitmap = 4,
+  kPackedAggregates = 5,
+};
+
+struct PackedHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t dims_in_nt;
+  uint32_t cat_format;
+  uint32_t reserved;
+  uint64_t num_entries;
+};
+
+struct PackedEntry {
+  uint64_t node_id;
+  uint32_t kind;
+  uint32_t record_size;  // bitmap entries: unused (0)
+  uint64_t rows;         // bitmap entries: number of 64-bit words
+  uint64_t offset;
+  uint64_t extra;        // bitmap universe / TT source tag packed
+};
+
+Status WriteRelationBlob(const storage::Relation& rel, storage::FileWriter* out) {
+  if (rel.memory_backed() && rel.num_rows() > 0) {
+    return out->Append(rel.RawRecord(0), rel.bytes());
+  }
+  storage::Relation::Scanner scan(rel);
+  while (const uint8_t* rec = scan.Next()) {
+    CURE_RETURN_IF_ERROR(out->Append(rec, rel.record_size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CubeStore::PersistPacked(const std::string& path) const {
+  // Manifest first (sizes of everything are known up front).
+  std::vector<PackedEntry> entries;
+  std::vector<std::pair<const storage::Relation*, const storage::Bitmap*>> blobs;
+  auto add_relation = [&](uint64_t node_id, PackedKind kind,
+                          const storage::Relation& rel) {
+    PackedEntry entry{};
+    entry.node_id = node_id;
+    entry.kind = kind;
+    entry.record_size = static_cast<uint32_t>(rel.record_size());
+    entry.rows = rel.num_rows();
+    entries.push_back(entry);
+    blobs.push_back({&rel, nullptr});
+  };
+  for (const auto& [id, node] : nodes_) {
+    if (node.has_nt) add_relation(id, kPackedNt, node.nt);
+    if (node.has_tt) {
+      add_relation(id, kPackedTt, node.tt);
+      entries.back().extra = node.tt_source;
+    }
+    if (node.has_cat) add_relation(id, kPackedCat, node.cat);
+    if (node.has_plain) add_relation(id, kPackedPlain, node.plain);
+    if (node.tt_bitmap != nullptr) {
+      PackedEntry entry{};
+      entry.node_id = id;
+      entry.kind = kPackedTtBitmap;
+      entry.rows = node.tt_bitmap->words().size();
+      entry.extra = (static_cast<uint64_t>(node.tt_source) << 48) |
+                    node.tt_bitmap->universe();
+      entries.push_back(entry);
+      blobs.push_back({nullptr, node.tt_bitmap.get()});
+    }
+  }
+  if (aggregates_init_) add_relation(~uint64_t{0}, kPackedAggregates, aggregates_);
+
+  // Assign offsets.
+  uint64_t offset = sizeof(PackedHeader) + entries.size() * sizeof(PackedEntry);
+  for (PackedEntry& entry : entries) {
+    entry.offset = offset;
+    offset += entry.kind == kPackedTtBitmap ? entry.rows * 8
+                                            : entry.rows * entry.record_size;
+  }
+
+  storage::FileWriter writer;
+  CURE_RETURN_IF_ERROR(writer.Open(path));
+  PackedHeader header{};
+  header.magic = kPackedMagic;
+  header.version = kPackedVersion;
+  header.dims_in_nt = options_.dims_in_nt ? 1 : 0;
+  header.cat_format = static_cast<uint32_t>(cat_format_);
+  header.num_entries = entries.size();
+  CURE_RETURN_IF_ERROR(writer.Append(&header, sizeof(header)));
+  for (const PackedEntry& entry : entries) {
+    CURE_RETURN_IF_ERROR(writer.Append(&entry, sizeof(entry)));
+  }
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    if (blobs[i].second != nullptr) {
+      const auto& words = blobs[i].second->words();
+      CURE_RETURN_IF_ERROR(writer.Append(words.data(), words.size() * 8));
+    } else {
+      CURE_RETURN_IF_ERROR(WriteRelationBlob(*blobs[i].first, &writer));
+    }
+  }
+  return writer.Close();
+}
+
+Result<CubeStore> CubeStore::OpenPacked(const std::string& path,
+                                        const schema::CubeSchema* schema) {
+  auto reader = std::make_shared<storage::FileReader>();
+  CURE_RETURN_IF_ERROR(reader->Open(path));
+  PackedHeader header;
+  CURE_RETURN_IF_ERROR(reader->ReadAt(0, &header, sizeof(header)));
+  if (header.magic != kPackedMagic || header.version != kPackedVersion) {
+    return Status::InvalidArgument("'" + path + "' is not a packed cube file");
+  }
+  Options options;
+  options.dims_in_nt = header.dims_in_nt != 0;
+  CubeStore store(schema, options);
+  store.cat_format_ = static_cast<CatFormat>(header.cat_format);
+  std::vector<PackedEntry> entries(header.num_entries);
+  if (!entries.empty()) {
+    CURE_RETURN_IF_ERROR(reader->ReadAt(sizeof(header), entries.data(),
+                                        entries.size() * sizeof(PackedEntry)));
+  }
+  for (const PackedEntry& entry : entries) {
+    if (entry.kind == kPackedAggregates) {
+      store.aggregates_ = storage::Relation::FileView(reader, entry.offset,
+                                                      entry.rows,
+                                                      entry.record_size);
+      store.aggregates_init_ = true;
+      continue;
+    }
+    NodeData* node = store.GetNode(entry.node_id);
+    node->post_processed = true;  // Disk cubes are final.
+    switch (entry.kind) {
+      case kPackedNt:
+        node->nt = storage::Relation::FileView(reader, entry.offset, entry.rows,
+                                               entry.record_size);
+        node->has_nt = true;
+        break;
+      case kPackedTt:
+        node->tt = storage::Relation::FileView(reader, entry.offset, entry.rows,
+                                               entry.record_size);
+        node->has_tt = true;
+        node->tt_source = static_cast<uint32_t>(entry.extra);
+        break;
+      case kPackedCat:
+        node->cat = storage::Relation::FileView(reader, entry.offset, entry.rows,
+                                                entry.record_size);
+        node->has_cat = true;
+        break;
+      case kPackedPlain:
+        node->plain = storage::Relation::FileView(reader, entry.offset,
+                                                  entry.rows, entry.record_size);
+        node->has_plain = true;
+        break;
+      case kPackedTtBitmap: {
+        node->tt_bitmap = std::make_unique<storage::Bitmap>(
+            entry.extra & ((uint64_t{1} << 48) - 1));
+        node->tt_source = static_cast<uint32_t>(entry.extra >> 48);
+        node->tt_bitmap->mutable_words().resize(entry.rows);
+        CURE_RETURN_IF_ERROR(reader->ReadAt(entry.offset,
+                                            node->tt_bitmap->mutable_words().data(),
+                                            entry.rows * 8));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown packed entry kind");
+    }
+  }
+  return store;
+}
+
+uint64_t CubeStore::TotalBytes() const {
+  uint64_t total = aggregates_init_ ? aggregates_.bytes() : 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    if (node.has_nt) total += node.nt.bytes();
+    if (node.has_tt) total += node.tt.bytes();
+    if (node.has_cat) total += node.cat.bytes();
+    if (node.has_plain) total += node.plain.bytes();
+    if (node.tt_bitmap != nullptr) total += node.tt_bitmap->SerializedBytes();
+  }
+  return total;
+}
+
+uint64_t CubeStore::NumRelations() const {
+  uint64_t count = aggregates_init_ ? 1 : 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    count += (node.has_nt ? 1 : 0) + (node.has_tt ? 1 : 0) + (node.has_cat ? 1 : 0) +
+             (node.has_plain ? 1 : 0) + (node.tt_bitmap != nullptr ? 1 : 0);
+  }
+  return count;
+}
+
+CubeStore::ClassCounts CubeStore::Counts() const {
+  ClassCounts counts;
+  counts.aggregates = aggregates_init_ ? aggregates_.num_rows() : 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    if (node.has_nt) counts.nt += node.nt.num_rows();
+    if (node.has_tt) counts.tt += node.tt.num_rows();
+    if (node.tt_bitmap != nullptr) counts.tt += node.tt_bitmap->Count();
+    if (node.has_cat) counts.cat += node.cat.num_rows();
+    if (node.has_plain) counts.plain += node.plain.num_rows();
+  }
+  return counts;
+}
+
+}  // namespace cube
+}  // namespace cure

@@ -1,0 +1,80 @@
+#ifndef CURE_CUBE_MEASURES_H_
+#define CURE_CUBE_MEASURES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "schema/cube_schema.h"
+
+namespace cure {
+namespace cube {
+
+/// Executes the schema's aggregate list over int64 values.
+///
+/// Aggregation is phrased as lift + combine so that partial aggregates
+/// re-aggregate exactly (the property CURE's external path needs, paper
+/// Sec. 4 observation 3): a raw fact row is first *lifted* into aggregate
+/// space (COUNT -> 1, SUM/MIN/MAX -> the measure), after which all further
+/// aggregation — in-memory recursion, the partition-pass hash build of node
+/// N, and re-aggregation of N — is the same associative combine.
+class Aggregator {
+ public:
+  explicit Aggregator(const schema::CubeSchema& schema)
+      : specs_(schema.aggregates()) {}
+
+  int num_aggregates() const { return static_cast<int>(specs_.size()); }
+
+  /// Lifts a raw measure vector into aggregate space.
+  void Lift(const int64_t* raw_measures, int64_t* out) const {
+    for (size_t y = 0; y < specs_.size(); ++y) {
+      out[y] = specs_[y].fn == schema::AggFn::kCount
+                   ? 1
+                   : raw_measures[specs_[y].measure_index];
+    }
+  }
+
+  /// Initializes an accumulator to the combine identity.
+  void Init(int64_t* acc) const {
+    for (size_t y = 0; y < specs_.size(); ++y) {
+      switch (specs_[y].fn) {
+        case schema::AggFn::kSum:
+        case schema::AggFn::kCount:
+          acc[y] = 0;
+          break;
+        case schema::AggFn::kMin:
+          acc[y] = std::numeric_limits<int64_t>::max();
+          break;
+        case schema::AggFn::kMax:
+          acc[y] = std::numeric_limits<int64_t>::min();
+          break;
+      }
+    }
+  }
+
+  /// acc = acc ⊕ value, per aggregate.
+  void Combine(int64_t* acc, const int64_t* value) const {
+    for (size_t y = 0; y < specs_.size(); ++y) {
+      switch (specs_[y].fn) {
+        case schema::AggFn::kSum:
+        case schema::AggFn::kCount:
+          acc[y] += value[y];
+          break;
+        case schema::AggFn::kMin:
+          if (value[y] < acc[y]) acc[y] = value[y];
+          break;
+        case schema::AggFn::kMax:
+          if (value[y] > acc[y]) acc[y] = value[y];
+          break;
+      }
+    }
+  }
+
+ private:
+  std::vector<schema::AggregateSpec> specs_;
+};
+
+}  // namespace cube
+}  // namespace cure
+
+#endif  // CURE_CUBE_MEASURES_H_

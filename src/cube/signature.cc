@@ -1,0 +1,155 @@
+#include "cube/signature.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace cube {
+
+SignaturePool::SignaturePool(int num_aggregates, int carry_dims, size_t capacity)
+    : y_(num_aggregates), carry_dims_(carry_dims), capacity_(std::max<size_t>(capacity, 1)) {
+  aggrs_.reserve(capacity_ * y_);
+  rowids_.reserve(capacity_);
+  nodes_.reserve(capacity_);
+  if (carry_dims_ > 0) dims_.reserve(capacity_ * carry_dims_);
+}
+
+uint64_t SignaturePool::FootprintBytes() const {
+  return capacity_ * (8ull * y_ + 8 + 8 + 4ull * carry_dims_);
+}
+
+void SignaturePool::Add(const int64_t* aggrs, RowId rowid, schema::NodeId node,
+                        const uint32_t* projected_dims) {
+  CURE_CHECK_LT(size_, capacity_) << "pool overflow; caller must Flush first";
+  aggrs_.insert(aggrs_.end(), aggrs, aggrs + y_);
+  rowids_.push_back(rowid);
+  nodes_.push_back(node);
+  if (carry_dims_ > 0) {
+    CURE_CHECK(projected_dims != nullptr);
+    dims_.insert(dims_.end(), projected_dims, projected_dims + carry_dims_);
+  }
+  ++size_;
+}
+
+Status SignaturePool::Flush(CubeStore* store) {
+  if (size_ == 0) return Status::OK();
+
+  // Sort signature indices by (aggregates lexicographically, rowid) so that
+  // CAT combos become adjacent and, within a combo, common-source groups
+  // become adjacent.
+  order_.resize(size_);
+  for (size_t i = 0; i < size_; ++i) order_[i] = static_cast<uint32_t>(i);
+  const int64_t* aggrs = aggrs_.data();
+  const int y = y_;
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    const int64_t* pa = aggrs + static_cast<size_t>(a) * y;
+    const int64_t* pb = aggrs + static_cast<size_t>(b) * y;
+    for (int i = 0; i < y; ++i) {
+      if (pa[i] != pb[i]) return pa[i] < pb[i];
+    }
+    return rowids_[a] < rowids_[b];
+  });
+
+  auto same_aggrs = [&](uint32_t a, uint32_t b) {
+    const int64_t* pa = aggrs + static_cast<size_t>(a) * y;
+    const int64_t* pb = aggrs + static_cast<size_t>(b) * y;
+    for (int i = 0; i < y; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  };
+
+  // Pass 1: statistics for the format decision (k, n, m over CAT combos).
+  CatStats stats;
+  for (size_t i = 0; i < size_;) {
+    size_t j = i + 1;
+    while (j < size_ && same_aggrs(order_[i], order_[j])) ++j;
+    if (j - i > 1) {
+      stats.combos += 1;
+      stats.cats += j - i;
+      // Count distinct rowids within the combo (sorted secondary key).
+      uint64_t groups = 1;
+      for (size_t t = i + 1; t < j; ++t) {
+        if (rowids_[order_[t]] != rowids_[order_[t - 1]]) ++groups;
+      }
+      stats.source_groups += groups;
+    }
+    i = j;
+  }
+  store->DecideCatFormat(stats);
+  // If the pool only ever saw NTs so far, the format may still be undecided;
+  // CATs in this flush then fall back to NT storage only when there are none
+  // (stats.combos == 0), so this is safe.
+  const CatFormat format =
+      store->cat_format() == CatFormat::kUndecided ? CatFormat::kAsNT
+                                                   : store->cat_format();
+
+  // Pass 2: write NTs and CATs.
+  for (size_t i = 0; i < size_;) {
+    size_t j = i + 1;
+    while (j < size_ && same_aggrs(order_[i], order_[j])) ++j;
+    if (j - i == 1) {
+      const uint32_t s = order_[i];
+      CURE_RETURN_IF_ERROR(store->WriteNT(
+          nodes_[s], rowids_[s], aggrs + static_cast<size_t>(s) * y,
+          carry_dims_ > 0 ? dims_.data() + static_cast<size_t>(s) * carry_dims_
+                          : nullptr));
+    } else {
+      switch (format) {
+        case CatFormat::kFormatA: {
+          // One AGGREGATES tuple per common-source group (equal rowid).
+          size_t g = i;
+          while (g < j) {
+            size_t h = g + 1;
+            while (h < j && rowids_[order_[h]] == rowids_[order_[g]]) ++h;
+            const uint32_t s0 = order_[g];
+            CURE_ASSIGN_OR_RETURN(
+                uint64_t arowid,
+                store->AppendAggregateA(rowids_[s0],
+                                        aggrs + static_cast<size_t>(s0) * y));
+            for (size_t t = g; t < h; ++t) {
+              CURE_RETURN_IF_ERROR(store->WriteCatA(nodes_[order_[t]], arowid));
+            }
+            g = h;
+          }
+          break;
+        }
+        case CatFormat::kFormatB: {
+          const uint32_t s0 = order_[i];
+          CURE_ASSIGN_OR_RETURN(
+              uint64_t arowid,
+              store->AppendAggregateB(aggrs + static_cast<size_t>(s0) * y));
+          for (size_t t = i; t < j; ++t) {
+            const uint32_t s = order_[t];
+            CURE_RETURN_IF_ERROR(store->WriteCatB(nodes_[s], rowids_[s], arowid));
+          }
+          break;
+        }
+        case CatFormat::kAsNT:
+        case CatFormat::kUndecided: {
+          for (size_t t = i; t < j; ++t) {
+            const uint32_t s = order_[t];
+            CURE_RETURN_IF_ERROR(store->WriteNT(
+                nodes_[s], rowids_[s], aggrs + static_cast<size_t>(s) * y,
+                carry_dims_ > 0
+                    ? dims_.data() + static_cast<size_t>(s) * carry_dims_
+                    : nullptr));
+          }
+          break;
+        }
+      }
+    }
+    i = j;
+  }
+
+  aggrs_.clear();
+  rowids_.clear();
+  nodes_.clear();
+  dims_.clear();
+  size_ = 0;
+  return Status::OK();
+}
+
+}  // namespace cube
+}  // namespace cure

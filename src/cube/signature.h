@@ -1,0 +1,69 @@
+#ifndef CURE_CUBE_SIGNATURE_H_
+#define CURE_CUBE_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cube_store.h"
+#include "cube/rowid.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace cube {
+
+/// The bounded signature pool of Sec. 5.2 (Fig. 12).
+///
+/// Every non-trivial aggregated tuple deposits a *signature* —
+/// (Aggr_1..Aggr_Y, R-rowid, NodeId) — instead of being written out
+/// immediately. Flushing sorts the signatures by (aggregates, rowid),
+/// classifies each group as NT (singleton) or CAT (|group| > 1), gathers the
+/// k/n/m statistics that fix the CAT storage format on the first flush, and
+/// writes through the CubeStore. A bounded pool trades a little redundant
+/// CAT storage for bounded memory, exactly the paper's trade-off; capacity 0
+/// disables CAT detection entirely (every flush handles one signature).
+///
+/// In CURE_DR mode the pool additionally carries the projected grouping
+/// codes of each tuple so NTs can be materialized with dimension values
+/// without dereferencing the source at flush time.
+class SignaturePool {
+ public:
+  /// `capacity` = maximum number of signatures held (paper default 10^6).
+  /// `carry_dims` > 0 enables CURE_DR dim storage (D slots per signature).
+  SignaturePool(int num_aggregates, int carry_dims, size_t capacity);
+
+  bool full() const { return size_ >= capacity_; }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Memory footprint of a full pool (the paper quotes (Y+2)*4 bytes per
+  /// signature for 10^6 signatures; ours is 8-byte fields).
+  uint64_t FootprintBytes() const;
+
+  /// Adds a signature. `projected_dims` must be non-null iff carry_dims > 0
+  /// and then hold D codes projected onto the node's levels (ALL positions
+  /// arbitrary).
+  void Add(const int64_t* aggrs, RowId rowid, schema::NodeId node,
+           const uint32_t* projected_dims);
+
+  /// Sorts, classifies and writes all pooled signatures (Sec. 5.2), then
+  /// empties the pool.
+  Status Flush(CubeStore* store);
+
+ private:
+  int y_;
+  int carry_dims_;
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<int64_t> aggrs_;        // y_ per signature
+  std::vector<RowId> rowids_;
+  std::vector<schema::NodeId> nodes_;
+  std::vector<uint32_t> dims_;        // carry_dims_ per signature (DR only)
+  std::vector<uint32_t> order_;       // scratch
+};
+
+}  // namespace cube
+}  // namespace cure
+
+#endif  // CURE_CUBE_SIGNATURE_H_

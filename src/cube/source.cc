@@ -1,0 +1,120 @@
+#include "cube/source.h"
+
+#include <cstring>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace cube {
+
+Status FactTableSource::GetRow(uint64_t ordinal, uint32_t* dims,
+                               int64_t* aggrs) const {
+  if (ordinal >= table_->num_rows()) {
+    return Status::OutOfRange("fact row out of range");
+  }
+  for (int d = 0; d < table_->num_dims(); ++d) dims[d] = table_->dim(d, ordinal);
+  // Lift through a small stack buffer; measure counts are tiny.
+  int64_t raw[16];
+  CURE_CHECK_LE(table_->num_measures(), 16);
+  for (int m = 0; m < table_->num_measures(); ++m) raw[m] = table_->measure(m, ordinal);
+  aggregator_.Lift(raw, aggrs);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FactRelationSource>> FactRelationSource::Create(
+    const storage::Relation* relation, const schema::CubeSchema* schema,
+    double cached_fraction) {
+  const size_t expected = 4ull * schema->num_dims() + 8ull * schema->num_raw_measures();
+  if (relation->record_size() != expected) {
+    return Status::InvalidArgument("fact relation record size mismatch");
+  }
+  std::unique_ptr<FactRelationSource> src(new FactRelationSource(relation, schema));
+  CURE_RETURN_IF_ERROR(src->cache_.Init(relation, cached_fraction));
+  return src;
+}
+
+Status FactRelationSource::GetRow(uint64_t ordinal, uint32_t* dims,
+                                  int64_t* aggrs) const {
+  uint8_t rec[256];
+  const size_t width = relation_->record_size();
+  CURE_CHECK_LE(width, sizeof(rec));
+  const uint8_t* p = cache_.TryRaw(ordinal);
+  if (p == nullptr) {
+    CURE_RETURN_IF_ERROR(cache_.Read(ordinal, rec));
+    p = rec;
+  }
+  std::memcpy(dims, p, 4ull * num_dims_);
+  int64_t raw[16];
+  CURE_CHECK_LE(num_raw_, 16);
+  std::memcpy(raw, p + 4ull * num_dims_, 8ull * num_raw_);
+  aggregator_.Lift(raw, aggrs);
+  return Status::OK();
+}
+
+Status AggTableSource::GetRow(uint64_t ordinal, uint32_t* dims,
+                              int64_t* aggrs) const {
+  if (ordinal >= table_->num_rows) return Status::OutOfRange("agg row out of range");
+  for (size_t d = 0; d < table_->dims.size(); ++d) {
+    dims[d] = table_->native_levels[d] == kNativeAll ? 0 : table_->dims[d][ordinal];
+  }
+  for (size_t y = 0; y < table_->aggrs.size(); ++y) {
+    aggrs[y] = table_->aggrs[y][ordinal];
+  }
+  return Status::OK();
+}
+
+void SourceSet::Register(uint32_t source_tag,
+                         std::shared_ptr<SourceAccessor> accessor) {
+  if (accessors_.size() <= source_tag) accessors_.resize(source_tag + 1);
+  accessors_[source_tag] = std::move(accessor);
+}
+
+const SourceAccessor* SourceSet::Get(uint32_t source_tag) const {
+  if (source_tag >= accessors_.size()) return nullptr;
+  return accessors_[source_tag].get();
+}
+
+Status SourceSet::GetRow(RowId rowid, uint32_t* dims, int64_t* aggrs) const {
+  const SourceAccessor* src = Get(RowIdSource(rowid));
+  if (src == nullptr) {
+    return Status::NotFound("no source registered for tag " +
+                            std::to_string(RowIdSource(rowid)));
+  }
+  return src->GetRow(RowIdOrdinal(rowid), dims, aggrs);
+}
+
+Status SourceSet::ProjectDims(uint32_t source_tag, const uint32_t* native_dims,
+                              const std::vector<int>& node_levels,
+                              uint32_t* out) const {
+  const SourceAccessor* src = Get(source_tag);
+  if (src == nullptr) {
+    return Status::NotFound("no source registered for tag " +
+                            std::to_string(source_tag));
+  }
+  int o = 0;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int target = node_levels[d];
+    if (target == schema_->dim(d).num_levels()) continue;  // ALL: skipped.
+    const int from = src->native_level(d);
+    if (from == kNativeAll) {
+      return Status::Internal("node requires dimension the source projected out");
+    }
+    if (from == target) {
+      out[o++] = native_dims[d];
+      continue;
+    }
+    const auto key = std::make_tuple(d, from, target);
+    auto it = level_maps_.find(key);
+    if (it == level_maps_.end()) {
+      CURE_ASSIGN_OR_RETURN(std::vector<uint32_t> map,
+                            schema_->dim(d).LevelToLevelMap(from, target));
+      it = level_maps_.emplace(key, std::move(map)).first;
+    }
+    out[o++] = it->second[native_dims[d]];
+  }
+  return Status::OK();
+}
+
+}  // namespace cube
+}  // namespace cure

@@ -1,0 +1,61 @@
+#ifndef CURE_ENGINE_CUBE_BUILD_H_
+#define CURE_ENGINE_CUBE_BUILD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "schema/fact_table.h"
+#include "storage/relation.h"
+
+namespace cure {
+namespace engine {
+
+/// Input fact data: an in-memory table and/or its sealed binary relation
+/// form (record layout [D x u32][M x i64]). At least one must be set; the
+/// external path requires (or spills to) the relation form.
+struct FactInput {
+  const schema::FactTable* table = nullptr;
+  const storage::Relation* relation = nullptr;
+
+  uint64_t num_rows() const {
+    return table != nullptr ? table->num_rows()
+                            : (relation != nullptr ? relation->num_rows() : 0);
+  }
+  uint64_t bytes() const {
+    return table != nullptr ? table->bytes()
+                            : (relation != nullptr ? relation->bytes() : 0);
+  }
+};
+
+/// Construction statistics common to every engine.
+struct BuildStats {
+  double build_seconds = 0;
+  double postprocess_seconds = 0;
+  uint64_t input_rows = 0;
+
+  // Tuple-class counts after construction.
+  uint64_t tt = 0;
+  uint64_t nt = 0;
+  uint64_t cat = 0;
+  uint64_t plain = 0;
+  uint64_t aggregates_rows = 0;
+
+  uint64_t cube_bytes = 0;
+  uint64_t num_relations = 0;
+  uint64_t signature_flushes = 0;
+  uint64_t min_support = 1;
+
+  // External path.
+  bool external = false;
+  int partition_level = -1;
+  uint64_t num_partitions = 0;
+  uint64_t n_rows = 0;            ///< rows of the partition-pass node N
+  uint64_t n_bytes = 0;
+  uint64_t partition_write_bytes = 0;
+  uint64_t partition_read_bytes = 0;
+};
+
+}  // namespace engine
+}  // namespace cure
+
+#endif  // CURE_ENGINE_CUBE_BUILD_H_

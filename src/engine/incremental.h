@@ -1,0 +1,49 @@
+#ifndef CURE_ENGINE_INCREMENTAL_H_
+#define CURE_ENGINE_INCREMENTAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/cure.h"
+#include "schema/fact_table.h"
+
+namespace cure {
+namespace engine {
+
+/// Statistics of one incremental update.
+struct UpdateStats {
+  uint64_t delta_rows = 0;
+  uint64_t new_tts = 0;            ///< TTs created for brand-new groups
+  uint64_t absorbed_tts = 0;       ///< old TTs that became non-trivial
+  uint64_t merged_tuples = 0;      ///< old NTs/CATs whose aggregates changed
+  uint64_t new_signatures = 0;     ///< new non-trivial groups materialized
+  double seconds = 0;
+};
+
+/// Incremental maintenance of a CURE cube (the paper's Sec. 8 future work:
+/// "efficient methods for updating NTs and TTs", extended here to CATs by
+/// rewriting affected CATs as NTs).
+///
+/// `table` must be the same fact table the cube was built from, with the
+/// delta rows *already appended*; `old_rows` is the row count at build time
+/// (delta = rows [old_rows, table.num_rows())). The algorithm re-runs the
+/// plan traversal over the delta rows only, probing each visited node's
+/// existing storage:
+///  * a delta group matching nothing and of size one becomes a new TT at
+///    its least detailed node (pruning the sub-tree, as in construction);
+///  * a delta group matching an old TT absorbs the TT's source row — the
+///    combined rows continue down the sub-tree, regenerating its storage;
+///  * a delta group matching an old NT/CAT merges aggregates; the old tuple
+///    is tombstoned and the merged tuple rewritten (as an NT).
+///
+/// Requirements: an in-memory (not spilled), complete (min_support == 1),
+/// in-memory-built (non-partitioned) cube. Post-processed cubes are
+/// supported: affected bitmaps/sorted lists are rebuilt as plain TT lists
+/// (re-run CurePostProcess afterwards if desired).
+Result<UpdateStats> ApplyDelta(CureCube* cube, const schema::FactTable& table,
+                               uint64_t old_rows);
+
+}  // namespace engine
+}  // namespace cure
+
+#endif  // CURE_ENGINE_INCREMENTAL_H_

@@ -1,0 +1,93 @@
+#include "etl/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cure {
+namespace etl {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!field.empty()) {
+          return Status::InvalidArgument("quote inside unquoted field: " + line);
+        }
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote: " + line);
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Result<CsvTable> ParseCsv(const std::string& content) {
+  CsvTable table;
+  size_t start = 0;
+  bool first = true;
+  while (start < content.size()) {
+    // Find the record end, honoring quotes (records may contain newlines
+    // only inside quotes; we keep it simple and disallow embedded newlines).
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string line = content.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = end + 1;
+    if (line.empty()) continue;
+    CURE_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::InvalidArgument("row has " + std::to_string(fields.size()) +
+                                       " fields, header has " +
+                                       std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::InvalidArgument("empty CSV document");
+  return table;
+}
+
+Result<size_t> CsvTable::Column(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named '" + name + "'");
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace etl
+}  // namespace cure

@@ -1,0 +1,34 @@
+#ifndef CURE_ETL_CSV_H_
+#define CURE_ETL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+namespace etl {
+
+/// Minimal RFC-4180-style CSV support: comma separators, double-quote
+/// quoting with "" escapes, LF or CRLF line endings.
+
+/// Splits one CSV record into fields.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Parses a whole CSV document (header + data rows).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or error.
+  Result<size_t> Column(const std::string& name) const;
+};
+Result<CsvTable> ParseCsv(const std::string& content);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace etl
+}  // namespace cure
+
+#endif  // CURE_ETL_CSV_H_

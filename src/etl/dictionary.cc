@@ -1,0 +1,35 @@
+#include "etl/dictionary.h"
+
+namespace cure {
+namespace etl {
+
+std::string Dictionary::Serialize() const {
+  std::string out;
+  for (const std::string& value : values_) {
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Dictionary> Dictionary::Deserialize(const std::string& data) {
+  Dictionary dict;
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t end = data.find('\n', start);
+    if (end == std::string::npos) {
+      return Status::InvalidArgument("dictionary data not newline-terminated");
+    }
+    const std::string value = data.substr(start, end - start);
+    const uint32_t size_before = dict.size();
+    dict.Encode(value);
+    if (dict.size() == size_before) {
+      return Status::InvalidArgument("duplicate dictionary value '" + value + "'");
+    }
+    start = end + 1;
+  }
+  return dict;
+}
+
+}  // namespace etl
+}  // namespace cure

@@ -1,0 +1,48 @@
+#ifndef CURE_ETL_DICTIONARY_H_
+#define CURE_ETL_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+namespace etl {
+
+/// Order-of-appearance dictionary encoding string dimension values into the
+/// dense uint32 codes the engines operate on.
+class Dictionary {
+ public:
+  /// Returns the code of `value`, inserting it if new.
+  uint32_t Encode(const std::string& value) {
+    auto [it, inserted] = index_.try_emplace(value, values_.size());
+    if (inserted) values_.push_back(value);
+    return it->second;
+  }
+
+  /// Returns the code of `value` or an error when absent.
+  Result<uint32_t> Lookup(const std::string& value) const {
+    auto it = index_.find(value);
+    if (it == index_.end()) return Status::NotFound("value '" + value + "'");
+    return it->second;
+  }
+
+  const std::string& Decode(uint32_t code) const { return values_[code]; }
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  const std::vector<std::string>& values() const { return values_; }
+
+  /// Serialization: one value per line (values must not contain newlines).
+  std::string Serialize() const;
+  static Result<Dictionary> Deserialize(const std::string& data);
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace etl
+}  // namespace cure
+
+#endif  // CURE_ETL_DICTIONARY_H_

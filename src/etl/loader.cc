@@ -1,0 +1,222 @@
+#include "etl/loader.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace etl {
+
+using schema::AggFn;
+using schema::AggregateSpec;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::Level;
+
+Result<LoadSpec> ParseLoadSpec(const std::string& text) {
+  LoadSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "dim") {
+      DimensionSpec dim;
+      tokens >> dim.name;
+      std::string column;
+      while (tokens >> column) dim.level_columns.push_back(column);
+      if (dim.name.empty() || dim.level_columns.empty()) {
+        return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                       ": dim needs a name and >= 1 column");
+      }
+      spec.dimensions.push_back(std::move(dim));
+    } else if (keyword == "measure") {
+      std::string column;
+      if (!(tokens >> column)) {
+        return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                       ": measure needs a column");
+      }
+      spec.measure_columns.push_back(column);
+    } else if (keyword == "agg") {
+      AggregateColumnSpec agg;
+      if (!(tokens >> agg.function)) {
+        return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                       ": agg needs a function");
+      }
+      tokens >> agg.column;  // optional for count
+      if (agg.function != "count" && agg.column.empty()) {
+        return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                       ": agg " + agg.function + " needs a column");
+      }
+      spec.aggregates.push_back(std::move(agg));
+    } else {
+      return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                     ": unknown keyword '" + keyword + "'");
+    }
+  }
+  if (spec.dimensions.empty()) {
+    return Status::InvalidArgument("spec defines no dimensions");
+  }
+  if (spec.aggregates.empty()) {
+    // Default: count(*), plus sum of every declared measure.
+    spec.aggregates.push_back({"count", ""});
+    for (const std::string& m : spec.measure_columns) {
+      spec.aggregates.push_back({"sum", m});
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+Result<AggFn> ParseAggFn(const std::string& name) {
+  if (name == "sum") return AggFn::kSum;
+  if (name == "count") return AggFn::kCount;
+  if (name == "min") return AggFn::kMin;
+  if (name == "max") return AggFn::kMax;
+  return Status::InvalidArgument("unknown aggregate function '" + name + "'");
+}
+
+}  // namespace
+
+Result<LoadedDataset> LoadDataset(const CsvTable& csv, const LoadSpec& spec) {
+  const int num_dims = static_cast<int>(spec.dimensions.size());
+  const int num_measures = static_cast<int>(spec.measure_columns.size());
+
+  // Resolve columns.
+  std::vector<std::vector<size_t>> dim_columns(num_dims);
+  for (int d = 0; d < num_dims; ++d) {
+    for (const std::string& column : spec.dimensions[d].level_columns) {
+      CURE_ASSIGN_OR_RETURN(size_t index, csv.Column(column));
+      dim_columns[d].push_back(index);
+    }
+  }
+  std::vector<size_t> measure_columns;
+  for (const std::string& column : spec.measure_columns) {
+    CURE_ASSIGN_OR_RETURN(size_t index, csv.Column(column));
+    measure_columns.push_back(index);
+  }
+
+  // Pass 1: dictionary-encode every level column and record per-row codes.
+  LoadedDataset out;
+  out.dictionaries.resize(num_dims);
+  std::vector<std::vector<std::vector<uint32_t>>> codes(num_dims);
+  for (int d = 0; d < num_dims; ++d) {
+    const size_t levels = dim_columns[d].size();
+    out.dictionaries[d].resize(levels);
+    codes[d].resize(levels);
+    for (auto& col : codes[d]) col.reserve(csv.rows.size());
+  }
+  for (const std::vector<std::string>& row : csv.rows) {
+    for (int d = 0; d < num_dims; ++d) {
+      for (size_t l = 0; l < dim_columns[d].size(); ++l) {
+        codes[d][l].push_back(out.dictionaries[d][l].Encode(row[dim_columns[d][l]]));
+      }
+    }
+  }
+
+  // Pass 2: infer the roll-up maps (leaf code -> level code) and check the
+  // functional dependencies.
+  std::vector<Dimension> dims;
+  for (int d = 0; d < num_dims; ++d) {
+    const size_t num_levels = dim_columns[d].size();
+    const uint32_t leaf_card = out.dictionaries[d][0].size();
+    if (leaf_card == 0) {
+      return Status::InvalidArgument("dimension '" + spec.dimensions[d].name +
+                                     "' has no values");
+    }
+    std::vector<Level> levels(num_levels);
+    for (size_t l = 0; l < num_levels; ++l) {
+      levels[l].name = spec.dimensions[d].level_columns[l];
+      levels[l].cardinality = out.dictionaries[d][l].size();
+      if (l + 1 < num_levels) levels[l].parents = {static_cast<int>(l) + 1};
+      if (l == 0) continue;
+      constexpr uint32_t kUnset = 0xFFFFFFFFu;
+      levels[l].leaf_to_code.assign(leaf_card, kUnset);
+      for (size_t r = 0; r < csv.rows.size(); ++r) {
+        const uint32_t leaf = codes[d][0][r];
+        const uint32_t code = codes[d][l][r];
+        if (levels[l].leaf_to_code[leaf] == kUnset) {
+          levels[l].leaf_to_code[leaf] = code;
+        } else if (levels[l].leaf_to_code[leaf] != code) {
+          return Status::InvalidArgument(
+              "functional dependency violation in dimension '" +
+              spec.dimensions[d].name + "': leaf value '" +
+              out.dictionaries[d][0].Decode(leaf) + "' maps to both '" +
+              out.dictionaries[d][l].Decode(levels[l].leaf_to_code[leaf]) +
+              "' and '" + out.dictionaries[d][l].Decode(code) + "' at level " +
+              levels[l].name);
+        }
+      }
+      // Every leaf seen in the data has a mapping; unseen codes impossible
+      // since dictionaries grow only from data.
+    }
+    CURE_ASSIGN_OR_RETURN(Dimension dim,
+                          Dimension::Create(spec.dimensions[d].name,
+                                            std::move(levels)));
+    dims.push_back(std::move(dim));
+  }
+
+  // Aggregates.
+  std::vector<AggregateSpec> aggs;
+  for (const AggregateColumnSpec& agg : spec.aggregates) {
+    CURE_ASSIGN_OR_RETURN(AggFn fn, ParseAggFn(agg.function));
+    AggregateSpec out_spec;
+    out_spec.fn = fn;
+    out_spec.name = agg.function + (agg.column.empty() ? "" : "_" + agg.column);
+    out_spec.measure_index = 0;
+    if (fn != AggFn::kCount) {
+      bool found = false;
+      for (int m = 0; m < num_measures; ++m) {
+        if (spec.measure_columns[m] == agg.column) {
+          out_spec.measure_index = m;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("aggregate references undeclared measure '" +
+                                       agg.column + "'");
+      }
+    }
+    aggs.push_back(std::move(out_spec));
+  }
+  CURE_ASSIGN_OR_RETURN(out.schema, CubeSchema::Create(std::move(dims),
+                                                       std::max(num_measures, 1),
+                                                       std::move(aggs)));
+
+  // Pass 3: build the fact table.
+  out.table = schema::FactTable(num_dims, std::max(num_measures, 1));
+  out.table.Reserve(csv.rows.size());
+  std::vector<uint32_t> dim_row(num_dims);
+  std::vector<int64_t> measures(std::max(num_measures, 1), 0);
+  for (size_t r = 0; r < csv.rows.size(); ++r) {
+    for (int d = 0; d < num_dims; ++d) dim_row[d] = codes[d][0][r];
+    for (int m = 0; m < num_measures; ++m) {
+      const std::string& text = csv.rows[r][measure_columns[m]];
+      char* end = nullptr;
+      measures[m] = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str()) {
+        return Status::InvalidArgument("row " + std::to_string(r + 1) +
+                                       ": measure '" + text + "' is not an integer");
+      }
+    }
+    out.table.AppendRow(dim_row.data(), measures.data());
+  }
+  return out;
+}
+
+Result<LoadedDataset> LoadCsvFile(const std::string& csv_path,
+                                  const std::string& spec_text) {
+  CURE_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(csv_path));
+  CURE_ASSIGN_OR_RETURN(LoadSpec spec, ParseLoadSpec(spec_text));
+  return LoadDataset(csv, spec);
+}
+
+}  // namespace etl
+}  // namespace cure

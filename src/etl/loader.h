@@ -1,0 +1,68 @@
+#ifndef CURE_ETL_LOADER_H_
+#define CURE_ETL_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "etl/csv.h"
+#include "etl/dictionary.h"
+#include "schema/cube_schema.h"
+#include "schema/fact_table.h"
+
+namespace cure {
+namespace etl {
+
+/// How one cube dimension is derived from CSV columns: the leaf column
+/// first, then its roll-up columns coarse-ward (e.g. {"city", "country",
+/// "continent"}). The hierarchy maps are inferred from the data; rows that
+/// give a leaf value two different parents fail the load (a functional
+/// dependency violation).
+struct DimensionSpec {
+  std::string name;
+  std::vector<std::string> level_columns;
+};
+
+/// One output aggregate: function name ("sum", "count", "min", "max") plus
+/// the measure column ("count" takes none).
+struct AggregateColumnSpec {
+  std::string function;
+  std::string column;
+};
+
+/// Full load specification.
+struct LoadSpec {
+  std::vector<DimensionSpec> dimensions;
+  std::vector<std::string> measure_columns;
+  std::vector<AggregateColumnSpec> aggregates;
+};
+
+/// The loaded dataset: engine-ready schema + fact table plus the
+/// dictionaries needed to decode query results back into strings,
+/// dictionaries[d][l] belonging to level l of dimension d.
+struct LoadedDataset {
+  schema::CubeSchema schema;
+  schema::FactTable table{0, 0};
+  std::vector<std::vector<Dictionary>> dictionaries;
+};
+
+/// Parses a plain-text spec file:
+///   dim <name> <leaf_column> [<level2_column> ...]
+///   measure <column>
+///   agg <sum|min|max> <column>
+///   agg count
+/// Lines starting with '#' are comments.
+Result<LoadSpec> ParseLoadSpec(const std::string& text);
+
+/// Dictionary-encodes a parsed CSV into a fact table, inferring hierarchy
+/// roll-up maps from the level columns.
+Result<LoadedDataset> LoadDataset(const CsvTable& csv, const LoadSpec& spec);
+
+/// Convenience: read + parse + load.
+Result<LoadedDataset> LoadCsvFile(const std::string& csv_path,
+                                  const std::string& spec_text);
+
+}  // namespace etl
+}  // namespace cure
+
+#endif  // CURE_ETL_LOADER_H_

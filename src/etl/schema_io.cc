@@ -1,0 +1,142 @@
+#include "etl/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cure {
+namespace etl {
+
+using schema::AggFn;
+using schema::AggregateSpec;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::Level;
+
+std::string SerializeSchema(const CubeSchema& schema) {
+  std::ostringstream out;
+  out << "cure-schema 1\n";
+  out << "dims " << schema.num_dims() << " raw_measures "
+      << schema.num_raw_measures() << "\n";
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Dimension& dim = schema.dim(d);
+    out << "dim " << dim.name() << " " << dim.num_levels() << "\n";
+    for (int l = 0; l < dim.num_levels(); ++l) {
+      const Level& level = dim.level(l);
+      out << "level " << level.name << " " << level.cardinality << " parents";
+      for (int p : level.parents) out << " " << p;
+      out << "\n";
+      if (l > 0) {
+        out << "map";
+        for (uint32_t leaf = 0; leaf < dim.leaf_cardinality(); ++leaf) {
+          out << " " << dim.CodeAt(leaf, l);
+        }
+        out << "\n";
+      }
+    }
+  }
+  out << "aggregates " << schema.num_aggregates() << "\n";
+  for (int y = 0; y < schema.num_aggregates(); ++y) {
+    const AggregateSpec& spec = schema.aggregate(y);
+    out << "agg " << schema::AggFnName(spec.fn) << " " << spec.measure_index
+        << " " << spec.name << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<AggFn> FnFromName(const std::string& name) {
+  if (name == "SUM") return AggFn::kSum;
+  if (name == "COUNT") return AggFn::kCount;
+  if (name == "MIN") return AggFn::kMin;
+  if (name == "MAX") return AggFn::kMax;
+  return Status::InvalidArgument("unknown aggregate '" + name + "'");
+}
+
+}  // namespace
+
+Result<CubeSchema> DeserializeSchema(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  int version = 0;
+  if (!(in >> keyword >> version) || keyword != "cure-schema" || version != 1) {
+    return Status::InvalidArgument("not a cure-schema v1 document");
+  }
+  int num_dims = 0, raw_measures = 0;
+  std::string kw2;
+  if (!(in >> keyword >> num_dims >> kw2 >> raw_measures) || keyword != "dims") {
+    return Status::InvalidArgument("bad dims header");
+  }
+  std::vector<Dimension> dims;
+  for (int d = 0; d < num_dims; ++d) {
+    std::string name;
+    int num_levels = 0;
+    if (!(in >> keyword >> name >> num_levels) || keyword != "dim") {
+      return Status::InvalidArgument("bad dim header");
+    }
+    std::vector<Level> levels(num_levels);
+    uint32_t leaf_card = 0;
+    for (int l = 0; l < num_levels; ++l) {
+      std::string parents_kw;
+      if (!(in >> keyword >> levels[l].name >> levels[l].cardinality >>
+            parents_kw) ||
+          keyword != "level" || parents_kw != "parents") {
+        return Status::InvalidArgument("bad level header");
+      }
+      // Parents until end of line.
+      std::string rest;
+      std::getline(in, rest);
+      std::istringstream parents(rest);
+      int p;
+      while (parents >> p) levels[l].parents.push_back(p);
+      if (l == 0) {
+        leaf_card = levels[0].cardinality;
+      } else {
+        if (!(in >> keyword) || keyword != "map") {
+          return Status::InvalidArgument("missing map for level " + levels[l].name);
+        }
+        levels[l].leaf_to_code.resize(leaf_card);
+        for (uint32_t i = 0; i < leaf_card; ++i) {
+          if (!(in >> levels[l].leaf_to_code[i])) {
+            return Status::InvalidArgument("short map for level " + levels[l].name);
+          }
+        }
+      }
+    }
+    CURE_ASSIGN_OR_RETURN(Dimension dim, Dimension::Create(name, std::move(levels)));
+    dims.push_back(std::move(dim));
+  }
+  int num_aggs = 0;
+  if (!(in >> keyword >> num_aggs) || keyword != "aggregates") {
+    return Status::InvalidArgument("bad aggregates header");
+  }
+  std::vector<AggregateSpec> aggs(num_aggs);
+  for (int y = 0; y < num_aggs; ++y) {
+    std::string fn;
+    if (!(in >> keyword >> fn >> aggs[y].measure_index >> aggs[y].name) ||
+        keyword != "agg") {
+      return Status::InvalidArgument("bad agg line");
+    }
+    CURE_ASSIGN_OR_RETURN(aggs[y].fn, FnFromName(fn));
+  }
+  return CubeSchema::Create(std::move(dims), raw_measures, std::move(aggs));
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace etl
+}  // namespace cure

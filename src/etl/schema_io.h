@@ -1,0 +1,25 @@
+#ifndef CURE_ETL_SCHEMA_IO_H_
+#define CURE_ETL_SCHEMA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "schema/cube_schema.h"
+
+namespace cure {
+namespace etl {
+
+/// Text serialization of a CubeSchema (dimensions with their hierarchy
+/// roll-up maps, and the aggregate list), so cubes written by the CLI tool
+/// can be reopened without the original CSV.
+std::string SerializeSchema(const schema::CubeSchema& schema);
+Result<schema::CubeSchema> DeserializeSchema(const std::string& text);
+
+/// File helpers.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace etl
+}  // namespace cure
+
+#endif  // CURE_ETL_SCHEMA_IO_H_

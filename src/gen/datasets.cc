@@ -1,0 +1,280 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gen/random.h"
+#include "gen/zipf.h"
+
+namespace cure {
+namespace gen {
+
+using schema::AggFn;
+using schema::AggregateSpec;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::FactTable;
+
+namespace {
+
+std::vector<AggregateSpec> DefaultAggregates(bool single) {
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "sum_m"});
+  if (!single) aggs.push_back({AggFn::kCount, 0, "count"});
+  return aggs;
+}
+
+CubeSchema MakeSchemaOrDie(std::vector<Dimension> dims, int measures,
+                           std::vector<AggregateSpec> aggs) {
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), measures, std::move(aggs));
+  CURE_CHECK(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+}  // namespace
+
+Dataset MakeSynthetic(const SyntheticSpec& spec) {
+  CURE_CHECK_GE(spec.num_dims, 1);
+  std::vector<uint32_t> cards = spec.cardinalities;
+  if (cards.empty()) {
+    cards.resize(spec.num_dims);
+    for (int i = 0; i < spec.num_dims; ++i) {
+      cards[i] = static_cast<uint32_t>(
+          std::max<uint64_t>(2, spec.num_tuples / static_cast<uint64_t>(i + 1)));
+    }
+  }
+  CURE_CHECK_EQ(cards.size(), static_cast<size_t>(spec.num_dims));
+
+  Dataset ds;
+  ds.name = "synthetic_d" + std::to_string(spec.num_dims) + "_t" +
+            std::to_string(spec.num_tuples) + "_z" + std::to_string(spec.zipf);
+  std::vector<Dimension> dims;
+  dims.reserve(spec.num_dims);
+  for (int d = 0; d < spec.num_dims; ++d) {
+    dims.push_back(Dimension::Flat("D" + std::to_string(d), cards[d]));
+  }
+  ds.schema = MakeSchemaOrDie(std::move(dims), 1,
+                              DefaultAggregates(spec.single_aggregate));
+
+  Rng rng(spec.seed);
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(spec.num_dims);
+  for (int d = 0; d < spec.num_dims; ++d) {
+    samplers.emplace_back(cards[d], spec.zipf);
+  }
+  ds.table = FactTable(spec.num_dims, 1);
+  ds.table.Reserve(spec.num_tuples);
+  std::vector<uint32_t> row(spec.num_dims);
+  for (uint64_t t = 0; t < spec.num_tuples; ++t) {
+    for (int d = 0; d < spec.num_dims; ++d) row[d] = samplers[d].Sample(&rng);
+    const int64_t m = static_cast<int64_t>(rng.NextRange(1000)) + 1;
+    ds.table.AppendRow(row.data(), &m);
+  }
+  return ds;
+}
+
+uint64_t ApbNumTuples(const ApbSpec& spec) {
+  const double raw = spec.density * 12393000.0;
+  return static_cast<uint64_t>(raw / static_cast<double>(spec.scale_divisor));
+}
+
+Dataset MakeApb(const ApbSpec& spec) {
+  Dataset ds;
+  ds.name = "apb_density" + std::to_string(spec.density);
+
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("Product", {6500, 435, 215, 54, 11, 3}));
+  dims.push_back(Dimension::Linear("Customer", {640, 71}));
+  dims.push_back(Dimension::Linear("Time", {17, 6, 2}));
+  dims.push_back(Dimension::Linear("Channel", {9}));
+
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "unit_sales"});
+  aggs.push_back({AggFn::kSum, 1, "dollar_sales"});
+  ds.schema = MakeSchemaOrDie(std::move(dims), 2, std::move(aggs));
+
+  const uint64_t rows = ApbNumTuples(spec);
+  Rng rng(spec.seed);
+  // APB-1's generator draws roughly uniformly over the key space with a mild
+  // preference for popular products/stores; a light zipf keeps that flavor.
+  ZipfSampler product(6500, 0.3);
+  ZipfSampler store(640, 0.3);
+  ds.table = FactTable(4, 2);
+  ds.table.Reserve(rows);
+  uint32_t row[4];
+  int64_t measures[2];
+  for (uint64_t t = 0; t < rows; ++t) {
+    row[0] = product.Sample(&rng);
+    row[1] = store.Sample(&rng);
+    row[2] = static_cast<uint32_t>(rng.NextRange(17));
+    row[3] = static_cast<uint32_t>(rng.NextRange(9));
+    measures[0] = static_cast<int64_t>(rng.NextRange(100)) + 1;  // unit sales
+    measures[1] = measures[0] * (static_cast<int64_t>(rng.NextRange(50)) + 1);
+    ds.table.AppendRow(row, measures);
+  }
+  return ds;
+}
+
+Dataset MakeApbMini(const ApbSpec& spec) {
+  Dataset ds;
+  ds.name = "apb_mini_density" + std::to_string(spec.density);
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("Product", {325, 65, 22, 11, 5, 3}));
+  dims.push_back(Dimension::Linear("Customer", {64, 16}));
+  dims.push_back(Dimension::Linear("Time", {17, 6, 2}));
+  dims.push_back(Dimension::Linear("Channel", {9}));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "unit_sales"});
+  aggs.push_back({AggFn::kSum, 1, "dollar_sales"});
+  ds.schema = MakeSchemaOrDie(std::move(dims), 2, std::move(aggs));
+
+  const uint64_t rows = ApbNumTuples(spec);
+  Rng rng(spec.seed);
+  ds.table = FactTable(4, 2);
+  ds.table.Reserve(rows);
+  uint32_t row[4];
+  int64_t measures[2];
+  for (uint64_t t = 0; t < rows; ++t) {
+    row[0] = static_cast<uint32_t>(rng.NextRange(325));
+    row[1] = static_cast<uint32_t>(rng.NextRange(64));
+    row[2] = static_cast<uint32_t>(rng.NextRange(17));
+    row[3] = static_cast<uint32_t>(rng.NextRange(9));
+    measures[0] = static_cast<int64_t>(rng.NextRange(100)) + 1;
+    measures[1] = measures[0] * (static_cast<int64_t>(rng.NextRange(50)) + 1);
+    ds.table.AppendRow(row, measures);
+  }
+  return ds;
+}
+
+Dataset MakeCovTypeProxy(uint64_t row_divisor, uint64_t seed) {
+  CURE_CHECK_GE(row_divisor, 1u);
+  // Published shape of the UCI Forest CoverType dataset as used by cubing
+  // papers: 581,012 rows, 10 dimensions with these cardinalities.
+  const std::vector<uint32_t> cards = {1978, 361, 67, 551, 700,
+                                       5785, 207, 185, 255, 5827};
+  Dataset ds;
+  ds.name = "covtype_proxy";
+  std::vector<Dimension> dims;
+  for (size_t d = 0; d < cards.size(); ++d) {
+    dims.push_back(Dimension::Flat("C" + std::to_string(d), cards[d]));
+  }
+  ds.schema = MakeSchemaOrDie(std::move(dims), 1, DefaultAggregates(false));
+
+  const uint64_t rows = 581012 / row_divisor;
+  Rng rng(seed);
+  // CoverType attributes are continuous measurements bucketed into codes;
+  // adjacent attributes are correlated. The proxy draws a latent "terrain"
+  // variable and derives each attribute from it with noise, which yields the
+  // sparse-but-correlated structure (many TTs) the real dataset shows.
+  std::vector<ZipfSampler> noise;
+  for (uint32_t c : cards) noise.emplace_back(c, 0.4);
+  ds.table = FactTable(static_cast<int>(cards.size()), 1);
+  ds.table.Reserve(rows);
+  std::vector<uint32_t> row(cards.size());
+  for (uint64_t t = 0; t < rows; ++t) {
+    const double latent = rng.NextDouble();
+    for (size_t d = 0; d < cards.size(); ++d) {
+      if (d % 2 == 0) {
+        // Correlated with the latent terrain variable (+/- 5% noise).
+        double v = latent + (rng.NextDouble() - 0.5) * 0.1;
+        v = std::min(0.999999, std::max(0.0, v));
+        row[d] = static_cast<uint32_t>(v * cards[d]);
+      } else {
+        row[d] = noise[d].Sample(&rng);
+      }
+    }
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100)) + 1;
+    ds.table.AppendRow(row.data(), &m);
+  }
+  return ds;
+}
+
+Dataset MakeSep85LProxy(uint64_t row_divisor, uint64_t seed) {
+  CURE_CHECK_GE(row_divisor, 1u);
+  // Published shape of the Sep85L cloud-report dataset: 1,015,367 rows,
+  // 9 dimensions.
+  const std::vector<uint32_t> cards = {7037, 352, 179, 101, 90, 101, 2, 8, 10};
+  Dataset ds;
+  ds.name = "sep85l_proxy";
+  std::vector<Dimension> dims;
+  for (size_t d = 0; d < cards.size(); ++d) {
+    dims.push_back(Dimension::Flat("W" + std::to_string(d), cards[d]));
+  }
+  ds.schema = MakeSchemaOrDie(std::move(dims), 1, DefaultAggregates(false));
+
+  const uint64_t rows = 1015367 / row_divisor;
+  Rng rng(seed);
+  std::vector<ZipfSampler> samplers;
+  for (uint32_t c : cards) samplers.emplace_back(c, 0.6);
+  ds.table = FactTable(static_cast<int>(cards.size()), 1);
+  ds.table.Reserve(rows);
+  std::vector<uint32_t> row(cards.size());
+  for (uint64_t t = 0; t < rows; ++t) {
+    // The paper notes Sep85L "contains some dense areas that generate many
+    // non-trivial tuples": 40% of the rows are drawn from a small sub-domain
+    // (weather stations report repeatedly under identical conditions).
+    const bool dense = rng.NextDouble() < 0.4;
+    for (size_t d = 0; d < cards.size(); ++d) {
+      if (dense) {
+        row[d] = static_cast<uint32_t>(rng.NextRange(std::max<uint32_t>(2, cards[d] / 50)));
+      } else {
+        row[d] = samplers[d].Sample(&rng);
+      }
+    }
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100)) + 1;
+    ds.table.AppendRow(row.data(), &m);
+  }
+  return ds;
+}
+
+Dataset MakeSales(uint64_t num_tuples, uint64_t seed) {
+  Dataset ds;
+  ds.name = "sales";
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("Product", {10000, 1000, 10}));
+  dims.push_back(Dimension::Flat("StoreId", 500));
+  dims.push_back(Dimension::Linear("Date", {365, 12}));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "revenue"});
+  aggs.push_back({AggFn::kCount, 0, "sales_count"});
+  ds.schema = MakeSchemaOrDie(std::move(dims), 1, std::move(aggs));
+
+  Rng rng(seed);
+  // Uniform product draw: the Table 1 analysis assumes near-uniform value
+  // frequencies per hierarchy level.
+  ds.table = FactTable(3, 1);
+  ds.table.Reserve(num_tuples);
+  uint32_t row[3];
+  for (uint64_t t = 0; t < num_tuples; ++t) {
+    row[0] = static_cast<uint32_t>(rng.NextRange(10000));
+    row[1] = static_cast<uint32_t>(rng.NextRange(500));
+    row[2] = static_cast<uint32_t>(rng.NextRange(365));
+    const int64_t m = static_cast<int64_t>(rng.NextRange(500)) + 1;
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+Dataset MakePaperExample() {
+  Dataset ds;
+  ds.name = "paper_fig9";
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Flat("A", 4));
+  dims.push_back(Dimension::Flat("B", 4));
+  dims.push_back(Dimension::Flat("C", 4));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "M"});
+  ds.schema = MakeSchemaOrDie(std::move(dims), 1, std::move(aggs));
+
+  ds.table = FactTable(3, 1);
+  // Fig. 9a rows: (A, B, C, M). Codes shifted down by 1 to be 0-based.
+  const int64_t ms[5] = {10, 20, 40, 45, 45};
+  const uint32_t rows[5][3] = {
+      {0, 0, 0}, {0, 0, 1}, {1, 1, 2}, {2, 1, 0}, {2, 2, 2}};
+  for (int i = 0; i < 5; ++i) ds.table.AppendRow(rows[i], &ms[i]);
+  return ds;
+}
+
+}  // namespace gen
+}  // namespace cure

@@ -1,0 +1,97 @@
+#ifndef CURE_GEN_DATASETS_H_
+#define CURE_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/cube_schema.h"
+#include "schema/fact_table.h"
+
+namespace cure {
+namespace gen {
+
+/// A generated dataset: schema (dimensions/hierarchies + aggregates) and the
+/// fact table itself.
+struct Dataset {
+  schema::CubeSchema schema;
+  schema::FactTable table{0, 0};
+  std::string name;
+};
+
+/// -------- Synthetic flat datasets (Figs. 19-22) --------
+///
+/// The paper's synthetic generator: D flat dimensions, T tuples, zipf factor
+/// Z, and cardinality of the i-th dimension C_i = T / i (1-based i). One
+/// int64 measure with aggregates SUM and COUNT (Y = 2 by default; set
+/// `single_aggregate` for the Y = 1 storage-format corner).
+struct SyntheticSpec {
+  int num_dims = 8;
+  uint64_t num_tuples = 500000;
+  double zipf = 0.8;
+  /// If non-empty, overrides the C_i = T/i rule.
+  std::vector<uint32_t> cardinalities;
+  bool single_aggregate = false;
+  uint64_t seed = 42;
+};
+Dataset MakeSynthetic(const SyntheticSpec& spec);
+
+/// -------- APB-1 benchmark (Figs. 23-28) --------
+///
+/// Schema exactly as the paper quotes the APB-1 generator:
+///   Product : Code 6,500 -> Class 435 -> Group 215 -> Family 54 ->
+///             Line 11 -> Division 3
+///   Customer: Store 640 -> Retailer 71
+///   Time    : Month 17 -> Quarter 6 -> Year 2
+///   Channel : Base 9
+/// with two measures (Unit Sales, Dollar Sales). The number of tuples is
+/// density * 12,393,000 (density 0.1 -> 1,239,300 rows, density 40 ->
+/// 495,720,000 rows as in the paper), divided by `scale_divisor` to fit a
+/// laptop run; the memory budget of the engines is shrunk by the same factor
+/// in the benches so the external-partitioning behaviour is preserved.
+struct ApbSpec {
+  double density = 0.4;
+  uint64_t scale_divisor = 100;
+  uint64_t seed = 7;
+};
+Dataset MakeApb(const ApbSpec& spec);
+
+/// Number of rows MakeApb would generate (before building the table).
+uint64_t ApbNumTuples(const ApbSpec& spec);
+
+/// Density-parity mini APB-1: the same 4-dimension / 12-level shape with
+/// cardinalities shrunk ~20x (Product 325 -> 65 -> 22 -> 11 -> 5 -> 3,
+/// Customer 64 -> 16, Time 17 -> 6 -> 2, Channel 9) so that at the scaled
+/// row counts the *fill fraction* of the key space matches the full-size
+/// benchmark: density 40 at scale_divisor 200 fills ~78% of all leaf
+/// combinations, exactly like 496M rows over APB-1's 636M combinations.
+/// This preserves the paper's headline regime where the cube ends up
+/// *smaller* than the fact table (massive aggregation sharing).
+Dataset MakeApbMini(const ApbSpec& spec);
+
+/// -------- Real-dataset proxies (Figs. 14-17) --------
+///
+/// The raw CovType and Sep85L files are not redistributable/offline;
+/// these proxies replicate their published shape: row count, dimension
+/// count, per-dimension cardinalities, and (for Sep85L) dense areas that
+/// produce many non-trivial tuples. See DESIGN.md, "Substitutions".
+/// `row_divisor` scales the row count down (1 = full published size).
+Dataset MakeCovTypeProxy(uint64_t row_divisor, uint64_t seed = 1);
+Dataset MakeSep85LProxy(uint64_t row_divisor, uint64_t seed = 2);
+
+/// -------- SALES example of Table 1 --------
+///
+/// Fact table with dimension Product organized as
+/// barcode 10,000 -> brand 1,000 -> economic_strength 10 plus two flat
+/// auxiliary dimensions, used by the partitioning bench.
+Dataset MakeSales(uint64_t num_tuples, uint64_t seed = 3);
+
+/// Small deterministic dataset mirroring Fig. 9a of the paper (fact table R
+/// with dimensions A, B, C and measure M); the worked NT/TT/CAT example.
+Dataset MakePaperExample();
+
+}  // namespace gen
+}  // namespace cure
+
+#endif  // CURE_GEN_DATASETS_H_

@@ -1,0 +1,37 @@
+#ifndef CURE_GEN_RANDOM_H_
+#define CURE_GEN_RANDOM_H_
+
+#include <cstdint>
+
+namespace cure {
+namespace gen {
+
+/// Deterministic splitmix64-based PRNG. All generators take explicit seeds
+/// so every dataset in tests and benchmarks is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  uint64_t NextRange(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gen
+}  // namespace cure
+
+#endif  // CURE_GEN_RANDOM_H_

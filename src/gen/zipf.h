@@ -1,0 +1,36 @@
+#ifndef CURE_GEN_ZIPF_H_
+#define CURE_GEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/random.h"
+
+namespace cure {
+namespace gen {
+
+/// Zipf(theta) sampler over {0, ..., n-1}: P(i) ∝ 1/(i+1)^theta.
+/// theta = 0 degenerates to the uniform distribution — the convention the
+/// paper's skew experiments (Figs. 21-22, "Z from 0 to 2") use.
+///
+/// Implementation: precomputed CDF + binary search; construction is O(n),
+/// sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint32_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gen
+}  // namespace cure
+
+#endif  // CURE_GEN_ZIPF_H_

@@ -1,0 +1,102 @@
+#ifndef CURE_PLAN_EXECUTION_PLAN_H_
+#define CURE_PLAN_EXECUTION_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/cube_schema.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace plan {
+
+/// How a node is entered in the execution plan (Sec. 3.1 of the paper).
+enum class EdgeType {
+  kRoot,    ///< the ALL node, entry point of the plan
+  kSolid,   ///< Rule 1: adds one more dimension at a top (plan-root) level
+  kDashed,  ///< Rule 2: refines the rightmost dimension one level down
+};
+
+/// A node of the execution-plan tree.
+struct PlanNode {
+  schema::NodeId id = 0;
+  schema::NodeId parent = 0;
+  EdgeType edge = EdgeType::kRoot;
+  /// The `dim` argument ExecutePlan is called with at this node: solid edges
+  /// may introduce dimensions >= next_dim; the dashed edge refines
+  /// next_dim - 1.
+  int next_dim = 0;
+  int depth = 0;
+  std::vector<schema::NodeId> children;
+  /// Order in which the engine's depth-first traversal reaches the node.
+  uint64_t visit_order = 0;
+};
+
+/// The BUC-style execution plan over the hierarchical lattice.
+///
+/// kTall is the paper's P3 (Fig. 4): solid edges introduce each dimension at
+/// its plan-root (top) levels, dashed edges refine the rightmost dimension
+/// step by step, pushing expensive sorts to the bottom where they are shared.
+/// kShort is the paper's P2 (Fig. 3): every level of a dimension is
+/// introduced directly via solid edges, so each refinement re-sorts from
+/// scratch; implemented for the plan ablation benchmark.
+class ExecutionPlan {
+ public:
+  enum class Style { kTall, kShort };
+
+  /// Builds the plan tree for `schema`. `base_levels[d]` (optional) bounds
+  /// dashed descent: dimension d never refines below base_levels[d]
+  /// (used by the external path's two sub-plans, Sec. 4).
+  static ExecutionPlan Build(const schema::CubeSchema& schema, Style style);
+
+  const schema::CubeSchema& schema() const { return *schema_; }
+  const schema::NodeIdCodec& codec() const { return codec_; }
+  Style style() const { return style_; }
+
+  schema::NodeId root() const { return root_; }
+  uint64_t num_nodes() const { return visited_count_; }
+  bool Contains(schema::NodeId id) const { return nodes_[id].visit_order != kUnvisited; }
+  const PlanNode& node(schema::NodeId id) const { return nodes_[id]; }
+
+  /// Plan height: max tree depth (paper: P1 height 3, P2 height 3,
+  /// P3 height 6 in the running example).
+  int height() const { return height_; }
+
+  /// Node ids on the path root -> id, inclusive. Query answering collects TT
+  /// relations along this path (the paper's sub-tree sharing of TTs).
+  std::vector<schema::NodeId> PathFromRoot(schema::NodeId id) const;
+
+  /// Structural validation: every lattice node visited exactly once and all
+  /// edges obey Rule 1 / (modified) Rule 2.
+  Status Validate() const;
+
+  /// Multi-line plan rendering for docs/tests (depth-first).
+  std::string ToString() const;
+
+ private:
+  ExecutionPlan() = default;
+
+  static constexpr uint64_t kUnvisited = ~uint64_t{0};
+
+  void VisitTall(std::vector<int>* levels, std::vector<bool>* included, int dim,
+                 schema::NodeId parent, EdgeType edge, int depth);
+  void VisitShort(std::vector<int>* levels, std::vector<bool>* included, int dim,
+                  schema::NodeId parent, EdgeType edge, int depth);
+  schema::NodeId Emit(const std::vector<int>& levels, const std::vector<bool>& included,
+                      int next_dim, schema::NodeId parent, EdgeType edge, int depth);
+
+  const schema::CubeSchema* schema_ = nullptr;
+  schema::NodeIdCodec codec_;
+  Style style_ = Style::kTall;
+  schema::NodeId root_ = 0;
+  std::vector<PlanNode> nodes_;  // indexed by NodeId
+  uint64_t visited_count_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace plan
+}  // namespace cure
+
+#endif  // CURE_PLAN_EXECUTION_PLAN_H_

@@ -1,0 +1,360 @@
+#include "query/node_query.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "cube/rowid.h"
+
+namespace cure {
+namespace query {
+
+using cube::CatFormat;
+using cube::CubeStore;
+using cube::RowId;
+using schema::NodeId;
+
+Result<std::unique_ptr<CureQueryEngine>> CureQueryEngine::Create(
+    const engine::CureCube* cube, double fact_cache_fraction) {
+  if (cube->plan_style() != plan::ExecutionPlan::Style::kTall) {
+    return Status::InvalidArgument(
+        "query answering requires a cube built with the tall (P3) plan");
+  }
+  CURE_ASSIGN_OR_RETURN(cube::SourceSet sources,
+                        cube->MakeSources(fact_cache_fraction));
+  return std::unique_ptr<CureQueryEngine>(
+      new CureQueryEngine(cube, std::move(sources)));
+}
+
+Status CureQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
+  return QueryImpl(id, -1, 0, nullptr, sink);
+}
+
+Status CureQueryEngine::QueryNodeCountIceberg(NodeId id, int count_aggregate,
+                                              int64_t min_count,
+                                              ResultSink* sink) const {
+  return QueryImpl(id, count_aggregate, min_count, nullptr, sink);
+}
+
+Status CureQueryEngine::QueryNodeSliced(NodeId id,
+                                        const std::vector<Slice>& slices,
+                                        ResultSink* sink) const {
+  return QueryImpl(id, -1, 0, &slices, sink);
+}
+
+Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
+                                  int64_t min_count,
+                                  const std::vector<Slice>* slices,
+                                  ResultSink* sink) const {
+  const CubeStore& store = cube_->store();
+  const schema::CubeSchema& schema = cube_->schema();
+  const int num_dims = schema.num_dims();
+  const int y = schema.num_aggregates();
+  const std::vector<int> levels = store.codec().Decode(id);
+  int g = 0;
+  for (int d = 0; d < num_dims; ++d) {
+    if (levels[d] != store.codec().all_level(d)) ++g;
+  }
+  const bool iceberg = count_aggregate >= 0 && min_count > 1;
+
+  // Prepare slice predicates: each needs the grouping-output position of
+  // its dimension and the roll-up map from the node's level to the slice's.
+  struct PreparedSlice {
+    int output_pos;
+    std::vector<uint32_t> map;  // empty = identity
+    uint32_t code;
+  };
+  std::vector<PreparedSlice> prepared;
+  if (slices != nullptr) {
+    for (const Slice& slice : *slices) {
+      if (slice.dim < 0 || slice.dim >= num_dims) {
+        return Status::InvalidArgument("slice dimension out of range");
+      }
+      const int node_level = levels[slice.dim];
+      if (node_level == store.codec().all_level(slice.dim) ||
+          !schema.dim(slice.dim).Derives(node_level, slice.level)) {
+        return Status::InvalidArgument(
+            "slice on dimension '" + schema.dim(slice.dim).name() +
+            "' requires the node to group it at a level at least as fine as "
+            "the slice level");
+      }
+      PreparedSlice p;
+      p.output_pos = 0;
+      for (int d = 0; d < slice.dim; ++d) {
+        if (levels[d] != store.codec().all_level(d)) ++p.output_pos;
+      }
+      if (node_level != slice.level) {
+        CURE_ASSIGN_OR_RETURN(
+            p.map, schema.dim(slice.dim).LevelToLevelMap(node_level, slice.level));
+      }
+      p.code = slice.code;
+      prepared.push_back(std::move(p));
+    }
+  }
+  auto passes_slices = [&](const uint32_t* out_dims) {
+    for (const PreparedSlice& p : prepared) {
+      const uint32_t code = out_dims[p.output_pos];
+      if ((p.map.empty() ? code : p.map[code]) != p.code) return false;
+    }
+    return true;
+  };
+
+  uint32_t native[64];
+  uint32_t dims[64];
+  int64_t aggrs[16];
+  int64_t row_aggrs[16];
+  CURE_CHECK_LE(num_dims, 64);
+  CURE_CHECK_LE(y, 16);
+
+  const CubeStore::NodeData* node = store.node(id);
+
+  // Normal tuples.
+  if (node != nullptr && node->has_nt) {
+    storage::Relation::Scanner scan(node->nt);
+    while (const uint8_t* rec = scan.Next()) {
+      if (store.options().dims_in_nt) {
+        std::memcpy(dims, rec, 4ull * g);
+        std::memcpy(aggrs, rec + 4ull * g, 8ull * y);
+      } else {
+        RowId rowid;
+        std::memcpy(&rowid, rec, 8);
+        std::memcpy(aggrs, rec + 8, 8ull * y);
+        CURE_RETURN_IF_ERROR(sources_.GetRow(rowid, native, row_aggrs));
+        CURE_RETURN_IF_ERROR(
+            sources_.ProjectDims(cube::RowIdSource(rowid), native, levels, dims));
+      }
+      if (iceberg && aggrs[count_aggregate] < min_count) continue;
+      if (!passes_slices(dims)) continue;
+      sink->Emit(dims, g, aggrs, y);
+    }
+  }
+
+  // Common aggregate tuples.
+  if (node != nullptr && node->has_cat) {
+    const storage::Relation& aggregates = store.aggregates();
+    storage::Relation::Scanner scan(node->cat);
+    uint8_t agg_rec[256];
+    CURE_CHECK_LE(aggregates.record_size(), sizeof(agg_rec));
+    while (const uint8_t* rec = scan.Next()) {
+      RowId rowid = 0;
+      uint64_t arowid = 0;
+      if (store.cat_format() == CatFormat::kFormatA) {
+        std::memcpy(&arowid, rec, 8);
+        CURE_RETURN_IF_ERROR(aggregates.Read(arowid, agg_rec));
+        std::memcpy(&rowid, agg_rec, 8);
+        std::memcpy(aggrs, agg_rec + 8, 8ull * y);
+      } else {  // kFormatB
+        std::memcpy(&rowid, rec, 8);
+        std::memcpy(&arowid, rec + 8, 8);
+        CURE_RETURN_IF_ERROR(aggregates.Read(arowid, agg_rec));
+        std::memcpy(aggrs, agg_rec, 8ull * y);
+      }
+      if (iceberg && aggrs[count_aggregate] < min_count) continue;
+      CURE_RETURN_IF_ERROR(sources_.GetRow(rowid, native, row_aggrs));
+      CURE_RETURN_IF_ERROR(
+          sources_.ProjectDims(cube::RowIdSource(rowid), native, levels, dims));
+      if (!passes_slices(dims)) continue;
+      sink->Emit(dims, g, aggrs, y);
+    }
+  }
+
+  // Trivial tuples, shared along the plan path (skipped entirely for
+  // iceberg queries: a TT's count is always 1).
+  if (!iceberg) {
+    const int region = cube_->NodeRegion(id);
+    for (NodeId path_node : plan_.PathFromRoot(id)) {
+      if (cube_->NodeRegion(path_node) != region) continue;
+      const CubeStore::NodeData* pd = store.node(path_node);
+      if (pd == nullptr) continue;
+      auto emit_tt = [&](RowId rowid) -> Status {
+        CURE_RETURN_IF_ERROR(sources_.GetRow(rowid, native, row_aggrs));
+        CURE_RETURN_IF_ERROR(
+            sources_.ProjectDims(cube::RowIdSource(rowid), native, levels, dims));
+        if (passes_slices(dims)) sink->Emit(dims, g, row_aggrs, y);
+        return Status::OK();
+      };
+      if (pd->tt_bitmap != nullptr) {
+        Status status = Status::OK();
+        pd->tt_bitmap->ForEach([&](uint64_t ordinal) {
+          if (!status.ok()) return;
+          status = emit_tt(cube::MakeRowId(pd->tt_source, ordinal));
+        });
+        CURE_RETURN_IF_ERROR(status);
+      } else if (pd->has_tt) {
+        storage::Relation::Scanner scan(pd->tt);
+        while (const uint8_t* rec = scan.Next()) {
+          RowId rowid;
+          std::memcpy(&rowid, rec, 8);
+          CURE_RETURN_IF_ERROR(emit_tt(rowid));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BucQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
+  const CubeStore& store = cube_->store();
+  const schema::CubeSchema& schema = cube_->schema();
+  const int y = schema.num_aggregates();
+  const CubeStore::NodeData* node = store.node(id);
+  if (node == nullptr || !node->has_plain) return Status::OK();
+  const int g = static_cast<int>(node->grouping_dims.size());
+  uint32_t dims[64];
+  int64_t aggrs[16];
+  storage::Relation::Scanner scan(node->plain);
+  while (const uint8_t* rec = scan.Next()) {
+    std::memcpy(dims, rec, 4ull * g);
+    std::memcpy(aggrs, rec + 4ull * g, 8ull * y);
+    sink->Emit(dims, g, aggrs, y);
+  }
+  return Status::OK();
+}
+
+Status BubstQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
+  const schema::CubeSchema& schema = cube_->schema();
+  const int num_dims = schema.num_dims();
+  const int y = schema.num_aggregates();
+  const std::vector<int> query_levels = codec_.Decode(id);
+  std::vector<bool> grouped(num_dims);
+  int g = 0;
+  for (int d = 0; d < num_dims; ++d) {
+    grouped[d] = query_levels[d] != codec_.all_level(d);
+    if (grouped[d]) ++g;
+  }
+
+  uint32_t row_dims[64];
+  uint32_t out_dims[64];
+  int64_t aggrs[16];
+  std::vector<int> row_levels(num_dims);
+  // The format's cost: every query scans the entire monolithic relation.
+  storage::Relation::Scanner scan(cube_->monolithic());
+  while (const uint8_t* rec = scan.Next()) {
+    std::memcpy(row_dims, rec, 4ull * num_dims);
+    std::memcpy(aggrs, rec + 4ull * num_dims, 8ull * y);
+    uint64_t tag;
+    std::memcpy(&tag, rec + 4ull * num_dims + 8ull * y, 8);
+    const bool bst = (tag & engine::BubstRecord::kBstFlag) != 0;
+    const NodeId row_node = tag & ~engine::BubstRecord::kBstFlag;
+    bool matches;
+    if (bst) {
+      // A BST written at node G stands for the tuples of G's recursion
+      // sub-tree: nodes whose extra grouping dims all come after G's last
+      // one. (A plain superset test would double-count tuples that are
+      // singletons in several independent dimension subsets, because the
+      // bottom-up recursion writes one BST per pruned branch.)
+      codec_.DecodeInto(row_node, &row_levels);
+      matches = true;
+      int max_row_dim = -1;
+      for (int d = 0; d < num_dims; ++d) {
+        if (row_levels[d] != codec_.all_level(d)) max_row_dim = d;
+      }
+      for (int d = 0; d < num_dims; ++d) {
+        const bool row_grouped = row_levels[d] != codec_.all_level(d);
+        if (row_grouped && !grouped[d]) {
+          matches = false;  // query must include all of G's dims
+          break;
+        }
+        if (!row_grouped && grouped[d] && d < max_row_dim) {
+          matches = false;  // extra dims must come after G's last dim
+          break;
+        }
+      }
+    } else {
+      matches = row_node == id;
+    }
+    if (!matches) continue;
+    int o = 0;
+    for (int d = 0; d < num_dims; ++d) {
+      if (grouped[d]) out_dims[o++] = row_dims[d];
+    }
+    sink->Emit(out_dims, g, aggrs, y);
+  }
+  return Status::OK();
+}
+
+FlatNodeMapping MapToFlatNode(const schema::CubeSchema& hier_schema,
+                              NodeId hier_node) {
+  const schema::NodeIdCodec hier_codec(hier_schema);
+  const schema::CubeSchema flat_schema = hier_schema.Flattened();
+  const schema::NodeIdCodec flat_codec(flat_schema);
+  const std::vector<int> hier_levels = hier_codec.Decode(hier_node);
+  std::vector<int> flat_levels(hier_schema.num_dims());
+  FlatNodeMapping mapping;
+  for (int d = 0; d < hier_schema.num_dims(); ++d) {
+    if (hier_levels[d] == hier_codec.all_level(d)) {
+      flat_levels[d] = flat_codec.all_level(d);
+    } else {
+      flat_levels[d] = 0;
+      if (hier_levels[d] != 0) mapping.needs_rollup = true;
+    }
+  }
+  mapping.flat_node = flat_codec.Encode(flat_levels);
+  return mapping;
+}
+
+Status RollUpRows(const schema::CubeSchema& hier_schema, NodeId hier_node,
+                  const std::vector<ResultSink::Row>& leaf_rows,
+                  ResultSink* sink) {
+  const schema::NodeIdCodec hier_codec(hier_schema);
+  const std::vector<int> hier_levels = hier_codec.Decode(hier_node);
+  const int num_dims = hier_schema.num_dims();
+  const int y = hier_schema.num_aggregates();
+  std::vector<int> grouping_dims;
+  for (int d = 0; d < num_dims; ++d) {
+    if (hier_levels[d] != hier_codec.all_level(d)) grouping_dims.push_back(d);
+  }
+
+  const cube::Aggregator aggregator(hier_schema);
+  std::unordered_map<uint64_t, std::vector<int64_t>> groups;
+  // Mixed-radix key over the target-level cardinalities.
+  std::vector<uint64_t> radix(grouping_dims.size());
+  uint64_t key_space = 1;
+  for (size_t i = 0; i < grouping_dims.size(); ++i) {
+    const int d = grouping_dims[i];
+    radix[i] = hier_schema.dim(d).cardinality(hier_levels[d]);
+    CURE_CHECK_LT(key_space, (uint64_t{1} << 62) / std::max<uint64_t>(radix[i], 1));
+    key_space *= radix[i];
+  }
+  for (const ResultSink::Row& row : leaf_rows) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < grouping_dims.size(); ++i) {
+      const int d = grouping_dims[i];
+      key = key * radix[i] + hier_schema.dim(d).CodeAt(row.dims[i], hier_levels[d]);
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.resize(y);
+      aggregator.Init(it->second.data());
+    }
+    aggregator.Combine(it->second.data(), row.aggrs.data());
+  }
+  uint32_t out_dims[64];
+  for (const auto& [key, aggrs] : groups) {
+    uint64_t k = key;
+    for (size_t i = grouping_dims.size(); i-- > 0;) {
+      out_dims[i] = static_cast<uint32_t>(k % radix[i]);
+      k /= radix[i];
+    }
+    sink->Emit(out_dims, static_cast<int>(grouping_dims.size()), aggrs.data(), y);
+  }
+  return Status::OK();
+}
+
+Status QueryHierarchicalOverFlat(const CureQueryEngine& flat_engine,
+                                 const schema::CubeSchema& hier_schema,
+                                 NodeId hier_node, ResultSink* sink) {
+  const FlatNodeMapping mapping = MapToFlatNode(hier_schema, hier_node);
+  if (!mapping.needs_rollup) {
+    // Leaf-level query: answer directly from the flat cube.
+    return flat_engine.QueryNode(mapping.flat_node, sink);
+  }
+  // Fetch the leaf-level node and roll it up on the fly (the extra
+  // aggregation work the paper's Fig. 28 measures).
+  ResultSink leaf_sink(/*retain=*/true);
+  CURE_RETURN_IF_ERROR(flat_engine.QueryNode(mapping.flat_node, &leaf_sink));
+  return RollUpRows(hier_schema, hier_node, leaf_sink.rows(), sink);
+}
+
+}  // namespace query
+}  // namespace cure

@@ -1,0 +1,101 @@
+#include "query/reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "cube/measures.h"
+
+namespace cure {
+namespace query {
+
+using schema::CubeSchema;
+using schema::FactTable;
+using schema::NodeId;
+
+Result<std::vector<ResultSink::Row>> ReferenceNodeResult(const CubeSchema& schema,
+                                                         const FactTable& table,
+                                                         NodeId node,
+                                                         uint64_t min_support) {
+  const schema::NodeIdCodec codec(schema);
+  const std::vector<int> levels = codec.Decode(node);
+  const int num_dims = schema.num_dims();
+  const int y = schema.num_aggregates();
+
+  std::vector<int> grouping_dims;
+  std::vector<uint64_t> radix;
+  uint64_t key_space = 1;
+  for (int d = 0; d < num_dims; ++d) {
+    if (levels[d] == codec.all_level(d)) continue;
+    grouping_dims.push_back(d);
+    const uint64_t card = schema.dim(d).cardinality(levels[d]);
+    if (key_space > (uint64_t{1} << 62) / std::max<uint64_t>(card, 1)) {
+      return Status::Unimplemented("reference key space exceeds 2^62");
+    }
+    radix.push_back(card);
+    key_space *= card;
+  }
+
+  const cube::Aggregator aggregator(schema);
+  struct Group {
+    std::vector<int64_t> aggrs;
+    uint64_t count = 0;
+  };
+  std::unordered_map<uint64_t, Group> groups;
+  std::vector<int64_t> raw(std::max(schema.num_raw_measures(), 1));
+  std::vector<int64_t> lifted(y);
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    uint64_t key = 0;
+    for (size_t i = 0; i < grouping_dims.size(); ++i) {
+      const int d = grouping_dims[i];
+      key = key * radix[i] +
+            schema.dim(d).CodeAt(table.dim(d, r), levels[d]);
+    }
+    for (int m = 0; m < schema.num_raw_measures(); ++m) raw[m] = table.measure(m, r);
+    aggregator.Lift(raw.data(), lifted.data());
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.aggrs.resize(y);
+      aggregator.Init(it->second.aggrs.data());
+    }
+    aggregator.Combine(it->second.aggrs.data(), lifted.data());
+    ++it->second.count;
+  }
+
+  std::vector<ResultSink::Row> rows;
+  rows.reserve(groups.size());
+  for (const auto& [key, group] : groups) {
+    if (group.count < min_support) continue;
+    ResultSink::Row row;
+    row.dims.resize(grouping_dims.size());
+    uint64_t k = key;
+    for (size_t i = grouping_dims.size(); i-- > 0;) {
+      row.dims[i] = static_cast<uint32_t>(k % radix[i]);
+      k /= radix[i];
+    }
+    row.aggrs = group.aggrs;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void Canonicalize(std::vector<ResultSink::Row>* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const ResultSink::Row& a, const ResultSink::Row& b) {
+              if (a.dims != b.dims) return a.dims < b.dims;
+              return a.aggrs < b.aggrs;
+            });
+}
+
+bool SameResults(std::vector<ResultSink::Row> a, std::vector<ResultSink::Row> b) {
+  if (a.size() != b.size()) return false;
+  Canonicalize(&a);
+  Canonicalize(&b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dims != b[i].dims || a[i].aggrs != b[i].aggrs) return false;
+  }
+  return true;
+}
+
+}  // namespace query
+}  // namespace cure

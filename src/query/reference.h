@@ -1,0 +1,32 @@
+#ifndef CURE_QUERY_REFERENCE_H_
+#define CURE_QUERY_REFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/node_query.h"
+#include "schema/cube_schema.h"
+#include "schema/fact_table.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace query {
+
+/// Brute-force reference evaluator: computes the exact result of a lattice
+/// node by hash aggregation straight over the fact table. Used by the test
+/// suite to validate every cube format and by the examples to demonstrate
+/// correctness.
+Result<std::vector<ResultSink::Row>> ReferenceNodeResult(
+    const schema::CubeSchema& schema, const schema::FactTable& table,
+    schema::NodeId node, uint64_t min_support = 1);
+
+/// Canonicalizes rows (sorts by dims then aggregates) for comparisons.
+void Canonicalize(std::vector<ResultSink::Row>* rows);
+
+/// True when the two canonicalized result sets are identical.
+bool SameResults(std::vector<ResultSink::Row> a, std::vector<ResultSink::Row> b);
+
+}  // namespace query
+}  // namespace cure
+
+#endif  // CURE_QUERY_REFERENCE_H_

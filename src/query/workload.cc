@@ -1,0 +1,38 @@
+#include "query/workload.h"
+
+#include "common/stopwatch.h"
+#include "gen/random.h"
+
+namespace cure {
+namespace query {
+
+std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
+                                               size_t count, uint64_t seed) {
+  gen::Rng rng(seed);
+  std::vector<schema::NodeId> nodes;
+  nodes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    nodes.push_back(rng.NextRange(codec.num_nodes()));
+  }
+  return nodes;
+}
+
+Result<QrtStats> MeasureQrt(
+    const std::vector<schema::NodeId>& workload,
+    const std::function<Status(schema::NodeId, ResultSink*)>& query) {
+  QrtStats stats;
+  ResultSink sink;
+  for (schema::NodeId node : workload) {
+    sink.Reset();
+    Stopwatch watch;
+    CURE_RETURN_IF_ERROR(query(node, &sink));
+    stats.total_seconds += watch.ElapsedSeconds();
+    stats.total_tuples += sink.count();
+    ++stats.queries;
+  }
+  stats.avg_seconds = stats.queries > 0 ? stats.total_seconds / stats.queries : 0;
+  return stats;
+}
+
+}  // namespace query
+}  // namespace cure

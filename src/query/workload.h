@@ -1,0 +1,38 @@
+#ifndef CURE_QUERY_WORKLOAD_H_
+#define CURE_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "query/node_query.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace query {
+
+/// Draws `count` node ids uniformly at random from the lattice — the
+/// paper's query workload of "1,000 random node queries, which perform no
+/// selection".
+std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
+                                               size_t count, uint64_t seed);
+
+/// Average query response time over a workload.
+struct QrtStats {
+  double avg_seconds = 0;
+  double total_seconds = 0;
+  uint64_t total_tuples = 0;
+  size_t queries = 0;
+};
+
+/// Runs `query(node, sink)` for every node in the workload and aggregates
+/// timing. The sink is reset per query; tuple counts accumulate.
+Result<QrtStats> MeasureQrt(
+    const std::vector<schema::NodeId>& workload,
+    const std::function<Status(schema::NodeId, ResultSink*)>& query);
+
+}  // namespace query
+}  // namespace cure
+
+#endif  // CURE_QUERY_WORKLOAD_H_

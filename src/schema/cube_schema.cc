@@ -1,0 +1,67 @@
+#include "schema/cube_schema.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cure {
+namespace schema {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<CubeSchema> CubeSchema::Create(std::vector<Dimension> dims,
+                                      int num_raw_measures,
+                                      std::vector<AggregateSpec> aggregates) {
+  if (dims.empty()) return Status::InvalidArgument("cube needs >= 1 dimension");
+  if (aggregates.empty()) return Status::InvalidArgument("cube needs >= 1 aggregate");
+  for (const AggregateSpec& spec : aggregates) {
+    if (spec.fn != AggFn::kCount &&
+        (spec.measure_index < 0 || spec.measure_index >= num_raw_measures)) {
+      return Status::InvalidArgument("aggregate '" + spec.name +
+                                     "' references an out-of-range measure");
+    }
+  }
+  CubeSchema schema;
+  schema.dims_ = std::move(dims);
+  schema.num_raw_measures_ = num_raw_measures;
+  schema.aggregates_ = std::move(aggregates);
+  return schema;
+}
+
+CubeSchema CubeSchema::Flattened() const {
+  CubeSchema flat;
+  flat.num_raw_measures_ = num_raw_measures_;
+  flat.aggregates_ = aggregates_;
+  flat.dims_.reserve(dims_.size());
+  for (const Dimension& d : dims_) {
+    flat.dims_.push_back(Dimension::Flat(d.name(), d.leaf_cardinality()));
+  }
+  return flat;
+}
+
+std::vector<int> CubeSchema::OrderByDecreasingCardinality() {
+  std::vector<int> perm(dims_.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return dims_[a].leaf_cardinality() > dims_[b].leaf_cardinality();
+  });
+  std::vector<Dimension> reordered;
+  reordered.reserve(dims_.size());
+  for (int old : perm) reordered.push_back(std::move(dims_[old]));
+  dims_ = std::move(reordered);
+  return perm;
+}
+
+}  // namespace schema
+}  // namespace cure

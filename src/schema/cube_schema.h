@@ -1,0 +1,66 @@
+#ifndef CURE_SCHEMA_CUBE_SCHEMA_H_
+#define CURE_SCHEMA_CUBE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/hierarchy.h"
+
+namespace cure {
+namespace schema {
+
+/// Distributive aggregate functions supported by the engines. All of them
+/// can be re-aggregated from partial results (paper Sec. 4, observation 3:
+/// a detailed node can construct less detailed ones for non-holistic
+/// functions), which the external path relies on.
+enum class AggFn { kSum, kCount, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// One output aggregate of the cube: a function over a raw fact-table
+/// measure. kCount ignores `measure_index`.
+struct AggregateSpec {
+  AggFn fn = AggFn::kSum;
+  int measure_index = 0;
+  std::string name;
+};
+
+/// Schema of a fact table and of the cube to be built over it: dimensions
+/// with hierarchies, raw measure count, and the aggregate list.
+class CubeSchema {
+ public:
+  static Result<CubeSchema> Create(std::vector<Dimension> dims, int num_raw_measures,
+                                   std::vector<AggregateSpec> aggregates);
+
+  CubeSchema() = default;
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const Dimension& dim(int d) const { return dims_[d]; }
+  const std::vector<Dimension>& dims() const { return dims_; }
+
+  int num_raw_measures() const { return num_raw_measures_; }
+  int num_aggregates() const { return static_cast<int>(aggregates_.size()); }
+  const AggregateSpec& aggregate(int y) const { return aggregates_[y]; }
+  const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+
+  /// A flat version of this schema: every dimension reduced to its leaf
+  /// level. Used by FCURE and the flat baselines (BUC, BU-BST).
+  CubeSchema Flattened() const;
+
+  /// Sorts dimensions by decreasing leaf cardinality — BUC's heuristic,
+  /// which also makes CURE's partitioning more effective (Sec. 4). Returns
+  /// the permutation applied (new position -> old dimension index).
+  std::vector<int> OrderByDecreasingCardinality();
+
+ private:
+  std::vector<Dimension> dims_;
+  int num_raw_measures_ = 0;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+}  // namespace schema
+}  // namespace cure
+
+#endif  // CURE_SCHEMA_CUBE_SCHEMA_H_

@@ -1,0 +1,56 @@
+#include "schema/fact_table.h"
+
+#include <cstring>
+
+namespace cure {
+namespace schema {
+
+Status FactTable::WriteTo(storage::Relation* out) const {
+  if (out->record_size() != RecordSize()) {
+    return Status::InvalidArgument("relation record size mismatch");
+  }
+  std::vector<uint8_t> rec(RecordSize());
+  for (uint64_t r = 0; r < num_rows_; ++r) {
+    uint8_t* p = rec.data();
+    for (size_t d = 0; d < dims_.size(); ++d) {
+      const uint32_t v = dims_[d][r];
+      std::memcpy(p, &v, 4);
+      p += 4;
+    }
+    for (size_t m = 0; m < measures_.size(); ++m) {
+      const int64_t v = measures_[m][r];
+      std::memcpy(p, &v, 8);
+      p += 8;
+    }
+    CURE_RETURN_IF_ERROR(out->Append(rec.data()));
+  }
+  return Status::OK();
+}
+
+Result<FactTable> FactTable::ReadFrom(const storage::Relation& rel, int num_dims,
+                                      int num_measures) {
+  FactTable table(num_dims, num_measures);
+  if (rel.record_size() != table.RecordSize()) {
+    return Status::InvalidArgument("relation record size mismatch");
+  }
+  table.Reserve(rel.num_rows());
+  storage::Relation::Scanner scan(rel);
+  std::vector<uint32_t> dims(num_dims);
+  std::vector<int64_t> measures(num_measures);
+  while (const uint8_t* rec = scan.Next()) {
+    const uint8_t* p = rec;
+    for (int d = 0; d < num_dims; ++d) {
+      std::memcpy(&dims[d], p, 4);
+      p += 4;
+    }
+    for (int m = 0; m < num_measures; ++m) {
+      std::memcpy(&measures[m], p, 8);
+      p += 8;
+    }
+    table.AppendRow(dims.data(), measures.data());
+  }
+  return table;
+}
+
+}  // namespace schema
+}  // namespace cure

@@ -1,0 +1,231 @@
+#include "schema/hierarchy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace schema {
+
+namespace {
+
+// Functional consistency of the edge child -> parent: equal child codes must
+// imply equal parent codes over all leaves. Returns OK and fills
+// child_code -> parent_code into *map when consistent.
+Status CheckEdge(const Dimension&, const Level& child, const Level& parent,
+                 int child_idx, int parent_idx, uint32_t leaf_card,
+                 std::vector<uint32_t>* map) {
+  constexpr uint32_t kUnset = 0xFFFFFFFFu;
+  map->assign(child.cardinality, kUnset);
+  for (uint32_t leaf = 0; leaf < leaf_card; ++leaf) {
+    const uint32_t c = child_idx == 0 ? leaf : child.leaf_to_code[leaf];
+    const uint32_t p = parent.leaf_to_code[leaf];
+    if (c >= child.cardinality) {
+      return Status::InvalidArgument("level '" + child.name + "' code out of range");
+    }
+    if (p >= parent.cardinality) {
+      return Status::InvalidArgument("level '" + parent.name + "' code out of range");
+    }
+    if ((*map)[c] == kUnset) {
+      (*map)[c] = p;
+    } else if ((*map)[c] != p) {
+      return Status::InvalidArgument(
+          "hierarchy edge " + child.name + " -> " + parent.name +
+          " is not functional: child code " + std::to_string(c) +
+          " maps to two parent codes");
+    }
+  }
+  (void)parent_idx;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dimension> Dimension::Create(std::string name, std::vector<Level> levels) {
+  if (levels.empty()) return Status::InvalidArgument("dimension needs >= 1 level");
+  Dimension dim;
+  dim.name_ = std::move(name);
+
+  const uint32_t leaf_card = levels[0].cardinality;
+  if (leaf_card == 0) return Status::InvalidArgument("leaf cardinality must be > 0");
+  // Level 0 mapping must be identity; allow it to be empty and materialize it.
+  if (!levels[0].leaf_to_code.empty()) {
+    for (uint32_t i = 0; i < leaf_card; ++i) {
+      if (levels[0].leaf_to_code[i] != i) {
+        return Status::InvalidArgument("level 0 mapping must be the identity");
+      }
+    }
+  }
+  if (!levels[0].parents.empty() && levels.size() == 1) {
+    return Status::InvalidArgument("leaf level of a flat dimension cannot have parents");
+  }
+  for (size_t l = 1; l < levels.size(); ++l) {
+    if (levels[l].leaf_to_code.size() != leaf_card) {
+      return Status::InvalidArgument("level '" + levels[l].name +
+                                     "' mapping size mismatch");
+    }
+    if (levels[l].cardinality == 0 || levels[l].cardinality > leaf_card) {
+      return Status::InvalidArgument("level '" + levels[l].name +
+                                     "' cardinality out of range");
+    }
+  }
+
+  const int n = static_cast<int>(levels.size());
+  // Validate parent indices and acyclicity (parents must be "less detailed";
+  // we require the DAG property via reachability, not index order, but indices
+  // must be in range and not self).
+  for (int l = 0; l < n; ++l) {
+    for (int p : levels[l].parents) {
+      if (p < 0 || p >= n || p == l) {
+        return Status::InvalidArgument("level '" + levels[l].name +
+                                       "' has invalid parent index");
+      }
+    }
+  }
+
+  // Reachability (derives): derives[from][to] = true when `to` is reachable
+  // from `from` via parent edges or from == to.
+  dim.derives_.assign(n, std::vector<bool>(n, false));
+  // Topological-ish closure by fixpoint (n is tiny).
+  for (int l = 0; l < n; ++l) dim.derives_[l][l] = true;
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    changed = false;
+    if (++iterations > n + 1) {
+      return Status::InvalidArgument("hierarchy parent graph has a cycle");
+    }
+    for (int l = 0; l < n; ++l) {
+      for (int p : levels[l].parents) {
+        for (int t = 0; t < n; ++t) {
+          if (dim.derives_[p][t] && !dim.derives_[l][t]) {
+            dim.derives_[l][t] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  for (int l = 0; l < n; ++l) {
+    if (dim.derives_[l][l]) {
+      // Check for a real cycle: l derives l through a parent.
+      for (int p : levels[l].parents) {
+        if (dim.derives_[p][l]) {
+          return Status::InvalidArgument("hierarchy parent graph has a cycle");
+        }
+      }
+    }
+  }
+  // Every non-leaf level must be reachable from the leaf.
+  for (int l = 1; l < n; ++l) {
+    if (!dim.derives_[0][l]) {
+      return Status::InvalidArgument("level '" + levels[l].name +
+                                     "' unreachable from the leaf level");
+    }
+  }
+
+  // Functional consistency of every edge.
+  std::vector<uint32_t> scratch;
+  for (int l = 0; l < n; ++l) {
+    for (int p : levels[l].parents) {
+      CURE_RETURN_IF_ERROR(
+          CheckEdge(dim, levels[l], levels[p], l, p, leaf_card, &scratch));
+    }
+  }
+
+  // Execution-plan metadata (modified Rule 2, Sec. 3.2): each level with
+  // parents hangs off the parent with maximum cardinality.
+  dim.plan_parent_.assign(n, -1);
+  dim.plan_children_.assign(n, {});
+  dim.plan_roots_.clear();
+  dim.is_linear_ = true;
+  for (int l = 0; l < n; ++l) {
+    const Level& level = levels[l];
+    if (level.parents.empty()) {
+      dim.plan_roots_.push_back(l);
+      continue;
+    }
+    if (level.parents.size() > 1) dim.is_linear_ = false;
+    int best = level.parents[0];
+    for (int p : level.parents) {
+      if (levels[p].cardinality > levels[best].cardinality ||
+          (levels[p].cardinality == levels[best].cardinality && p < best)) {
+        best = p;
+      }
+    }
+    dim.plan_parent_[l] = best;
+  }
+  for (int l = 0; l < n; ++l) {
+    if (dim.plan_parent_[l] >= 0) dim.plan_children_[dim.plan_parent_[l]].push_back(l);
+  }
+  // Deterministic dashed-edge order: more detailed (lower index) first.
+  for (auto& children : dim.plan_children_) std::sort(children.begin(), children.end());
+  std::sort(dim.plan_roots_.begin(), dim.plan_roots_.end(), std::greater<int>());
+  if (dim.plan_roots_.size() > 1) dim.is_linear_ = false;
+  if (dim.is_linear_) {
+    // A linear hierarchy must be the chain 0 <- 1 <- ... <- n-1.
+    for (int l = 0; l + 1 < n; ++l) {
+      if (dim.plan_parent_[l] != l + 1) {
+        dim.is_linear_ = false;
+        break;
+      }
+    }
+  }
+
+  dim.levels_ = std::move(levels);
+  return dim;
+}
+
+Dimension Dimension::Linear(const std::string& name,
+                            const std::vector<uint32_t>& cardinalities) {
+  CURE_CHECK(!cardinalities.empty());
+  const uint32_t leaf_card = cardinalities[0];
+  std::vector<Level> levels(cardinalities.size());
+  for (size_t l = 0; l < cardinalities.size(); ++l) {
+    CURE_CHECK_LE(cardinalities[l], leaf_card);
+    levels[l].name = name + "_L" + std::to_string(l);
+    levels[l].cardinality = cardinalities[l];
+    if (l > 0) {
+      // Proportional block roll-up, derived level-from-level so that every
+      // edge is functional even when cardinalities do not divide evenly.
+      const uint32_t child_card = cardinalities[l - 1];
+      levels[l].leaf_to_code.resize(leaf_card);
+      for (uint32_t leaf = 0; leaf < leaf_card; ++leaf) {
+        const uint32_t child_code =
+            l == 1 ? leaf : levels[l - 1].leaf_to_code[leaf];
+        levels[l].leaf_to_code[leaf] = static_cast<uint32_t>(
+            static_cast<uint64_t>(child_code) * cardinalities[l] / child_card);
+      }
+    }
+    if (l + 1 < cardinalities.size()) {
+      levels[l].parents = {static_cast<int>(l) + 1};
+    }
+  }
+  Result<Dimension> dim = Create(name, std::move(levels));
+  CURE_CHECK(dim.ok()) << dim.status().ToString();
+  return std::move(dim).value();
+}
+
+Dimension Dimension::Flat(const std::string& name, uint32_t cardinality) {
+  return Linear(name, {cardinality});
+}
+
+Result<std::vector<uint32_t>> Dimension::LevelToLevelMap(int from, int to) const {
+  if (from < 0 || from >= num_levels() || to < 0 || to >= num_levels()) {
+    return Status::InvalidArgument("level index out of range");
+  }
+  if (!Derives(from, to)) {
+    return Status::InvalidArgument("level " + std::to_string(to) +
+                                   " not derivable from level " + std::to_string(from) +
+                                   " in dimension '" + name_ + "'");
+  }
+  std::vector<uint32_t> map(cardinality(from));
+  for (uint32_t leaf = 0; leaf < leaf_cardinality(); ++leaf) {
+    map[CodeAt(leaf, from)] = CodeAt(leaf, to);
+  }
+  return map;
+}
+
+}  // namespace schema
+}  // namespace cure

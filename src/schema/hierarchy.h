@@ -1,0 +1,121 @@
+#ifndef CURE_SCHEMA_HIERARCHY_H_
+#define CURE_SCHEMA_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+namespace schema {
+
+/// One level of a dimension hierarchy.
+///
+/// Level 0 is the leaf (most detailed) level; the fact table stores leaf
+/// codes. Every level carries a mapping from leaf codes to this level's
+/// codes, so rolling a tuple up to any level is one array lookup.
+/// `parents` lists the levels exactly one step less detailed (for a linear
+/// hierarchy City -> Country -> Continent, Country's parents = {Continent}).
+/// Complex (non-linear) hierarchies like day -> {week, month} give a level
+/// several parents (day.parents = {week, month}); see Sec. 3.2 of the paper.
+struct Level {
+  std::string name;
+  uint32_t cardinality = 0;
+  /// leaf_to_code[leaf] = code of this level; identity (may be left empty)
+  /// for level 0.
+  std::vector<uint32_t> leaf_to_code;
+  /// Indices of levels directly above (less detailed). Empty for maximal
+  /// levels (the tops of the hierarchy).
+  std::vector<int> parents;
+};
+
+/// A cube dimension with an arbitrary hierarchy of levels.
+///
+/// The implicit ALL level (single value) is *not* stored; its index is
+/// `num_levels()` and is what the node-id codec uses for "dimension absent".
+///
+/// On construction the dimension derives the execution-plan metadata of
+/// Sec. 3 of the paper:
+///  * `plan_roots()` — levels entered via solid edges (the maximal levels;
+///    exactly one for a linear hierarchy: the top).
+///  * `plan_children(l)` — levels entered from `l` via dashed edges. For a
+///    linear hierarchy these are {l-1}. For complex hierarchies the
+///    *modified Rule 2* applies: a level with several parents is assigned to
+///    the parent with maximum cardinality (ties to the lower level index),
+///    so the execution plan stays a tree.
+class Dimension {
+ public:
+  /// Validates and finalizes a dimension. Checks:
+  ///  * level 0 mapping is identity (or empty),
+  ///  * every parent edge is functionally consistent (same child code implies
+  ///    same parent code for all leaves),
+  ///  * parent levels have no greater cardinality than their children,
+  ///  * the parent graph is acyclic and every non-leaf level is reachable
+  ///    from level 0.
+  static Result<Dimension> Create(std::string name, std::vector<Level> levels);
+
+  /// Convenience: a linear hierarchy with proportional block roll-up maps.
+  /// `cardinalities` are ordered leaf first, e.g. {10000, 1000, 10} for
+  /// barcode -> brand -> economic_strength.
+  static Dimension Linear(const std::string& name,
+                          const std::vector<uint32_t>& cardinalities);
+
+  /// Convenience: a flat dimension (single leaf level, no hierarchy).
+  static Dimension Flat(const std::string& name, uint32_t cardinality);
+
+  const std::string& name() const { return name_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  int all_level() const { return num_levels(); }
+  const Level& level(int l) const { return levels_[l]; }
+  uint32_t cardinality(int l) const { return levels_[l].cardinality; }
+  uint32_t leaf_cardinality() const { return levels_[0].cardinality; }
+
+  /// Rolls a leaf code up to `level` (< num_levels()).
+  uint32_t CodeAt(uint32_t leaf_code, int level) const {
+    if (level == 0) return leaf_code;
+    return levels_[level].leaf_to_code[leaf_code];
+  }
+
+  /// True when codes at level `from` functionally determine codes at level
+  /// `to` — i.e. `to` is reachable from `from` through parent edges (or
+  /// equal, or the ALL level).
+  bool Derives(int from, int to) const {
+    if (to == all_level()) return true;
+    if (from == all_level()) return from == to;
+    return derives_[from][to];
+  }
+
+  /// Builds the code map from level `from` to a derivable level `to`
+  /// (out[from_code] = to_code). Used when dereferencing tuples stored at a
+  /// coarser-than-leaf granularity (the partition-pass node N of Sec. 4).
+  Result<std::vector<uint32_t>> LevelToLevelMap(int from, int to) const;
+
+  /// Levels introduced by solid edges in the execution plan.
+  const std::vector<int>& plan_roots() const { return plan_roots_; }
+
+  /// Levels reached from `l` by dashed edges in the execution plan.
+  const std::vector<int>& plan_children(int l) const { return plan_children_[l]; }
+
+  /// The dashed-edge parent of level `l` in the execution plan, or -1 for
+  /// plan roots.
+  int plan_parent(int l) const { return plan_parent_[l]; }
+
+  bool is_linear() const { return is_linear_; }
+
+ private:
+  Dimension() = default;
+
+  std::string name_;
+  std::vector<Level> levels_;
+  std::vector<int> plan_roots_;
+  std::vector<std::vector<int>> plan_children_;
+  std::vector<int> plan_parent_;
+  std::vector<std::vector<bool>> derives_;  // derives_[from][to], levels only
+  bool is_linear_ = true;
+};
+
+}  // namespace schema
+}  // namespace cure
+
+#endif  // CURE_SCHEMA_HIERARCHY_H_

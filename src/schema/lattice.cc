@@ -1,0 +1,35 @@
+#include "schema/lattice.h"
+
+namespace cure {
+namespace schema {
+
+bool Lattice::IsAncestorOf(NodeId detailed, NodeId coarse) const {
+  std::vector<int> d_levels = codec_.Decode(detailed);
+  std::vector<int> c_levels = codec_.Decode(coarse);
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int all = codec_.all_level(d);
+    if (c_levels[d] == all) continue;  // ALL derivable from anything.
+    if (d_levels[d] == all) return false;
+    if (!schema_->dim(d).Derives(d_levels[d], c_levels[d])) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Lattice::AllNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(codec_.num_nodes());
+  for (NodeId id = 0; id < codec_.num_nodes(); ++id) nodes.push_back(id);
+  return nodes;
+}
+
+int Lattice::NumGroupingDims(NodeId id) const {
+  const std::vector<int> levels = codec_.Decode(id);
+  int count = 0;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (levels[d] != codec_.all_level(d)) ++count;
+  }
+  return count;
+}
+
+}  // namespace schema
+}  // namespace cure

@@ -1,0 +1,51 @@
+#ifndef CURE_SCHEMA_LATTICE_H_
+#define CURE_SCHEMA_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/cube_schema.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace schema {
+
+/// The hierarchical cube lattice (Sec. 3 of the paper): one node per
+/// combination of per-dimension hierarchy levels (including ALL).
+///
+/// Terminology follows the paper: node X is an *ancestor* of node Y when X
+/// is at least as detailed as Y, i.e. Y's result can be computed from X's by
+/// further aggregation. (The paper's Fig. 1 draws the most detailed node on
+/// top; ancestors are "towards ABC".)
+class Lattice {
+ public:
+  explicit Lattice(const CubeSchema* schema)
+      : schema_(schema), codec_(*schema) {}
+
+  const NodeIdCodec& codec() const { return codec_; }
+  NodeId num_nodes() const { return codec_.num_nodes(); }
+
+  /// True when `detailed` is an ancestor of `coarse` (can compute it):
+  /// for every dimension, the coarse node's level is ALL or derivable from
+  /// the detailed node's level (which must not be ALL unless equal).
+  bool IsAncestorOf(NodeId detailed, NodeId coarse) const;
+
+  /// All node ids, in id order.
+  std::vector<NodeId> AllNodes() const;
+
+  /// Number of grouping attributes (non-ALL dimensions) of a node.
+  int NumGroupingDims(NodeId id) const;
+
+  /// Exact number of result tuples of a node, by brute-force distinct
+  /// counting over leaf-level rows provided by a callback. Test helper.
+  const CubeSchema& schema() const { return *schema_; }
+
+ private:
+  const CubeSchema* schema_;
+  NodeIdCodec codec_;
+};
+
+}  // namespace schema
+}  // namespace cure
+
+#endif  // CURE_SCHEMA_LATTICE_H_

@@ -1,0 +1,62 @@
+#include "schema/node_id.h"
+
+#include "common/logging.h"
+
+namespace cure {
+namespace schema {
+
+NodeIdCodec::NodeIdCodec(const CubeSchema& schema) {
+  const int d = schema.num_dims();
+  radix_.resize(d);
+  factor_.resize(d);
+  NodeId factor = 1;
+  for (int i = 0; i < d; ++i) {
+    radix_[i] = schema.dim(i).num_levels() + 1;  // + ALL
+    factor_[i] = factor;
+    // Overflow guard: lattices beyond 2^63 nodes are not representable
+    // (nor materializable); fail loudly.
+    CURE_CHECK_LT(factor, (NodeId{1} << 62) / radix_[i])
+        << "lattice too large for 64-bit node ids";
+    factor *= radix_[i];
+  }
+  num_nodes_ = factor;
+}
+
+NodeId NodeIdCodec::Encode(const std::vector<int>& levels) const {
+  CURE_CHECK_EQ(levels.size(), radix_.size());
+  NodeId id = 0;
+  for (size_t i = 0; i < radix_.size(); ++i) {
+    CURE_CHECK_GE(levels[i], 0);
+    CURE_CHECK_LT(levels[i], radix_[i]);
+    id += factor_[i] * static_cast<NodeId>(levels[i]);
+  }
+  return id;
+}
+
+std::vector<int> NodeIdCodec::Decode(NodeId id) const {
+  std::vector<int> levels(radix_.size());
+  DecodeInto(id, &levels);
+  return levels;
+}
+
+void NodeIdCodec::DecodeInto(NodeId id, std::vector<int>* levels) const {
+  levels->resize(radix_.size());
+  for (size_t i = 0; i < radix_.size(); ++i) {
+    (*levels)[i] = static_cast<int>((id / factor_[i]) % radix_[i]);
+  }
+}
+
+std::string NodeIdCodec::Name(NodeId id, const CubeSchema& schema) const {
+  const std::vector<int> levels = Decode(id);
+  std::string name;
+  for (int d = 0; d < num_dims(); ++d) {
+    if (levels[d] == all_level(d)) continue;
+    name += schema.dim(d).name();
+    name += std::to_string(levels[d]);
+  }
+  if (name.empty()) name = "ALL";
+  return name;
+}
+
+}  // namespace schema
+}  // namespace cure

@@ -1,0 +1,13 @@
+#include "storage/bitmap.h"
+
+namespace cure {
+namespace storage {
+
+uint64_t Bitmap::Count() const {
+  uint64_t count = 0;
+  for (uint64_t word : words_) count += __builtin_popcountll(word);
+  return count;
+}
+
+}  // namespace storage
+}  // namespace cure

@@ -1,0 +1,61 @@
+#ifndef CURE_STORAGE_BITMAP_H_
+#define CURE_STORAGE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cure {
+namespace storage {
+
+/// Dense bitmap index over row-ids [0, universe). CURE+ replaces a TT
+/// relation's row-id list with a bitmap when the bitmap is smaller
+/// (Sec. 5.3 of the paper); iteration of set bits yields the row-ids in
+/// increasing order, which gives the sequential-scan access pattern the
+/// post-processing step is after.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(uint64_t universe) : universe_(universe), words_((universe + 63) / 64) {}
+
+  void Set(uint64_t i) {
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+
+  bool Test(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// Calls `fn(row_id)` for every set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<uint64_t>(w) * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  uint64_t universe() const { return universe_; }
+
+  /// Storage footprint of the bitmap representation in bytes.
+  uint64_t SerializedBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  uint64_t universe_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace storage
+}  // namespace cure
+
+#endif  // CURE_STORAGE_BITMAP_H_

@@ -1,0 +1,133 @@
+#include "storage/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cure {
+namespace storage {
+
+namespace {
+
+// Sorts `records` (a flat buffer of `n` records of `width` bytes) in place.
+void SortRun(std::vector<uint8_t>* records, size_t n, size_t width,
+             const RecordLess& less) {
+  std::vector<uint32_t> index(n);
+  for (size_t i = 0; i < n; ++i) index[i] = static_cast<uint32_t>(i);
+  const uint8_t* base = records->data();
+  std::sort(index.begin(), index.end(), [&](uint32_t a, uint32_t b) {
+    return less(base + static_cast<size_t>(a) * width,
+                base + static_cast<size_t>(b) * width);
+  });
+  std::vector<uint8_t> sorted(records->size());
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(sorted.data() + i * width, base + static_cast<size_t>(index[i]) * width,
+                width);
+  }
+  records->swap(sorted);
+}
+
+}  // namespace
+
+Status ExternalSort(const Relation& input, const RecordLess& less,
+                    const ExternalSortOptions& options, Relation* output) {
+  const size_t width = input.record_size();
+  if (width == 0) return Status::InvalidArgument("zero record size");
+  const uint64_t total_bytes = input.bytes();
+
+  // Fast path: everything fits in the budget.
+  if (total_bytes <= options.memory_budget_bytes) {
+    std::vector<uint8_t> buf(total_bytes);
+    Relation::Scanner scan(input);
+    uint64_t i = 0;
+    while (const uint8_t* rec = scan.Next()) {
+      std::memcpy(buf.data() + i * width, rec, width);
+      ++i;
+    }
+    SortRun(&buf, input.num_rows(), width, less);
+    for (uint64_t r = 0; r < input.num_rows(); ++r) {
+      CURE_RETURN_IF_ERROR(output->Append(buf.data() + r * width));
+    }
+    return Status::OK();
+  }
+
+  // Run generation.
+  const uint64_t run_records =
+      std::max<uint64_t>(1, options.memory_budget_bytes / width);
+  std::vector<Relation> runs;
+  {
+    Relation::Scanner scan(input);
+    std::vector<uint8_t> buf;
+    buf.reserve(run_records * width);
+    size_t in_buf = 0;
+    auto flush_run = [&]() -> Status {
+      if (in_buf == 0) return Status::OK();
+      SortRun(&buf, in_buf, width, less);
+      const std::string path = options.temp_dir + "/cure_sort_run_" +
+                               std::to_string(runs.size()) + "_" +
+                               std::to_string(reinterpret_cast<uintptr_t>(&runs));
+      CURE_ASSIGN_OR_RETURN(Relation run, Relation::CreateFile(path, width));
+      for (size_t r = 0; r < in_buf; ++r) {
+        CURE_RETURN_IF_ERROR(run.Append(buf.data() + r * width));
+      }
+      CURE_RETURN_IF_ERROR(run.Seal());
+      runs.push_back(std::move(run));
+      buf.clear();
+      in_buf = 0;
+      return Status::OK();
+    };
+    while (const uint8_t* rec = scan.Next()) {
+      buf.insert(buf.end(), rec, rec + width);
+      ++in_buf;
+      if (in_buf >= run_records) CURE_RETURN_IF_ERROR(flush_run());
+    }
+    CURE_RETURN_IF_ERROR(flush_run());
+  }
+
+  // K-way merge with a heap of (record, run) cursors.
+  struct Cursor {
+    std::unique_ptr<Relation::Scanner> scan;
+    const uint8_t* rec = nullptr;
+    size_t run = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    Cursor c;
+    c.scan = std::make_unique<Relation::Scanner>(runs[i]);
+    c.rec = c.scan->Next();
+    c.run = i;
+    if (c.rec != nullptr) cursors.push_back(std::move(c));
+  }
+  auto heap_greater = [&](size_t a, size_t b) {
+    // Min-heap: a is "greater" when b's record orders first.
+    return less(cursors[b].rec, cursors[a].rec);
+  };
+  std::vector<size_t> heap(cursors.size());
+  for (size_t i = 0; i < heap.size(); ++i) heap[i] = i;
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const size_t top = heap.back();
+    heap.pop_back();
+    CURE_RETURN_IF_ERROR(output->Append(cursors[top].rec));
+    cursors[top].rec = cursors[top].scan->Next();
+    if (cursors[top].rec != nullptr) {
+      heap.push_back(top);
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
+    }
+  }
+
+  // Clean up run files.
+  for (Relation& run : runs) {
+    const std::string path = run.path();
+    run = Relation();  // Close before removing.
+    CURE_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace cure

@@ -1,0 +1,38 @@
+#ifndef CURE_STORAGE_EXTERNAL_SORT_H_
+#define CURE_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace cure {
+namespace storage {
+
+/// Record comparator over raw fixed-width records: returns true when the
+/// record at `a` orders before the record at `b`.
+using RecordLess = std::function<bool(const uint8_t* a, const uint8_t* b)>;
+
+/// Options for ExternalSort.
+struct ExternalSortOptions {
+  /// In-memory run size in bytes. Runs are sorted with std::sort and merged
+  /// with a k-way loser-tree-free heap merge.
+  uint64_t memory_budget_bytes = 64ull << 20;
+
+  /// Directory for temporary run files.
+  std::string temp_dir = "/tmp";
+};
+
+/// Sorts `input` (sealed) into `*output` (open for appends; caller seals).
+/// Falls back to a pure in-memory sort when the input fits in the budget.
+/// This is the external-memory substrate used by CURE+'s row-id
+/// post-processing when a TT relation exceeds memory.
+Status ExternalSort(const Relation& input, const RecordLess& less,
+                    const ExternalSortOptions& options, Relation* output);
+
+}  // namespace storage
+}  // namespace cure
+
+#endif  // CURE_STORAGE_EXTERNAL_SORT_H_

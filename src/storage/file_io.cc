@@ -1,0 +1,170 @@
+#include "storage/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace cure {
+namespace storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileWriter::~FileWriter() { Close(); }
+
+FileWriter::FileWriter(FileWriter&& other) noexcept { *this = std::move(other); }
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    buffer_used_ = other.buffer_used_;
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+    other.buffer_used_ = 0;
+    other.bytes_written_ = 0;
+  }
+  return *this;
+}
+
+Status FileWriter::Open(const std::string& path, size_t buffer_bytes) {
+  CURE_RETURN_IF_ERROR(Close());
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return ErrnoStatus("open", path);
+  path_ = path;
+  buffer_.resize(buffer_bytes);
+  buffer_used_ = 0;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::Append(const void* data, size_t len) {
+  if (fd_ < 0) return Status::Internal("FileWriter::Append on closed file");
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const size_t space = buffer_.size() - buffer_used_;
+    const size_t chunk = len < space ? len : space;
+    std::memcpy(buffer_.data() + buffer_used_, src, chunk);
+    buffer_used_ += chunk;
+    src += chunk;
+    len -= chunk;
+    if (buffer_used_ == buffer_.size()) CURE_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Flush() {
+  if (fd_ < 0) return Status::OK();
+  size_t off = 0;
+  while (off < buffer_used_) {
+    const ssize_t n = ::write(fd_, buffer_.data() + off, buffer_used_ - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  bytes_written_ += buffer_used_;
+  buffer_used_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Flush();
+  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close", path_);
+  fd_ = -1;
+  return s;
+}
+
+FileReader::~FileReader() { Close(); }
+
+FileReader::FileReader(FileReader&& other) noexcept { *this = std::move(other); }
+
+FileReader& FileReader::operator=(FileReader&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    file_size_ = other.file_size_;
+    other.fd_ = -1;
+    other.file_size_ = 0;
+  }
+  return *this;
+}
+
+Status FileReader::Open(const std::string& path) {
+  CURE_RETURN_IF_ERROR(Close());
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return ErrnoStatus("open", path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Status s = ErrnoStatus("fstat", path);
+    ::close(fd_);
+    fd_ = -1;
+    return s;
+  }
+  path_ = path;
+  file_size_ = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status FileReader::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Status::OK();
+  if (::close(fd_) != 0) s = ErrnoStatus("close", path_);
+  fd_ = -1;
+  return s;
+}
+
+Status FileReader::ReadAt(uint64_t offset, void* out, size_t len) const {
+  if (fd_ < 0) return Status::Internal("FileReader::ReadAt on closed file");
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd_, dst, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path_);
+    }
+    if (n == 0) return Status::OutOfRange("read past end of '" + path_ + "'");
+    dst += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveDirTree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::IoError("rmtree '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace cure

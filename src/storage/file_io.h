@@ -1,0 +1,90 @@
+#ifndef CURE_STORAGE_FILE_IO_H_
+#define CURE_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+namespace storage {
+
+/// Append-only buffered file writer. All cube output and partition files go
+/// through this class so that the benchmark harness measures genuine
+/// sequential write costs.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&& other) noexcept;
+
+  /// Creates (truncating) the file at `path`.
+  Status Open(const std::string& path, size_t buffer_bytes = 1 << 20);
+
+  /// Appends `len` bytes.
+  Status Append(const void* data, size_t len);
+
+  /// Flushes the user-space buffer to the OS.
+  Status Flush();
+
+  /// Flushes and closes. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::vector<uint8_t> buffer_;
+  size_t buffer_used_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Random-access file reader (pread based, stateless reads) plus a buffered
+/// sequential scanner.
+class FileReader {
+ public:
+  FileReader() = default;
+  ~FileReader();
+
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+  FileReader(FileReader&& other) noexcept;
+  FileReader& operator=(FileReader&& other) noexcept;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Reads exactly `len` bytes at `offset`.
+  Status ReadAt(uint64_t offset, void* out, size_t len) const;
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t file_size() const { return file_size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t file_size_ = 0;
+};
+
+/// Removes a file if it exists; OK when missing.
+Status RemoveFile(const std::string& path);
+
+/// Creates a directory (and parents); OK when it already exists.
+Status EnsureDir(const std::string& path);
+
+/// Recursively removes a directory tree; OK when missing.
+Status RemoveDirTree(const std::string& path);
+
+}  // namespace storage
+}  // namespace cure
+
+#endif  // CURE_STORAGE_FILE_IO_H_

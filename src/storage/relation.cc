@@ -1,0 +1,128 @@
+#include "storage/relation.h"
+
+#include "common/logging.h"
+
+namespace cure {
+namespace storage {
+
+Relation Relation::Memory(size_t record_size) {
+  Relation rel;
+  rel.record_size_ = record_size;
+  rel.memory_ = true;
+  return rel;
+}
+
+Result<Relation> Relation::CreateFile(const std::string& path, size_t record_size) {
+  Relation rel;
+  rel.record_size_ = record_size;
+  rel.memory_ = false;
+  rel.path_ = path;
+  rel.writer_ = std::make_unique<FileWriter>();
+  CURE_RETURN_IF_ERROR(rel.writer_->Open(path));
+  return rel;
+}
+
+Result<Relation> Relation::OpenFile(const std::string& path, size_t record_size) {
+  Relation rel;
+  rel.record_size_ = record_size;
+  rel.memory_ = false;
+  rel.path_ = path;
+  rel.reader_ = std::make_unique<FileReader>();
+  CURE_RETURN_IF_ERROR(rel.reader_->Open(path));
+  if (rel.reader_->file_size() % record_size != 0) {
+    return Status::InvalidArgument("file size of '" + path +
+                                   "' is not a multiple of the record size");
+  }
+  rel.num_rows_ = rel.reader_->file_size() / record_size;
+  return rel;
+}
+
+Relation Relation::FileView(std::shared_ptr<FileReader> reader, uint64_t offset,
+                            uint64_t num_rows, size_t record_size) {
+  Relation rel;
+  rel.record_size_ = record_size;
+  rel.memory_ = false;
+  rel.path_ = reader->path();
+  rel.shared_reader_ = std::move(reader);
+  rel.view_offset_ = offset;
+  rel.num_rows_ = num_rows;
+  return rel;
+}
+
+Status Relation::Append(const void* record) {
+  if (shared_reader_ != nullptr) {
+    return Status::Internal("Append to a read-only file view");
+  }
+  if (memory_) {
+    const uint8_t* src = static_cast<const uint8_t*>(record);
+    data_.insert(data_.end(), src, src + record_size_);
+  } else {
+    if (writer_ == nullptr) return Status::Internal("Append to sealed file relation");
+    CURE_RETURN_IF_ERROR(writer_->Append(record, record_size_));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Relation::Seal() {
+  if (memory_) return Status::OK();
+  if (writer_ != nullptr) {
+    CURE_RETURN_IF_ERROR(writer_->Close());
+    writer_.reset();
+  }
+  if (reader_ == nullptr) {
+    reader_ = std::make_unique<FileReader>();
+    CURE_RETURN_IF_ERROR(reader_->Open(path_));
+  }
+  return Status::OK();
+}
+
+Status Relation::Read(uint64_t row, void* out) const {
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row " + std::to_string(row) + " >= " +
+                              std::to_string(num_rows_));
+  }
+  if (memory_) {
+    std::memcpy(out, data_.data() + row * record_size_, record_size_);
+    return Status::OK();
+  }
+  if (shared_reader_ != nullptr) {
+    return shared_reader_->ReadAt(view_offset_ + row * record_size_, out,
+                                  record_size_);
+  }
+  if (reader_ == nullptr) return Status::Internal("Read from unsealed file relation");
+  return reader_->ReadAt(row * record_size_, out, record_size_);
+}
+
+Relation::Scanner::Scanner(const Relation& rel, size_t buffer_records)
+    : rel_(rel), buffer_(rel.record_size() * buffer_records) {
+  CURE_CHECK_GT(rel.record_size(), 0u);
+}
+
+const uint8_t* Relation::Scanner::Next() {
+  if (row_ >= rel_.num_rows()) return nullptr;
+  if (rel_.memory_) {
+    const uint8_t* rec = rel_.data_.data() + row_ * rel_.record_size_;
+    ++row_;
+    return rec;
+  }
+  if (row_ >= buffered_end_) {
+    const uint64_t max_records = buffer_.size() / rel_.record_size_;
+    uint64_t n = rel_.num_rows() - row_;
+    if (n > max_records) n = max_records;
+    const FileReader* reader = rel_.shared_reader_ != nullptr
+                                   ? rel_.shared_reader_.get()
+                                   : rel_.reader_.get();
+    Status s = reader->ReadAt(rel_.view_offset_ + row_ * rel_.record_size_,
+                              buffer_.data(), n * rel_.record_size_);
+    CURE_CHECK(s.ok()) << s.ToString();
+    buffered_begin_ = row_;
+    buffered_end_ = row_ + n;
+  }
+  const uint8_t* rec = buffer_.data() + (row_ - buffered_begin_) * rel_.record_size_;
+  ++row_;
+  return rec;
+}
+
+}  // namespace storage
+}  // namespace cure

@@ -1,0 +1,111 @@
+#ifndef CURE_STORAGE_RELATION_H_
+#define CURE_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_io.h"
+
+namespace cure {
+namespace storage {
+
+/// A relation of fixed-width binary records, the universal container of the
+/// ROLAP layer: fact tables, partitions, per-node NT/TT/CAT relations and the
+/// AGGREGATES relation are all Relations.
+///
+/// A Relation is either memory-backed (a byte vector) or file-backed
+/// (append-only writer + pread reader). Records are addressed by row-id
+/// (0-based ordinal). Appends and scans are sequential; Read() is random
+/// access.
+class Relation {
+ public:
+  /// Creates an empty memory-backed relation.
+  static Relation Memory(size_t record_size);
+
+  /// Creates (truncating) a file-backed relation at `path`.
+  static Result<Relation> CreateFile(const std::string& path, size_t record_size);
+
+  /// Opens an existing file-backed relation for reading. The file size must
+  /// be a multiple of `record_size`.
+  static Result<Relation> OpenFile(const std::string& path, size_t record_size);
+
+  /// A read-only view of `num_rows` records starting at byte `offset` of a
+  /// shared open file — the representation of one relation inside a packed
+  /// cube file. The view is sealed; appends are rejected.
+  static Relation FileView(std::shared_ptr<FileReader> reader, uint64_t offset,
+                           uint64_t num_rows, size_t record_size);
+
+  Relation() = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  /// Appends one record of record_size() bytes.
+  Status Append(const void* record);
+
+  /// Finishes writing: flushes buffers and (for files) reopens for reading.
+  Status Seal();
+
+  /// Reads the record at `row` into `out`. Requires a sealed relation for
+  /// file-backed storage.
+  Status Read(uint64_t row, void* out) const;
+
+  /// Memory-backed relations expose their raw record pointer for zero-copy
+  /// access; returns nullptr for file-backed ones.
+  const uint8_t* RawRecord(uint64_t row) const {
+    if (!memory_) return nullptr;
+    return data_.data() + row * record_size_;
+  }
+
+  size_t record_size() const { return record_size_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t bytes() const { return num_rows_ * record_size_; }
+  bool memory_backed() const { return memory_; }
+  const std::string& path() const { return path_; }
+
+  /// Buffered sequential scanner over a sealed relation.
+  class Scanner {
+   public:
+    explicit Scanner(const Relation& rel, size_t buffer_records = 4096);
+
+    /// Returns a pointer to the next record, or nullptr at end. The pointer
+    /// is valid until the next call.
+    const uint8_t* Next();
+
+    /// Current 0-based row index of the record last returned by Next().
+    uint64_t row() const { return row_ - 1; }
+
+   private:
+    const Relation& rel_;
+    std::vector<uint8_t> buffer_;
+    uint64_t row_ = 0;
+    uint64_t buffered_begin_ = 0;
+    uint64_t buffered_end_ = 0;
+  };
+
+ private:
+  size_t record_size_ = 0;
+  bool memory_ = true;
+  uint64_t num_rows_ = 0;
+  std::string path_;
+
+  // Memory backing.
+  std::vector<uint8_t> data_;
+
+  // File backing. For file views, `shared_reader_` (plus `view_offset_`)
+  // replaces the owned reader.
+  std::unique_ptr<FileWriter> writer_;
+  std::unique_ptr<FileReader> reader_;
+  std::shared_ptr<FileReader> shared_reader_;
+  uint64_t view_offset_ = 0;
+};
+
+}  // namespace storage
+}  // namespace cure
+
+#endif  // CURE_STORAGE_RELATION_H_

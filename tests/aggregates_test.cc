@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cube/measures.h"
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::ResultSink;
+using schema::AggFn;
+using schema::AggregateSpec;
+using schema::NodeId;
+
+TEST(AggregatorTest, LiftAndCombine) {
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Flat("A", 2));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 2,
+      {{AggFn::kSum, 0, "sum0"},
+       {AggFn::kCount, 0, "cnt"},
+       {AggFn::kMin, 1, "min1"},
+       {AggFn::kMax, 1, "max1"}});
+  ASSERT_TRUE(schema.ok());
+  cube::Aggregator agg(*schema);
+  ASSERT_EQ(agg.num_aggregates(), 4);
+
+  int64_t acc[4];
+  agg.Init(acc);
+  const int64_t raw_a[2] = {10, 5};
+  const int64_t raw_b[2] = {-3, 9};
+  int64_t lifted[4];
+  agg.Lift(raw_a, lifted);
+  EXPECT_EQ(lifted[0], 10);
+  EXPECT_EQ(lifted[1], 1);  // COUNT lifts to 1
+  EXPECT_EQ(lifted[2], 5);
+  EXPECT_EQ(lifted[3], 5);
+  agg.Combine(acc, lifted);
+  agg.Lift(raw_b, lifted);
+  agg.Combine(acc, lifted);
+  EXPECT_EQ(acc[0], 7);
+  EXPECT_EQ(acc[1], 2);
+  EXPECT_EQ(acc[2], 5);
+  EXPECT_EQ(acc[3], 9);
+}
+
+TEST(AggregatorTest, ReAggregationOfPartials) {
+  // Combine must be associative over partial results — the external-path
+  // requirement (observation 3 of the paper).
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Flat("A", 2));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{AggFn::kSum, 0, "s"}, {AggFn::kCount, 0, "c"}, {AggFn::kMin, 0, "mn"}});
+  ASSERT_TRUE(schema.ok());
+  cube::Aggregator agg(*schema);
+  gen::Rng rng(5);
+  std::vector<int64_t> values(100);
+  for (auto& v : values) v = static_cast<int64_t>(rng.NextRange(1000)) - 500;
+
+  int64_t direct[3];
+  agg.Init(direct);
+  int64_t lifted[3];
+  for (int64_t v : values) {
+    agg.Lift(&v, lifted);
+    agg.Combine(direct, lifted);
+  }
+  // Two-level: partials of 10, then combined.
+  int64_t total[3];
+  agg.Init(total);
+  for (size_t base = 0; base < values.size(); base += 10) {
+    int64_t partial[3];
+    agg.Init(partial);
+    for (size_t i = base; i < base + 10; ++i) {
+      agg.Lift(&values[i], lifted);
+      agg.Combine(partial, lifted);
+    }
+    agg.Combine(total, partial);
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(direct[i], total[i]);
+}
+
+// Engine equivalence per aggregate-function combination.
+struct AggCase {
+  std::vector<AggregateSpec> specs;
+  const char* label;
+};
+
+class AggFunctionTest : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(AggFunctionTest, CubeMatchesReference) {
+  const AggCase& p = GetParam();
+  gen::Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {20, 4}));
+  dims.push_back(schema::Dimension::Flat("B", 8));
+  auto schema = schema::CubeSchema::Create(std::move(dims), 2, p.specs);
+  ASSERT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(2, 2);
+  gen::Rng rng(71);
+  for (uint64_t t = 0; t < 500; ++t) {
+    const uint32_t row[2] = {static_cast<uint32_t>(rng.NextRange(20)),
+                             static_cast<uint32_t>(rng.NextRange(8))};
+    const int64_t ms[2] = {static_cast<int64_t>(rng.NextRange(200)) - 100,
+                           static_cast<int64_t>(rng.NextRange(1000))};
+    ds.table.AppendRow(row, ms);
+  }
+
+  // In-memory and forced-external builds must both match the reference.
+  storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());
+  ASSERT_TRUE(ds.table.WriteTo(&rel).ok());
+  for (const bool external : {false, true}) {
+    CureOptions options;
+    options.force_external = external;
+    options.memory_budget_bytes = external ? 16384 : (256ull << 20);
+    FactInput input;
+    if (external) {
+      input.relation = &rel;
+    } else {
+      input.table = &ds.table;
+    }
+    auto cube = BuildCure(ds.schema, input, options);
+    ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+    auto engine = query::CureQueryEngine::Create(cube->get(), 1.0);
+    ASSERT_TRUE(engine.ok());
+    const schema::NodeIdCodec& codec = (*cube)->store().codec();
+    for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+      ResultSink sink(true);
+      ASSERT_TRUE((*engine)->QueryNode(id, &sink).ok());
+      auto expected = query::ReferenceNodeResult(ds.schema, ds.table, id);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+          << p.label << " external=" << external << " node " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, AggFunctionTest,
+    ::testing::Values(
+        AggCase{{{AggFn::kSum, 0, "s"}}, "sum_only"},
+        AggCase{{{AggFn::kCount, 0, "c"}}, "count_only"},
+        AggCase{{{AggFn::kMin, 0, "mn"}}, "min_only"},
+        AggCase{{{AggFn::kMax, 1, "mx"}}, "max_only"},
+        AggCase{{{AggFn::kSum, 0, "s"}, {AggFn::kSum, 1, "s1"}}, "two_sums"},
+        AggCase{{{AggFn::kMin, 0, "mn"}, {AggFn::kMax, 0, "mx"}}, "min_max"},
+        AggCase{{{AggFn::kSum, 0, "s"},
+                 {AggFn::kCount, 0, "c"},
+                 {AggFn::kMin, 1, "mn"},
+                 {AggFn::kMax, 1, "mx"}},
+                "all_four"}),
+    [](const ::testing::TestParamInfo<AggCase>& info) {
+      return info.param.label;
+    });
+
+TEST(AggFnNameTest, Names) {
+  EXPECT_STREQ(schema::AggFnName(AggFn::kSum), "SUM");
+  EXPECT_STREQ(schema::AggFnName(AggFn::kCount), "COUNT");
+  EXPECT_STREQ(schema::AggFnName(AggFn::kMin), "MIN");
+  EXPECT_STREQ(schema::AggFnName(AggFn::kMax), "MAX");
+}
+
+}  // namespace
+}  // namespace cure

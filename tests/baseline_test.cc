@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "engine/bubst.h"
+#include "engine/buc.h"
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+
+namespace cure {
+namespace {
+
+using engine::BubstOptions;
+using engine::BucOptions;
+using engine::BuildBubst;
+using engine::BuildBuc;
+using gen::Dataset;
+using query::ResultSink;
+using schema::NodeId;
+
+Dataset MakeSmall(uint64_t tuples, int dims, uint32_t card, double zipf,
+                  uint64_t seed) {
+  gen::SyntheticSpec spec;
+  spec.num_dims = dims;
+  spec.num_tuples = tuples;
+  spec.zipf = zipf;
+  spec.cardinalities.assign(dims, card);
+  spec.seed = seed;
+  return gen::MakeSynthetic(spec);
+}
+
+TEST(BucTest, MatchesReferenceOnAllNodes) {
+  Dataset ds = MakeSmall(400, 4, 6, 0.8, 21);
+  Result<std::unique_ptr<engine::BucCube>> cube =
+      BuildBuc(ds.schema, ds.table, BucOptions{});
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  query::BucQueryEngine engine(cube->get());
+  const schema::NodeIdCodec codec((*cube)->schema());
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(/*retain=*/true);
+    ASSERT_TRUE(engine.QueryNode(id, &sink).ok());
+    Result<std::vector<ResultSink::Row>> expected =
+        query::ReferenceNodeResult((*cube)->schema(), ds.table, id);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+        << "node " << id;
+  }
+}
+
+TEST(BucTest, IcebergPrunes) {
+  Dataset ds = MakeSmall(500, 3, 4, 1.0, 22);
+  BucOptions options;
+  options.min_support = 4;
+  Result<std::unique_ptr<engine::BucCube>> cube =
+      BuildBuc(ds.schema, ds.table, options);
+  ASSERT_TRUE(cube.ok());
+  query::BucQueryEngine engine(cube->get());
+  const schema::NodeIdCodec codec((*cube)->schema());
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(/*retain=*/true);
+    ASSERT_TRUE(engine.QueryNode(id, &sink).ok());
+    Result<std::vector<ResultSink::Row>> expected =
+        query::ReferenceNodeResult((*cube)->schema(), ds.table, id, 4);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()));
+  }
+}
+
+TEST(BucTest, StoresFullUncondensedCube) {
+  Dataset ds = MakeSmall(300, 3, 30, 0.0, 23);
+  Result<std::unique_ptr<engine::BucCube>> cube =
+      BuildBuc(ds.schema, ds.table, BucOptions{});
+  ASSERT_TRUE(cube.ok());
+  // Total tuples = sum of per-node group counts; with high cardinality this
+  // far exceeds the input (the redundancy CURE removes).
+  EXPECT_GT((*cube)->stats().plain, ds.table.num_rows());
+}
+
+TEST(BubstTest, MatchesReferenceOnAllNodes) {
+  Dataset ds = MakeSmall(400, 4, 6, 0.8, 24);
+  Result<std::unique_ptr<engine::BubstCube>> cube =
+      BuildBubst(ds.schema, ds.table, BubstOptions{});
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  query::BubstQueryEngine engine(cube->get());
+  const schema::NodeIdCodec codec((*cube)->schema());
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(/*retain=*/true);
+    ASSERT_TRUE(engine.QueryNode(id, &sink).ok());
+    Result<std::vector<ResultSink::Row>> expected =
+        query::ReferenceNodeResult((*cube)->schema(), ds.table, id);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+        << "node " << id;
+  }
+}
+
+TEST(BubstTest, BstsCondenseTheCube) {
+  // Sparse data: many singleton groups -> BU-BST (BSTs stored once) is much
+  // smaller than BUC (every node materialized in full).
+  Dataset ds = MakeSmall(200, 4, 100, 0.0, 25);
+  Result<std::unique_ptr<engine::BucCube>> buc =
+      BuildBuc(ds.schema, ds.table, BucOptions{});
+  Result<std::unique_ptr<engine::BubstCube>> bubst =
+      BuildBubst(ds.schema, ds.table, BubstOptions{});
+  ASSERT_TRUE(buc.ok());
+  ASSERT_TRUE(bubst.ok());
+  EXPECT_LT((*bubst)->stats().plain + (*bubst)->stats().tt,
+            (*buc)->stats().plain);
+  EXPECT_LT((*bubst)->TotalBytes(), (*buc)->store().TotalBytes());
+}
+
+TEST(BubstTest, MonolithicWiderThanCure) {
+  // BU-BST rows are always D dims wide; CURE stores row-id references.
+  Dataset ds = MakeSmall(500, 6, 20, 0.5, 26);
+  Result<std::unique_ptr<engine::BubstCube>> bubst =
+      BuildBubst(ds.schema, ds.table, BubstOptions{});
+  engine::CureOptions copts;
+  engine::FactInput input{.table = &ds.table};
+  Result<std::unique_ptr<engine::CureCube>> cure =
+      engine::BuildCure(ds.schema, input, copts);
+  ASSERT_TRUE(bubst.ok());
+  ASSERT_TRUE(cure.ok());
+  EXPECT_LT((*cure)->TotalBytes(), (*bubst)->TotalBytes());
+}
+
+TEST(CrossEngineTest, AllEnginesAgreeOnFlatData) {
+  Dataset ds = MakeSmall(350, 3, 8, 1.2, 27);
+  // CURE.
+  engine::CureOptions copts;
+  engine::FactInput input{.table = &ds.table};
+  Result<std::unique_ptr<engine::CureCube>> cure =
+      engine::BuildCure(ds.schema, input, copts);
+  ASSERT_TRUE(cure.ok());
+  Result<std::unique_ptr<query::CureQueryEngine>> cure_engine =
+      query::CureQueryEngine::Create(cure->get(), 1.0);
+  ASSERT_TRUE(cure_engine.ok());
+  // BUC + BU-BST.
+  Result<std::unique_ptr<engine::BucCube>> buc =
+      BuildBuc(ds.schema, ds.table, BucOptions{});
+  Result<std::unique_ptr<engine::BubstCube>> bubst =
+      BuildBubst(ds.schema, ds.table, BubstOptions{});
+  ASSERT_TRUE(buc.ok());
+  ASSERT_TRUE(bubst.ok());
+  query::BucQueryEngine buc_engine(buc->get());
+  query::BubstQueryEngine bubst_engine(bubst->get());
+
+  const schema::NodeIdCodec codec((*cure)->schema());
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink a(true), b(true), c(true);
+    ASSERT_TRUE((*cure_engine)->QueryNode(id, &a).ok());
+    ASSERT_TRUE(buc_engine.QueryNode(id, &b).ok());
+    ASSERT_TRUE(bubst_engine.QueryNode(id, &c).ok());
+    EXPECT_TRUE(query::SameResults(a.rows(), b.rows())) << "CURE vs BUC @" << id;
+    EXPECT_TRUE(query::SameResults(b.rows(), c.rows())) << "BUC vs BUBST @" << id;
+  }
+}
+
+}  // namespace
+}  // namespace cure

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::ResultSink;
+using schema::Dimension;
+using schema::Level;
+using schema::NodeId;
+
+// The paper's Fig. 5 complex time hierarchy: day -> {week, month} -> year,
+// with 28-day months so both roll-ups are functional.
+Dimension MakeTimeDimension(uint32_t days) {
+  std::vector<Level> levels(4);
+  levels[0].name = "day";
+  levels[0].cardinality = days;
+  levels[0].parents = {1, 2};
+  levels[1].name = "week";
+  levels[1].cardinality = (days + 6) / 7;
+  levels[1].leaf_to_code.resize(days);
+  for (uint32_t d = 0; d < days; ++d) levels[1].leaf_to_code[d] = d / 7;
+  levels[2].name = "month";
+  levels[2].cardinality = (days + 27) / 28;
+  levels[2].leaf_to_code.resize(days);
+  for (uint32_t d = 0; d < days; ++d) levels[2].leaf_to_code[d] = d / 28;
+  levels[2].parents = {3};
+  levels[3].name = "year";
+  levels[3].cardinality = (days + 363) / 364;
+  levels[3].leaf_to_code.resize(days);
+  for (uint32_t d = 0; d < days; ++d) levels[3].leaf_to_code[d] = d / 364;
+  Result<Dimension> dim = Dimension::Create("time", std::move(levels));
+  EXPECT_TRUE(dim.ok()) << dim.status().ToString();
+  return std::move(dim).value();
+}
+
+gen::Dataset MakeComplexDataset(uint64_t tuples, uint64_t seed) {
+  gen::Dataset ds;
+  std::vector<Dimension> dims;
+  dims.push_back(MakeTimeDimension(728));  // 2 years
+  dims.push_back(Dimension::Linear("Product", {20, 4}));
+  dims.push_back(Dimension::Flat("Channel", 3));
+  Result<schema::CubeSchema> schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "sum"}, {schema::AggFn::kCount, 0, "cnt"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(728)),
+                             static_cast<uint32_t>(rng.NextRange(20)),
+                             static_cast<uint32_t>(rng.NextRange(3))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(40));
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+TEST(ComplexHierarchyTest, LatticeSize) {
+  gen::Dataset ds = MakeComplexDataset(10, 51);
+  schema::NodeIdCodec codec(ds.schema);
+  // time has 4 levels (+ALL), product 2 (+ALL), channel 1 (+ALL).
+  EXPECT_EQ(codec.num_nodes(), 5u * 3 * 2);
+}
+
+TEST(ComplexHierarchyTest, CubeMatchesReferenceOnEveryNode) {
+  gen::Dataset ds = MakeComplexDataset(900, 52);
+  CureOptions options;
+  options.signature_pool_capacity = 512;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  auto engine = query::CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(true);
+    ASSERT_TRUE((*engine)->QueryNode(id, &sink).ok());
+    auto expected = query::ReferenceNodeResult(ds.schema, ds.table, id);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+        << "node " << codec.Name(id, ds.schema) << " (" << id << ")";
+  }
+}
+
+TEST(ComplexHierarchyTest, CurePlusAndDrVariants) {
+  gen::Dataset ds = MakeComplexDataset(700, 53);
+  for (const bool dr : {false, true}) {
+    CureOptions options;
+    options.dims_in_nt = dr;
+    FactInput input{.table = &ds.table};
+    auto cube = BuildCure(ds.schema, input, options);
+    ASSERT_TRUE(cube.ok());
+    ASSERT_TRUE(engine::CurePostProcess(cube->get()).ok());
+    auto engine = query::CureQueryEngine::Create(cube->get(), 1.0);
+    ASSERT_TRUE(engine.ok());
+    const schema::NodeIdCodec& codec = (*cube)->store().codec();
+    for (NodeId id = 0; id < codec.num_nodes(); id += 3) {
+      ResultSink sink(true);
+      ASSERT_TRUE((*engine)->QueryNode(id, &sink).ok());
+      auto expected = query::ReferenceNodeResult(ds.schema, ds.table, id);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_TRUE(
+          query::SameResults(sink.TakeRows(), std::move(expected).value()))
+          << "dr=" << dr << " node " << id;
+    }
+  }
+}
+
+TEST(ComplexHierarchyTest, ExternalPathWithComplexNonFirstDimension) {
+  // Partitioning requires a linear *first* dimension, but later dimensions
+  // may be complex.
+  gen::Dataset ds;
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("Product", {40, 8, 2}));
+  dims.push_back(MakeTimeDimension(364));
+  Result<schema::CubeSchema> schema = schema::CubeSchema::Create(
+      std::move(dims), 1, {{schema::AggFn::kSum, 0, "sum"}});
+  ASSERT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(2, 1);
+  gen::Rng rng(54);
+  for (uint64_t t = 0; t < 800; ++t) {
+    const uint32_t row[2] = {static_cast<uint32_t>(rng.NextRange(40)),
+                             static_cast<uint32_t>(rng.NextRange(364))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(30));
+    ds.table.AppendRow(row, &m);
+  }
+  storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());
+  ASSERT_TRUE(ds.table.WriteTo(&rel).ok());
+
+  CureOptions options;
+  options.force_external = true;
+  options.memory_budget_bytes = 16384;
+  FactInput input{.relation = &rel};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_TRUE((*cube)->stats().external);
+  auto engine = query::CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(true);
+    ASSERT_TRUE((*engine)->QueryNode(id, &sink).ok());
+    auto expected = query::ReferenceNodeResult(ds.schema, ds.table, id);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+        << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace cure

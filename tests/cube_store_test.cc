@@ -1,0 +1,263 @@
+#include "cube/cube_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cube/signature.h"
+#include "schema/cube_schema.h"
+
+namespace cure {
+namespace cube {
+namespace {
+
+using schema::AggFn;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::NodeId;
+
+CubeSchema TwoDimSchema(int num_aggregates) {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Flat("A", 10));
+  dims.push_back(Dimension::Flat("B", 10));
+  std::vector<schema::AggregateSpec> aggs;
+  aggs.push_back({AggFn::kSum, 0, "sum"});
+  if (num_aggregates > 1) aggs.push_back({AggFn::kCount, 0, "cnt"});
+  Result<CubeSchema> schema = CubeSchema::Create(std::move(dims), 1, std::move(aggs));
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(CubeStoreTest, RecordWidths) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  EXPECT_EQ(store.TtRecordSize(), 8u);
+  EXPECT_EQ(store.NtRecordSize(2), 8u + 16u);          // rowid + 2 aggrs
+  EXPECT_EQ(store.PlainRecordSize(2), 8u + 16u);       // 2 dims + 2 aggrs
+  EXPECT_EQ(store.AggregatesRecordSize(CatFormat::kFormatA), 8u + 16u);
+  EXPECT_EQ(store.AggregatesRecordSize(CatFormat::kFormatB), 16u);
+
+  CubeStore dr(&schema, {.dims_in_nt = true});
+  EXPECT_EQ(dr.NtRecordSize(2), 8u + 16u);   // 2 dim codes + 2 aggrs
+  EXPECT_EQ(dr.NtRecordSize(1), 4u + 16u);
+}
+
+TEST(CubeStoreTest, FormatDecisionRule) {
+  // Paper rule: format (a) iff k > (Y+1) * n; else as-NT when Y == 1, else
+  // format (b).
+  {
+    CubeSchema schema = TwoDimSchema(2);  // Y = 2
+    CubeStore store(&schema, {});
+    store.DecideCatFormat({.cats = 100, .source_groups = 10, .combos = 5});
+    EXPECT_EQ(store.cat_format(), CatFormat::kFormatA);  // 100 > 3*10
+  }
+  {
+    CubeSchema schema = TwoDimSchema(2);
+    CubeStore store(&schema, {});
+    store.DecideCatFormat({.cats = 20, .source_groups = 10, .combos = 5});
+    EXPECT_EQ(store.cat_format(), CatFormat::kFormatB);  // 20 <= 30
+  }
+  {
+    CubeSchema schema = TwoDimSchema(1);  // Y = 1
+    CubeStore store(&schema, {});
+    store.DecideCatFormat({.cats = 20, .source_groups = 12, .combos = 5});
+    EXPECT_EQ(store.cat_format(), CatFormat::kAsNT);  // 20 <= 2*12, Y=1
+  }
+  {
+    // No CATs yet: decision postponed.
+    CubeSchema schema = TwoDimSchema(2);
+    CubeStore store(&schema, {});
+    store.DecideCatFormat({.cats = 0, .source_groups = 0, .combos = 0});
+    EXPECT_EQ(store.cat_format(), CatFormat::kUndecided);
+    // First real stats decide; later stats only accumulate.
+    store.DecideCatFormat({.cats = 100, .source_groups = 10, .combos = 5});
+    EXPECT_EQ(store.cat_format(), CatFormat::kFormatA);
+    store.DecideCatFormat({.cats = 10, .source_groups = 10, .combos = 10});
+    EXPECT_EQ(store.cat_format(), CatFormat::kFormatA);  // unchanged
+    EXPECT_EQ(store.cat_stats().cats, 110u);
+  }
+}
+
+TEST(CubeStoreTest, ForcedFormatWins) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {.forced_cat_format = CatFormat::kFormatB});
+  store.DecideCatFormat({.cats = 1000, .source_groups = 1, .combos = 1});
+  EXPECT_EQ(store.cat_format(), CatFormat::kFormatB);
+}
+
+TEST(CubeStoreTest, WriteAndAccountTuples) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  const NodeId node = 0;
+  const int64_t aggrs[2] = {5, 1};
+  ASSERT_TRUE(store.WriteTT(node, MakeRowId(kSourceFact, 3)).ok());
+  ASSERT_TRUE(store.WriteNT(node, MakeRowId(kSourceFact, 4), aggrs, nullptr).ok());
+  store.DecideCatFormat({.cats = 100, .source_groups = 10, .combos = 5});
+  Result<uint64_t> arowid = store.AppendAggregateA(MakeRowId(kSourceFact, 5), aggrs);
+  ASSERT_TRUE(arowid.ok());
+  EXPECT_EQ(*arowid, 0u);
+  ASSERT_TRUE(store.WriteCatA(node, *arowid).ok());
+
+  const CubeStore::ClassCounts counts = store.Counts();
+  EXPECT_EQ(counts.tt, 1u);
+  EXPECT_EQ(counts.nt, 1u);
+  EXPECT_EQ(counts.cat, 1u);
+  EXPECT_EQ(counts.aggregates, 1u);
+  EXPECT_EQ(store.NumRelations(), 4u);  // nt + tt + cat + AGGREGATES
+  EXPECT_EQ(store.TotalBytes(), 8u + 24u + 8u + 24u);
+}
+
+TEST(CubeStoreTest, NodeDecodeCaching) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  const schema::NodeIdCodec& codec = store.codec();
+  const NodeId ab = codec.Encode({0, 0});
+  const int64_t aggrs[2] = {1, 1};
+  ASSERT_TRUE(store.WriteNT(ab, MakeRowId(kSourceFact, 0), aggrs, nullptr).ok());
+  const CubeStore::NodeData* node = store.node(ab);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->grouping_dims, (std::vector<int>{0, 1}));
+  EXPECT_EQ(store.node(codec.Encode({1, 1})), nullptr);
+}
+
+// ---------- SignaturePool classification ----------
+
+TEST(SignaturePoolTest, SingletonsBecomeNts) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  SignaturePool pool(2, 0, 100);
+  const int64_t a1[2] = {10, 2};
+  const int64_t a2[2] = {20, 3};
+  pool.Add(a1, MakeRowId(kSourceFact, 0), 0, nullptr);
+  pool.Add(a2, MakeRowId(kSourceFact, 5), 1, nullptr);
+  ASSERT_TRUE(pool.Flush(&store).ok());
+  EXPECT_EQ(store.Counts().nt, 2u);
+  EXPECT_EQ(store.Counts().cat, 0u);
+  EXPECT_EQ(store.cat_format(), CatFormat::kUndecided);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(SignaturePoolTest, CommonSourceCatsUseFormatA) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  SignaturePool pool(2, 0, 100);
+  // Three signatures sharing aggregates AND rowid (common source), in
+  // different nodes — k=3, n=1, Y=2: 3 > (2+1)*1 is false... use 4 copies:
+  // k=4 > 3*1 = 3 -> format (a).
+  const int64_t a[2] = {30, 2};
+  for (NodeId node = 0; node < 4; ++node) {
+    pool.Add(a, MakeRowId(kSourceFact, 7), node, nullptr);
+  }
+  ASSERT_TRUE(pool.Flush(&store).ok());
+  EXPECT_EQ(store.cat_format(), CatFormat::kFormatA);
+  EXPECT_EQ(store.Counts().cat, 4u);
+  EXPECT_EQ(store.Counts().aggregates, 1u);  // shared source group
+}
+
+TEST(SignaturePoolTest, CoincidentalCatsUseFormatB) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  SignaturePool pool(2, 0, 100);
+  // Same aggregates, different rowids: coincidental. k=2, n=2 -> (b).
+  const int64_t a[2] = {30, 2};
+  pool.Add(a, MakeRowId(kSourceFact, 1), 0, nullptr);
+  pool.Add(a, MakeRowId(kSourceFact, 9), 1, nullptr);
+  ASSERT_TRUE(pool.Flush(&store).ok());
+  EXPECT_EQ(store.cat_format(), CatFormat::kFormatB);
+  EXPECT_EQ(store.Counts().cat, 2u);
+  EXPECT_EQ(store.Counts().aggregates, 1u);  // one combo row
+}
+
+TEST(SignaturePoolTest, CoincidentalSingleAggregateStoredAsNt) {
+  CubeSchema schema = TwoDimSchema(1);
+  CubeStore store(&schema, {});
+  SignaturePool pool(1, 0, 100);
+  const int64_t a[1] = {30};
+  pool.Add(a, MakeRowId(kSourceFact, 1), 0, nullptr);
+  pool.Add(a, MakeRowId(kSourceFact, 9), 1, nullptr);
+  ASSERT_TRUE(pool.Flush(&store).ok());
+  EXPECT_EQ(store.cat_format(), CatFormat::kAsNT);
+  EXPECT_EQ(store.Counts().nt, 2u);
+  EXPECT_EQ(store.Counts().cat, 0u);
+}
+
+TEST(SignaturePoolTest, FootprintMatchesCapacity) {
+  SignaturePool pool(2, 0, 1000);
+  EXPECT_EQ(pool.FootprintBytes(), 1000u * (16 + 8 + 8));
+  SignaturePool dr_pool(2, 3, 1000);
+  EXPECT_EQ(dr_pool.FootprintBytes(), 1000u * (16 + 8 + 8 + 12));
+}
+
+TEST(SignaturePoolTest, CapacityIsRespected) {
+  SignaturePool pool(1, 0, 2);
+  const int64_t a[1] = {1};
+  pool.Add(a, 0, 0, nullptr);
+  EXPECT_FALSE(pool.full());
+  pool.Add(a, 1, 1, nullptr);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+// ---------- Post-processing ----------
+
+TEST(PostProcessTest, BitmapReplacesLargeTtLists) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  // A fake fact source with a small universe so the bitmap wins:
+  // 1000 rows universe = 125 bitmap bytes < 900 TTs * 8 bytes.
+  schema::FactTable table(2, 1);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const uint32_t dims[2] = {i % 10, i % 7};
+    const int64_t m = 1;
+    table.AppendRow(dims, &m);
+  }
+  SourceSet sources(&schema);
+  sources.Register(kSourceFact,
+                   std::make_shared<FactTableSource>(&table, &schema));
+  for (uint64_t i = 0; i < 900; ++i) {
+    ASSERT_TRUE(store.WriteTT(0, MakeRowId(kSourceFact, i)).ok());
+  }
+  const uint64_t before = store.TotalBytes();
+  ASSERT_TRUE(store.PostProcess(sources, {.use_bitmaps = true}).ok());
+  const CubeStore::NodeData* node = store.node(0);
+  ASSERT_NE(node, nullptr);
+  EXPECT_NE(node->tt_bitmap, nullptr);
+  EXPECT_EQ(node->tt_bitmap->Count(), 900u);
+  EXPECT_LT(store.TotalBytes(), before);
+}
+
+TEST(PostProcessTest, SmallTtListsStaySortedLists) {
+  CubeSchema schema = TwoDimSchema(2);
+  CubeStore store(&schema, {});
+  schema::FactTable table(2, 1);
+  for (uint32_t i = 0; i < 100000; ++i) {
+    const uint32_t dims[2] = {0, 0};
+    const int64_t m = 1;
+    table.AppendRow(dims, &m);
+  }
+  SourceSet sources(&schema);
+  sources.Register(kSourceFact,
+                   std::make_shared<FactTableSource>(&table, &schema));
+  // 3 TTs over a 100k universe: a bitmap would waste 12.5 KB.
+  ASSERT_TRUE(store.WriteTT(0, MakeRowId(kSourceFact, 70000)).ok());
+  ASSERT_TRUE(store.WriteTT(0, MakeRowId(kSourceFact, 5)).ok());
+  ASSERT_TRUE(store.WriteTT(0, MakeRowId(kSourceFact, 999)).ok());
+  ASSERT_TRUE(store.PostProcess(sources, {.use_bitmaps = true}).ok());
+  const CubeStore::NodeData* node = store.node(0);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->tt_bitmap, nullptr);
+  ASSERT_TRUE(node->has_tt);
+  // Row-ids now sorted.
+  uint64_t prev = 0;
+  storage::Relation::Scanner scan(node->tt);
+  while (const uint8_t* rec = scan.Next()) {
+    uint64_t r;
+    std::memcpy(&r, rec, 8);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace cube
+}  // namespace cure

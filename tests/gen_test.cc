@@ -1,0 +1,181 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gen/random.h"
+#include "gen/zipf.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace gen {
+namespace {
+
+TEST(RngTest, DeterministicAndSpread) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_NE(a.NextUint64(), c.NextUint64());
+  // Range sanity.
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextRange(17), 17u);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(4);
+  std::vector<uint64_t> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.15);
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnSmallCodes) {
+  ZipfSampler zipf(1000, 2.0);
+  Rng rng(5);
+  uint64_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++head;
+  }
+  // With theta=2, the first 10 of 1000 values carry the vast majority.
+  EXPECT_GT(head, static_cast<uint64_t>(0.9 * n));
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfSampler zipf(7, 1.3);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(SyntheticTest, CardinalityRuleCiEqualsTOverI) {
+  SyntheticSpec spec;
+  spec.num_dims = 4;
+  spec.num_tuples = 1000;
+  spec.zipf = 0.5;
+  Dataset ds = MakeSynthetic(spec);
+  EXPECT_EQ(ds.schema.num_dims(), 4);
+  EXPECT_EQ(ds.table.num_rows(), 1000u);
+  EXPECT_EQ(ds.schema.dim(0).leaf_cardinality(), 1000u);
+  EXPECT_EQ(ds.schema.dim(1).leaf_cardinality(), 500u);
+  EXPECT_EQ(ds.schema.dim(2).leaf_cardinality(), 333u);
+  EXPECT_EQ(ds.schema.dim(3).leaf_cardinality(), 250u);
+  // Values in range.
+  for (uint64_t r = 0; r < ds.table.num_rows(); ++r) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_LT(ds.table.dim(d, r), ds.schema.dim(d).leaf_cardinality());
+    }
+  }
+}
+
+TEST(SyntheticTest, SingleAggregateMode) {
+  SyntheticSpec spec;
+  spec.num_dims = 2;
+  spec.num_tuples = 10;
+  spec.single_aggregate = true;
+  Dataset ds = MakeSynthetic(spec);
+  EXPECT_EQ(ds.schema.num_aggregates(), 1);
+}
+
+TEST(ApbTest, SchemaMatchesPaper) {
+  ApbSpec spec;
+  spec.density = 0.1;
+  spec.scale_divisor = 1000;
+  Dataset ds = MakeApb(spec);
+  ASSERT_EQ(ds.schema.num_dims(), 4);
+  // Product: Code 6,500 -> ... -> Division 3 (6 levels).
+  EXPECT_EQ(ds.schema.dim(0).num_levels(), 6);
+  EXPECT_EQ(ds.schema.dim(0).leaf_cardinality(), 6500u);
+  EXPECT_EQ(ds.schema.dim(0).cardinality(5), 3u);
+  EXPECT_EQ(ds.schema.dim(1).num_levels(), 2);
+  EXPECT_EQ(ds.schema.dim(2).num_levels(), 3);
+  EXPECT_EQ(ds.schema.dim(3).num_levels(), 1);
+  // Total nodes: (6+1)(2+1)(3+1)(1+1) = 168, as the paper computes.
+  schema::NodeIdCodec codec(ds.schema);
+  EXPECT_EQ(codec.num_nodes(), 168u);
+  EXPECT_EQ(ds.schema.num_aggregates(), 2);
+}
+
+TEST(ApbTest, DensityControlsRowCount) {
+  // density 0.1 at scale 1 would be 1,239,300 rows, exactly as the paper
+  // reports for APB-1's lowest density.
+  EXPECT_EQ(ApbNumTuples({.density = 0.1, .scale_divisor = 1, .seed = 0}),
+            1239300u);
+  EXPECT_EQ(ApbNumTuples({.density = 40, .scale_divisor = 1, .seed = 0}),
+            495720000u);
+  ApbSpec spec;
+  spec.density = 0.4;
+  spec.scale_divisor = 100;
+  Dataset ds = MakeApb(spec);
+  EXPECT_EQ(ds.table.num_rows(), ApbNumTuples(spec));
+  EXPECT_EQ(ds.table.num_rows(), 49572u);
+}
+
+TEST(RealProxyTest, CovTypeShape) {
+  Dataset ds = MakeCovTypeProxy(/*row_divisor=*/50);
+  EXPECT_EQ(ds.schema.num_dims(), 10);
+  EXPECT_EQ(ds.table.num_rows(), 581012u / 50);
+  for (uint64_t r = 0; r < ds.table.num_rows(); ++r) {
+    for (int d = 0; d < 10; ++d) {
+      ASSERT_LT(ds.table.dim(d, r), ds.schema.dim(d).leaf_cardinality());
+    }
+  }
+}
+
+TEST(RealProxyTest, Sep85LShapeAndDenseAreas) {
+  Dataset ds = MakeSep85LProxy(/*row_divisor=*/50);
+  EXPECT_EQ(ds.schema.num_dims(), 9);
+  EXPECT_EQ(ds.table.num_rows(), 1015367u / 50);
+  // Dense areas: the most frequent leaf combination of the first two dims
+  // appears much more often than uniform would suggest.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> counts;
+  for (uint64_t r = 0; r < ds.table.num_rows(); ++r) {
+    ++counts[{ds.table.dim(0, r), ds.table.dim(1, r)}];
+  }
+  uint64_t max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 5u);
+}
+
+TEST(SalesTest, Table1Hierarchy) {
+  Dataset ds = MakeSales(1000);
+  EXPECT_EQ(ds.schema.dim(0).leaf_cardinality(), 10000u);
+  EXPECT_EQ(ds.schema.dim(0).cardinality(1), 1000u);
+  EXPECT_EQ(ds.schema.dim(0).cardinality(2), 10u);
+  EXPECT_EQ(ds.table.num_rows(), 1000u);
+}
+
+TEST(PaperExampleTest, MatchesFig9a) {
+  Dataset ds = MakePaperExample();
+  ASSERT_EQ(ds.table.num_rows(), 5u);
+  EXPECT_EQ(ds.table.dim(0, 2), 1u);
+  EXPECT_EQ(ds.table.measure(0, 2), 40);
+  EXPECT_EQ(ds.table.measure(0, 4), 45);
+}
+
+TEST(DatasetDeterminismTest, SameSeedSameData) {
+  SyntheticSpec spec;
+  spec.num_dims = 3;
+  spec.num_tuples = 100;
+  spec.seed = 77;
+  Dataset a = MakeSynthetic(spec);
+  Dataset b = MakeSynthetic(spec);
+  for (uint64_t r = 0; r < 100; ++r) {
+    for (int d = 0; d < 3; ++d) EXPECT_EQ(a.table.dim(d, r), b.table.dim(d, r));
+    EXPECT_EQ(a.table.measure(0, r), b.table.measure(0, r));
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace cure

@@ -1,0 +1,138 @@
+#include "schema/node_id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schema/lattice.h"
+
+namespace cure {
+namespace schema {
+namespace {
+
+// The running example of the paper (Sec. 3.3): hierarchies A0->A1->A2,
+// B0->B1, C0; with ALL included the level counts are L1=4, L2=3, L3=2 and
+// the factors F1=1, F2=4, F3=12.
+CubeSchema PaperSchema() {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("A", {8, 4, 2}));
+  dims.push_back(Dimension::Linear("B", {6, 2}));
+  dims.push_back(Dimension::Flat("C", 4));
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(NodeIdTest, PaperFactorsAndNodeCount) {
+  CubeSchema schema = PaperSchema();
+  NodeIdCodec codec(schema);
+  EXPECT_EQ(codec.num_dims(), 3);
+  EXPECT_EQ(codec.radix(0), 4);
+  EXPECT_EQ(codec.radix(1), 3);
+  EXPECT_EQ(codec.radix(2), 2);
+  // (3+1) * (2+1) * (1+1) = 24 nodes, as the paper computes.
+  EXPECT_EQ(codec.num_nodes(), 24u);
+}
+
+TEST(NodeIdTest, PaperFigure6Enumeration) {
+  CubeSchema schema = PaperSchema();
+  NodeIdCodec codec(schema);
+  // Fig. 6 rows: (L1, L2, L3) -> id.
+  struct Case {
+    int l1, l2, l3;
+    NodeId id;
+    const char* name;
+  };
+  const Case cases[] = {
+      {0, 0, 0, 0, "A0B0C0"}, {1, 0, 0, 1, "A1B0C0"}, {2, 0, 0, 2, "A2B0C0"},
+      {3, 0, 0, 3, "B0C0"},   {0, 1, 0, 4, "A0B1C0"}, {1, 1, 0, 5, "A1B1C0"},
+      {2, 1, 0, 6, "A2B1C0"}, {3, 1, 0, 7, "B1C0"},   {0, 2, 0, 8, "A0C0"},
+      {1, 2, 0, 9, "A1C0"},   {2, 2, 0, 10, "A2C0"},  {3, 2, 0, 11, "C0"},
+      {0, 0, 1, 12, "A0B0"},  {1, 0, 1, 13, "A1B0"},  {2, 0, 1, 14, "A2B0"},
+      {3, 0, 1, 15, "B0"},    {0, 1, 1, 16, "A0B1"},  {1, 1, 1, 17, "A1B1"},
+      {2, 1, 1, 18, "A2B1"},  {3, 1, 1, 19, "B1"},    {0, 2, 1, 20, "A0"},
+      {1, 2, 1, 21, "A1"},    {2, 2, 1, 22, "A2"},    {3, 2, 1, 23, "ALL"},
+  };
+  for (const Case& c : cases) {
+    const NodeId id = codec.Encode({c.l1, c.l2, c.l3});
+    EXPECT_EQ(id, c.id) << c.name;
+    EXPECT_EQ(codec.Name(id, schema),
+              std::string(c.name) == "ALL"
+                  ? "ALL"
+                  : codec.Name(id, schema));  // round-trip below
+    const std::vector<int> levels = codec.Decode(id);
+    EXPECT_EQ(levels[0], c.l1);
+    EXPECT_EQ(levels[1], c.l2);
+    EXPECT_EQ(levels[2], c.l3);
+  }
+  // The paper's decode example: id 21 denotes node A1.
+  const std::vector<int> levels = codec.Decode(21);
+  EXPECT_EQ(levels[0], 1);  // A at level 1
+  EXPECT_EQ(levels[1], 2);  // B at ALL
+  EXPECT_EQ(levels[2], 1);  // C at ALL
+  EXPECT_EQ(codec.Name(21, schema), "A1");
+  EXPECT_EQ(codec.Name(23, schema), "ALL");
+  EXPECT_EQ(codec.Name(0, schema), "A0B0C0");
+}
+
+TEST(NodeIdTest, EncodeDecodeRoundTripAllNodes) {
+  CubeSchema schema = PaperSchema();
+  NodeIdCodec codec(schema);
+  std::set<NodeId> seen;
+  for (int l1 = 0; l1 < 4; ++l1) {
+    for (int l2 = 0; l2 < 3; ++l2) {
+      for (int l3 = 0; l3 < 2; ++l3) {
+        const NodeId id = codec.Encode({l1, l2, l3});
+        EXPECT_LT(id, codec.num_nodes());
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+        EXPECT_EQ(codec.Decode(id), (std::vector<int>{l1, l2, l3}));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(LatticeTest, AncestorRelation) {
+  CubeSchema schema = PaperSchema();
+  Lattice lattice(&schema);
+  const NodeIdCodec& codec = lattice.codec();
+  const NodeId a0b0c0 = codec.Encode({0, 0, 0});
+  const NodeId a1 = codec.Encode({1, 2, 1});
+  const NodeId a2 = codec.Encode({2, 2, 1});
+  const NodeId b1 = codec.Encode({3, 1, 1});
+  const NodeId all = codec.Encode({3, 2, 1});
+  // The base node is an ancestor (can compute) of everything.
+  EXPECT_TRUE(lattice.IsAncestorOf(a0b0c0, a1));
+  EXPECT_TRUE(lattice.IsAncestorOf(a0b0c0, all));
+  EXPECT_TRUE(lattice.IsAncestorOf(a1, a2));
+  EXPECT_FALSE(lattice.IsAncestorOf(a2, a1));
+  // A nodes cannot compute B nodes.
+  EXPECT_FALSE(lattice.IsAncestorOf(a1, b1));
+  EXPECT_TRUE(lattice.IsAncestorOf(b1, all));
+  EXPECT_TRUE(lattice.IsAncestorOf(a1, a1));
+}
+
+TEST(LatticeTest, NumGroupingDims) {
+  CubeSchema schema = PaperSchema();
+  Lattice lattice(&schema);
+  const NodeIdCodec& codec = lattice.codec();
+  EXPECT_EQ(lattice.NumGroupingDims(codec.Encode({0, 0, 0})), 3);
+  EXPECT_EQ(lattice.NumGroupingDims(codec.Encode({1, 2, 1})), 1);
+  EXPECT_EQ(lattice.NumGroupingDims(codec.Encode({3, 2, 1})), 0);
+  EXPECT_EQ(lattice.AllNodes().size(), 24u);
+}
+
+TEST(NodeIdTest, FlatSchemaMatchesPowerOfTwo) {
+  std::vector<Dimension> dims;
+  for (int d = 0; d < 10; ++d) dims.push_back(Dimension::Flat("D", 5));
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  ASSERT_TRUE(schema.ok());
+  NodeIdCodec codec(*schema);
+  EXPECT_EQ(codec.num_nodes(), 1024u);  // 2^10
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace cure

@@ -1,0 +1,101 @@
+// Full option-matrix property test: every combination of signature-pool
+// size, CURE_DR, CURE+ post-processing, and in-memory/external construction
+// must produce a cube that answers every lattice node exactly.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::ResultSink;
+using schema::NodeId;
+
+// (pool capacity, dims_in_nt, post_process, external)
+using MatrixParam = std::tuple<size_t, bool, bool, bool>;
+
+class OptionMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static gen::Dataset MakeData() {
+    gen::Dataset ds;
+    std::vector<schema::Dimension> dims;
+    dims.push_back(schema::Dimension::Linear("A", {18, 6, 2}));
+    dims.push_back(schema::Dimension::Linear("B", {8, 2}));
+    dims.push_back(schema::Dimension::Flat("C", 4));
+    auto schema = schema::CubeSchema::Create(
+        std::move(dims), 1,
+        {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+    EXPECT_TRUE(schema.ok());
+    ds.schema = std::move(schema).value();
+    ds.table = schema::FactTable(3, 1);
+    gen::Rng rng(4242);
+    for (int i = 0; i < 700; ++i) {
+      const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(18)),
+                               static_cast<uint32_t>(rng.NextRange(8)),
+                               static_cast<uint32_t>(rng.NextRange(4))};
+      const int64_t m = static_cast<int64_t>(rng.NextRange(20));
+      ds.table.AppendRow(row, &m);
+    }
+    return ds;
+  }
+};
+
+TEST_P(OptionMatrixTest, EveryNodeMatchesReference) {
+  const auto [pool, dr, plus, external] = GetParam();
+  gen::Dataset ds = MakeData();
+  storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());
+  ASSERT_TRUE(ds.table.WriteTo(&rel).ok());
+
+  CureOptions options;
+  options.signature_pool_capacity = pool;
+  options.dims_in_nt = dr;
+  options.force_external = external;
+  options.memory_budget_bytes = external ? 16384 : (256ull << 20);
+  FactInput input;
+  if (external) {
+    input.relation = &rel;
+  } else {
+    input.table = &ds.table;
+  }
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  if (plus) {
+    ASSERT_TRUE(engine::CurePostProcess(cube->get()).ok());
+  }
+  auto engine = query::CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    ResultSink sink(true);
+    ASSERT_TRUE((*engine)->QueryNode(id, &sink).ok());
+    auto expected = query::ReferenceNodeResult(ds.schema, ds.table, id);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected).value()))
+        << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, OptionMatrixTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{64}, size_t{1} << 20),
+                       ::testing::Bool(), ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      std::string name = "pool" + std::to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) ? "_dr" : "_nodr";
+      name += std::get<2>(info.param) ? "_plus" : "_plain";
+      name += std::get<3>(info.param) ? "_external" : "_memory";
+      return name;
+    });
+
+}  // namespace
+}  // namespace cure

@@ -1,0 +1,197 @@
+#include "plan/execution_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/lattice.h"
+
+namespace cure {
+namespace plan {
+namespace {
+
+using schema::AggFn;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::Level;
+using schema::NodeId;
+
+CubeSchema PaperSchema() {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("A", {8, 4, 2}));
+  dims.push_back(Dimension::Linear("B", {6, 2}));
+  dims.push_back(Dimension::Flat("C", 4));
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+CubeSchema FlatSchema(int d) {
+  std::vector<Dimension> dims;
+  for (int i = 0; i < d; ++i) {
+    dims.push_back(Dimension::Flat(std::string(1, static_cast<char>('A' + i)), 4));
+  }
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(ExecutionPlanTest, TallPlanCoversPaperLattice) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  EXPECT_EQ(plan.num_nodes(), 24u);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+  // P3 is the tallest extension: height 6 in the paper's running example
+  // (Fig. 4), versus height 3 for P2 (Fig. 3).
+  EXPECT_EQ(plan.height(), 6);
+}
+
+TEST(ExecutionPlanTest, ShortPlanCoversPaperLattice) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kShort);
+  EXPECT_EQ(plan.num_nodes(), 24u);
+  EXPECT_EQ(plan.height(), 3);  // P2: one solid edge per dimension.
+  // Every node present exactly once.
+  for (NodeId id = 0; id < plan.codec().num_nodes(); ++id) {
+    EXPECT_TRUE(plan.Contains(id));
+  }
+}
+
+TEST(ExecutionPlanTest, FlatTallEqualsBucPlan) {
+  CubeSchema schema = FlatSchema(3);
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  EXPECT_EQ(plan.num_nodes(), 8u);
+  EXPECT_EQ(plan.height(), 3);  // P1: flat BUC plan.
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(ExecutionPlanTest, RootIsAllNode) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  const schema::NodeIdCodec& codec = plan.codec();
+  EXPECT_EQ(plan.root(), codec.Encode({3, 2, 1}));  // ALL everywhere.
+  EXPECT_EQ(plan.node(plan.root()).edge, EdgeType::kRoot);
+}
+
+TEST(ExecutionPlanTest, PathFromRootFollowsPaperChains) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  const schema::NodeIdCodec& codec = plan.codec();
+  // Fig. 4: the path to A0B1C0 is ALL -> A2 -> A1 -> A0 -> A0B1 -> A0B1C0.
+  const NodeId target = codec.Encode({0, 1, 0});
+  const std::vector<NodeId> path = plan.PathFromRoot(target);
+  std::vector<std::string> names;
+  names.reserve(path.size());
+  for (NodeId id : path) names.push_back(codec.Name(id, schema));
+  EXPECT_EQ(names, (std::vector<std::string>{"ALL", "A2", "A1", "A0", "A0B1",
+                                             "A0B1C0"}));
+}
+
+TEST(ExecutionPlanTest, DashedEdgesOnlyRefineRightmostDimension) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  EXPECT_TRUE(plan.Validate().ok());
+  // A2B1 -> A2B0 must be a dashed edge.
+  const schema::NodeIdCodec& codec = plan.codec();
+  const PlanNode& a2b0 = plan.node(codec.Encode({2, 0, 1}));
+  EXPECT_EQ(a2b0.edge, EdgeType::kDashed);
+  EXPECT_EQ(a2b0.parent, codec.Encode({2, 1, 1}));
+}
+
+TEST(ExecutionPlanTest, LargerFlatLattices) {
+  for (int d = 2; d <= 8; ++d) {
+    CubeSchema schema = FlatSchema(d);
+    ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+    EXPECT_EQ(plan.num_nodes(), uint64_t{1} << d);
+    EXPECT_TRUE(plan.Validate().ok()) << "d=" << d;
+    EXPECT_EQ(plan.height(), d);
+  }
+}
+
+TEST(ExecutionPlanTest, DeepHierarchiesValidate) {
+  std::vector<Dimension> dims;
+  dims.push_back(Dimension::Linear("P", {100, 50, 25, 12, 6, 3}));
+  dims.push_back(Dimension::Linear("Q", {40, 8}));
+  dims.push_back(Dimension::Linear("R", {30, 10, 2}));
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  ASSERT_TRUE(schema.ok());
+  ExecutionPlan plan = ExecutionPlan::Build(*schema, ExecutionPlan::Style::kTall);
+  EXPECT_EQ(plan.num_nodes(), 7u * 3 * 4);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+  // Tall plan height: sum over dims of num_levels.
+  EXPECT_EQ(plan.height(), 6 + 2 + 3);
+}
+
+// Complex hierarchy: the paper's Fig. 5 time dimension.
+Dimension MakeTimeDimension() {
+  const uint32_t days = 364;
+  std::vector<Level> levels(4);
+  levels[0].name = "day";
+  levels[0].cardinality = days;
+  levels[0].parents = {1, 2};
+  levels[1].name = "week";
+  levels[1].cardinality = 52;
+  levels[1].leaf_to_code.resize(days);
+  for (uint32_t d = 0; d < days; ++d) levels[1].leaf_to_code[d] = d / 7;
+  levels[2].name = "month";
+  levels[2].cardinality = 13;
+  levels[2].leaf_to_code.resize(days);
+  for (uint32_t d = 0; d < days; ++d) levels[2].leaf_to_code[d] = d / 28;
+  levels[2].parents = {3};
+  levels[3].name = "year";
+  levels[3].cardinality = 1;
+  levels[3].leaf_to_code.assign(days, 0);
+  Result<Dimension> dim = Dimension::Create("time", std::move(levels));
+  EXPECT_TRUE(dim.ok());
+  return std::move(dim).value();
+}
+
+TEST(ExecutionPlanTest, ComplexHierarchyOneDimensionalCube) {
+  std::vector<Dimension> dims;
+  dims.push_back(MakeTimeDimension());
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  ASSERT_TRUE(schema.ok());
+  ExecutionPlan plan = ExecutionPlan::Build(*schema, ExecutionPlan::Style::kTall);
+  // Nodes: day, week, month, year, ALL — Fig. 5b.
+  EXPECT_EQ(plan.num_nodes(), 5u);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+  const schema::NodeIdCodec& codec = plan.codec();
+  // day is entered from week (max cardinality sibling), not month.
+  const PlanNode& day = plan.node(codec.Encode({0}));
+  EXPECT_EQ(day.parent, codec.Encode({1}));  // week
+  EXPECT_EQ(day.edge, EdgeType::kDashed);
+  // month is entered from year.
+  const PlanNode& month = plan.node(codec.Encode({2}));
+  EXPECT_EQ(month.parent, codec.Encode({3}));
+  // week and year enter via solid edges from ALL.
+  EXPECT_EQ(plan.node(codec.Encode({1})).edge, EdgeType::kSolid);
+  EXPECT_EQ(plan.node(codec.Encode({3})).edge, EdgeType::kSolid);
+}
+
+TEST(ExecutionPlanTest, ComplexHierarchyWithSecondDimension) {
+  std::vector<Dimension> dims;
+  dims.push_back(MakeTimeDimension());
+  dims.push_back(Dimension::Flat("X", 10));
+  Result<CubeSchema> schema =
+      CubeSchema::Create(std::move(dims), 1, {{AggFn::kSum, 0, "m"}});
+  ASSERT_TRUE(schema.ok());
+  ExecutionPlan plan = ExecutionPlan::Build(*schema, ExecutionPlan::Style::kTall);
+  EXPECT_EQ(plan.num_nodes(), 5u * 2);
+  EXPECT_TRUE(plan.Validate().ok()) << plan.Validate().ToString();
+}
+
+TEST(ExecutionPlanTest, ToStringRendersEveryNode) {
+  CubeSchema schema = PaperSchema();
+  ExecutionPlan plan = ExecutionPlan::Build(schema, ExecutionPlan::Style::kTall);
+  const std::string rendered = plan.ToString();
+  EXPECT_NE(rendered.find("A2B1C0"), std::string::npos);
+  EXPECT_NE(rendered.find("ALL"), std::string::npos);
+  // 24 lines, one per node.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 24);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace cure

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::CureQueryEngine;
+using query::ResultSink;
+using schema::NodeId;
+
+gen::Dataset MakeHier(uint64_t tuples, uint64_t seed) {
+  gen::Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {24, 6, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {9, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(24)),
+                             static_cast<uint32_t>(rng.NextRange(9)),
+                             static_cast<uint32_t>(rng.NextRange(5))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100));
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+// Filters a full reference result by a slice list (expected semantics).
+std::vector<ResultSink::Row> FilterReference(
+    const schema::CubeSchema& schema, const std::vector<int>& levels,
+    std::vector<ResultSink::Row> rows,
+    const std::vector<CureQueryEngine::Slice>& slices) {
+  std::vector<ResultSink::Row> out;
+  for (ResultSink::Row& row : rows) {
+    bool keep = true;
+    for (const auto& slice : slices) {
+      int pos = 0;
+      for (int d = 0; d < slice.dim; ++d) {
+        if (levels[d] != schema.dim(d).num_levels()) ++pos;
+      }
+      auto map = schema.dim(slice.dim).LevelToLevelMap(levels[slice.dim],
+                                                       slice.level);
+      const uint32_t code = levels[slice.dim] == slice.level
+                                ? row.dims[pos]
+                                : (*map)[row.dims[pos]];
+      if (code != slice.code) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TEST(SliceTest, SliceAtNodeLevel) {
+  gen::Dataset ds = MakeHier(600, 11);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  // Node (A@0, B@0, C@0) sliced to A leaf code 5.
+  const NodeId node = codec.Encode({0, 0, 0});
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 0, 5}};
+  ResultSink sink(true);
+  ASSERT_TRUE((*engine)->QueryNodeSliced(node, slices, &sink).ok());
+  auto all = query::ReferenceNodeResult(ds.schema, ds.table, node);
+  ASSERT_TRUE(all.ok());
+  auto expected = FilterReference(ds.schema, codec.Decode(node),
+                                  std::move(all).value(), slices);
+  EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected)));
+}
+
+TEST(SliceTest, SliceAtCoarserLevelRollsUp) {
+  gen::Dataset ds = MakeHier(800, 12);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  // Node (A@0, B@1) sliced on A at level 2 (the top, 2 values) — "all
+  // leaf-level rows whose A rolls up to super-group 1".
+  const NodeId node = codec.Encode({0, 1, 1});
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 2, 1}};
+  ResultSink sink(true);
+  ASSERT_TRUE((*engine)->QueryNodeSliced(node, slices, &sink).ok());
+  EXPECT_GT(sink.count(), 0u);
+  auto all = query::ReferenceNodeResult(ds.schema, ds.table, node);
+  ASSERT_TRUE(all.ok());
+  auto expected = FilterReference(ds.schema, codec.Decode(node),
+                                  std::move(all).value(), slices);
+  EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected)));
+}
+
+TEST(SliceTest, MultipleSlices) {
+  gen::Dataset ds = MakeHier(1000, 13);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  const NodeId node = codec.Encode({1, 0, 0});
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 2, 0}, {2, 0, 3}};
+  ResultSink sink(true);
+  ASSERT_TRUE((*engine)->QueryNodeSliced(node, slices, &sink).ok());
+  auto all = query::ReferenceNodeResult(ds.schema, ds.table, node);
+  ASSERT_TRUE(all.ok());
+  auto expected = FilterReference(ds.schema, codec.Decode(node),
+                                  std::move(all).value(), slices);
+  EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected)));
+}
+
+TEST(SliceTest, EmptySliceListEqualsPlainQuery) {
+  gen::Dataset ds = MakeHier(300, 14);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  ResultSink a, b;
+  ASSERT_TRUE((*engine)->QueryNode(3, &a).ok());
+  ASSERT_TRUE((*engine)->QueryNodeSliced(3, {}, &b).ok());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(SliceTest, RejectsSliceOnUngroupedOrCoarserDim) {
+  gen::Dataset ds = MakeHier(100, 15);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  ResultSink sink;
+  // Dimension A at ALL: cannot slice on it.
+  EXPECT_FALSE((*engine)
+                   ->QueryNodeSliced(codec.Encode({3, 0, 0}), {{0, 0, 1}}, &sink)
+                   .ok());
+  // Node groups A at level 2 (coarse); slicing at level 0 (finer) invalid.
+  EXPECT_FALSE((*engine)
+                   ->QueryNodeSliced(codec.Encode({2, 0, 0}), {{0, 0, 1}}, &sink)
+                   .ok());
+  // Out-of-range dimension.
+  EXPECT_FALSE(
+      (*engine)->QueryNodeSliced(codec.Encode({0, 0, 0}), {{9, 0, 1}}, &sink).ok());
+}
+
+TEST(SliceTest, WorksOnExternalAndPostProcessedCubes) {
+  gen::Dataset ds = MakeHier(900, 16);
+  storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());
+  ASSERT_TRUE(ds.table.WriteTo(&rel).ok());
+  CureOptions options;
+  options.force_external = true;
+  options.memory_budget_bytes = 16384;
+  FactInput input{.relation = &rel};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  ASSERT_TRUE(engine::CurePostProcess(cube->get()).ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  const NodeId node = codec.Encode({0, 2, 1});  // A@leaf, B and C at ALL
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 1, 2}};
+  ResultSink sink(true);
+  ASSERT_TRUE((*engine)->QueryNodeSliced(node, slices, &sink).ok());
+  auto all = query::ReferenceNodeResult(ds.schema, ds.table, node);
+  ASSERT_TRUE(all.ok());
+  auto expected = FilterReference(ds.schema, codec.Decode(node),
+                                  std::move(all).value(), slices);
+  EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected)));
+}
+
+}  // namespace
+}  // namespace cure

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/env.h"
+
+namespace cure {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseParse(int v, int* out) {
+  CURE_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseParse(-5, &out).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(BytesTest, FormatsUnits) {
+  EXPECT_EQ(FormatBytes(10), "10 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(3ull << 20), "3.00 MB");
+  EXPECT_EQ(FormatBytes(5ull << 30), "5.00 GB");
+}
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  EXPECT_EQ(EnvInt64("CURE_TEST_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("CURE_TEST_UNSET_VAR", 1.5), 1.5);
+  EXPECT_EQ(EnvString("CURE_TEST_UNSET_VAR", "d"), "d");
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("CURE_TEST_SET_VAR", "123", 1);
+  EXPECT_EQ(EnvInt64("CURE_TEST_SET_VAR", 0), 123);
+  setenv("CURE_TEST_SET_VAR", "2.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CURE_TEST_SET_VAR", 0), 2.25);
+  unsetenv("CURE_TEST_SET_VAR");
+}
+
+}  // namespace
+}  // namespace cure

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <random>
+
+#include "storage/bitmap.h"
+#include "storage/buffer_cache.h"
+#include "storage/external_sort.h"
+#include "storage/file_io.h"
+#include "storage/relation.h"
+
+namespace cure {
+namespace storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string("/tmp/cure_storage_test_") + name;
+}
+
+TEST(FileIoTest, WriteThenReadBack) {
+  const std::string path = TempPath("rw.bin");
+  FileWriter writer;
+  ASSERT_TRUE(writer.Open(path, /*buffer_bytes=*/16).ok());
+  const char data[] = "hello cure storage layer";
+  ASSERT_TRUE(writer.Append(data, sizeof(data)).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  FileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.file_size(), sizeof(data));
+  char buf[sizeof(data)];
+  ASSERT_TRUE(reader.ReadAt(0, buf, sizeof(data)).ok());
+  EXPECT_EQ(std::memcmp(buf, data, sizeof(data)), 0);
+  char mid[5];
+  ASSERT_TRUE(reader.ReadAt(6, mid, 4).ok());
+  EXPECT_EQ(std::string(mid, 4), "cure");
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileIoTest, ReadPastEndFails) {
+  const std::string path = TempPath("short.bin");
+  FileWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append("abc", 3).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  FileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  char buf[8];
+  EXPECT_FALSE(reader.ReadAt(0, buf, 8).ok());
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileIoTest, OpenMissingFileFails) {
+  FileReader reader;
+  EXPECT_FALSE(reader.Open("/tmp/cure_definitely_missing_file.bin").ok());
+}
+
+struct Rec {
+  uint64_t key;
+  uint32_t payload;
+  uint32_t pad = 0;
+};
+
+TEST(RelationTest, MemoryAppendReadScan) {
+  Relation rel = Relation::Memory(sizeof(Rec));
+  for (uint64_t i = 0; i < 100; ++i) {
+    Rec r{i * 3, static_cast<uint32_t>(i), 0};
+    ASSERT_TRUE(rel.Append(&r).ok());
+  }
+  EXPECT_EQ(rel.num_rows(), 100u);
+  EXPECT_EQ(rel.bytes(), 100 * sizeof(Rec));
+  Rec out;
+  ASSERT_TRUE(rel.Read(42, &out).ok());
+  EXPECT_EQ(out.key, 42u * 3);
+  EXPECT_FALSE(rel.Read(100, &out).ok());
+
+  Relation::Scanner scan(rel);
+  uint64_t i = 0;
+  while (const uint8_t* rec = scan.Next()) {
+    Rec r;
+    std::memcpy(&r, rec, sizeof(Rec));
+    EXPECT_EQ(r.key, i * 3);
+    EXPECT_EQ(scan.row(), i);
+    ++i;
+  }
+  EXPECT_EQ(i, 100u);
+}
+
+TEST(RelationTest, FileBackedAppendSealReadScan) {
+  const std::string path = TempPath("rel.bin");
+  Result<Relation> rel = Relation::CreateFile(path, sizeof(Rec));
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Rec r{i, static_cast<uint32_t>(i % 7), 0};
+    ASSERT_TRUE(rel->Append(&r).ok());
+  }
+  ASSERT_TRUE(rel->Seal().ok());
+  EXPECT_EQ(rel->num_rows(), 10000u);
+  Rec out;
+  ASSERT_TRUE(rel->Read(9999, &out).ok());
+  EXPECT_EQ(out.key, 9999u);
+
+  Relation::Scanner scan(rel.value(), /*buffer_records=*/64);
+  uint64_t i = 0;
+  while (const uint8_t* rec = scan.Next()) {
+    Rec r;
+    std::memcpy(&r, rec, sizeof(Rec));
+    ASSERT_EQ(r.key, i);
+    ++i;
+  }
+  EXPECT_EQ(i, 10000u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(RelationTest, ReopenExistingFile) {
+  const std::string path = TempPath("reopen.bin");
+  {
+    Result<Relation> rel = Relation::CreateFile(path, sizeof(Rec));
+    ASSERT_TRUE(rel.ok());
+    Rec r{77, 1, 0};
+    ASSERT_TRUE(rel->Append(&r).ok());
+    ASSERT_TRUE(rel->Seal().ok());
+  }
+  Result<Relation> rel = Relation::OpenFile(path, sizeof(Rec));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1u);
+  Rec out;
+  ASSERT_TRUE(rel->Read(0, &out).ok());
+  EXPECT_EQ(out.key, 77u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(RelationTest, OpenFileSizeMismatchFails) {
+  const std::string path = TempPath("mismatch.bin");
+  FileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("12345", 5).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_FALSE(Relation::OpenFile(path, 4).ok());
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(BitmapTest, SetTestCount) {
+  Bitmap bm(1000);
+  EXPECT_EQ(bm.Count(), 0u);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(999);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(999));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_FALSE(bm.Test(998));
+  EXPECT_EQ(bm.Count(), 4u);
+  EXPECT_EQ(bm.SerializedBytes(), ((1000 + 63) / 64) * 8u);
+}
+
+TEST(BitmapTest, ForEachIteratesInOrder) {
+  Bitmap bm(500);
+  std::vector<uint64_t> expected = {3, 64, 65, 127, 128, 400, 499};
+  for (uint64_t v : expected) bm.Set(v);
+  std::vector<uint64_t> got;
+  bm.ForEach([&](uint64_t v) { got.push_back(v); });
+  EXPECT_EQ(got, expected);
+}
+
+RecordLess KeyLess() {
+  return [](const uint8_t* a, const uint8_t* b) {
+    uint64_t ka, kb;
+    std::memcpy(&ka, a, 8);
+    std::memcpy(&kb, b, 8);
+    return ka < kb;
+  };
+}
+
+TEST(ExternalSortTest, InMemoryFastPath) {
+  Relation in = Relation::Memory(sizeof(Rec));
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Rec r{rng() % 10000, static_cast<uint32_t>(i), 0};
+    ASSERT_TRUE(in.Append(&r).ok());
+  }
+  Relation out = Relation::Memory(sizeof(Rec));
+  ExternalSortOptions opts;
+  ASSERT_TRUE(ExternalSort(in, KeyLess(), opts, &out).ok());
+  ASSERT_EQ(out.num_rows(), 1000u);
+  uint64_t prev = 0;
+  Relation::Scanner scan(out);
+  while (const uint8_t* rec = scan.Next()) {
+    uint64_t k;
+    std::memcpy(&k, rec, 8);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(ExternalSortTest, MultiRunMerge) {
+  const std::string path = TempPath("sortin.bin");
+  Result<Relation> in = Relation::CreateFile(path, sizeof(Rec));
+  ASSERT_TRUE(in.ok());
+  std::mt19937_64 rng(11);
+  const uint64_t n = 20000;
+  for (uint64_t i = 0; i < n; ++i) {
+    Rec r{rng() % 1000000, static_cast<uint32_t>(i), 0};
+    ASSERT_TRUE(in->Append(&r).ok());
+  }
+  ASSERT_TRUE(in->Seal().ok());
+
+  Relation out = Relation::Memory(sizeof(Rec));
+  ExternalSortOptions opts;
+  opts.memory_budget_bytes = 32 * sizeof(Rec);  // Force many runs.
+  opts.temp_dir = "/tmp";
+  ASSERT_TRUE(ExternalSort(in.value(), KeyLess(), opts, &out).ok());
+  ASSERT_EQ(out.num_rows(), n);
+  uint64_t prev = 0;
+  Relation::Scanner scan(out);
+  uint64_t count = 0;
+  while (const uint8_t* rec = scan.Next()) {
+    uint64_t k;
+    std::memcpy(&k, rec, 8);
+    ASSERT_GE(k, prev);
+    prev = k;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(BufferCacheTest, PinnedPrefixServesHits) {
+  const std::string path = TempPath("cache.bin");
+  Result<Relation> rel = Relation::CreateFile(path, sizeof(Rec));
+  ASSERT_TRUE(rel.ok());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Rec r{i, 0, 0};
+    ASSERT_TRUE(rel->Append(&r).ok());
+  }
+  ASSERT_TRUE(rel->Seal().ok());
+
+  BufferCache cache;
+  ASSERT_TRUE(cache.Init(&rel.value(), 0.5).ok());
+  EXPECT_EQ(cache.cached_rows(), 500u);
+  Rec out;
+  ASSERT_TRUE(cache.Read(10, &out).ok());
+  EXPECT_EQ(out.key, 10u);
+  ASSERT_TRUE(cache.Read(900, &out).ok());
+  EXPECT_EQ(out.key, 900u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(BufferCacheTest, MemoryRelationAlwaysHits) {
+  Relation rel = Relation::Memory(sizeof(Rec));
+  Rec r{5, 0, 0};
+  ASSERT_TRUE(rel.Append(&r).ok());
+  BufferCache cache;
+  ASSERT_TRUE(cache.Init(&rel, 0.0).ok());
+  Rec out;
+  ASSERT_TRUE(cache.Read(0, &out).ok());
+  EXPECT_EQ(out.key, 5u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(DirHelpersTest, EnsureAndRemoveTree) {
+  const std::string dir = TempPath("tree/sub/dir");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  ASSERT_TRUE(RemoveDirTree(TempPath("tree")).ok());
+  EXPECT_FALSE(std::filesystem::exists(TempPath("tree")));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace cure

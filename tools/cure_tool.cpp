@@ -1,0 +1,274 @@
+// cure_tool — command-line front end: build CURE cubes from CSV files and
+// query them, with dictionary-encoded string dimensions and hierarchies
+// inferred from roll-up columns.
+//
+//   cure_tool build <data.csv> <spec.txt> <outdir> [--dr] [--plus] [--minsup N]
+//   cure_tool info  <outdir>
+//   cure_tool query <outdir> <node>        e.g.  country,category
+//                                          or    city,category  or  ALL
+//
+// The spec file (see etl/loader.h):
+//   dim region city country continent
+//   dim product sku category
+//   measure price
+//   agg sum price
+//   agg count
+//
+// A query names, per dimension to group by, the *level column* to group at
+// (absent dimensions stay at ALL).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "engine/cure.h"
+#include "etl/loader.h"
+#include "etl/schema_io.h"
+#include "query/node_query.h"
+#include "storage/file_io.h"
+#include "storage/relation.h"
+
+namespace {
+
+using cure::FormatBytes;
+using cure::Result;
+using cure::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cure_tool build <data.csv> <spec.txt> <outdir> [--dr] "
+               "[--plus] [--minsup N]\n"
+               "  cure_tool info  <outdir>\n"
+               "  cure_tool query <outdir> <level[,level...]|ALL>\n");
+  return 2;
+}
+
+int RunBuild(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string csv_path = argv[2];
+  const std::string spec_path = argv[3];
+  const std::string outdir = argv[4];
+  cure::engine::CureOptions options;
+  bool plus = false;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dr") == 0) {
+      options.dims_in_nt = true;
+    } else if (std::strcmp(argv[i], "--plus") == 0) {
+      plus = true;
+    } else if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
+      options.min_support = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+
+  Result<std::string> spec_text = cure::etl::ReadFileToString(spec_path);
+  if (!spec_text.ok()) return Fail(spec_text.status());
+  Result<cure::etl::LoadedDataset> loaded =
+      cure::etl::LoadCsvFile(csv_path, *spec_text);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::printf("loaded %llu rows, %d dimensions, %d aggregates\n",
+              static_cast<unsigned long long>(loaded->table.num_rows()),
+              loaded->schema.num_dims(), loaded->schema.num_aggregates());
+
+  cure::engine::FactInput input{.table = &loaded->table};
+  Result<std::unique_ptr<cure::engine::CureCube>> cube =
+      cure::engine::BuildCure(loaded->schema, input, options);
+  if (!cube.ok()) return Fail(cube.status());
+  if (plus) {
+    Status s = cure::engine::CurePostProcess(cube->get());
+    if (!s.ok()) return Fail(s);
+  }
+  std::printf("built cube: %.3f s, %s, TT=%llu NT=%llu CAT=%llu\n",
+              (*cube)->stats().build_seconds,
+              FormatBytes((*cube)->TotalBytes()).c_str(),
+              static_cast<unsigned long long>((*cube)->stats().tt),
+              static_cast<unsigned long long>((*cube)->stats().nt),
+              static_cast<unsigned long long>((*cube)->stats().cat));
+
+  Status s = cure::storage::EnsureDir(outdir);
+  if (!s.ok()) return Fail(s);
+  // Fact table in binary relation form.
+  Result<cure::storage::Relation> fact = cure::storage::Relation::CreateFile(
+      outdir + "/fact.bin", loaded->table.RecordSize());
+  if (!fact.ok()) return Fail(fact.status());
+  if (!(s = loaded->table.WriteTo(&fact.value())).ok()) return Fail(s);
+  if (!(s = fact->Seal()).ok()) return Fail(s);
+  // Packed cube, schema, dictionaries.
+  if (!(s = (*cube)->mutable_store().PersistPacked(outdir + "/cube.bin")).ok()) {
+    return Fail(s);
+  }
+  if (!(s = cure::etl::WriteStringToFile(
+            outdir + "/schema.txt",
+            cure::etl::SerializeSchema(loaded->schema)))
+           .ok()) {
+    return Fail(s);
+  }
+  for (size_t d = 0; d < loaded->dictionaries.size(); ++d) {
+    for (size_t l = 0; l < loaded->dictionaries[d].size(); ++l) {
+      const std::string path = outdir + "/dict_" + std::to_string(d) + "_" +
+                               std::to_string(l) + ".txt";
+      if (!(s = cure::etl::WriteStringToFile(
+                path, loaded->dictionaries[d][l].Serialize()))
+               .ok()) {
+        return Fail(s);
+      }
+    }
+  }
+  std::printf("wrote %s/{cube.bin, fact.bin, schema.txt, dictionaries}\n",
+              outdir.c_str());
+  return 0;
+}
+
+struct OpenedCube {
+  cure::schema::CubeSchema schema;
+  cure::storage::Relation fact;
+  std::unique_ptr<cure::engine::CureCube> cube;
+  std::vector<std::vector<cure::etl::Dictionary>> dictionaries;
+};
+
+Result<std::unique_ptr<OpenedCube>> OpenCubeDir(const std::string& dir) {
+  auto opened = std::make_unique<OpenedCube>();
+  CURE_ASSIGN_OR_RETURN(std::string schema_text,
+                        cure::etl::ReadFileToString(dir + "/schema.txt"));
+  CURE_ASSIGN_OR_RETURN(opened->schema,
+                        cure::etl::DeserializeSchema(schema_text));
+  const size_t fact_record = 4ull * opened->schema.num_dims() +
+                             8ull * opened->schema.num_raw_measures();
+  CURE_ASSIGN_OR_RETURN(
+      opened->fact,
+      cure::storage::Relation::OpenFile(dir + "/fact.bin", fact_record));
+  CURE_ASSIGN_OR_RETURN(opened->cube,
+                        cure::engine::CureCube::OpenPersisted(
+                            opened->schema, dir + "/cube.bin", &opened->fact));
+  opened->dictionaries.resize(opened->schema.num_dims());
+  for (int d = 0; d < opened->schema.num_dims(); ++d) {
+    opened->dictionaries[d].resize(opened->schema.dim(d).num_levels());
+    for (int l = 0; l < opened->schema.dim(d).num_levels(); ++l) {
+      const std::string path =
+          dir + "/dict_" + std::to_string(d) + "_" + std::to_string(l) + ".txt";
+      CURE_ASSIGN_OR_RETURN(std::string data, cure::etl::ReadFileToString(path));
+      CURE_ASSIGN_OR_RETURN(opened->dictionaries[d][l],
+                            cure::etl::Dictionary::Deserialize(data));
+    }
+  }
+  return opened;
+}
+
+int RunInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<std::unique_ptr<OpenedCube>> opened = OpenCubeDir(argv[2]);
+  if (!opened.ok()) return Fail(opened.status());
+  const cure::engine::CureCube& cube = *(*opened)->cube;
+  const cure::schema::CubeSchema& schema = (*opened)->schema;
+  std::printf("fact rows:   %llu\n",
+              static_cast<unsigned long long>((*opened)->fact.num_rows()));
+  std::printf("cube size:   %s in %llu relations\n",
+              FormatBytes(cube.TotalBytes()).c_str(),
+              static_cast<unsigned long long>(cube.store().NumRelations()));
+  std::printf("tuples:      TT=%llu NT=%llu CAT=%llu (AGGREGATES rows: %llu)\n",
+              static_cast<unsigned long long>(cube.stats().tt),
+              static_cast<unsigned long long>(cube.stats().nt),
+              static_cast<unsigned long long>(cube.stats().cat),
+              static_cast<unsigned long long>(cube.stats().aggregates_rows));
+  std::printf("lattice:     %llu nodes\n",
+              static_cast<unsigned long long>(cube.store().codec().num_nodes()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    std::printf("dimension %s:", schema.dim(d).name().c_str());
+    for (int l = 0; l < schema.dim(d).num_levels(); ++l) {
+      std::printf(" %s(%u)", schema.dim(d).level(l).name.c_str(),
+                  schema.dim(d).cardinality(l));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<std::unique_ptr<OpenedCube>> opened = OpenCubeDir(argv[2]);
+  if (!opened.ok()) return Fail(opened.status());
+  const cure::schema::CubeSchema& schema = (*opened)->schema;
+  const cure::schema::NodeIdCodec& codec = (*opened)->cube->store().codec();
+
+  // Parse the node: comma-separated level-column names (or "ALL").
+  std::vector<int> levels(schema.num_dims());
+  for (int d = 0; d < schema.num_dims(); ++d) levels[d] = codec.all_level(d);
+  std::vector<int> grouped_dims;
+  const std::string node_text = argv[3];
+  if (node_text != "ALL") {
+    size_t start = 0;
+    while (start <= node_text.size()) {
+      size_t end = node_text.find(',', start);
+      if (end == std::string::npos) end = node_text.size();
+      const std::string level_name = node_text.substr(start, end - start);
+      start = end + 1;
+      if (level_name.empty()) continue;
+      bool found = false;
+      for (int d = 0; d < schema.num_dims() && !found; ++d) {
+        for (int l = 0; l < schema.dim(d).num_levels(); ++l) {
+          if (schema.dim(d).level(l).name == level_name) {
+            levels[d] = l;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "error: no hierarchy level named '%s'\n",
+                     level_name.c_str());
+        return 1;
+      }
+      if (start > node_text.size()) break;
+    }
+  }
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (levels[d] != codec.all_level(d)) grouped_dims.push_back(d);
+  }
+
+  Result<std::unique_ptr<cure::query::CureQueryEngine>> engine =
+      cure::query::CureQueryEngine::Create((*opened)->cube.get(), 1.0);
+  if (!engine.ok()) return Fail(engine.status());
+  cure::query::ResultSink sink(/*retain=*/true);
+  Status s = (*engine)->QueryNode(codec.Encode(levels), &sink);
+  if (!s.ok()) return Fail(s);
+
+  // Header.
+  for (int d : grouped_dims) {
+    std::printf("%s\t", schema.dim(d).level(levels[d]).name.c_str());
+  }
+  for (int y = 0; y < schema.num_aggregates(); ++y) {
+    std::printf("%s\t", schema.aggregate(y).name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : sink.rows()) {
+    for (size_t i = 0; i < grouped_dims.size(); ++i) {
+      const int d = grouped_dims[i];
+      std::printf("%s\t",
+                  (*opened)->dictionaries[d][levels[d]].Decode(row.dims[i]).c_str());
+    }
+    for (int64_t a : row.aggrs) std::printf("%lld\t", static_cast<long long>(a));
+    std::printf("\n");
+  }
+  std::fprintf(stderr, "(%llu rows)\n",
+               static_cast<unsigned long long>(sink.count()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  return Usage();
+}
