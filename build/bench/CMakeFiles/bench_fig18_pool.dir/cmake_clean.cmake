@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_pool.dir/bench_fig18_pool.cpp.o"
+  "CMakeFiles/bench_fig18_pool.dir/bench_fig18_pool.cpp.o.d"
+  "bench_fig18_pool"
+  "bench_fig18_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_24_apb.dir/bench_fig23_24_apb.cpp.o"
+  "CMakeFiles/bench_fig23_24_apb.dir/bench_fig23_24_apb.cpp.o.d"
+  "bench_fig23_24_apb"
+  "bench_fig23_24_apb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_24_apb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

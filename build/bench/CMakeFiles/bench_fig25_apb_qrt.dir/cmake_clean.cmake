@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_apb_qrt.dir/bench_fig25_apb_qrt.cpp.o"
+  "CMakeFiles/bench_fig25_apb_qrt.dir/bench_fig25_apb_qrt.cpp.o.d"
+  "bench_fig25_apb_qrt"
+  "bench_fig25_apb_qrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_apb_qrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_28_flat_vs_hier.dir/bench_fig26_28_flat_vs_hier.cpp.o"
+  "CMakeFiles/bench_fig26_28_flat_vs_hier.dir/bench_fig26_28_flat_vs_hier.cpp.o.d"
+  "bench_fig26_28_flat_vs_hier"
+  "bench_fig26_28_flat_vs_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_28_flat_vs_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

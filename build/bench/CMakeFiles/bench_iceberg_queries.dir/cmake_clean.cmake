@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iceberg_queries.dir/bench_iceberg_queries.cpp.o"
+  "CMakeFiles/bench_iceberg_queries.dir/bench_iceberg_queries.cpp.o.d"
+  "bench_iceberg_queries"
+  "bench_iceberg_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iceberg_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

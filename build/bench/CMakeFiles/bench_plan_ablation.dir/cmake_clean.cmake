@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_ablation.dir/bench_plan_ablation.cpp.o"
+  "CMakeFiles/bench_plan_ablation.dir/bench_plan_ablation.cpp.o.d"
+  "bench_plan_ablation"
+  "bench_plan_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

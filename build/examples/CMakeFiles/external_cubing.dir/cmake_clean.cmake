@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_cubing.dir/external_cubing.cpp.o"
+  "CMakeFiles/external_cubing.dir/external_cubing.cpp.o.d"
+  "external_cubing"
+  "external_cubing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_cubing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

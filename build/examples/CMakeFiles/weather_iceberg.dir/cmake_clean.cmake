@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_iceberg.dir/weather_iceberg.cpp.o"
+  "CMakeFiles/weather_iceberg.dir/weather_iceberg.cpp.o.d"
+  "weather_iceberg"
+  "weather_iceberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_iceberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_common.dir/bytes.cc.o"
+  "CMakeFiles/cure_common.dir/bytes.cc.o.d"
+  "CMakeFiles/cure_common.dir/env.cc.o"
+  "CMakeFiles/cure_common.dir/env.cc.o.d"
+  "CMakeFiles/cure_common.dir/logging.cc.o"
+  "CMakeFiles/cure_common.dir/logging.cc.o.d"
+  "CMakeFiles/cure_common.dir/status.cc.o"
+  "CMakeFiles/cure_common.dir/status.cc.o.d"
+  "libcure_common.a"
+  "libcure_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_cube.dir/cube_store.cc.o"
+  "CMakeFiles/cure_cube.dir/cube_store.cc.o.d"
+  "CMakeFiles/cure_cube.dir/signature.cc.o"
+  "CMakeFiles/cure_cube.dir/signature.cc.o.d"
+  "CMakeFiles/cure_cube.dir/source.cc.o"
+  "CMakeFiles/cure_cube.dir/source.cc.o.d"
+  "libcure_cube.a"
+  "libcure_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

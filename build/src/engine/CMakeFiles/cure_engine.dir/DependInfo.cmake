@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bubst.cc" "src/engine/CMakeFiles/cure_engine.dir/bubst.cc.o" "gcc" "src/engine/CMakeFiles/cure_engine.dir/bubst.cc.o.d"
+  "/root/repo/src/engine/buc.cc" "src/engine/CMakeFiles/cure_engine.dir/buc.cc.o" "gcc" "src/engine/CMakeFiles/cure_engine.dir/buc.cc.o.d"
+  "/root/repo/src/engine/cure.cc" "src/engine/CMakeFiles/cure_engine.dir/cure.cc.o" "gcc" "src/engine/CMakeFiles/cure_engine.dir/cure.cc.o.d"
+  "/root/repo/src/engine/incremental.cc" "src/engine/CMakeFiles/cure_engine.dir/incremental.cc.o" "gcc" "src/engine/CMakeFiles/cure_engine.dir/incremental.cc.o.d"
+  "/root/repo/src/engine/partition.cc" "src/engine/CMakeFiles/cure_engine.dir/partition.cc.o" "gcc" "src/engine/CMakeFiles/cure_engine.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/cure_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/cure_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/cure_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cure_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cure_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

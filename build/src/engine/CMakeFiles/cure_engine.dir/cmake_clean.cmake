@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_engine.dir/bubst.cc.o"
+  "CMakeFiles/cure_engine.dir/bubst.cc.o.d"
+  "CMakeFiles/cure_engine.dir/buc.cc.o"
+  "CMakeFiles/cure_engine.dir/buc.cc.o.d"
+  "CMakeFiles/cure_engine.dir/cure.cc.o"
+  "CMakeFiles/cure_engine.dir/cure.cc.o.d"
+  "CMakeFiles/cure_engine.dir/incremental.cc.o"
+  "CMakeFiles/cure_engine.dir/incremental.cc.o.d"
+  "CMakeFiles/cure_engine.dir/partition.cc.o"
+  "CMakeFiles/cure_engine.dir/partition.cc.o.d"
+  "libcure_engine.a"
+  "libcure_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

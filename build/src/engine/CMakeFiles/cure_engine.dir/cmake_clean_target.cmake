@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcure_engine.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_etl.dir/csv.cc.o"
+  "CMakeFiles/cure_etl.dir/csv.cc.o.d"
+  "CMakeFiles/cure_etl.dir/dictionary.cc.o"
+  "CMakeFiles/cure_etl.dir/dictionary.cc.o.d"
+  "CMakeFiles/cure_etl.dir/loader.cc.o"
+  "CMakeFiles/cure_etl.dir/loader.cc.o.d"
+  "CMakeFiles/cure_etl.dir/schema_io.cc.o"
+  "CMakeFiles/cure_etl.dir/schema_io.cc.o.d"
+  "libcure_etl.a"
+  "libcure_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_gen.dir/datasets.cc.o"
+  "CMakeFiles/cure_gen.dir/datasets.cc.o.d"
+  "CMakeFiles/cure_gen.dir/zipf.cc.o"
+  "CMakeFiles/cure_gen.dir/zipf.cc.o.d"
+  "libcure_gen.a"
+  "libcure_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

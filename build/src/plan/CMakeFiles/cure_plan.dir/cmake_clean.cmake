@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_plan.dir/execution_plan.cc.o"
+  "CMakeFiles/cure_plan.dir/execution_plan.cc.o.d"
+  "libcure_plan.a"
+  "libcure_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

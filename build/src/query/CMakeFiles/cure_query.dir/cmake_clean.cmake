@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_query.dir/node_query.cc.o"
+  "CMakeFiles/cure_query.dir/node_query.cc.o.d"
+  "CMakeFiles/cure_query.dir/reference.cc.o"
+  "CMakeFiles/cure_query.dir/reference.cc.o.d"
+  "CMakeFiles/cure_query.dir/workload.cc.o"
+  "CMakeFiles/cure_query.dir/workload.cc.o.d"
+  "libcure_query.a"
+  "libcure_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/cube_schema.cc" "src/schema/CMakeFiles/cure_schema.dir/cube_schema.cc.o" "gcc" "src/schema/CMakeFiles/cure_schema.dir/cube_schema.cc.o.d"
+  "/root/repo/src/schema/fact_table.cc" "src/schema/CMakeFiles/cure_schema.dir/fact_table.cc.o" "gcc" "src/schema/CMakeFiles/cure_schema.dir/fact_table.cc.o.d"
+  "/root/repo/src/schema/hierarchy.cc" "src/schema/CMakeFiles/cure_schema.dir/hierarchy.cc.o" "gcc" "src/schema/CMakeFiles/cure_schema.dir/hierarchy.cc.o.d"
+  "/root/repo/src/schema/lattice.cc" "src/schema/CMakeFiles/cure_schema.dir/lattice.cc.o" "gcc" "src/schema/CMakeFiles/cure_schema.dir/lattice.cc.o.d"
+  "/root/repo/src/schema/node_id.cc" "src/schema/CMakeFiles/cure_schema.dir/node_id.cc.o" "gcc" "src/schema/CMakeFiles/cure_schema.dir/node_id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cure_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cure_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_schema.dir/cube_schema.cc.o"
+  "CMakeFiles/cure_schema.dir/cube_schema.cc.o.d"
+  "CMakeFiles/cure_schema.dir/fact_table.cc.o"
+  "CMakeFiles/cure_schema.dir/fact_table.cc.o.d"
+  "CMakeFiles/cure_schema.dir/hierarchy.cc.o"
+  "CMakeFiles/cure_schema.dir/hierarchy.cc.o.d"
+  "CMakeFiles/cure_schema.dir/lattice.cc.o"
+  "CMakeFiles/cure_schema.dir/lattice.cc.o.d"
+  "CMakeFiles/cure_schema.dir/node_id.cc.o"
+  "CMakeFiles/cure_schema.dir/node_id.cc.o.d"
+  "libcure_schema.a"
+  "libcure_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

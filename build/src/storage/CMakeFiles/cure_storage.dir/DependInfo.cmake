@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bitmap.cc" "src/storage/CMakeFiles/cure_storage.dir/bitmap.cc.o" "gcc" "src/storage/CMakeFiles/cure_storage.dir/bitmap.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/storage/CMakeFiles/cure_storage.dir/buffer_cache.cc.o" "gcc" "src/storage/CMakeFiles/cure_storage.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/external_sort.cc" "src/storage/CMakeFiles/cure_storage.dir/external_sort.cc.o" "gcc" "src/storage/CMakeFiles/cure_storage.dir/external_sort.cc.o.d"
+  "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/cure_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/cure_storage.dir/file_io.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/cure_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/cure_storage.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cure_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_storage.dir/bitmap.cc.o"
+  "CMakeFiles/cure_storage.dir/bitmap.cc.o.d"
+  "CMakeFiles/cure_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/cure_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/cure_storage.dir/external_sort.cc.o"
+  "CMakeFiles/cure_storage.dir/external_sort.cc.o.d"
+  "CMakeFiles/cure_storage.dir/file_io.cc.o"
+  "CMakeFiles/cure_storage.dir/file_io.cc.o.d"
+  "CMakeFiles/cure_storage.dir/relation.cc.o"
+  "CMakeFiles/cure_storage.dir/relation.cc.o.d"
+  "libcure_storage.a"
+  "libcure_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

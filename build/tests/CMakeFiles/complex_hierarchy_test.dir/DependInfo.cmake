@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/complex_hierarchy_test.cc" "tests/CMakeFiles/complex_hierarchy_test.dir/complex_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/complex_hierarchy_test.dir/complex_hierarchy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/cure_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cure_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/cure_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/cure_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cure_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/cure_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cure_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cure_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

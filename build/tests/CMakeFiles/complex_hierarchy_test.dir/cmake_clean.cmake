@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_hierarchy_test.dir/complex_hierarchy_test.cc.o"
+  "CMakeFiles/complex_hierarchy_test.dir/complex_hierarchy_test.cc.o.d"
+  "complex_hierarchy_test"
+  "complex_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

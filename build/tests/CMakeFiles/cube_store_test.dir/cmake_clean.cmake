@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_store_test.dir/cube_store_test.cc.o"
+  "CMakeFiles/cube_store_test.dir/cube_store_test.cc.o.d"
+  "cube_store_test"
+  "cube_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

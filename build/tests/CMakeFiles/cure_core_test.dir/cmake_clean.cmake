@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_core_test.dir/cure_core_test.cc.o"
+  "CMakeFiles/cure_core_test.dir/cure_core_test.cc.o.d"
+  "cure_core_test"
+  "cure_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_matrix_test.dir/option_matrix_test.cc.o"
+  "CMakeFiles/option_matrix_test.dir/option_matrix_test.cc.o.d"
+  "option_matrix_test"
+  "option_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

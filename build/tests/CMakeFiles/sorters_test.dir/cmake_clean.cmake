@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorters_test.dir/sorters_test.cc.o"
+  "CMakeFiles/sorters_test.dir/sorters_test.cc.o.d"
+  "sorters_test"
+  "sorters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cure_tool.dir/cure_tool.cpp.o"
+  "CMakeFiles/cure_tool.dir/cure_tool.cpp.o.d"
+  "cure_tool"
+  "cure_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cure_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
