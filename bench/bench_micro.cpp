@@ -9,10 +9,12 @@
 
 #include "cube/cube_store.h"
 #include "cube/signature.h"
+#include "engine/cure.h"
 #include "engine/sorters.h"
 #include "gen/random.h"
 #include "gen/zipf.h"
 #include "schema/cube_schema.h"
+#include "schema/fact_table.h"
 #include "storage/bitmap.h"
 #include "storage/external_sort.h"
 
@@ -135,6 +137,66 @@ void BM_ExternalSort(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ExternalSort)->Arg(1 << 14);
+
+// Forced-external CURE construction at 1/2/4 threads over a hierarchical
+// Zipf fact relation (~150k rows, ~25 sound partitions). The acceptance bar
+// for the parallel construct stage is >= 1.5x wall-clock at 4 threads vs 1;
+// compare the per-thread-count real time (and the construct_wall_s counter,
+// which excludes the serial partitioning pass).
+void BM_ParallelConstruct(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  static const cure::schema::CubeSchema* schema = [] {
+    std::vector<cure::schema::Dimension> dims;
+    dims.push_back(cure::schema::Dimension::Linear("A", {64, 4, 2}));
+    dims.push_back(cure::schema::Dimension::Linear("B", {12, 3}));
+    dims.push_back(cure::schema::Dimension::Flat("C", 6));
+    auto result = cure::schema::CubeSchema::Create(
+        std::move(dims), 1,
+        {{cure::schema::AggFn::kSum, 0, "s"},
+         {cure::schema::AggFn::kCount, 0, "c"}});
+    return new cure::schema::CubeSchema(std::move(result).value());
+  }();
+  static const cure::storage::Relation* rel = [] {
+    cure::schema::FactTable table(3, 1);
+    cure::gen::Rng rng(23);
+    cure::gen::ZipfSampler zipf_a(64, 0.3);
+    cure::gen::ZipfSampler zipf_b(12, 0.5);
+    for (uint64_t t = 0; t < 150000; ++t) {
+      const uint32_t dims_row[3] = {zipf_a.Sample(&rng), zipf_b.Sample(&rng),
+                                    static_cast<uint32_t>(rng.NextRange(6))};
+      const int64_t m = static_cast<int64_t>(rng.NextRange(1000));
+      table.AppendRow(dims_row, &m);
+    }
+    auto* r = new cure::storage::Relation(
+        cure::storage::Relation::Memory(table.RecordSize()));
+    cure::Status s = table.WriteTo(r);
+    benchmark::DoNotOptimize(s);
+    return r;
+  }();
+
+  cure::engine::CureOptions options;
+  options.force_external = true;
+  options.memory_budget_bytes = 1 << 20;
+  options.num_threads = threads;
+  cure::engine::FactInput input{.relation = rel};
+  double construct_seconds = 0;
+  uint64_t in_flight = 0;
+  for (auto _ : state) {
+    auto cube = cure::engine::BuildCure(*schema, input, options);
+    if (!cube.ok()) {
+      state.SkipWithError(cube.status().ToString().c_str());
+      return;
+    }
+    construct_seconds += (*cube)->stats().construct_stage.wall_seconds;
+    in_flight = (*cube)->stats().max_in_flight_partitions;
+  }
+  state.counters["construct_wall_s"] = benchmark::Counter(
+      construct_seconds / static_cast<double>(state.iterations()));
+  state.counters["in_flight"] =
+      benchmark::Counter(static_cast<double>(in_flight));
+}
+BENCHMARK(BM_ParallelConstruct)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

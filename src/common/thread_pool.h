@@ -1,0 +1,63 @@
+#ifndef CURE_COMMON_THREAD_POOL_H_
+#define CURE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+
+/// A fixed-size worker pool with a strict-FIFO task queue.
+///
+/// Tasks are `Status()` callables; failures propagate through the returned
+/// future instead of exceptions (the library never throws). The FIFO
+/// dispatch order is part of the contract: the build pipeline submits
+/// per-partition construction tasks in partition order and relies on the
+/// invariant that the set of started tasks is always a prefix of the
+/// submission order (a task may block waiting on an earlier task, never on
+/// a later one, so dispatch-in-order makes such waits deadlock-free).
+class ThreadPool {
+ public:
+  /// Worker count used for `num_threads = 0`: the CURE_THREADS environment
+  /// variable when set to a positive value, otherwise
+  /// std::thread::hardware_concurrency(). Always >= 1.
+  static int DefaultThreadCount();
+
+  /// Starts `num_threads` workers (0 = DefaultThreadCount()).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Implies Shutdown(): drains queued tasks, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. After Shutdown() the task is not run and the future
+  /// resolves to an error Status instead.
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Stops accepting new tasks, runs every task already queued to
+  /// completion, and joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cure
+
+#endif  // CURE_COMMON_THREAD_POOL_H_

@@ -102,25 +102,35 @@ Status CubeStore::WriteNT(NodeId id, RowId rowid, const int64_t* aggrs,
   return node->nt.Append(rec);
 }
 
+CatFormat CubeStore::ChooseCatFormat(const CatStats& stats, int num_aggregates) {
+  // Paper's rule (Sec. 5.1): format (a) when k̄ > (Y+1)·n̄, i.e. common-source
+  // CATs prevail; otherwise NTs when Y = 1, else format (b).
+  const uint64_t y = static_cast<uint64_t>(num_aggregates);
+  if (stats.cats > (y + 1) * stats.source_groups) return CatFormat::kFormatA;
+  if (y == 1) return CatFormat::kAsNT;
+  return CatFormat::kFormatB;
+}
+
 void CubeStore::DecideCatFormat(const CatStats& stats) {
+  AccumulateCatStats(stats);
+  if (cat_format_ != CatFormat::kUndecided) return;
+  if (stats.combos == 0) return;  // No CATs yet; postpone.
+  cat_format_ = ChooseCatFormat(stats, num_aggregates_);
+  CURE_LOG(kDebug) << "CAT format decided: " << CatFormatName(cat_format_)
+                   << " (k=" << stats.cats << " n=" << stats.source_groups
+                   << " m=" << stats.combos << " Y=" << num_aggregates_ << ")";
+}
+
+void CubeStore::ForceCatFormat(CatFormat format) {
+  CURE_CHECK(cat_format_ == CatFormat::kUndecided || cat_format_ == format)
+      << "conflicting CAT format forcing";
+  cat_format_ = format;
+}
+
+void CubeStore::AccumulateCatStats(const CatStats& stats) {
   cat_stats_.cats += stats.cats;
   cat_stats_.source_groups += stats.source_groups;
   cat_stats_.combos += stats.combos;
-  if (cat_format_ != CatFormat::kUndecided) return;
-  if (stats.combos == 0) return;  // No CATs yet; postpone.
-  // Paper's rule (Sec. 5.1): format (a) when k̄ > (Y+1)·n̄, i.e. common-source
-  // CATs prevail; otherwise NTs when Y = 1, else format (b).
-  const uint64_t y = static_cast<uint64_t>(num_aggregates_);
-  if (stats.cats > (y + 1) * stats.source_groups) {
-    cat_format_ = CatFormat::kFormatA;
-  } else if (y == 1) {
-    cat_format_ = CatFormat::kAsNT;
-  } else {
-    cat_format_ = CatFormat::kFormatB;
-  }
-  CURE_LOG(kDebug) << "CAT format decided: " << CatFormatName(cat_format_)
-                   << " (k=" << stats.cats << " n=" << stats.source_groups
-                   << " m=" << stats.combos << " Y=" << y << ")";
 }
 
 Result<uint64_t> CubeStore::AppendAggregateA(RowId rowid, const int64_t* aggrs) {
@@ -186,6 +196,97 @@ Status CubeStore::WritePlain(NodeId id, const uint32_t* full_dims,
   }
   std::memcpy(p, aggrs, 8ull * num_aggregates_);
   return node->plain.Append(rec);
+}
+
+namespace {
+
+/// Appends every record of `from` to `to` (same record size).
+Status AppendAllRecords(const storage::Relation& from, storage::Relation* to) {
+  CURE_CHECK_EQ(from.record_size(), to->record_size());
+  storage::Relation::Scanner scan(from);
+  while (const uint8_t* rec = scan.Next()) {
+    CURE_RETURN_IF_ERROR(to->Append(rec));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CubeStore::MergeShard(CubeStore&& shard) {
+  CURE_CHECK_EQ(options_.dims_in_nt, shard.options_.dims_in_nt)
+      << "shard/store option mismatch";
+  if (shard.cat_format_ != CatFormat::kUndecided) {
+    if (cat_format_ == CatFormat::kUndecided) {
+      cat_format_ = shard.cat_format_;
+    } else if (cat_format_ != shard.cat_format_) {
+      return Status::Internal("CAT format mismatch between partition shards");
+    }
+  }
+  AccumulateCatStats(shard.cat_stats_);
+
+  // AGGREGATES rows append after ours; shard-local A-rowids shift by the
+  // current row count.
+  const uint64_t arowid_base = aggregates_init_ ? aggregates_.num_rows() : 0;
+  if (shard.aggregates_init_ && shard.aggregates_.num_rows() > 0) {
+    if (!aggregates_init_) {
+      aggregates_ = storage::Relation::Memory(shard.aggregates_.record_size());
+      aggregates_init_ = true;
+    }
+    CURE_RETURN_IF_ERROR(AppendAllRecords(shard.aggregates_, &aggregates_));
+  }
+
+  for (auto& [id, snode] : shard.nodes_) {
+    if (snode.tt_bitmap != nullptr || snode.post_processed) {
+      return Status::Internal("cannot merge a post-processed shard");
+    }
+    NodeData* node = GetNode(id);
+    if (snode.has_nt) {
+      if (!node->has_nt) {
+        node->nt = storage::Relation::Memory(snode.nt.record_size());
+        node->has_nt = true;
+      }
+      CURE_RETURN_IF_ERROR(AppendAllRecords(snode.nt, &node->nt));
+    }
+    if (snode.has_tt) {
+      if (!node->has_tt) {
+        node->tt = storage::Relation::Memory(snode.tt.record_size());
+        node->has_tt = true;
+        node->tt_source = snode.tt_source;
+      } else {
+        CURE_CHECK_EQ(node->tt_source, snode.tt_source)
+            << "TT source mismatch across shards";
+      }
+      CURE_RETURN_IF_ERROR(AppendAllRecords(snode.tt, &node->tt));
+    }
+    if (snode.has_cat) {
+      if (!node->has_cat) {
+        node->cat = storage::Relation::Memory(snode.cat.record_size());
+        node->has_cat = true;
+      }
+      // Rebase the A-rowid reference: format (a) rows are [arowid:u64],
+      // format (b) rows are [R-rowid:u64][arowid:u64].
+      const size_t arowid_offset = cat_format_ == CatFormat::kFormatB ? 8 : 0;
+      uint8_t rec[16];
+      CURE_CHECK_LE(snode.cat.record_size(), sizeof(rec));
+      storage::Relation::Scanner scan(snode.cat);
+      while (const uint8_t* src = scan.Next()) {
+        std::memcpy(rec, src, snode.cat.record_size());
+        uint64_t arowid;
+        std::memcpy(&arowid, rec + arowid_offset, 8);
+        arowid += arowid_base;
+        std::memcpy(rec + arowid_offset, &arowid, 8);
+        CURE_RETURN_IF_ERROR(node->cat.Append(rec));
+      }
+    }
+    if (snode.has_plain) {
+      if (!node->has_plain) {
+        node->plain = storage::Relation::Memory(snode.plain.record_size());
+        node->has_plain = true;
+      }
+      CURE_RETURN_IF_ERROR(AppendAllRecords(snode.plain, &node->plain));
+    }
+  }
+  return Status::OK();
 }
 
 Status CubeStore::PostProcess(const SourceSet& sources,
@@ -298,7 +399,17 @@ Status CubeStore::PersistPacked(const std::string& path) const {
     entries.push_back(entry);
     blobs.push_back({&rel, nullptr});
   };
-  for (const auto& [id, node] : nodes_) {
+  // Emit nodes in node-id order: the packed image must be a deterministic
+  // function of the cube contents (unordered_map iteration depends on
+  // insertion history, which differs between serial and shard-merged
+  // builds of the very same cube).
+  std::vector<std::pair<uint64_t, const NodeData*>> ordered;
+  ordered.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ordered.emplace_back(id, &node);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, node_ptr] : ordered) {
+    const NodeData& node = *node_ptr;
     if (node.has_nt) add_relation(id, kPackedNt, node.nt);
     if (node.has_tt) {
       add_relation(id, kPackedTt, node.tt);

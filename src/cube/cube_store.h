@@ -104,6 +104,32 @@ class CubeStore {
   CatFormat cat_format() const { return cat_format_; }
   const CatStats& cat_stats() const { return cat_stats_; }
 
+  /// The paper's Sec. 5.1 rule as a pure function: format (a) when common-
+  /// source CATs prevail (k > (Y+1)·n), otherwise NT storage when Y = 1,
+  /// else format (b). Requires stats.combos > 0.
+  static CatFormat ChooseCatFormat(const CatStats& stats, int num_aggregates);
+
+  /// Sets the CAT format from the outside (parallel shard builds receive the
+  /// cube-wide decision through the CatFormatArbiter instead of deciding
+  /// from their own flush statistics). Only valid while still undecided or
+  /// when re-forcing the same format.
+  void ForceCatFormat(CatFormat format);
+
+  /// Adds flush statistics for reporting without touching the format
+  /// decision (used together with ForceCatFormat).
+  void AccumulateCatStats(const CatStats& stats);
+
+  /// Appends every relation of `shard` — a per-partition store built over
+  /// the same schema and options — into this store, in shard call order.
+  /// Format A/B A-rowid references inside shard CAT relations are rebased
+  /// past this store's current AGGREGATES rows, so merging shards in
+  /// partition order reproduces byte-for-byte the store a serial build
+  /// (flushing its pool at partition boundaries) would have produced.
+  /// Adopts the shard's CAT format when this store is still undecided;
+  /// decided shards must agree with each other. The shard must not be
+  /// post-processed (no TT bitmaps).
+  Status MergeShard(CubeStore&& shard);
+
   /// Format (a): appends (rowid, aggrs) to AGGREGATES, returns the A-rowid.
   Result<uint64_t> AppendAggregateA(RowId rowid, const int64_t* aggrs);
   Status WriteCatA(schema::NodeId node, uint64_t arowid);

@@ -7,16 +7,69 @@
 namespace cure {
 namespace cube {
 
+CatFormatArbiter::CatFormatArbiter(size_t num_partitions)
+    : state_(num_partitions, PartitionState::kRunning),
+      proposal_(num_partitions, CatFormat::kUndecided) {}
+
+void CatFormatArbiter::TryDecideLocked() {
+  if (has_decided_) return;
+  // Walk partitions in order: the first proposal not preceded by a still-
+  // running partition is the one a serial build would have committed to.
+  for (size_t p = 0; p < state_.size(); ++p) {
+    if (state_[p] == PartitionState::kProposed) {
+      decided_ = proposal_[p];
+      has_decided_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (state_[p] == PartitionState::kRunning) return;  // Must wait for it.
+  }
+}
+
+CatFormat CatFormatArbiter::Propose(size_t p, CatFormat candidate) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CURE_CHECK_LT(p, state_.size());
+  if (has_decided_) return decided_;
+  state_[p] = PartitionState::kProposed;
+  proposal_[p] = candidate;
+  TryDecideLocked();
+  cv_.wait(lock, [this] { return has_decided_; });
+  return decided_;
+}
+
+void CatFormatArbiter::Finish(size_t p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CURE_CHECK_LT(p, state_.size());
+  state_[p] = PartitionState::kDone;
+  TryDecideLocked();
+}
+
+CatFormat CatFormatArbiter::format() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_decided_ ? decided_ : CatFormat::kUndecided;
+}
+
 SignaturePool::SignaturePool(int num_aggregates, int carry_dims, size_t capacity)
     : y_(num_aggregates), carry_dims_(carry_dims), capacity_(std::max<size_t>(capacity, 1)) {
-  aggrs_.reserve(capacity_ * y_);
-  rowids_.reserve(capacity_);
-  nodes_.reserve(capacity_);
-  if (carry_dims_ > 0) dims_.reserve(capacity_ * carry_dims_);
+  // Reserve lazily (geometric vector growth) instead of the full capacity up
+  // front: parallel builds create one pool per partition task, and eagerly
+  // reserving ~32 MB per task for a few thousand signatures costs more in
+  // large allocations than the avoided reallocation copies. Small initial
+  // reservation keeps tiny pools cheap; capacity_ still bounds size_.
+  const size_t initial = std::min<size_t>(capacity_, 4096);
+  aggrs_.reserve(initial * y_);
+  rowids_.reserve(initial);
+  nodes_.reserve(initial);
+  if (carry_dims_ > 0) dims_.reserve(initial * carry_dims_);
 }
 
 uint64_t SignaturePool::FootprintBytes() const {
   return capacity_ * (8ull * y_ + 8 + 8 + 4ull * carry_dims_);
+}
+
+void SignaturePool::BindArbiter(CatFormatArbiter* arbiter, size_t partition) {
+  arbiter_ = arbiter;
+  partition_ = partition;
 }
 
 void SignaturePool::Add(const int64_t* aggrs, RowId rowid, schema::NodeId node,
@@ -77,7 +130,18 @@ Status SignaturePool::Flush(CubeStore* store) {
     }
     i = j;
   }
-  store->DecideCatFormat(stats);
+  if (arbiter_ != nullptr) {
+    // Shard build: the format decision is cube-wide, arbitrated in
+    // partition order; this flush only contributes reporting statistics
+    // locally (the main store sums them at merge).
+    if (store->cat_format() == CatFormat::kUndecided && stats.combos > 0) {
+      store->ForceCatFormat(
+          arbiter_->Propose(partition_, CubeStore::ChooseCatFormat(stats, y_)));
+    }
+    store->AccumulateCatStats(stats);
+  } else {
+    store->DecideCatFormat(stats);
+  }
   // If the pool only ever saw NTs so far, the format may still be undecided;
   // CATs in this flush then fall back to NT storage only when there are none
   // (stats.combos == 0), so this is safe.

@@ -1,7 +1,9 @@
 #ifndef CURE_CUBE_SIGNATURE_H_
 #define CURE_CUBE_SIGNATURE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -11,6 +13,50 @@
 
 namespace cure {
 namespace cube {
+
+/// Serializes the CAT-format decision across concurrently-built partition
+/// shards so a parallel build makes exactly the decision a serial build
+/// would: the winning proposal is the one a serial pass over the partitions
+/// *in partition order* would have seen first, i.e. the proposal of the
+/// lowest-indexed partition that has a combo-bearing flush, taken from that
+/// partition's first such flush.
+///
+/// Protocol: partition p's first combo-bearing flush calls
+/// Propose(p, candidate) and blocks until every partition q < p has either
+/// completed (Finish(q)) or proposed; the lowest pending proposal then fixes
+/// the cube-wide format and every waiter adopts it. Blocking is
+/// deadlock-free as long as construction tasks are dispatched in partition
+/// order (ThreadPool FIFO): a running partition only ever waits on
+/// lower-indexed partitions, which were dispatched earlier.
+class CatFormatArbiter {
+ public:
+  explicit CatFormatArbiter(size_t num_partitions);
+
+  /// Called by partition `p`'s first combo-bearing flush with the format the
+  /// paper's rule picks from that flush's statistics. Blocks until the
+  /// cube-wide format is determined; returns it.
+  CatFormat Propose(size_t p, CatFormat candidate);
+
+  /// Marks partition `p` complete. Must be called exactly once per
+  /// partition, on success and error paths alike (later partitions may be
+  /// blocked in Propose waiting for it).
+  void Finish(size_t p);
+
+  /// The decided format, or kUndecided when no partition saw a CAT combo.
+  CatFormat format() const;
+
+ private:
+  enum class PartitionState : uint8_t { kRunning, kProposed, kDone };
+
+  void TryDecideLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PartitionState> state_;
+  std::vector<CatFormat> proposal_;
+  CatFormat decided_ = CatFormat::kUndecided;
+  bool has_decided_ = false;
+};
 
 /// The bounded signature pool of Sec. 5.2 (Fig. 12).
 ///
@@ -41,6 +87,12 @@ class SignaturePool {
   /// signature for 10^6 signatures; ours is 8-byte fields).
   uint64_t FootprintBytes() const;
 
+  /// Routes this pool's CAT-format decisions through `arbiter` as partition
+  /// `partition` (shard builds). Flush then never decides the format from
+  /// local statistics: it proposes to the arbiter instead and forces the
+  /// returned cube-wide format on the target store.
+  void BindArbiter(CatFormatArbiter* arbiter, size_t partition);
+
   /// Adds a signature. `projected_dims` must be non-null iff carry_dims > 0
   /// and then hold D codes projected onto the node's levels (ALL positions
   /// arbitrary).
@@ -56,6 +108,8 @@ class SignaturePool {
   int carry_dims_;
   size_t capacity_;
   size_t size_ = 0;
+  CatFormatArbiter* arbiter_ = nullptr;
+  size_t partition_ = 0;
   std::vector<int64_t> aggrs_;        // y_ per signature
   std::vector<RowId> rowids_;
   std::vector<schema::NodeId> nodes_;

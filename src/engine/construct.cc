@@ -1,0 +1,321 @@
+#include "engine/construct.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "engine/cure.h"
+
+namespace cure {
+namespace engine {
+
+using cube::AggTable;
+using cube::Aggregator;
+using cube::RowId;
+using schema::CubeSchema;
+using schema::Dimension;
+using schema::NodeId;
+
+Load LoadFromTable(const schema::FactTable& table, const CubeSchema& schema) {
+  const int d = schema.num_dims();
+  const int y = schema.num_aggregates();
+  Load load;
+  load.n = table.num_rows();
+  load.native_level.assign(d, 0);
+  load.native.resize(d);
+  for (int i = 0; i < d; ++i) load.native[i] = table.dim_column(i).data();
+  load.aggrs.resize(y);
+  for (int a = 0; a < y; ++a) {
+    const schema::AggregateSpec& spec = schema.aggregate(a);
+    if (spec.fn == schema::AggFn::kCount) {
+      load.own_aggrs.emplace_back(load.n, 1);
+      load.aggrs[a] = load.own_aggrs.back().data();
+    } else {
+      load.aggrs[a] = table.measure_column(spec.measure_index).data();
+    }
+  }
+  load.rowids.resize(load.n);
+  for (size_t i = 0; i < load.n; ++i) {
+    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
+  }
+  return load;
+}
+
+Result<Load> LoadFromFactRelation(const storage::Relation& rel,
+                                  const CubeSchema& schema) {
+  const int d = schema.num_dims();
+  const int y = schema.num_aggregates();
+  const int raw = schema.num_raw_measures();
+  Load load;
+  load.n = rel.num_rows();
+  load.native_level.assign(d, 0);
+  load.own_dims.assign(d, {});
+  load.own_aggrs.assign(y, {});
+  for (auto& col : load.own_dims) col.reserve(load.n);
+  for (auto& col : load.own_aggrs) col.reserve(load.n);
+  load.rowids.resize(load.n);
+  Aggregator aggregator(schema);
+  std::vector<int64_t> raw_buf(std::max(raw, 1));
+  std::vector<int64_t> lifted(y);
+  storage::Relation::Scanner scan(rel);
+  uint64_t i = 0;
+  while (const uint8_t* rec = scan.Next()) {
+    uint32_t code;
+    for (int k = 0; k < d; ++k) {
+      std::memcpy(&code, rec + 4ull * k, 4);
+      load.own_dims[k].push_back(code);
+    }
+    std::memcpy(raw_buf.data(), rec + 4ull * d, 8ull * raw);
+    aggregator.Lift(raw_buf.data(), lifted.data());
+    for (int a = 0; a < y; ++a) load.own_aggrs[a].push_back(lifted[a]);
+    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
+    ++i;
+  }
+  load.native.resize(d);
+  load.aggrs.resize(y);
+  for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
+  for (int a = 0; a < y; ++a) load.aggrs[a] = load.own_aggrs[a].data();
+  return load;
+}
+
+Result<Load> LoadFromPartition(const storage::Relation& rel,
+                               const CubeSchema& schema) {
+  const int d = schema.num_dims();
+  const int y = schema.num_aggregates();
+  Load load;
+  load.n = rel.num_rows();
+  load.native_level.assign(d, 0);
+  load.own_dims.assign(d, {});
+  load.own_aggrs.assign(y, {});
+  for (auto& col : load.own_dims) col.reserve(load.n);
+  for (auto& col : load.own_aggrs) col.reserve(load.n);
+  load.rowids.reserve(load.n);
+  storage::Relation::Scanner scan(rel);
+  while (const uint8_t* rec = scan.Next()) {
+    const uint8_t* p = rec;
+    uint32_t code;
+    for (int k = 0; k < d; ++k) {
+      std::memcpy(&code, p, 4);
+      load.own_dims[k].push_back(code);
+      p += 4;
+    }
+    int64_t v;
+    for (int a = 0; a < y; ++a) {
+      std::memcpy(&v, p, 8);
+      load.own_aggrs[a].push_back(v);
+      p += 8;
+    }
+    uint64_t rowid;
+    std::memcpy(&rowid, p, 8);
+    load.rowids.push_back(cube::MakeRowId(cube::kSourceFact, rowid));
+  }
+  load.native.resize(d);
+  load.aggrs.resize(y);
+  for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
+  for (int a = 0; a < y; ++a) load.aggrs[a] = load.own_aggrs[a].data();
+  return load;
+}
+
+Load LoadFromAggTable(const AggTable& table, const CubeSchema& schema) {
+  const int d = schema.num_dims();
+  const int y = schema.num_aggregates();
+  Load load;
+  load.n = table.num_rows;
+  load.native_level = table.native_levels;
+  load.native.resize(d);
+  for (int k = 0; k < d; ++k) load.native[k] = table.dims[k].data();
+  load.aggrs.resize(y);
+  for (int a = 0; a < y; ++a) load.aggrs[a] = table.aggrs[a].data();
+  load.rowids.resize(load.n);
+  for (size_t i = 0; i < load.n; ++i) {
+    load.rowids[i] = cube::MakeRowId(cube::kSourceNodeN, i);
+  }
+  return load;
+}
+
+Executor::Executor(const CubeSchema* schema, const CureOptions* options,
+                   cube::CubeStore* store, cube::SignaturePool* pool,
+                   BuildStats* stats)
+    : schema_(schema),
+      options_(options),
+      store_(store),
+      pool_(pool),
+      stats_(stats),
+      codec_(*schema),
+      num_dims_(schema->num_dims()),
+      y_(schema->num_aggregates()) {
+  agg_buf_.resize(y_);
+  dr_dims_.resize(num_dims_);
+  node_levels_buf_.resize(num_dims_);
+}
+
+Status Executor::RunInMemory(const Load& load) {
+  CURE_RETURN_IF_ERROR(PrepareRun(&load, std::vector<int>(num_dims_, 0)));
+  return ExecutePlan(0, load.n, 0);
+}
+
+Status Executor::RunPartition(const Load& load, int level) {
+  CURE_RETURN_IF_ERROR(PrepareRun(&load, std::vector<int>(num_dims_, 0)));
+  levels_[0] = level;
+  included_[0] = true;
+  Status s = FollowEdge(0, load.n, 0);
+  included_[0] = false;
+  return s;
+}
+
+Status Executor::RunNodeN(const Load& load, int level) {
+  std::vector<int> base(num_dims_, 0);
+  const bool projected = load.native_level[0] == cube::kNativeAll;
+  base[0] = level + 1;
+  CURE_RETURN_IF_ERROR(PrepareRun(&load, base));
+  return ExecutePlan(0, load.n, projected ? 1 : 0);
+}
+
+Status Executor::PrepareRun(const Load* load, std::vector<int> base_levels) {
+  load_ = load;
+  base_levels_ = std::move(base_levels);
+  levels_.assign(num_dims_, 0);
+  included_.assign(num_dims_, false);
+  idx_.resize(load->n);
+  for (size_t i = 0; i < load->n; ++i) idx_[i] = static_cast<uint32_t>(i);
+  // Build native-level -> target-level code maps for every level we may
+  // sort on. Levels below a dimension's base level are never visited.
+  maps_.assign(num_dims_, {});
+  for (int d = 0; d < num_dims_; ++d) {
+    const Dimension& dim = schema_->dim(d);
+    maps_[d].resize(dim.num_levels());
+    const int native = load->native_level[d];
+    if (native == cube::kNativeAll) continue;  // Dimension never accessed.
+    for (int l = base_levels_[d]; l < dim.num_levels(); ++l) {
+      if (l == native) continue;  // Identity.
+      CURE_ASSIGN_OR_RETURN(maps_[d][l], dim.LevelToLevelMap(native, l));
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t Executor::Key(uint32_t row, int d, int level) const {
+  const uint32_t code = load_->native[d][row];
+  const std::vector<uint32_t>& map = maps_[d][level];
+  return map.empty() ? code : map[code];
+}
+
+NodeId Executor::CurrentNode() {
+  for (int d = 0; d < num_dims_; ++d) {
+    node_levels_buf_[d] = included_[d] ? levels_[d] : codec_.all_level(d);
+  }
+  return codec_.Encode(node_levels_buf_);
+}
+
+Status Executor::ExecutePlan(size_t begin, size_t end, int dim) {
+  const size_t count = end - begin;
+  if (count < options_->min_support || count == 0) return Status::OK();
+  const NodeId node = CurrentNode();
+  if (count == 1 && options_->min_support <= 1) {
+    // Trivial tuple: store the row-id at this (least detailed) node and
+    // prune — the whole sub-tree above shares it (Sec. 5.1).
+    return store_->WriteTT(node, load_->rowids[idx_[begin]]);
+  }
+
+  // Aggregate the span and pool the signature.
+  RowId min_rowid = std::numeric_limits<RowId>::max();
+  for (size_t i = begin; i < end; ++i) {
+    min_rowid = std::min(min_rowid, load_->rowids[idx_[i]]);
+  }
+  for (int a = 0; a < y_; ++a) {
+    const int64_t* col = load_->aggrs[a];
+    const schema::AggFn fn = schema_->aggregate(a).fn;
+    int64_t acc;
+    switch (fn) {
+      case schema::AggFn::kSum:
+      case schema::AggFn::kCount:
+        acc = 0;
+        for (size_t i = begin; i < end; ++i) acc += col[idx_[i]];
+        break;
+      case schema::AggFn::kMin:
+        acc = std::numeric_limits<int64_t>::max();
+        for (size_t i = begin; i < end; ++i) acc = std::min(acc, col[idx_[i]]);
+        break;
+      case schema::AggFn::kMax:
+        acc = std::numeric_limits<int64_t>::min();
+        for (size_t i = begin; i < end; ++i) acc = std::max(acc, col[idx_[i]]);
+        break;
+    }
+    agg_buf_[a] = acc;
+  }
+  if (pool_->full()) {
+    ++stats_->signature_flushes;
+    CURE_RETURN_IF_ERROR(pool_->Flush(store_));
+  }
+  const uint32_t* dr = nullptr;
+  if (options_->dims_in_nt) {
+    const uint32_t first = idx_[begin];
+    for (int d = 0; d < num_dims_; ++d) {
+      dr_dims_[d] = included_[d] ? Key(first, d, levels_[d]) : 0;
+    }
+    dr = dr_dims_.data();
+  }
+  pool_->Add(agg_buf_.data(), min_rowid, node, dr);
+
+  if (options_->plan_style == plan::ExecutionPlan::Style::kTall) {
+    // Rule 1: solid edges introduce each remaining dimension at its
+    // plan-root levels.
+    for (int d = dim; d < num_dims_; ++d) {
+      if (load_->native_level[d] == cube::kNativeAll) continue;
+      for (int root : schema_->dim(d).plan_roots()) {
+        levels_[d] = root;
+        included_[d] = true;
+        Status s = FollowEdge(begin, end, d);
+        included_[d] = false;
+        CURE_RETURN_IF_ERROR(s);
+      }
+    }
+    // Rule 2: one dashed edge refining the rightmost grouping dimension.
+    if (dim >= 1 && included_[dim - 1]) {
+      const int cur = levels_[dim - 1];
+      for (int child : schema_->dim(dim - 1).plan_children(cur)) {
+        if (child < base_levels_[dim - 1]) continue;
+        levels_[dim - 1] = child;
+        CURE_RETURN_IF_ERROR(FollowEdge(begin, end, dim - 1));
+      }
+      levels_[dim - 1] = cur;
+    }
+  } else {
+    // P2-style (plan ablation): every level via solid edges; no sort
+    // sharing through dashed refinement.
+    for (int d = dim; d < num_dims_; ++d) {
+      if (load_->native_level[d] == cube::kNativeAll) continue;
+      for (int level = base_levels_[d]; level < schema_->dim(d).num_levels();
+           ++level) {
+        levels_[d] = level;
+        included_[d] = true;
+        Status s = FollowEdge(begin, end, d);
+        included_[d] = false;
+        CURE_RETURN_IF_ERROR(s);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::FollowEdge(size_t begin, size_t end, int d) {
+  const int level = levels_[d];
+  const uint32_t cardinality = schema_->dim(d).cardinality(level);
+  SortSpan(
+      idx_.data() + begin, end - begin, cardinality,
+      [&](uint32_t row) { return Key(row, d, level); }, options_->sort_policy,
+      &scratch_);
+  size_t i = begin;
+  while (i < end) {
+    const uint32_t value = Key(idx_[i], d, level);
+    size_t j = i + 1;
+    while (j < end && Key(idx_[j], d, level) == value) ++j;
+    CURE_RETURN_IF_ERROR(ExecutePlan(i, j, d + 1));
+    i = j;
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace cure

@@ -27,11 +27,37 @@ struct FactInput {
   }
 };
 
+/// Wall/CPU time of one build-pipeline stage. CPU time sums the consuming
+/// thread's CPU across every worker that ran part of the stage, so
+/// cpu_seconds / wall_seconds approximates the achieved parallelism.
+struct StageStats {
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+
+  void Add(const StageStats& other) {
+    wall_seconds += other.wall_seconds;
+    cpu_seconds += other.cpu_seconds;
+  }
+};
+
 /// Construction statistics common to every engine.
 struct BuildStats {
   double build_seconds = 0;
   double postprocess_seconds = 0;
   uint64_t input_rows = 0;
+
+  // Per-stage pipeline timings (BuildCure only; the stage breakdown of
+  // build_seconds). Construct covers the per-partition recursion; merge
+  // covers shard stitching plus node-N construction.
+  StageStats load_stage;
+  StageStats partition_stage;
+  StageStats construct_stage;
+  StageStats merge_stage;
+  StageStats persist_stage;
+
+  // Concurrency actually used by the construct stage.
+  int num_threads = 1;
+  uint64_t max_in_flight_partitions = 1;
 
   // Tuple-class counts after construction.
   uint64_t tt = 0;

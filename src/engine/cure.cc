@@ -1,377 +1,18 @@
 #include "engine/cure.h"
 
 #include <algorithm>
-#include <cstring>
-#include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
-#include "cube/measures.h"
-#include "cube/rowid.h"
-#include "cube/signature.h"
-#include "engine/partition.h"
+#include "common/thread_pool.h"
+#include "engine/build_pipeline.h"
 
 namespace cure {
 namespace engine {
 
-using cube::AggTable;
-using cube::Aggregator;
-using cube::RowId;
-using cube::SignaturePool;
 using schema::CubeSchema;
-using schema::Dimension;
 using schema::NodeId;
-
-namespace {
-
-/// Column-oriented view of one recursion input (the whole fact table, one
-/// sound partition, or node N). Columns may alias caller-owned memory or be
-/// owned by the Load.
-struct Load {
-  std::vector<const uint32_t*> native;  // D columns of native codes
-  std::vector<const int64_t*> aggrs;    // Y columns of lifted aggregates
-  std::vector<RowId> rowids;
-  std::vector<int> native_level;        // per dimension; kNativeAll possible
-  size_t n = 0;
-
-  // Owned backing storage (when not aliasing).
-  std::vector<std::vector<uint32_t>> own_dims;
-  std::vector<std::vector<int64_t>> own_aggrs;
-};
-
-Load LoadFromTable(const schema::FactTable& table, const CubeSchema& schema) {
-  const int d = schema.num_dims();
-  const int y = schema.num_aggregates();
-  Load load;
-  load.n = table.num_rows();
-  load.native_level.assign(d, 0);
-  load.native.resize(d);
-  for (int i = 0; i < d; ++i) load.native[i] = table.dim_column(i).data();
-  load.aggrs.resize(y);
-  for (int a = 0; a < y; ++a) {
-    const schema::AggregateSpec& spec = schema.aggregate(a);
-    if (spec.fn == schema::AggFn::kCount) {
-      load.own_aggrs.emplace_back(load.n, 1);
-      load.aggrs[a] = load.own_aggrs.back().data();
-    } else {
-      load.aggrs[a] = table.measure_column(spec.measure_index).data();
-    }
-  }
-  load.rowids.resize(load.n);
-  for (size_t i = 0; i < load.n; ++i) {
-    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
-  }
-  return load;
-}
-
-Result<Load> LoadFromFactRelation(const storage::Relation& rel,
-                                  const CubeSchema& schema) {
-  const int d = schema.num_dims();
-  const int y = schema.num_aggregates();
-  const int raw = schema.num_raw_measures();
-  Load load;
-  load.n = rel.num_rows();
-  load.native_level.assign(d, 0);
-  load.own_dims.assign(d, {});
-  load.own_aggrs.assign(y, {});
-  for (auto& col : load.own_dims) col.reserve(load.n);
-  for (auto& col : load.own_aggrs) col.reserve(load.n);
-  load.rowids.resize(load.n);
-  Aggregator aggregator(schema);
-  std::vector<int64_t> raw_buf(std::max(raw, 1));
-  std::vector<int64_t> lifted(y);
-  storage::Relation::Scanner scan(rel);
-  uint64_t i = 0;
-  while (const uint8_t* rec = scan.Next()) {
-    uint32_t code;
-    for (int k = 0; k < d; ++k) {
-      std::memcpy(&code, rec + 4ull * k, 4);
-      load.own_dims[k].push_back(code);
-    }
-    std::memcpy(raw_buf.data(), rec + 4ull * d, 8ull * raw);
-    aggregator.Lift(raw_buf.data(), lifted.data());
-    for (int a = 0; a < y; ++a) load.own_aggrs[a].push_back(lifted[a]);
-    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
-    ++i;
-  }
-  load.native.resize(d);
-  load.aggrs.resize(y);
-  for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
-  for (int a = 0; a < y; ++a) load.aggrs[a] = load.own_aggrs[a].data();
-  return load;
-}
-
-Result<Load> LoadFromPartition(const storage::Relation& rel,
-                               const CubeSchema& schema) {
-  const int d = schema.num_dims();
-  const int y = schema.num_aggregates();
-  Load load;
-  load.n = rel.num_rows();
-  load.native_level.assign(d, 0);
-  load.own_dims.assign(d, {});
-  load.own_aggrs.assign(y, {});
-  for (auto& col : load.own_dims) col.reserve(load.n);
-  for (auto& col : load.own_aggrs) col.reserve(load.n);
-  load.rowids.reserve(load.n);
-  storage::Relation::Scanner scan(rel);
-  while (const uint8_t* rec = scan.Next()) {
-    const uint8_t* p = rec;
-    uint32_t code;
-    for (int k = 0; k < d; ++k) {
-      std::memcpy(&code, p, 4);
-      load.own_dims[k].push_back(code);
-      p += 4;
-    }
-    int64_t v;
-    for (int a = 0; a < y; ++a) {
-      std::memcpy(&v, p, 8);
-      load.own_aggrs[a].push_back(v);
-      p += 8;
-    }
-    uint64_t rowid;
-    std::memcpy(&rowid, p, 8);
-    load.rowids.push_back(cube::MakeRowId(cube::kSourceFact, rowid));
-  }
-  load.native.resize(d);
-  load.aggrs.resize(y);
-  for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
-  for (int a = 0; a < y; ++a) load.aggrs[a] = load.own_aggrs[a].data();
-  return load;
-}
-
-Load LoadFromAggTable(const AggTable& table, const CubeSchema& schema) {
-  const int d = schema.num_dims();
-  const int y = schema.num_aggregates();
-  Load load;
-  load.n = table.num_rows;
-  load.native_level = table.native_levels;
-  load.native.resize(d);
-  for (int k = 0; k < d; ++k) load.native[k] = table.dims[k].data();
-  load.aggrs.resize(y);
-  for (int a = 0; a < y; ++a) load.aggrs[a] = table.aggrs[a].data();
-  load.rowids.resize(load.n);
-  for (size_t i = 0; i < load.n; ++i) {
-    load.rowids[i] = cube::MakeRowId(cube::kSourceNodeN, i);
-  }
-  return load;
-}
-
-/// The recursive BUC-style traversal of CURE's execution plan (the paper's
-/// ExecutePlan / FollowEdge of Fig. 13), writing TTs eagerly and pooling
-/// signatures for every non-trivial tuple.
-class Executor {
- public:
-  Executor(const CubeSchema* schema, const CureOptions* options,
-           cube::CubeStore* store, SignaturePool* pool, BuildStats* stats)
-      : schema_(schema),
-        options_(options),
-        store_(store),
-        pool_(pool),
-        stats_(stats),
-        codec_(*schema),
-        num_dims_(schema->num_dims()),
-        y_(schema->num_aggregates()) {
-    agg_buf_.resize(y_);
-    dr_dims_.resize(num_dims_);
-    node_levels_buf_.resize(num_dims_);
-  }
-
-  /// Full in-memory construction: ExecutePlan over the whole input.
-  Status RunInMemory(const Load& load) {
-    CURE_RETURN_IF_ERROR(PrepareRun(&load, std::vector<int>(num_dims_, 0)));
-    return ExecutePlan(0, load.n, 0);
-  }
-
-  /// Per-partition construction: FollowEdge on dimension 0 at level L
-  /// (builds only nodes with A at levels <= L).
-  Status RunPartition(const Load& load, int level) {
-    CURE_RETURN_IF_ERROR(PrepareRun(&load, std::vector<int>(num_dims_, 0)));
-    levels_[0] = level;
-    included_[0] = true;
-    Status s = FollowEdge(0, load.n, 0);
-    included_[0] = false;
-    return s;
-  }
-
-  /// Node-N construction: ExecutePlan with dimension 0 bounded below by
-  /// L+1 (or skipped entirely when A was projected out of N).
-  Status RunNodeN(const Load& load, int level) {
-    std::vector<int> base(num_dims_, 0);
-    const bool projected = load.native_level[0] == cube::kNativeAll;
-    base[0] = level + 1;
-    CURE_RETURN_IF_ERROR(PrepareRun(&load, base));
-    return ExecutePlan(0, load.n, projected ? 1 : 0);
-  }
-
- private:
-  Status PrepareRun(const Load* load, std::vector<int> base_levels) {
-    load_ = load;
-    base_levels_ = std::move(base_levels);
-    levels_.assign(num_dims_, 0);
-    included_.assign(num_dims_, false);
-    idx_.resize(load->n);
-    for (size_t i = 0; i < load->n; ++i) idx_[i] = static_cast<uint32_t>(i);
-    // Build native-level -> target-level code maps for every level we may
-    // sort on. Levels below a dimension's base level are never visited.
-    maps_.assign(num_dims_, {});
-    for (int d = 0; d < num_dims_; ++d) {
-      const Dimension& dim = schema_->dim(d);
-      maps_[d].resize(dim.num_levels());
-      const int native = load->native_level[d];
-      if (native == cube::kNativeAll) continue;  // Dimension never accessed.
-      for (int l = base_levels_[d]; l < dim.num_levels(); ++l) {
-        if (l == native) continue;  // Identity.
-        CURE_ASSIGN_OR_RETURN(maps_[d][l], dim.LevelToLevelMap(native, l));
-      }
-    }
-    return Status::OK();
-  }
-
-  uint32_t Key(uint32_t row, int d, int level) const {
-    const uint32_t code = load_->native[d][row];
-    const std::vector<uint32_t>& map = maps_[d][level];
-    return map.empty() ? code : map[code];
-  }
-
-  NodeId CurrentNode() {
-    for (int d = 0; d < num_dims_; ++d) {
-      node_levels_buf_[d] = included_[d] ? levels_[d] : codec_.all_level(d);
-    }
-    return codec_.Encode(node_levels_buf_);
-  }
-
-  Status ExecutePlan(size_t begin, size_t end, int dim) {
-    const size_t count = end - begin;
-    if (count < options_->min_support || count == 0) return Status::OK();
-    const NodeId node = CurrentNode();
-    if (count == 1 && options_->min_support <= 1) {
-      // Trivial tuple: store the row-id at this (least detailed) node and
-      // prune — the whole sub-tree above shares it (Sec. 5.1).
-      return store_->WriteTT(node, load_->rowids[idx_[begin]]);
-    }
-
-    // Aggregate the span and pool the signature.
-    RowId min_rowid = std::numeric_limits<RowId>::max();
-    for (size_t i = begin; i < end; ++i) {
-      min_rowid = std::min(min_rowid, load_->rowids[idx_[i]]);
-    }
-    for (int a = 0; a < y_; ++a) {
-      const int64_t* col = load_->aggrs[a];
-      const schema::AggFn fn = schema_->aggregate(a).fn;
-      int64_t acc;
-      switch (fn) {
-        case schema::AggFn::kSum:
-        case schema::AggFn::kCount:
-          acc = 0;
-          for (size_t i = begin; i < end; ++i) acc += col[idx_[i]];
-          break;
-        case schema::AggFn::kMin:
-          acc = std::numeric_limits<int64_t>::max();
-          for (size_t i = begin; i < end; ++i) acc = std::min(acc, col[idx_[i]]);
-          break;
-        case schema::AggFn::kMax:
-          acc = std::numeric_limits<int64_t>::min();
-          for (size_t i = begin; i < end; ++i) acc = std::max(acc, col[idx_[i]]);
-          break;
-      }
-      agg_buf_[a] = acc;
-    }
-    if (pool_->full()) {
-      ++stats_->signature_flushes;
-      CURE_RETURN_IF_ERROR(pool_->Flush(store_));
-    }
-    const uint32_t* dr = nullptr;
-    if (options_->dims_in_nt) {
-      const uint32_t first = idx_[begin];
-      for (int d = 0; d < num_dims_; ++d) {
-        dr_dims_[d] = included_[d] ? Key(first, d, levels_[d]) : 0;
-      }
-      dr = dr_dims_.data();
-    }
-    pool_->Add(agg_buf_.data(), min_rowid, node, dr);
-
-    if (options_->plan_style == plan::ExecutionPlan::Style::kTall) {
-      // Rule 1: solid edges introduce each remaining dimension at its
-      // plan-root levels.
-      for (int d = dim; d < num_dims_; ++d) {
-        if (load_->native_level[d] == cube::kNativeAll) continue;
-        for (int root : schema_->dim(d).plan_roots()) {
-          levels_[d] = root;
-          included_[d] = true;
-          Status s = FollowEdge(begin, end, d);
-          included_[d] = false;
-          CURE_RETURN_IF_ERROR(s);
-        }
-      }
-      // Rule 2: one dashed edge refining the rightmost grouping dimension.
-      if (dim >= 1 && included_[dim - 1]) {
-        const int cur = levels_[dim - 1];
-        for (int child : schema_->dim(dim - 1).plan_children(cur)) {
-          if (child < base_levels_[dim - 1]) continue;
-          levels_[dim - 1] = child;
-          CURE_RETURN_IF_ERROR(FollowEdge(begin, end, dim - 1));
-        }
-        levels_[dim - 1] = cur;
-      }
-    } else {
-      // P2-style (plan ablation): every level via solid edges; no sort
-      // sharing through dashed refinement.
-      for (int d = dim; d < num_dims_; ++d) {
-        if (load_->native_level[d] == cube::kNativeAll) continue;
-        for (int level = base_levels_[d]; level < schema_->dim(d).num_levels();
-             ++level) {
-          levels_[d] = level;
-          included_[d] = true;
-          Status s = FollowEdge(begin, end, d);
-          included_[d] = false;
-          CURE_RETURN_IF_ERROR(s);
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  Status FollowEdge(size_t begin, size_t end, int d) {
-    const int level = levels_[d];
-    const uint32_t cardinality = schema_->dim(d).cardinality(level);
-    SortSpan(
-        idx_.data() + begin, end - begin, cardinality,
-        [&](uint32_t row) { return Key(row, d, level); }, options_->sort_policy,
-        &scratch_);
-    size_t i = begin;
-    while (i < end) {
-      const uint32_t value = Key(idx_[i], d, level);
-      size_t j = i + 1;
-      while (j < end && Key(idx_[j], d, level) == value) ++j;
-      CURE_RETURN_IF_ERROR(ExecutePlan(i, j, d + 1));
-      i = j;
-    }
-    return Status::OK();
-  }
-
-  const CubeSchema* schema_;
-  const CureOptions* options_;
-  cube::CubeStore* store_;
-  SignaturePool* pool_;
-  BuildStats* stats_;
-  schema::NodeIdCodec codec_;
-  int num_dims_;
-  int y_;
-
-  // Per-run state.
-  const Load* load_ = nullptr;
-  std::vector<uint32_t> idx_;
-  std::vector<int> levels_;
-  std::vector<int> base_levels_;
-  std::vector<bool> included_;
-  std::vector<std::vector<std::vector<uint32_t>>> maps_;
-  SortScratch scratch_;
-  std::vector<int64_t> agg_buf_;
-  std::vector<uint32_t> dr_dims_;
-  std::vector<int> node_levels_buf_;
-};
-
-}  // namespace
 
 Result<cube::SourceSet> CureCube::MakeSources(double fact_cache_fraction) const {
   cube::SourceSet sources(&schema_);
@@ -448,73 +89,29 @@ Result<std::unique_ptr<CureCube>> BuildCure(const CubeSchema& schema,
   stats.input_rows = input.num_rows();
   stats.min_support = options.min_support;
 
-  Stopwatch watch;
-  SignaturePool pool(cube->schema_.num_aggregates(),
-                     options.dims_in_nt ? cube->schema_.num_dims() : 0,
-                     options.signature_pool_capacity);
-  Executor executor(&cube->schema_, &options, &cube->store_, &pool, &stats);
-
-  const bool external =
+  BuildContext ctx;
+  ctx.schema = &cube->schema_;
+  ctx.options = &options;
+  ctx.input = &input;
+  ctx.external =
       options.force_external || input.bytes() > options.memory_budget_bytes;
-  if (!external) {
-    if (input.table != nullptr) {
-      Load load = LoadFromTable(*input.table, cube->schema_);
-      CURE_RETURN_IF_ERROR(executor.RunInMemory(load));
-    } else {
-      CURE_ASSIGN_OR_RETURN(Load load,
-                            LoadFromFactRelation(*input.relation, cube->schema_));
-      CURE_RETURN_IF_ERROR(executor.RunInMemory(load));
-    }
-  } else {
-    if (input.relation == nullptr) {
-      return Status::InvalidArgument(
-          "external construction needs the fact table in relation form");
-    }
-    if (options.plan_style != plan::ExecutionPlan::Style::kTall) {
-      return Status::Unimplemented("external path requires the tall (P3) plan");
-    }
-    stats.external = true;
-    PartitionOptions popts;
-    popts.memory_budget_bytes = options.memory_budget_bytes;
-    popts.temp_dir = options.temp_dir;
-    CURE_ASSIGN_OR_RETURN(std::vector<std::vector<uint64_t>> hist,
-                          ComputeLevelHistograms(*input.relation, cube->schema_));
-    CURE_ASSIGN_OR_RETURN(LevelChoice choice,
-                          SelectPartitionLevel(cube->schema_, hist,
-                                               input.relation->num_rows(), popts));
-    CURE_ASSIGN_OR_RETURN(
-        PartitionOutcome outcome,
-        PartitionFact(*input.relation, cube->schema_, choice, hist, popts));
-    stats.partition_level = outcome.level;
-    stats.num_partitions = outcome.partitions.size();
-    stats.n_rows = outcome.n_table->num_rows;
-    stats.n_bytes = outcome.n_table->bytes();
-    stats.partition_write_bytes = outcome.write_bytes;
-    cube->partition_level_ = outcome.level;
-    cube->n_table_ = outcome.n_table;
-
-    for (storage::Relation& part : outcome.partitions) {
-      stats.partition_read_bytes += part.bytes();
-      CURE_ASSIGN_OR_RETURN(Load load, LoadFromPartition(part, cube->schema_));
-      CURE_RETURN_IF_ERROR(executor.RunPartition(load, outcome.level));
-      const std::string path = part.path();
-      part = storage::Relation();  // Close before removing.
-      CURE_RETURN_IF_ERROR(storage::RemoveFile(path));
-    }
-    Load nload = LoadFromAggTable(*outcome.n_table, cube->schema_);
-    CURE_RETURN_IF_ERROR(executor.RunNodeN(nload, outcome.level));
+  ctx.num_threads = options.num_threads > 0 ? options.num_threads
+                                            : ThreadPool::DefaultThreadCount();
+  if (ctx.external) {
+    CURE_ASSIGN_OR_RETURN(ctx.scratch_dir,
+                          CreateBuildScratchDir(options.temp_dir));
   }
-  ++stats.signature_flushes;
-  CURE_RETURN_IF_ERROR(pool.Flush(&cube->store_));
 
-  stats.build_seconds = watch.ElapsedSeconds();
-  const cube::CubeStore::ClassCounts counts = cube->store_.Counts();
-  stats.tt = counts.tt;
-  stats.nt = counts.nt;
-  stats.cat = counts.cat;
-  stats.aggregates_rows = counts.aggregates;
+  BuildPipeline pipeline(ctx, &cube->store_, &stats);
+  Status status = pipeline.Run();
+  // The scratch directory is per-build, so it is removed wholesale on
+  // success and error paths alike — no stale partition or sort-run files.
+  if (ctx.external) RemoveBuildScratchDir(ctx.scratch_dir);
+  CURE_RETURN_IF_ERROR(status);
+
+  cube->partition_level_ = pipeline.partition_level();
+  cube->n_table_ = pipeline.n_table();
   stats.cube_bytes = cube->TotalBytes();
-  stats.num_relations = cube->store_.NumRelations();
   return cube;
 }
 

@@ -42,7 +42,16 @@ struct CureOptions {
   /// Segment sort policy (counting sort matters under skew).
   SortPolicy sort_policy = SortPolicy::kAuto;
 
+  /// Base directory for build scratch files. Every build creates (and
+  /// removes, on success and error alike) its own unique subdirectory here,
+  /// so concurrent builds sharing a temp_dir never collide.
   std::string temp_dir = "/tmp";
+
+  /// Construction threads for the external path's per-partition stage.
+  /// 0 = auto (the CURE_THREADS environment variable if set, otherwise
+  /// hardware concurrency); 1 = the serial reference path. Any setting
+  /// produces byte-identical cubes.
+  int num_threads = 0;
 
   /// Force the external path even when the input fits in memory (tests).
   bool force_external = false;

@@ -19,6 +19,65 @@ size_t PartitionRecordSize(const CubeSchema& schema) {
   return 4ull * schema.num_dims() + 8ull * schema.num_aggregates() + 8;
 }
 
+namespace {
+
+/// First-fit-decreasing packing of per-value row counts into bins of at most
+/// `capacity_rows` rows. Returns the row total of each bin; when
+/// `value_to_partition` is non-null it is resized to counts.size() and
+/// records each value's bin index (zero-count values stay at bin 0 — they
+/// never occur in the data). Shared by level selection (which only needs the
+/// bin count) and the partitioning pass (which needs the assignment), so the
+/// two always agree on the partition count.
+std::vector<uint64_t> PackValuesFirstFitDecreasing(
+    const std::vector<uint64_t>& counts, uint64_t capacity_rows,
+    std::vector<uint32_t>* value_to_partition) {
+  std::vector<uint32_t> value_order(counts.size());
+  std::iota(value_order.begin(), value_order.end(), 0);
+  std::sort(value_order.begin(), value_order.end(),
+            [&](uint32_t a, uint32_t b) { return counts[a] > counts[b]; });
+  if (value_to_partition != nullptr) {
+    value_to_partition->assign(counts.size(), 0);
+  }
+  std::vector<uint64_t> bin_rows;
+  for (uint32_t v : value_order) {
+    if (counts[v] == 0) continue;
+    bool placed = false;
+    for (size_t b = 0; b < bin_rows.size(); ++b) {
+      if (bin_rows[b] + counts[v] <= capacity_rows) {
+        bin_rows[b] += counts[v];
+        if (value_to_partition != nullptr) {
+          (*value_to_partition)[v] = static_cast<uint32_t>(b);
+        }
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      if (value_to_partition != nullptr) {
+        (*value_to_partition)[v] = static_cast<uint32_t>(bin_rows.size());
+      }
+      bin_rows.push_back(counts[v]);
+    }
+  }
+  return bin_rows;
+}
+
+/// Packing capacity in rows: the budget subdivided for concurrent residency,
+/// floored at the most frequent value of the level (a sound partition can
+/// never split a value).
+uint64_t PackCapacityRows(const std::vector<uint64_t>& counts,
+                          uint64_t budget_bytes, size_t record_size,
+                          const PartitionOptions& options) {
+  const uint64_t full_rows = std::max<uint64_t>(1, budget_bytes / record_size);
+  const uint64_t subdivided =
+      full_rows / std::max(options.in_flight_subdivision, 1);
+  uint64_t max_value = 0;
+  for (uint64_t c : counts) max_value = std::max(max_value, c);
+  return std::max<uint64_t>({1, subdivided, max_value});
+}
+
+}  // namespace
+
 Result<std::vector<std::vector<uint64_t>>> ComputeLevelHistograms(
     const storage::Relation& fact, const CubeSchema& schema) {
   const Dimension& dim0 = schema.dim(0);
@@ -72,23 +131,13 @@ Result<LevelChoice> SelectPartitionLevel(
     best.level = l;
     best.max_value_rows = max_count;
     best.est_n_rows = static_cast<uint64_t>(est_n) + 1;
-    // First-fit-decreasing packing to count partitions.
-    std::vector<uint64_t> counts = level_histograms[l];
-    std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
-    std::vector<uint64_t> bins;
-    for (uint64_t c : counts) {
-      if (c == 0) continue;
-      bool placed = false;
-      for (uint64_t& b : bins) {
-        if (b + c <= part_capacity_rows) {
-          b += c;
-          placed = true;
-          break;
-        }
-      }
-      if (!placed) bins.push_back(c);
-    }
-    best.num_partitions = bins.size();
+    best.num_partitions =
+        PackValuesFirstFitDecreasing(
+            level_histograms[l],
+            PackCapacityRows(level_histograms[l], options.memory_budget_bytes,
+                             rec, options),
+            nullptr)
+            .size();
     return best;
   }
   return Status::ResourceExhausted(
@@ -114,32 +163,14 @@ Result<PartitionOutcome> PartitionFact(
   }
   const size_t part_rec = PartitionRecordSize(schema);
 
-  // Assign values of A_level to partitions: first-fit-decreasing.
+  // Assign values of A_level to partitions: first-fit-decreasing at the
+  // subdivided (concurrency-ready) capacity.
   const std::vector<uint64_t>& counts = level_histograms[level];
-  const uint64_t part_capacity_rows =
-      std::max<uint64_t>(1, options.memory_budget_bytes / part_rec);
-  std::vector<uint32_t> value_order(counts.size());
-  std::iota(value_order.begin(), value_order.end(), 0);
-  std::sort(value_order.begin(), value_order.end(),
-            [&](uint32_t a, uint32_t b) { return counts[a] > counts[b]; });
-  std::vector<uint32_t> value_to_partition(counts.size(), 0);
-  std::vector<uint64_t> bin_rows;
-  for (uint32_t v : value_order) {
-    if (counts[v] == 0) continue;
-    bool placed = false;
-    for (size_t b = 0; b < bin_rows.size(); ++b) {
-      if (bin_rows[b] + counts[v] <= part_capacity_rows) {
-        bin_rows[b] += counts[v];
-        value_to_partition[v] = static_cast<uint32_t>(b);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      value_to_partition[v] = static_cast<uint32_t>(bin_rows.size());
-      bin_rows.push_back(counts[v]);
-    }
-  }
+  const uint64_t part_capacity_rows = PackCapacityRows(
+      counts, options.memory_budget_bytes, part_rec, options);
+  std::vector<uint32_t> value_to_partition;
+  const std::vector<uint64_t> bin_rows = PackValuesFirstFitDecreasing(
+      counts, part_capacity_rows, &value_to_partition);
   const size_t num_partitions = bin_rows.size();
   if (num_partitions == 0) {
     return Status::InvalidArgument("empty fact table cannot be partitioned");

@@ -23,6 +23,14 @@ struct PartitionOptions {
   /// Safety factor applied to the estimated in-memory footprint of N
   /// (hash-table overhead).
   double n_overhead_factor = 2.0;
+  /// Partitions are packed to memory_budget_bytes / in_flight_subdivision
+  /// (floored at the largest single-value row count, a soundness lower
+  /// bound), so up to this many partitions can be resident concurrently
+  /// within the budget. Deliberately a constant independent of the build's
+  /// thread count: the partition layout — and therefore the cube bytes —
+  /// must be identical for every num_threads setting. Level selection still
+  /// checks value fit against the full budget.
+  int in_flight_subdivision = 8;
 };
 
 /// Outcome of SelectPartitionLevel: the maximum level L of the first

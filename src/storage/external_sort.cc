@@ -1,6 +1,9 @@
 #include "storage/external_sort.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <vector>
 
@@ -65,9 +68,15 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
     auto flush_run = [&]() -> Status {
       if (in_buf == 0) return Status::OK();
       SortRun(&buf, in_buf, width, less);
+      // Process-wide unique run names: concurrent sorts (parallel build
+      // workers) and back-to-back sorts in one process must never reuse a
+      // path, even with the same temp_dir.
+      static std::atomic<uint64_t> run_counter{0};
+      const uint64_t run_id =
+          run_counter.fetch_add(1, std::memory_order_relaxed);
       const std::string path = options.temp_dir + "/cure_sort_run_" +
-                               std::to_string(runs.size()) + "_" +
-                               std::to_string(reinterpret_cast<uintptr_t>(&runs));
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(run_id);
       CURE_ASSIGN_OR_RETURN(Relation run, Relation::CreateFile(path, width));
       for (size_t r = 0; r < in_buf; ++r) {
         CURE_RETURN_IF_ERROR(run.Append(buf.data() + r * width));

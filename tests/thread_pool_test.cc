@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace cure {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvironment) {
+  ASSERT_EQ(setenv("CURE_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("CURE_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);  // Falls back to hardware.
+  ASSERT_EQ(unsetenv("CURE_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> runs{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&runs] {
+      runs.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  for (std::future<Status>& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleWorkerDispatchesInSubmissionOrder) {
+  // The FIFO contract the build pipeline's format arbiter depends on: with
+  // one worker the execution order must equal the submission order exactly.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i] {
+      order.push_back(i);  // Single worker: no race.
+      return Status::OK();
+    }));
+  }
+  for (std::future<Status>& f : futures) EXPECT_TRUE(f.get().ok());
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, StartedTasksFormPrefixOfSubmissionOrder) {
+  // Multi-worker FIFO dispatch: whenever a task starts, every earlier task
+  // has already been dispatched (started set is a prefix). Each task waits
+  // until all tasks with a smaller index have at least started.
+  constexpr int kTasks = 64;
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<bool> prefix_violated{false};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&started, &prefix_violated, i] {
+      // Tasks are popped under the queue lock in FIFO order, so by the time
+      // task i runs this line, tasks 0..i-1 have been popped. Allow their
+      // counter increments a moment to land before checking.
+      for (int spin = 0; spin < 10000 && started.load() < i; ++spin) {
+        std::this_thread::yield();
+      }
+      if (started.load() < i) prefix_violated.store(true);
+      started.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  for (std::future<Status>& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_FALSE(prefix_violated.load());
+}
+
+TEST(ThreadPoolTest, ErrorStatusPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<Status> ok = pool.Submit([] { return Status::OK(); });
+  std::future<Status> bad =
+      pool.Submit([] { return Status::Internal("task failed"); });
+  EXPECT_TRUE(ok.get().ok());
+  Status s = bad.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "task failed");
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> runs{0};
+  std::vector<std::future<Status>> futures;
+  // Head task blocks the single worker so the rest pile up in the queue.
+  futures.push_back(pool.Submit([&runs] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    runs.fetch_add(1);
+    return Status::OK();
+  }));
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&runs] {
+      runs.fetch_add(1);
+      return Status::OK();
+    }));
+  }
+  pool.Shutdown();  // Must run all 21 queued tasks before returning.
+  EXPECT_EQ(runs.load(), 21);
+  for (std::future<Status>& f : futures) EXPECT_TRUE(f.get().ok());
+  pool.Shutdown();  // Idempotent.
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  std::future<Status> f = pool.Submit([&ran] {
+    ran.store(true);
+    return Status::OK();
+  });
+  Status s = f.get();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithQueuedWork) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&runs] {
+        runs.fetch_add(1);
+        return Status::OK();
+      });
+    }
+  }  // Destructor implies Shutdown(): drains, then joins.
+  EXPECT_EQ(runs.load(), 10);
+}
+
+}  // namespace
+}  // namespace cure
