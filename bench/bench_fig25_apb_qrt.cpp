@@ -83,6 +83,8 @@ int main() {
   std::sort(nodes.begin(), nodes.end(),
             [](const NodeCost& a, const NodeCost& b) { return a.tuples < b.tuples; });
 
+  // Per-variant avg QRT per bucket, plus whole-lattice latency percentiles
+  // (from the shared LogHistogram in MeasureQrt) printed after the table.
   std::printf("\n%-8s %14s | %12s %12s %12s %12s\n", "bucket", "max result",
               "CURE", "CURE+", "CURE_DR", "CURE_DR+");
   const size_t buckets = 10;
@@ -107,6 +109,22 @@ int main() {
     }
     std::printf("\n");
   }
+  std::printf("\n%-10s %12s %12s %12s %12s\n", "all nodes", "p50", "p95",
+              "max", "avg");
+  std::vector<schema::NodeId> all_nodes;
+  for (const NodeCost& node : nodes) all_nodes.push_back(node.id);
+  for (Variant& v : variants) {
+    const query::QrtStats stats = MeasureEngineQrt(
+        all_nodes, [&](schema::NodeId id, query::ResultSink* sink) {
+          return v.engine->QueryNode(id, sink);
+        });
+    std::printf("%-10s %12s %12s %12s %12s\n", v.label,
+                FormatSeconds(stats.p50_seconds).c_str(),
+                FormatSeconds(stats.p95_seconds).c_str(),
+                FormatSeconds(stats.max_seconds).c_str(),
+                FormatSeconds(stats.avg_seconds).c_str());
+  }
+
   CURE_CHECK_OK(storage::RemoveFile(path));
   for (Variant& v : variants) {
     CURE_CHECK_OK(

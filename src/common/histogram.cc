@@ -1,0 +1,57 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+namespace cure {
+
+int LogHistogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int exp = std::bit_width(static_cast<uint64_t>(value)) - 1;  // >= 4
+  const int sub =
+      static_cast<int>((static_cast<uint64_t>(value) >> (exp - kExactBits)) &
+                       (kSubBuckets - 1));
+  const int index = kSubBuckets + (exp - kExactBits) * kSubBuckets + sub;
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+int64_t LogHistogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int exp = kExactBits + (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  return (int64_t{1} << exp) + (static_cast<int64_t>(sub) << (exp - kExactBits));
+}
+
+int64_t LogHistogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return max;
+}
+
+LogHistogram::Snapshot LogHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.avg = snap.count > 0
+                 ? static_cast<double>(snap.sum) / static_cast<double>(snap.count)
+                 : 0.0;
+  snap.p50 = snap.Percentile(0.50);
+  snap.p95 = snap.Percentile(0.95);
+  snap.p99 = snap.Percentile(0.99);
+  return snap;
+}
+
+}  // namespace cure

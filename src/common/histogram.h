@@ -1,0 +1,75 @@
+#ifndef CURE_COMMON_HISTOGRAM_H_
+#define CURE_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace cure {
+
+/// Log-bucketed histogram of non-negative int64 values (typically latencies
+/// in microseconds). Values 0..15 land in exact buckets; larger values use
+/// 16 linear sub-buckets per power-of-two octave, bounding the relative
+/// quantile error at 1/16. Record() is wait-free (relaxed atomics, no
+/// locks), so the histogram can sit on a concurrent serving hot path; the
+/// same class also backs the single-threaded QRT measurements.
+class LogHistogram {
+ public:
+  /// First octave covered by sub-bucketed ranges (values < 2^kExactBits are
+  /// stored exactly).
+  static constexpr int kExactBits = 4;
+  static constexpr int kSubBuckets = 1 << kExactBits;
+  /// Octaves 4..62 (values up to 2^63 - 1, clamped).
+  static constexpr int kNumBuckets = kSubBuckets + kSubBuckets * (63 - kExactBits);
+
+  LogHistogram() = default;
+
+  /// Adds one observation. Negative values are clamped to 0.
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Point-in-time view. Taken bucket by bucket, so a snapshot racing with
+  /// concurrent Record() calls may be off by the in-flight observations —
+  /// fine for monitoring; exact once writers are quiescent.
+  struct Snapshot {
+    uint64_t count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+    double avg = 0;
+    int64_t p50 = 0;
+    int64_t p95 = 0;
+    int64_t p99 = 0;
+
+    /// Quantile q in [0, 1] from the captured buckets (lower bound of the
+    /// bucket holding the q-th observation).
+    int64_t Percentile(double q) const;
+
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Bucket of `value` (value >= 0).
+  static int BucketIndex(int64_t value);
+  /// Smallest value mapping to bucket `index` — the reported quantile value.
+  static int64_t BucketLowerBound(int index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+}  // namespace cure
+
+#endif  // CURE_COMMON_HISTOGRAM_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kUnimplemented:

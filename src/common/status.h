@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kIoError,
   kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
   kUnimplemented,
 };
@@ -54,6 +55,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

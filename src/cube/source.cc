@@ -68,6 +68,23 @@ void SourceSet::Register(uint32_t source_tag,
                          std::shared_ptr<SourceAccessor> accessor) {
   if (accessors_.size() <= source_tag) accessors_.resize(source_tag + 1);
   accessors_[source_tag] = std::move(accessor);
+  // Eagerly build every level map reachable from this source's native
+  // levels. The maps are small (one uint32 per code at the native level),
+  // and after this prewarm ProjectDims never mutates level_maps_ — which is
+  // what lets concurrent query workers share one SourceSet without locking.
+  const SourceAccessor* src = accessors_[source_tag].get();
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int from = src->native_level(d);
+    if (from == kNativeAll) continue;
+    for (int target = 0; target < schema_->dim(d).num_levels(); ++target) {
+      if (target == from || !schema_->dim(d).Derives(from, target)) continue;
+      const auto key = std::make_tuple(d, from, target);
+      if (level_maps_.find(key) != level_maps_.end()) continue;
+      Result<std::vector<uint32_t>> map =
+          schema_->dim(d).LevelToLevelMap(from, target);
+      if (map.ok()) level_maps_.emplace(key, std::move(map).value());
+    }
+  }
 }
 
 const SourceAccessor* SourceSet::Get(uint32_t source_tag) const {

@@ -124,10 +124,17 @@ class AggTableSource : public SourceAccessor {
 /// The set of row-id sources of a cube, indexed by source tag, plus a cache
 /// of level-to-level code maps for projecting native codes onto a node's
 /// grouping levels.
+///
+/// Thread-safety: Register() prewarms every level map derivable from the
+/// source's native levels, so once registration is done the set is
+/// effectively immutable and ProjectDims/GetRow are safe to call from many
+/// threads at once (the serving layer relies on this).
 class SourceSet {
  public:
   explicit SourceSet(const schema::CubeSchema* schema) : schema_(schema) {}
 
+  /// Registers an accessor and eagerly builds its projection maps. Not
+  /// thread-safe; call before sharing the set across query workers.
   void Register(uint32_t source_tag, std::shared_ptr<SourceAccessor> accessor);
   const SourceAccessor* Get(uint32_t source_tag) const;
   const schema::CubeSchema& schema() const { return *schema_; }

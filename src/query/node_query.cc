@@ -42,6 +42,14 @@ Status CureQueryEngine::QueryNodeSliced(NodeId id,
   return QueryImpl(id, -1, 0, &slices, sink);
 }
 
+Status CureQueryEngine::QueryNodeSlicedIceberg(NodeId id,
+                                               const std::vector<Slice>& slices,
+                                               int count_aggregate,
+                                               int64_t min_count,
+                                               ResultSink* sink) const {
+  return QueryImpl(id, count_aggregate, min_count, &slices, sink);
+}
+
 Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
                                   int64_t min_count,
                                   const std::vector<Slice>* slices,

@@ -104,6 +104,16 @@ class CureQueryEngine {
   Status QueryNodeSliced(schema::NodeId id, const std::vector<Slice>& slices,
                          ResultSink* sink) const;
 
+  /// Combined slice + count-iceberg query: groups must both roll up to every
+  /// slice's value and satisfy HAVING count >= min_count. With min_count <= 1
+  /// this degenerates to QueryNodeSliced; with empty slices to
+  /// QueryNodeCountIceberg. The serving layer routes every request through
+  /// this entry.
+  Status QueryNodeSlicedIceberg(schema::NodeId id,
+                                const std::vector<Slice>& slices,
+                                int count_aggregate, int64_t min_count,
+                                ResultSink* sink) const;
+
   const cube::SourceSet& sources() const { return sources_; }
   const plan::ExecutionPlan& plan() const { return plan_; }
 

@@ -1,5 +1,8 @@
 #include "query/workload.h"
 
+#include <unordered_set>
+
+#include "common/histogram.h"
 #include "common/stopwatch.h"
 #include "gen/random.h"
 
@@ -7,12 +10,36 @@ namespace cure {
 namespace query {
 
 std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
-                                               size_t count, uint64_t seed) {
+                                               size_t count, uint64_t seed,
+                                               bool unique) {
   gen::Rng rng(seed);
   std::vector<schema::NodeId> nodes;
-  nodes.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    nodes.push_back(rng.NextRange(codec.num_nodes()));
+  if (!unique) {
+    nodes.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      nodes.push_back(rng.NextRange(codec.num_nodes()));
+    }
+    return nodes;
+  }
+  const uint64_t num_nodes = codec.num_nodes();
+  if (count > num_nodes) count = num_nodes;
+  if (2 * count >= num_nodes) {
+    // Dense draw: partial Fisher-Yates over the full lattice.
+    nodes.resize(num_nodes);
+    for (uint64_t i = 0; i < num_nodes; ++i) nodes[i] = i;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t j = i + rng.NextRange(num_nodes - i);
+      std::swap(nodes[i], nodes[j]);
+    }
+    nodes.resize(count);
+  } else {
+    // Sparse draw: rejection sampling.
+    std::unordered_set<schema::NodeId> seen;
+    nodes.reserve(count);
+    while (nodes.size() < count) {
+      const schema::NodeId id = rng.NextRange(num_nodes);
+      if (seen.insert(id).second) nodes.push_back(id);
+    }
   }
   return nodes;
 }
@@ -21,16 +48,22 @@ Result<QrtStats> MeasureQrt(
     const std::vector<schema::NodeId>& workload,
     const std::function<Status(schema::NodeId, ResultSink*)>& query) {
   QrtStats stats;
+  LogHistogram latencies;
   ResultSink sink;
   for (schema::NodeId node : workload) {
     sink.Reset();
     Stopwatch watch;
     CURE_RETURN_IF_ERROR(query(node, &sink));
     stats.total_seconds += watch.ElapsedSeconds();
+    latencies.Record(watch.ElapsedMicros());
     stats.total_tuples += sink.count();
     ++stats.queries;
   }
   stats.avg_seconds = stats.queries > 0 ? stats.total_seconds / stats.queries : 0;
+  const LogHistogram::Snapshot snap = latencies.TakeSnapshot();
+  stats.p50_seconds = static_cast<double>(snap.p50) * 1e-6;
+  stats.p95_seconds = static_cast<double>(snap.p95) * 1e-6;
+  stats.max_seconds = static_cast<double>(snap.max) * 1e-6;
   return stats;
 }
 

@@ -14,14 +14,22 @@ namespace query {
 
 /// Draws `count` node ids uniformly at random from the lattice — the
 /// paper's query workload of "1,000 random node queries, which perform no
-/// selection".
+/// selection". With `unique` the draw is without replacement (count is
+/// clamped to the lattice size), so repeated nodes cannot silently inflate
+/// result-cache hit rates in serving benchmarks.
 std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
-                                               size_t count, uint64_t seed);
+                                               size_t count, uint64_t seed,
+                                               bool unique = false);
 
-/// Average query response time over a workload.
+/// Query response time over a workload: average plus latency percentiles
+/// (from a LogHistogram over microseconds, shared with the serving layer's
+/// metrics).
 struct QrtStats {
   double avg_seconds = 0;
   double total_seconds = 0;
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double max_seconds = 0;
   uint64_t total_tuples = 0;
   size_t queries = 0;
 };

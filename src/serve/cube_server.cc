@@ -1,0 +1,179 @@
+#include "serve/cube_server.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace cure {
+namespace serve {
+
+CubeServer::CubeServer(const engine::CureCube* cube,
+                       const CubeServerOptions& options,
+                       std::unique_ptr<query::CureQueryEngine> engine)
+    : cube_(cube),
+      options_(options),
+      engine_(std::move(engine)),
+      cache_(options.cache_bytes, options.cache_shards),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  const schema::CubeSchema& schema = cube_->schema();
+  for (int y = 0; y < schema.num_aggregates(); ++y) {
+    if (schema.aggregate(y).fn == schema::AggFn::kCount) {
+      count_aggregate_ = y;
+      break;
+    }
+  }
+  queries_total_ = metrics_.counter("queries_total");
+  queries_errors_ = metrics_.counter("queries_errors");
+  rejected_total_ = metrics_.counter("rejected_total");
+  deadline_exceeded_total_ = metrics_.counter("deadline_exceeded_total");
+  latency_us_ = metrics_.histogram("query_latency");
+  queue_wait_us_ = metrics_.histogram("queue_wait");
+}
+
+CubeServer::~CubeServer() { pool_->Shutdown(); }
+
+Result<std::unique_ptr<CubeServer>> CubeServer::Create(
+    const engine::CureCube* cube, const CubeServerOptions& options) {
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument("max_inflight must be >= 1");
+  }
+  CURE_ASSIGN_OR_RETURN(
+      std::unique_ptr<query::CureQueryEngine> engine,
+      query::CureQueryEngine::Create(cube, options.fact_cache_fraction));
+  return std::unique_ptr<CubeServer>(
+      new CubeServer(cube, options, std::move(engine)));
+}
+
+Result<QueryKey> CubeServer::MakeKey(const QueryRequest& request) const {
+  QueryKey key;
+  key.node = request.node;
+  key.slices = request.slices;
+  key.min_count = request.min_count;
+  key.count_aggregate = request.count_aggregate;
+  if (key.min_count > 1 && key.count_aggregate < 0) {
+    if (count_aggregate_ < 0) {
+      return Status::InvalidArgument(
+          "iceberg query requires a COUNT aggregate in the schema");
+    }
+    key.count_aggregate = count_aggregate_;
+  }
+  key.Canonicalize();
+  return key;
+}
+
+QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
+  QueryResponse response;
+  Stopwatch watch;
+  queries_total_->Inc();
+
+  Result<QueryKey> key = MakeKey(request);
+  if (!key.ok()) {
+    queries_errors_->Inc();
+    response.status = key.status();
+    response.latency_seconds = watch.ElapsedSeconds();
+    return response;
+  }
+
+  if (cache_.enabled()) {
+    if (std::shared_ptr<const QueryResult> cached = cache_.Lookup(*key)) {
+      response.cache_hit = true;
+      response.count = cached->count;
+      response.checksum = cached->checksum;
+      response.result = std::move(cached);
+      response.latency_seconds = watch.ElapsedSeconds();
+      latency_us_->Record(watch.ElapsedMicros());
+      return response;
+    }
+  }
+
+  // Rows are materialized when the caller wants them or the cache will
+  // store them; checksum-only requests with the cache off stay lean.
+  const bool retain = request.retain_rows || cache_.enabled();
+  query::ResultSink sink(retain);
+  response.status = engine_->QueryNodeSlicedIceberg(
+      key->node, key->slices, key->count_aggregate, key->min_count, &sink);
+  if (!response.status.ok()) {
+    queries_errors_->Inc();
+    response.latency_seconds = watch.ElapsedSeconds();
+    return response;
+  }
+  response.count = sink.count();
+  response.checksum = sink.checksum();
+  if (retain) {
+    auto result = std::make_shared<QueryResult>();
+    result->count = sink.count();
+    result->checksum = sink.checksum();
+    result->rows = sink.TakeRows();
+    if (cache_.enabled()) cache_.Insert(*key, result);
+    response.result = std::move(result);
+  }
+  response.latency_seconds = watch.ElapsedSeconds();
+  latency_us_->Record(watch.ElapsedMicros());
+  return response;
+}
+
+QueryResponse CubeServer::Execute(const QueryRequest& request) {
+  return ExecuteInternal(request);
+}
+
+std::future<QueryResponse> CubeServer::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+
+  int64_t admitted = in_flight_.load(std::memory_order_relaxed);
+  do {
+    if (admitted >= options_.max_inflight) {
+      rejected_total_->Inc();
+      QueryResponse response;
+      response.status = Status::ResourceExhausted(
+          "server at capacity: " + std::to_string(admitted) +
+          " queries in flight");
+      promise->set_value(std::move(response));
+      return future;
+    }
+  } while (!in_flight_.compare_exchange_weak(admitted, admitted + 1,
+                                             std::memory_order_relaxed));
+
+  const double deadline = request.deadline_seconds > 0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  pool_->Submit([this, promise, deadline,
+                 request = std::move(request),
+                 submit_watch = Stopwatch()]() mutable -> Status {
+    if (worker_hook_) worker_hook_();
+    queue_wait_us_->Record(submit_watch.ElapsedMicros());
+    QueryResponse response;
+    if (deadline > 0 && submit_watch.ElapsedSeconds() > deadline) {
+      deadline_exceeded_total_->Inc();
+      response.status = Status::DeadlineExceeded(
+          "query spent its deadline in the admission queue");
+    } else {
+      response = ExecuteInternal(request);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(std::move(response));
+    return Status::OK();
+  });
+  return future;
+}
+
+std::string CubeServer::StatsText() const {
+  std::string out = metrics_.TextSnapshot();
+  const QueryCache::Stats stats = cache_.stats();
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "cache_enabled %d\ncache_hits %" PRIu64 "\ncache_misses %" PRIu64
+                "\ncache_evictions %" PRIu64 "\ncache_inserts %" PRIu64
+                "\ncache_bytes %" PRIu64 "\ncache_entries %" PRIu64
+                "\nin_flight %" PRId64 "\n",
+                cache_.enabled() ? 1 : 0, stats.hits, stats.misses,
+                stats.evictions, stats.inserts, stats.bytes, stats.entries,
+                in_flight());
+  out += line;
+  return out;
+}
+
+}  // namespace serve
+}  // namespace cure

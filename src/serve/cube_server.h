@@ -1,0 +1,143 @@
+#ifndef CURE_SERVE_CUBE_SERVER_H_
+#define CURE_SERVE_CUBE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/cure.h"
+#include "query/node_query.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+
+namespace cure {
+namespace serve {
+
+struct CubeServerOptions {
+  /// Query worker threads (0 = ThreadPool::DefaultThreadCount()).
+  int num_threads = 0;
+  /// Admission control: maximum queries admitted (queued + running) at any
+  /// moment. Submit() beyond this bound fails fast with kResourceExhausted
+  /// instead of queueing unboundedly.
+  int max_inflight = 128;
+  /// Result-cache byte budget; 0 disables the cache.
+  uint64_t cache_bytes = 0;
+  int cache_shards = 8;
+  /// Pinned fraction of the fact relation (Fig. 17 semantics).
+  double fact_cache_fraction = 1.0;
+  /// Default per-query deadline measured from Submit(); 0 = none. A query
+  /// still queued when its deadline passes fails with kDeadlineExceeded
+  /// without running.
+  double default_deadline_seconds = 0;
+};
+
+/// One query against the served cube. `min_count > 1` makes it an iceberg
+/// query; `count_aggregate` -1 lets the server locate the schema's COUNT
+/// aggregate automatically.
+struct QueryRequest {
+  schema::NodeId node = 0;
+  std::vector<query::CureQueryEngine::Slice> slices;
+  int64_t min_count = 0;
+  int count_aggregate = -1;
+  /// Materialize result rows in the response even when the cache is off.
+  bool retain_rows = false;
+  /// Per-request deadline override (seconds from Submit); 0 = server default.
+  double deadline_seconds = 0;
+};
+
+struct QueryResponse {
+  Status status;
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+  /// Rows, when retained or served from cache; may be null otherwise.
+  std::shared_ptr<const QueryResult> result;
+  bool cache_hit = false;
+  double latency_seconds = 0;
+};
+
+/// Long-lived concurrent serving layer over an immutable CURE cube: one
+/// shared CureQueryEngine, a FIFO ThreadPool of query workers, a sharded LRU
+/// result cache, bounded admission, per-query deadlines, and a metrics
+/// registry. Concurrent queries produce (count, checksum) identical to
+/// serial execution — the shared read path is immutable after startup (see
+/// DESIGN.md §9).
+class CubeServer {
+ public:
+  /// `cube` must outlive the server and must not be mutated while serving.
+  static Result<std::unique_ptr<CubeServer>> Create(
+      const engine::CureCube* cube, const CubeServerOptions& options);
+
+  /// Drains queued queries, then joins the workers.
+  ~CubeServer();
+
+  CubeServer(const CubeServer&) = delete;
+  CubeServer& operator=(const CubeServer&) = delete;
+
+  /// Admission-controlled asynchronous dispatch. The future is always
+  /// fulfilled: with the query result, a kResourceExhausted rejection, or a
+  /// kDeadlineExceeded expiry.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Synchronous execution on the calling thread (bypasses the worker pool,
+  /// admission control and deadlines; still cached and counted).
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Metrics text dump plus cache gauges — the line protocol's STATS body.
+  std::string StatsText() const;
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  QueryCache* cache() { return &cache_; }
+  const query::CureQueryEngine& engine() const { return *engine_; }
+  const schema::CubeSchema& schema() const { return cube_->schema(); }
+  const schema::NodeIdCodec& codec() const { return cube_->store().codec(); }
+  const CubeServerOptions& options() const { return options_; }
+  /// Index of the schema's COUNT aggregate, -1 when absent.
+  int count_aggregate() const { return count_aggregate_; }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: runs at the start of every pooled query task, before the
+  /// deadline check (lets tests hold workers to fill the admission queue).
+  void set_worker_hook(std::function<void()> hook) {
+    worker_hook_ = std::move(hook);
+  }
+
+ private:
+  CubeServer(const engine::CureCube* cube, const CubeServerOptions& options,
+             std::unique_ptr<query::CureQueryEngine> engine);
+
+  /// Canonicalizes the request into a cache key; fails on an iceberg
+  /// request when the schema has no COUNT aggregate.
+  Result<QueryKey> MakeKey(const QueryRequest& request) const;
+  QueryResponse ExecuteInternal(const QueryRequest& request);
+
+  const engine::CureCube* cube_;
+  CubeServerOptions options_;
+  std::unique_ptr<query::CureQueryEngine> engine_;
+  int count_aggregate_ = -1;
+  QueryCache cache_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<int64_t> in_flight_{0};
+  std::function<void()> worker_hook_;
+
+  // Hot-path metric handles (owned by metrics_).
+  Counter* queries_total_;
+  Counter* queries_errors_;
+  Counter* rejected_total_;
+  Counter* deadline_exceeded_total_;
+  LogHistogram* latency_us_;
+  LogHistogram* queue_wait_us_;
+};
+
+}  // namespace serve
+}  // namespace cure
+
+#endif  // CURE_SERVE_CUBE_SERVER_H_

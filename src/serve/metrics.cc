@@ -1,0 +1,47 @@
+#include "serve/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cure {
+namespace serve {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+LogHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<LogHistogram>();
+  return it->second.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(),
+                  counter->value());
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LogHistogram::Snapshot snap = histogram->TakeSnapshot();
+    std::snprintf(line, sizeof(line),
+                  "%s_count %" PRIu64 "\n%s_avg_us %.1f\n%s_p50_us %" PRId64
+                  "\n%s_p95_us %" PRId64 "\n%s_p99_us %" PRId64
+                  "\n%s_max_us %" PRId64 "\n",
+                  name.c_str(), snap.count, name.c_str(), snap.avg, name.c_str(),
+                  snap.p50, name.c_str(), snap.p95, name.c_str(), snap.p99,
+                  name.c_str(), snap.max);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace cure

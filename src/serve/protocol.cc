@@ -1,0 +1,108 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+
+namespace cure {
+namespace serve {
+
+namespace {
+
+/// Finds the (dim, level) of a level-column name; `dim_name` (optional)
+/// restricts the search to one dimension.
+Result<std::pair<int, int>> FindLevel(const schema::CubeSchema& schema,
+                                      const std::string& dim_name,
+                                      const std::string& level_name) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (!dim_name.empty() && schema.dim(d).name() != dim_name) continue;
+    for (int l = 0; l < schema.dim(d).num_levels(); ++l) {
+      if (schema.dim(d).level(l).name == level_name) {
+        return std::make_pair(d, l);
+      }
+    }
+  }
+  if (!dim_name.empty()) {
+    return Status::NotFound("no level '" + level_name + "' in dimension '" +
+                            dim_name + "'");
+  }
+  return Status::NotFound("no hierarchy level named '" + level_name + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> SplitTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\t') ++j;
+    if (j > i) tokens.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+Result<schema::NodeId> ParseNodeSpec(const schema::CubeSchema& schema,
+                                     const schema::NodeIdCodec& codec,
+                                     const std::string& text) {
+  std::vector<int> levels(schema.num_dims());
+  for (int d = 0; d < schema.num_dims(); ++d) levels[d] = codec.all_level(d);
+  if (text != "ALL" && text != "all") {
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t end = text.find(',', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string level_name = text.substr(start, end - start);
+      start = end + 1;
+      if (!level_name.empty()) {
+        CURE_ASSIGN_OR_RETURN(auto found, FindLevel(schema, "", level_name));
+        levels[found.first] = found.second;
+      }
+      if (start > text.size()) break;
+    }
+  }
+  return codec.Encode(levels);
+}
+
+Result<query::CureQueryEngine::Slice> ParseSliceSpec(
+    const schema::CubeSchema& schema, const std::string& spec,
+    const SliceValueResolver& resolver) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return Status::InvalidArgument("slice spec '" + spec +
+                                   "' is not level=value");
+  }
+  std::string target = spec.substr(0, eq);
+  const std::string value = spec.substr(eq + 1);
+  std::string dim_name;
+  const size_t colon = target.find(':');
+  if (colon != std::string::npos) {
+    dim_name = target.substr(0, colon);
+    target = target.substr(colon + 1);
+  }
+  CURE_ASSIGN_OR_RETURN(auto found, FindLevel(schema, dim_name, target));
+  query::CureQueryEngine::Slice slice;
+  slice.dim = found.first;
+  slice.level = found.second;
+  if (resolver != nullptr) {
+    CURE_ASSIGN_OR_RETURN(slice.code, resolver(slice.dim, slice.level, value));
+    return slice;
+  }
+  char* end = nullptr;
+  const unsigned long long code = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("slice value '" + value +
+                                   "' is not a numeric code (no dictionary)");
+  }
+  const uint32_t cardinality = schema.dim(slice.dim).cardinality(slice.level);
+  if (code >= cardinality) {
+    return Status::OutOfRange("slice code " + value + " out of range for '" +
+                              target + "' (cardinality " +
+                              std::to_string(cardinality) + ")");
+  }
+  slice.code = static_cast<uint32_t>(code);
+  return slice;
+}
+
+}  // namespace serve
+}  // namespace cure

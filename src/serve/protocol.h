@@ -1,0 +1,43 @@
+#ifndef CURE_SERVE_PROTOCOL_H_
+#define CURE_SERVE_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/node_query.h"
+#include "schema/cube_schema.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace serve {
+
+/// Splits `text` on whitespace (any run of spaces/tabs).
+std::vector<std::string> SplitTokens(const std::string& text);
+
+/// Parses a node spec — comma-separated hierarchy level names, or "ALL" —
+/// into a node id, e.g. "city,category". Absent dimensions stay at ALL.
+/// This is the <node> operand of the QUERY/ICEBERG/SLICE commands and of
+/// `cure_tool query`.
+Result<schema::NodeId> ParseNodeSpec(const schema::CubeSchema& schema,
+                                     const schema::NodeIdCodec& codec,
+                                     const std::string& text);
+
+/// Resolves a slice value string to a dimension code at (dim, level) —
+/// typically a dictionary lookup when the cube has string dimensions.
+using SliceValueResolver =
+    std::function<Result<uint32_t>(int dim, int level, const std::string& value)>;
+
+/// Parses one slice spec of the form `level=value` or `dim:level=value`
+/// (the explicit form disambiguates level names reused across dimensions).
+/// `value` goes through `resolver` when provided, else it must be a numeric
+/// code.
+Result<query::CureQueryEngine::Slice> ParseSliceSpec(
+    const schema::CubeSchema& schema, const std::string& spec,
+    const SliceValueResolver& resolver = nullptr);
+
+}  // namespace serve
+}  // namespace cure
+
+#endif  // CURE_SERVE_PROTOCOL_H_

@@ -1,0 +1,144 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cure {
+namespace serve {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h * 0xBF58476D1CE4E5B9ull;
+}
+
+}  // namespace
+
+void QueryKey::Canonicalize() {
+  std::sort(slices.begin(), slices.end(),
+            [](const query::CureQueryEngine::Slice& a,
+               const query::CureQueryEngine::Slice& b) {
+              if (a.dim != b.dim) return a.dim < b.dim;
+              if (a.level != b.level) return a.level < b.level;
+              return a.code < b.code;
+            });
+  if (min_count <= 1) {
+    // Non-iceberg requests collapse onto one key regardless of how the
+    // caller spelled "no threshold".
+    min_count = 0;
+    count_aggregate = -1;
+  }
+}
+
+bool QueryKey::operator==(const QueryKey& other) const {
+  if (node != other.node || count_aggregate != other.count_aggregate ||
+      min_count != other.min_count || slices.size() != other.slices.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (slices[i].dim != other.slices[i].dim ||
+        slices[i].level != other.slices[i].level ||
+        slices[i].code != other.slices[i].code) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t QueryKey::Hash() const {
+  uint64_t h = 0x243F6A8885A308D3ull;
+  h = Mix(h, node);
+  h = Mix(h, static_cast<uint64_t>(count_aggregate + 1));
+  h = Mix(h, static_cast<uint64_t>(min_count));
+  for (const auto& slice : slices) {
+    h = Mix(h, static_cast<uint64_t>(slice.dim));
+    h = Mix(h, static_cast<uint64_t>(slice.level));
+    h = Mix(h, slice.code);
+  }
+  return h;
+}
+
+uint64_t QueryResult::ByteSize() const {
+  uint64_t bytes = sizeof(QueryResult);
+  for (const auto& row : rows) {
+    bytes += sizeof(query::ResultSink::Row) + 4ull * row.dims.capacity() +
+             8ull * row.aggrs.capacity();
+  }
+  return bytes;
+}
+
+QueryCache::QueryCache(uint64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  if (num_shards < 1) num_shards = 1;
+  const size_t shards = std::bit_ceil(static_cast<size_t>(num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = capacity_bytes_ / shards;
+}
+
+QueryCache::Shard* QueryCache::ShardFor(const QueryKey& key) {
+  return shards_[key.Hash() & (shards_.size() - 1)].get();
+}
+
+std::shared_ptr<const QueryResult> QueryCache::Lookup(const QueryKey& key) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(key);
+  if (it == shard->map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void QueryCache::Insert(const QueryKey& key,
+                        std::shared_ptr<const QueryResult> result) {
+  if (!enabled() || result == nullptr) return;
+  const uint64_t bytes = result->ByteSize();
+  if (bytes > shard_capacity_) return;  // would evict the whole shard
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(key);
+  if (it != shard->map.end()) {
+    shard->bytes -= it->second->bytes;
+    shard->lru.erase(it->second);
+    shard->map.erase(it);
+  }
+  while (shard->bytes + bytes > shard_capacity_ && !shard->lru.empty()) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->map.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard->lru.push_front(Entry{key, std::move(result), bytes});
+  shard->map.emplace(key, shard->lru.begin());
+  shard->bytes += bytes;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.bytes += shard->bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace cure

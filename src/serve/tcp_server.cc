@@ -1,0 +1,310 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace cure {
+namespace serve {
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string ErrResponse(const Status& status) {
+  return "ERR " + std::string(StatusCodeName(status.code())) + " " +
+         status.message() + "\n.\n";
+}
+
+std::string ErrResponse(StatusCode code, const std::string& message) {
+  return "ERR " + std::string(StatusCodeName(code)) + " " + message + "\n.\n";
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Writes the whole buffer, tolerating partial sends; false on error.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpLineServer>> TcpLineServer::Start(
+    CubeServer* server, const TcpServerOptions& options, ValueDecoder decoder,
+    SliceValueResolver resolver) {
+  auto self = std::unique_ptr<TcpLineServer>(
+      new TcpLineServer(server, std::move(decoder), std::move(resolver)));
+  self->max_connections_ = options.max_connections;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(options.port) +
+                            ") failed: " + msg);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen() failed: " + msg);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname() failed: " + msg);
+  }
+  self->listen_fd_ = fd;
+  self->port_ = static_cast<int>(ntohs(bound.sin_port));
+  self->accept_thread_ = std::thread([raw = self.get()] { raw->AcceptLoop(); });
+  return self;
+}
+
+TcpLineServer::~TcpLineServer() { Stop(); }
+
+void TcpLineServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Unblock accept(); the loop exits on the next failed accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (Connection& conn : connections) {
+    ::shutdown(conn.fd, SHUT_RDWR);  // Unblocks a recv() in progress.
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+}
+
+void TcpLineServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        max_connections_) {
+      SendAll(fd, ErrResponse(StatusCode::kResourceExhausted,
+                              "connection limit reached"));
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread handler([this, fd, done] {
+      HandleConnection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      done->store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reap finished connections so a long-lived server does not accumulate
+    // joinable threads; live ones are joined by Stop().
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i].done->load(std::memory_order_acquire)) {
+        connections_[i].thread.join();
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    connections_.push_back(Connection{std::move(handler), fd, std::move(done)});
+  }
+}
+
+void TcpLineServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::vector<std::string> tokens = SplitTokens(line);
+      if (!tokens.empty() && ToUpper(tokens[0]) == "QUIT") {
+        open = false;
+        break;
+      }
+      if (!SendAll(fd, HandleLine(line))) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+std::string TcpLineServer::HandleLine(const std::string& line) {
+  const std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) {
+    return ErrResponse(StatusCode::kInvalidArgument, "empty command");
+  }
+  const std::string cmd = ToUpper(tokens[0]);
+
+  if (cmd == "STATS") {
+    return "OK\n" + server_->StatsText() + ".\n";
+  }
+  if (cmd != "QUERY" && cmd != "ICEBERG" && cmd != "SLICE") {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "unknown command '" + tokens[0] +
+                           "' (expected QUERY, ICEBERG, SLICE, STATS or QUIT)");
+  }
+  if (tokens.size() < 2) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       cmd + " requires a node spec, e.g. " + cmd +
+                           " city,category");
+  }
+
+  QueryRequest request;
+  request.retain_rows = true;
+  Result<schema::NodeId> node =
+      ParseNodeSpec(server_->schema(), server_->codec(), tokens[1]);
+  if (!node.ok()) return ErrResponse(node.status());
+  request.node = *node;
+
+  size_t arg = 2;
+  if (cmd == "ICEBERG") {
+    if (tokens.size() != 3) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "usage: ICEBERG <node> <minsup>");
+    }
+    if (!ParseInt64(tokens[2], &request.min_count) || request.min_count < 1) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "minsup '" + tokens[2] + "' is not a positive integer");
+    }
+    arg = 3;
+  } else if (cmd == "SLICE") {
+    if (tokens.size() < 3) {
+      return ErrResponse(
+          StatusCode::kInvalidArgument,
+          "usage: SLICE <node> <level=value>... [MINSUP <n>]");
+    }
+    while (arg < tokens.size()) {
+      if (ToUpper(tokens[arg]) == "MINSUP") {
+        if (arg + 2 != tokens.size() ||
+            !ParseInt64(tokens[arg + 1], &request.min_count) ||
+            request.min_count < 1) {
+          return ErrResponse(StatusCode::kInvalidArgument,
+                             "MINSUP must be followed by a single positive "
+                             "integer at the end of the command");
+        }
+        arg = tokens.size();
+        break;
+      }
+      Result<query::CureQueryEngine::Slice> slice =
+          ParseSliceSpec(server_->schema(), tokens[arg], resolver_);
+      if (!slice.ok()) return ErrResponse(slice.status());
+      request.slices.push_back(*slice);
+      ++arg;
+    }
+    if (request.slices.empty()) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "SLICE requires at least one level=value predicate");
+    }
+  }
+  if (arg != tokens.size()) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "unexpected argument '" + tokens[arg] + "'");
+  }
+
+  QueryResponse response = server_->Submit(std::move(request)).get();
+  if (!response.status.ok()) return ErrResponse(response.status);
+  return FormatQueryResponse(*node, response);
+}
+
+std::string TcpLineServer::FormatQueryResponse(
+    schema::NodeId node, const QueryResponse& response) const {
+  char header[64];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx %s\n",
+                static_cast<unsigned long long>(response.count),
+                static_cast<unsigned long long>(response.checksum),
+                response.cache_hit ? "HIT" : "MISS");
+  std::string out = header;
+
+  if (response.result != nullptr) {
+    // Result rows carry one code per *grouped* dimension, in dimension
+    // order; recover the (dim, level) of each column from the node id.
+    const schema::NodeIdCodec& codec = server_->codec();
+    const std::vector<int> levels = codec.Decode(node);
+    std::vector<std::pair<int, int>> columns;
+    for (int d = 0; d < codec.num_dims(); ++d) {
+      if (levels[d] != codec.all_level(d)) columns.emplace_back(d, levels[d]);
+    }
+    for (const query::ResultSink::Row& row : response.result->rows) {
+      std::string line;
+      for (size_t i = 0; i < row.dims.size(); ++i) {
+        if (!line.empty()) line += '\t';
+        if (decoder_ != nullptr && i < columns.size()) {
+          line += decoder_(columns[i].first, columns[i].second, row.dims[i]);
+        } else {
+          line += std::to_string(row.dims[i]);
+        }
+      }
+      for (const int64_t aggr : row.aggrs) {
+        if (!line.empty()) line += '\t';
+        line += std::to_string(aggr);
+      }
+      out += line;
+      out += '\n';
+    }
+  }
+  out += ".\n";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace cure

@@ -1,0 +1,106 @@
+#ifndef CURE_SERVE_TCP_SERVER_H_
+#define CURE_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/cube_server.h"
+#include "serve/protocol.h"
+
+namespace cure {
+namespace serve {
+
+struct TcpServerOptions {
+  /// Listening port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  int port = 0;
+  /// Concurrent connection cap; excess connections are turned away with an
+  /// ERR line (queries inside a connection are further bounded by the
+  /// CubeServer's admission control).
+  int max_connections = 64;
+};
+
+/// Minimal TCP line-protocol front end over a CubeServer. One thread per
+/// connection; every query line is dispatched through CubeServer::Submit,
+/// so the protocol path exercises the same pool, cache, admission control
+/// and metrics as embedded use.
+///
+/// Protocol (one command per line; responses end with a lone "." line):
+///   QUERY <node>                      e.g. QUERY city,category  |  QUERY ALL
+///   ICEBERG <node> <minsup>           count-iceberg query
+///   SLICE <node> <level=value>... [MINSUP <n>]   sliced (optionally iceberg)
+///   STATS                             metrics text dump
+///   QUIT                              closes the connection
+/// Query responses: "OK <count> <checksum-hex> <HIT|MISS>" then one
+/// tab-separated row per line. Errors: "ERR <CodeName> <message>".
+class TcpLineServer {
+ public:
+  /// Decodes a dimension code for row output (e.g. dictionary lookup);
+  /// codes print numerically when absent.
+  using ValueDecoder =
+      std::function<std::string(int dim, int level, uint32_t code)>;
+
+  /// Binds 127.0.0.1:<port> and starts the accept loop. `server` must
+  /// outlive the returned instance.
+  static Result<std::unique_ptr<TcpLineServer>> Start(
+      CubeServer* server, const TcpServerOptions& options,
+      ValueDecoder decoder = nullptr, SliceValueResolver resolver = nullptr);
+
+  /// Implies Stop().
+  ~TcpLineServer();
+
+  TcpLineServer(const TcpLineServer&) = delete;
+  TcpLineServer& operator=(const TcpLineServer&) = delete;
+
+  /// The bound port (resolves ephemeral port 0).
+  int port() const { return port_; }
+
+  /// Closes the listener and every connection, then joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Executes one protocol line and returns the full response (including
+  /// the terminating ".\n"). Public for protocol-level tests; thread-safe.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  TcpLineServer(CubeServer* server, ValueDecoder decoder,
+                SliceValueResolver resolver)
+      : server_(server),
+        decoder_(std::move(decoder)),
+        resolver_(std::move(resolver)) {}
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  std::string FormatQueryResponse(schema::NodeId node,
+                                  const QueryResponse& response) const;
+
+  CubeServer* server_;
+  ValueDecoder decoder_;
+  SliceValueResolver resolver_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int max_connections_ = 64;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex mu_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace serve
+}  // namespace cure
+
+#endif  // CURE_SERVE_TCP_SERVER_H_

@@ -36,18 +36,18 @@ Status BufferCache::Read(uint64_t row, void* out) const {
     std::memcpy(out, raw, relation_->record_size());
     return Status::OK();
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return relation_->Read(row, out);
 }
 
 const uint8_t* BufferCache::TryRaw(uint64_t row) const {
   if (relation_ == nullptr) return nullptr;
   if (relation_->memory_backed()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return relation_->RawRecord(row);
   }
   if (row < cached_rows_) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return pinned_.data() + row * relation_->record_size();
   }
   return nullptr;

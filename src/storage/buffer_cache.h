@@ -1,6 +1,7 @@
 #ifndef CURE_STORAGE_BUFFER_CACHE_H_
 #define CURE_STORAGE_BUFFER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,10 @@ namespace storage {
 /// cache pins the first `cached_fraction * num_rows` rows in memory;
 /// row reads inside the pinned prefix are served from memory, the rest hit
 /// the underlying storage. Hit/miss counters feed the benchmark reports.
+///
+/// After Init() the cache is immutable apart from the relaxed-atomic hit and
+/// miss counters, so concurrent readers (the serving layer's query workers)
+/// share one instance without locking.
 class BufferCache {
  public:
   BufferCache() = default;
@@ -32,8 +37,8 @@ class BufferCache {
   /// relation is memory-backed, nullptr otherwise.
   const uint8_t* TryRaw(uint64_t row) const;
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t cached_rows() const { return cached_rows_; }
   const Relation* relation() const { return relation_; }
 
@@ -41,8 +46,8 @@ class BufferCache {
   const Relation* relation_ = nullptr;
   uint64_t cached_rows_ = 0;
   std::vector<uint8_t> pinned_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace storage

@@ -1,0 +1,251 @@
+// Concurrency correctness of the serving layer: N client threads firing a
+// random node workload at a shared CubeServer must observe exactly the
+// (count, checksum) pairs the serial CureQueryEngine produces — with the
+// result cache on and off. Built with -fsanitize=thread in the CI tsan job,
+// this also proves the shared read path (engine, buffer cache, cube store)
+// is race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/workload.h"
+#include "serve/cube_server.h"
+#include "serve/tcp_server.h"
+#include "storage/file_io.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::CureQueryEngine;
+using query::ResultSink;
+using schema::NodeId;
+using serve::CubeServer;
+using serve::CubeServerOptions;
+using serve::QueryRequest;
+using serve::QueryResponse;
+
+gen::Dataset MakeHier(uint64_t tuples, uint64_t seed) {
+  gen::Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {24, 6, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {9, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(24)),
+                             static_cast<uint32_t>(rng.NextRange(9)),
+                             static_cast<uint32_t>(rng.NextRange(5))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100));
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+struct Expected {
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+};
+
+/// Builds, persists and reopens a cube (the serving deployment shape), then
+/// checks concurrent == serial for every workload query.
+class ServeConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = MakeHier(1500, 31);
+    CureOptions options;
+    FactInput input{.table = &ds_.table};
+    auto built = BuildCure(ds_.schema, input, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+    dir_ = ::testing::TempDir() + "serve_concurrency";
+    ASSERT_TRUE(storage::EnsureDir(dir_).ok());
+    packed_path_ = dir_ + "/cube.bin";
+    ASSERT_TRUE(
+        (*built)->mutable_store().PersistPacked(packed_path_).ok());
+
+    fact_ = storage::Relation::Memory(ds_.table.RecordSize());
+    ASSERT_TRUE(ds_.table.WriteTo(&fact_).ok());
+    auto cube = engine::CureCube::OpenPersisted(ds_.schema, packed_path_,
+                                                &fact_);
+    ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+    cube_ = std::move(cube).value();
+
+    // Workload: every distinct node once (unique draw), so the serial
+    // baseline below covers each query exactly once.
+    const schema::NodeIdCodec& codec = cube_->store().codec();
+    workload_ = query::RandomNodeWorkload(codec, 72, /*seed=*/7,
+                                          /*unique=*/true);
+    auto serial = CureQueryEngine::Create(cube_.get(), 1.0);
+    ASSERT_TRUE(serial.ok());
+    expected_.resize(workload_.size());
+    for (size_t i = 0; i < workload_.size(); ++i) {
+      ResultSink sink;
+      ASSERT_TRUE((*serial)->QueryNode(workload_[i], &sink).ok());
+      expected_[i] = {sink.count(), sink.checksum()};
+    }
+  }
+
+  /// Fires the whole workload from `num_clients` threads (each thread takes
+  /// a strided share) and checks every response against the serial baseline.
+  void RunClients(CubeServer* server, int num_clients, int rounds) {
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < rounds; ++r) {
+          for (size_t i = c; i < workload_.size();
+               i += static_cast<size_t>(num_clients)) {
+            QueryRequest request;
+            request.node = workload_[i];
+            QueryResponse response = server->Submit(request).get();
+            if (!response.status.ok() ||
+                response.count != expected_[i].count ||
+                response.checksum != expected_[i].checksum) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+  }
+
+  gen::Dataset ds_;
+  storage::Relation fact_;
+  std::string dir_, packed_path_;
+  std::unique_ptr<engine::CureCube> cube_;
+  std::vector<NodeId> workload_;
+  std::vector<Expected> expected_;
+};
+
+TEST_F(ServeConcurrencyTest, ConcurrentEqualsSerialCacheOff) {
+  for (const int clients : {1, 4, 8}) {
+    CubeServerOptions options;
+    options.num_threads = 4;
+    options.max_inflight = 1024;
+    options.cache_bytes = 0;
+    auto server = CubeServer::Create(cube_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    RunClients(server->get(), clients, /*rounds=*/2);
+  }
+}
+
+TEST_F(ServeConcurrencyTest, ConcurrentEqualsSerialCacheOn) {
+  for (const int clients : {1, 4, 8}) {
+    CubeServerOptions options;
+    options.num_threads = 4;
+    options.max_inflight = 1024;
+    options.cache_bytes = 8 << 20;
+    auto server = CubeServer::Create(cube_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    // Two rounds: the second is served mostly from the cache and must be
+    // byte-identical to the serial baseline too.
+    RunClients(server->get(), clients, /*rounds=*/2);
+    EXPECT_GT(server->get()->cache()->stats().hits, 0u);
+  }
+}
+
+TEST_F(ServeConcurrencyTest, ConcurrentSlicedAndIcebergQueries) {
+  CubeServerOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 4 << 20;
+  auto server = CubeServer::Create(cube_.get(), options);
+  ASSERT_TRUE(server.ok());
+  const schema::NodeIdCodec& codec = cube_->store().codec();
+
+  // Serial baselines for a mixed sliced/iceberg request set.
+  struct Mixed {
+    QueryRequest request;
+    Expected expected;
+  };
+  auto serial = CureQueryEngine::Create(cube_.get(), 1.0);
+  ASSERT_TRUE(serial.ok());
+  std::vector<Mixed> mixed;
+  for (uint32_t top = 0; top < 2; ++top) {
+    for (int64_t minsup : {0, 2, 4}) {
+      Mixed m;
+      m.request.node = codec.Encode({0, 0, 1});
+      m.request.slices = {{0, 2, top}};
+      m.request.min_count = minsup;
+      ResultSink sink;
+      ASSERT_TRUE((*serial)
+                      ->QueryNodeSlicedIceberg(m.request.node, m.request.slices,
+                                               minsup > 1 ? 1 : -1, minsup,
+                                               &sink)
+                      .ok());
+      m.expected = {sink.count(), sink.checksum()};
+      mixed.push_back(m);
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < 10; ++r) {
+        for (const Mixed& m : mixed) {
+          QueryResponse response = server->get()->Submit(m.request).get();
+          if (!response.status.ok() || response.count != m.expected.count ||
+              response.checksum != m.expected.checksum) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ServeConcurrencyTest, ConcurrentTcpClients) {
+  CubeServerOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 2 << 20;
+  auto server = CubeServer::Create(cube_.get(), options);
+  ASSERT_TRUE(server.ok());
+  auto tcp = serve::TcpLineServer::Start(server->get(), {});
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  // Several threads hammer HandleLine (the full command path minus the
+  // socket I/O, which the serve_test covers) with overlapping queries.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < 25; ++r) {
+        if ((*tcp)->HandleLine("QUERY A_L1,B_L1").rfind("OK ", 0) != 0) {
+          failures.fetch_add(1);
+        }
+        if ((*tcp)->HandleLine("ICEBERG A_L0 3").rfind("OK ", 0) != 0) {
+          failures.fetch_add(1);
+        }
+        if ((*tcp)->HandleLine("STATS").rfind("OK", 0) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  (*tcp)->Stop();
+}
+
+}  // namespace
+}  // namespace cure

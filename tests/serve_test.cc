@@ -1,0 +1,618 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/histogram.h"
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "query/node_query.h"
+#include "query/reference.h"
+#include "serve/cube_server.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/query_cache.h"
+#include "serve/tcp_server.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::CureQueryEngine;
+using query::ResultSink;
+using schema::NodeId;
+using serve::CubeServer;
+using serve::CubeServerOptions;
+using serve::QueryCache;
+using serve::QueryKey;
+using serve::QueryRequest;
+using serve::QueryResponse;
+using serve::QueryResult;
+using serve::TcpLineServer;
+using serve::TcpServerOptions;
+
+gen::Dataset MakeHier(uint64_t tuples, uint64_t seed) {
+  gen::Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {24, 6, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {9, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t row[3] = {static_cast<uint32_t>(rng.NextRange(24)),
+                             static_cast<uint32_t>(rng.NextRange(9)),
+                             static_cast<uint32_t>(rng.NextRange(5))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(100));
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram h;
+  for (int64_t v = 0; v < 16; ++v) h.Record(v);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 16u);
+  EXPECT_EQ(snap.sum, 120);
+  EXPECT_EQ(snap.max, 15);
+  for (int64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(snap.buckets[LogHistogram::BucketIndex(v)], 1u);
+    EXPECT_EQ(LogHistogram::BucketLowerBound(LogHistogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(LogHistogramTest, BucketBoundsAreMonotone) {
+  int64_t prev = -1;
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    const int64_t lower = LogHistogram::BucketLowerBound(i);
+    EXPECT_GT(lower, prev);
+    EXPECT_EQ(LogHistogram::BucketIndex(lower), i);
+    prev = lower;
+  }
+}
+
+TEST(LogHistogramTest, PercentilesWithinRelativeError) {
+  LogHistogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.max, 1000);
+  EXPECT_NEAR(static_cast<double>(snap.p50), 500.0, 500.0 / 16);
+  EXPECT_NEAR(static_cast<double>(snap.p95), 950.0, 950.0 / 16);
+  EXPECT_NEAR(static_cast<double>(snap.p99), 990.0, 990.0 / 16);
+  EXPECT_DOUBLE_EQ(snap.avg, 500.5);
+}
+
+TEST(LogHistogramTest, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.Record(-5);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordsAllLand) {
+  LogHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 512);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsRegistryTest, CountersAndHistogramsAreStable) {
+  serve::MetricsRegistry registry;
+  serve::Counter* a = registry.counter("a");
+  a->Inc();
+  a->Add(4);
+  EXPECT_EQ(registry.counter("a"), a);  // Same instance on re-lookup.
+  EXPECT_EQ(a->value(), 5u);
+  LogHistogram* h = registry.histogram("lat");
+  h->Record(100);
+  EXPECT_EQ(registry.histogram("lat"), h);
+
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("a 5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_count 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_p50_us"), std::string::npos) << text;
+}
+
+// -------------------------------------------------------------- query cache
+
+QueryKey Key(NodeId node, int64_t min_count = 0) {
+  QueryKey key;
+  key.node = node;
+  key.min_count = min_count;
+  if (min_count > 1) key.count_aggregate = 1;
+  key.Canonicalize();
+  return key;
+}
+
+std::shared_ptr<const QueryResult> MakeResult(uint64_t count, size_t rows) {
+  auto result = std::make_shared<QueryResult>();
+  result->count = count;
+  result->checksum = count * 0x9E3779B97F4A7C15ull;
+  result->rows.resize(rows);
+  for (auto& row : result->rows) {
+    row.dims.assign(4, 7);
+    row.aggrs.assign(2, 42);
+  }
+  return result;
+}
+
+TEST(QueryCacheTest, KeyCanonicalization) {
+  QueryKey a, b;
+  a.node = b.node = 9;
+  a.slices = {{0, 1, 2}, {2, 0, 3}};
+  b.slices = {{2, 0, 3}, {0, 1, 2}};  // Same predicates, different order.
+  a.Canonicalize();
+  b.Canonicalize();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Non-iceberg thresholds collapse: min_count 0 and 1 are the same query.
+  QueryKey c = Key(9, 0), d = Key(9, 1);
+  EXPECT_TRUE(c == d);
+  QueryKey e = Key(9, 5);
+  EXPECT_FALSE(c == e);
+}
+
+TEST(QueryCacheTest, HitMissAndLru) {
+  QueryCache cache(/*capacity_bytes=*/1 << 20, /*num_shards=*/1);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  cache.Insert(Key(1), MakeResult(10, 4));
+  std::shared_ptr<const QueryResult> hit = cache.Lookup(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->count, 10u);
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const uint64_t entry_bytes = MakeResult(1, 8)->ByteSize();
+  // Budget for ~3 entries in one shard.
+  QueryCache cache(3 * entry_bytes + entry_bytes / 2, 1);
+  cache.Insert(Key(1), MakeResult(1, 8));
+  cache.Insert(Key(2), MakeResult(2, 8));
+  cache.Insert(Key(3), MakeResult(3, 8));
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);  // Promote 1; LRU is now 2.
+  cache.Insert(Key(4), MakeResult(4, 8));    // Evicts 2.
+  EXPECT_EQ(cache.Lookup(Key(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(3)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(4)), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, cache.capacity_bytes());
+}
+
+TEST(QueryCacheTest, OversizedEntriesAreNotCached) {
+  QueryCache cache(/*capacity_bytes=*/256, 1);
+  cache.Insert(Key(1), MakeResult(1, 1000));  // Far larger than the budget.
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisablesCache) {
+  QueryCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(Key(1), MakeResult(1, 1));
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCacheTest, ReplacingAnEntryUpdatesBytes) {
+  QueryCache cache(1 << 20, 1);
+  cache.Insert(Key(1), MakeResult(1, 4));
+  const uint64_t bytes_small = cache.stats().bytes;
+  cache.Insert(Key(1), MakeResult(2, 64));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.stats().bytes, bytes_small);
+  std::shared_ptr<const QueryResult> hit = cache.Lookup(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->count, 2u);
+}
+
+// -------------------------------------------------------------- cube server
+
+struct ServerFixture {
+  gen::Dataset ds;
+  std::unique_ptr<engine::CureCube> cube;
+
+  explicit ServerFixture(uint64_t tuples = 800, uint64_t seed = 21) {
+    ds = MakeHier(tuples, seed);
+    CureOptions options;
+    FactInput input{.table = &ds.table};
+    auto built = BuildCure(ds.schema, input, options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    cube = std::move(built).value();
+  }
+
+  std::unique_ptr<CubeServer> MakeServer(CubeServerOptions options = {}) {
+    auto server = CubeServer::Create(cube.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+};
+
+TEST(CubeServerTest, MatchesDirectEngineAcrossNodes) {
+  ServerFixture fx;
+  CubeServerOptions options;
+  options.num_threads = 4;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+
+  auto direct = CureQueryEngine::Create(fx.cube.get(), 1.0);
+  ASSERT_TRUE(direct.ok());
+  const schema::NodeIdCodec& codec = server->codec();
+  for (NodeId node = 0; node < codec.num_nodes(); ++node) {
+    ResultSink expected;
+    ASSERT_TRUE((*direct)->QueryNode(node, &expected).ok());
+    QueryRequest request;
+    request.node = node;
+    QueryResponse response = server->Submit(request).get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.count, expected.count()) << "node " << node;
+    EXPECT_EQ(response.checksum, expected.checksum()) << "node " << node;
+  }
+}
+
+TEST(CubeServerTest, CacheHitsServeIdenticalResults) {
+  ServerFixture fx;
+  CubeServerOptions options;
+  options.cache_bytes = 4 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+
+  QueryRequest request;
+  request.node = server->codec().Encode({0, 0, 1});
+  request.retain_rows = true;
+  QueryResponse miss = server->Submit(request).get();
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.cache_hit);
+  QueryResponse hit = server->Submit(request).get();
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.count, miss.count);
+  EXPECT_EQ(hit.checksum, miss.checksum);
+  ASSERT_NE(hit.result, nullptr);
+  ASSERT_NE(miss.result, nullptr);
+  EXPECT_TRUE(query::SameResults(
+      std::vector<ResultSink::Row>(miss.result->rows),
+      std::vector<ResultSink::Row>(hit.result->rows)));
+  EXPECT_EQ(server->cache()->stats().hits, 1u);
+}
+
+TEST(CubeServerTest, IcebergLocatesCountAggregateAutomatically) {
+  ServerFixture fx;
+  std::unique_ptr<CubeServer> server = fx.MakeServer();
+  QueryRequest request;
+  request.node = server->codec().Encode({1, 0, 0});
+  request.min_count = 3;  // count_aggregate left at -1.
+  QueryResponse response = server->Submit(request).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  auto direct = CureQueryEngine::Create(fx.cube.get(), 1.0);
+  ASSERT_TRUE(direct.ok());
+  ResultSink expected;
+  ASSERT_TRUE(
+      (*direct)->QueryNodeCountIceberg(request.node, 1, 3, &expected).ok());
+  EXPECT_EQ(response.count, expected.count());
+  EXPECT_EQ(response.checksum, expected.checksum());
+}
+
+TEST(CubeServerTest, AdmissionControlRejectsOverflowAndRecovers) {
+  ServerFixture fx(300, 22);
+  CubeServerOptions options;
+  options.num_threads = 1;
+  options.max_inflight = 2;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+
+  // Hold the single worker so submitted queries stay in flight.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  server->set_worker_hook([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+
+  QueryRequest request;
+  request.node = server->codec().Encode({0, 0, 0});
+  std::future<QueryResponse> a = server->Submit(request);  // Running (held).
+  std::future<QueryResponse> b = server->Submit(request);  // Queued.
+  EXPECT_EQ(server->in_flight(), 2);
+  std::future<QueryResponse> c = server->Submit(request);  // Over capacity.
+  QueryResponse rejected = c.get();  // Fails fast, no worker involved.
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server->metrics()->counter("rejected_total")->value(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(a.get().status.ok());
+  EXPECT_TRUE(b.get().status.ok());
+
+  // The server is healthy after rejecting: capacity freed, queries succeed.
+  QueryResponse after = server->Submit(request).get();
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_EQ(server->in_flight(), 0);
+}
+
+TEST(CubeServerTest, QueuedQueryPastDeadlineFails) {
+  ServerFixture fx(300, 23);
+  CubeServerOptions options;
+  options.num_threads = 1;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  server->set_worker_hook([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+
+  QueryRequest blocker;
+  blocker.node = server->codec().Encode({0, 0, 0});
+  std::future<QueryResponse> held = server->Submit(blocker);
+
+  QueryRequest victim = blocker;
+  victim.deadline_seconds = 0.02;
+  std::future<QueryResponse> late = server->Submit(victim);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(held.get().status.ok());
+  QueryResponse response = late.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server->metrics()->counter("deadline_exceeded_total")->value(), 1u);
+}
+
+TEST(CubeServerTest, StatsTextReportsAllSections) {
+  ServerFixture fx(300, 24);
+  CubeServerOptions options;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  QueryRequest request;
+  request.node = server->codec().Encode({1, 1, 1});
+  ASSERT_TRUE(server->Submit(request).get().status.ok());
+  ASSERT_TRUE(server->Submit(request).get().status.ok());  // Cache hit.
+
+  const std::string stats = server->StatsText();
+  EXPECT_NE(stats.find("queries_total 2\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("rejected_total 0\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cache_hits 1\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cache_misses 1\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_latency_count 2\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_latency_p50_us"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_latency_p95_us"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_latency_p99_us"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("in_flight 0\n"), std::string::npos) << stats;
+}
+
+TEST(CubeServerTest, InvalidRequestsAreErrorsNotCrashes) {
+  ServerFixture fx(200, 25);
+  std::unique_ptr<CubeServer> server = fx.MakeServer();
+  // Slicing an ungrouped dimension is rejected by the engine.
+  QueryRequest bad;
+  bad.node = server->codec().Encode({server->codec().all_level(0), 0, 0});
+  bad.slices = {{0, 0, 1}};
+  QueryResponse response = server->Submit(bad).get();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(server->metrics()->counter("queries_errors")->value(), 1u);
+}
+
+// ----------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, ParseNodeSpec) {
+  ServerFixture fx(100, 26);
+  const schema::NodeIdCodec codec(fx.ds.schema);
+  auto all = serve::ParseNodeSpec(fx.ds.schema, codec, "ALL");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, codec.Encode({3, 2, 1}));
+  auto node = serve::ParseNodeSpec(fx.ds.schema, codec, "A_L1,C_L0");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, codec.Encode({1, 2, 0}));
+  EXPECT_FALSE(serve::ParseNodeSpec(fx.ds.schema, codec, "bogus").ok());
+}
+
+TEST(ProtocolTest, ParseSliceSpec) {
+  ServerFixture fx(100, 27);
+  auto slice = serve::ParseSliceSpec(fx.ds.schema, "A_L2=1");
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->dim, 0);
+  EXPECT_EQ(slice->level, 2);
+  EXPECT_EQ(slice->code, 1u);
+  auto scoped = serve::ParseSliceSpec(fx.ds.schema, "B:B_L1=2");
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_EQ(scoped->dim, 1);
+  EXPECT_EQ(scoped->level, 1);
+  EXPECT_FALSE(serve::ParseSliceSpec(fx.ds.schema, "A_L2=99").ok());  // Range.
+  EXPECT_FALSE(serve::ParseSliceSpec(fx.ds.schema, "nope=1").ok());
+  EXPECT_FALSE(serve::ParseSliceSpec(fx.ds.schema, "A_L2").ok());
+  // A resolver takes over value translation.
+  auto resolved = serve::ParseSliceSpec(
+      fx.ds.schema, "A_L2=one",
+      [](int, int, const std::string& value) -> Result<uint32_t> {
+        return value == "one" ? Result<uint32_t>(1u)
+                              : Result<uint32_t>(Status::NotFound(value));
+      });
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->code, 1u);
+}
+
+// --------------------------------------------------------------- tcp server
+
+/// Minimal blocking line-protocol client for loopback tests.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  /// Sends one command; returns the response lines up to (excluding) ".".
+  std::vector<std::string> Roundtrip(const std::string& command) {
+    const std::string out = command + "\n";
+    EXPECT_EQ(::send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::vector<std::string> lines;
+    std::string line;
+    char c;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) break;
+      if (c != '\n') {
+        line += c;
+        continue;
+      }
+      if (line == ".") return lines;
+      lines.push_back(line);
+      line.clear();
+    }
+    ADD_FAILURE() << "connection closed before '.' terminator";
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(TcpLineServerTest, ServesQueriesOverLoopback) {
+  ServerFixture fx(600, 28);
+  CubeServerOptions options;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  ASSERT_GT((*tcp)->port(), 0);
+
+  LineClient client((*tcp)->port());
+  ASSERT_TRUE(client.connected());
+
+  // Plain query: header row count must match the reported count.
+  std::vector<std::string> lines = client.Roundtrip("QUERY A_L1,B_L1");
+  ASSERT_FALSE(lines.empty());
+  ASSERT_EQ(lines[0].rfind("OK ", 0), 0u) << lines[0];
+  unsigned long long count = 0;
+  char hitmiss[8] = {0};
+  ASSERT_EQ(std::sscanf(lines[0].c_str(), "OK %llu %*s %7s", &count, hitmiss),
+            2);
+  EXPECT_EQ(std::string(hitmiss), "MISS");
+  EXPECT_EQ(lines.size() - 1, count);
+  {
+    ResultSink expected;
+    auto direct = CureQueryEngine::Create(fx.cube.get(), 1.0);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(
+        (*direct)->QueryNode(server->codec().Encode({1, 1, 1}), &expected).ok());
+    EXPECT_EQ(count, expected.count());
+  }
+
+  // Same query again: served from cache.
+  lines = client.Roundtrip("QUERY A_L1,B_L1");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("HIT"), std::string::npos) << lines[0];
+
+  // Iceberg and slice commands.
+  lines = client.Roundtrip("ICEBERG A_L0 4");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("OK ", 0), 0u) << lines[0];
+  lines = client.Roundtrip("SLICE A_L0,B_L0 A_L2=1 MINSUP 2");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("OK ", 0), 0u) << lines[0];
+
+  // STATS reports the protocol traffic so far.
+  lines = client.Roundtrip("STATS");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "OK");
+  std::string stats;
+  for (const std::string& l : lines) stats += l + "\n";
+  EXPECT_NE(stats.find("queries_total 4"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cache_hits 1"), std::string::npos) << stats;
+
+  // Errors keep the connection alive.
+  lines = client.Roundtrip("FROBNICATE");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("ERR InvalidArgument", 0), 0u) << lines[0];
+  lines = client.Roundtrip("QUERY bogus_level");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("ERR NotFound", 0), 0u) << lines[0];
+  lines = client.Roundtrip("ICEBERG A_L0 nope");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("ERR InvalidArgument", 0), 0u) << lines[0];
+  lines = client.Roundtrip("QUERY A_L0,B_L0");  // Still serving.
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0].rfind("OK ", 0), 0u) << lines[0];
+
+  (*tcp)->Stop();
+}
+
+TEST(TcpLineServerTest, HandleLineRejectsMalformedCommands) {
+  ServerFixture fx(100, 29);
+  std::unique_ptr<CubeServer> server = fx.MakeServer();
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ((*tcp)->HandleLine("").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ((*tcp)->HandleLine("QUERY").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ((*tcp)->HandleLine("ICEBERG A_L0").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(
+      (*tcp)->HandleLine("ICEBERG A_L0 0").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ((*tcp)->HandleLine("SLICE A_L0").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(
+      (*tcp)->HandleLine("SLICE A_L0 MINSUP 2").rfind("ERR InvalidArgument", 0),
+      0u);
+  EXPECT_EQ((*tcp)
+                ->HandleLine("QUERY A_L0 trailing")
+                .rfind("ERR InvalidArgument", 0),
+            0u);
+  // A well-formed line still works through the same entry point.
+  EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2").rfind("OK ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace cure

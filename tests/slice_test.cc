@@ -169,6 +169,61 @@ TEST(SliceTest, RejectsSliceOnUngroupedOrCoarserDim) {
       (*engine)->QueryNodeSliced(codec.Encode({0, 0, 0}), {{9, 0, 1}}, &sink).ok());
 }
 
+TEST(SliceTest, CombinedSliceAndIceberg) {
+  gen::Dataset ds = MakeHier(1200, 17);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  // Node (A@1, B@0) sliced on A's top level, HAVING count >= 3. A slice
+  // selects whole groups, so filtering commutes with the iceberg predicate.
+  const NodeId node = codec.Encode({1, 0, 1});
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 2, 0}};
+  const int64_t min_count = 3;
+  ResultSink sink(true);
+  ASSERT_TRUE((*engine)
+                  ->QueryNodeSlicedIceberg(node, slices, /*count_aggregate=*/1,
+                                           min_count, &sink)
+                  .ok());
+  EXPECT_GT(sink.count(), 0u);
+  auto iceberg = query::ReferenceNodeResult(ds.schema, ds.table, node,
+                                            /*min_support=*/min_count);
+  ASSERT_TRUE(iceberg.ok());
+  auto expected = FilterReference(ds.schema, codec.Decode(node),
+                                  std::move(iceberg).value(), slices);
+  EXPECT_TRUE(query::SameResults(sink.TakeRows(), std::move(expected)));
+}
+
+TEST(SliceTest, CombinedSliceAndIcebergDegenerateCases) {
+  gen::Dataset ds = MakeHier(500, 18);
+  CureOptions options;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  auto engine = CureQueryEngine::Create(cube->get(), 1.0);
+  ASSERT_TRUE(engine.ok());
+  const schema::NodeIdCodec& codec = (*cube)->store().codec();
+  const NodeId node = codec.Encode({0, 1, 0});
+  const std::vector<CureQueryEngine::Slice> slices = {{1, 1, 1}};
+  // min_count <= 1 degenerates to a plain sliced query.
+  ResultSink sliced(false), degenerate(false);
+  ASSERT_TRUE((*engine)->QueryNodeSliced(node, slices, &sliced).ok());
+  ASSERT_TRUE(
+      (*engine)->QueryNodeSlicedIceberg(node, slices, 1, 1, &degenerate).ok());
+  EXPECT_EQ(sliced.count(), degenerate.count());
+  EXPECT_EQ(sliced.checksum(), degenerate.checksum());
+  // Empty slice list degenerates to a plain count-iceberg query.
+  ResultSink iceberg(false), no_slices(false);
+  ASSERT_TRUE((*engine)->QueryNodeCountIceberg(node, 1, 4, &iceberg).ok());
+  ASSERT_TRUE(
+      (*engine)->QueryNodeSlicedIceberg(node, {}, 1, 4, &no_slices).ok());
+  EXPECT_EQ(iceberg.count(), no_slices.count());
+  EXPECT_EQ(iceberg.checksum(), no_slices.checksum());
+}
+
 TEST(SliceTest, WorksOnExternalAndPostProcessedCubes) {
   gen::Dataset ds = MakeHier(900, 16);
   storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());

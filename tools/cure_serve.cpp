@@ -1,0 +1,56 @@
+// cure_serve — TCP line-protocol server over a persisted CURE cube
+// directory (as written by `cure_tool build`).
+//
+//   cure_serve <cubedir> [--port P] [--threads N] [--cache-mb M]
+//              [--max-inflight N] [--deadline-ms D]
+//
+// Binds 127.0.0.1 (port 0 = ephemeral, printed on startup) and serves until
+// stdin closes. Protocol: see serve/tcp_server.h.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tool_common.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cure_serve <cubedir> [--port P] [--threads N] "
+               "[--cache-mb M] [--max-inflight N] [--deadline-ms D]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string dir = argv[1];
+  cure::serve::CubeServerOptions server_options;
+  cure::serve::TcpServerOptions tcp_options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      tcp_options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      server_options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      server_options.cache_bytes = std::strtoull(argv[++i], nullptr, 10) << 20;
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      server_options.max_inflight = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      server_options.default_deadline_seconds = std::atof(argv[++i]) / 1000.0;
+    } else {
+      return Usage();
+    }
+  }
+
+  cure::Result<std::unique_ptr<cure::tools::OpenedCube>> opened =
+      cure::tools::OpenCubeDir(dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  return cure::tools::RunServeLoop(opened->get(), server_options, tcp_options);
+}

@@ -4,8 +4,10 @@
 //
 //   cure_tool build <data.csv> <spec.txt> <outdir> [--dr] [--plus] [--minsup N]
 //   cure_tool info  <outdir>
-//   cure_tool query <outdir> <node>        e.g.  country,category
+//   cure_tool query <outdir> <node> [--slice dim:level=value]... [--minsup N]
+//                                          e.g.  country,category
 //                                          or    city,category  or  ALL
+//   cure_tool serve <outdir> [--port P] [--threads N] [--cache-mb M]
 //
 // The spec file (see etl/loader.h):
 //   dim region city country continent
@@ -27,8 +29,10 @@
 #include "etl/loader.h"
 #include "etl/schema_io.h"
 #include "query/node_query.h"
+#include "serve/protocol.h"
 #include "storage/file_io.h"
 #include "storage/relation.h"
+#include "tool_common.h"
 
 namespace {
 
@@ -47,7 +51,10 @@ int Usage() {
                "  cure_tool build <data.csv> <spec.txt> <outdir> [--dr] "
                "[--plus] [--minsup N]\n"
                "  cure_tool info  <outdir>\n"
-               "  cure_tool query <outdir> <level[,level...]|ALL>\n");
+               "  cure_tool query <outdir> <level[,level...]|ALL> "
+               "[--slice [dim:]level=value]... [--minsup N]\n"
+               "  cure_tool serve <outdir> [--port P] [--threads N] "
+               "[--cache-mb M] [--max-inflight N]\n");
   return 2;
 }
 
@@ -128,40 +135,8 @@ int RunBuild(int argc, char** argv) {
   return 0;
 }
 
-struct OpenedCube {
-  cure::schema::CubeSchema schema;
-  cure::storage::Relation fact;
-  std::unique_ptr<cure::engine::CureCube> cube;
-  std::vector<std::vector<cure::etl::Dictionary>> dictionaries;
-};
-
-Result<std::unique_ptr<OpenedCube>> OpenCubeDir(const std::string& dir) {
-  auto opened = std::make_unique<OpenedCube>();
-  CURE_ASSIGN_OR_RETURN(std::string schema_text,
-                        cure::etl::ReadFileToString(dir + "/schema.txt"));
-  CURE_ASSIGN_OR_RETURN(opened->schema,
-                        cure::etl::DeserializeSchema(schema_text));
-  const size_t fact_record = 4ull * opened->schema.num_dims() +
-                             8ull * opened->schema.num_raw_measures();
-  CURE_ASSIGN_OR_RETURN(
-      opened->fact,
-      cure::storage::Relation::OpenFile(dir + "/fact.bin", fact_record));
-  CURE_ASSIGN_OR_RETURN(opened->cube,
-                        cure::engine::CureCube::OpenPersisted(
-                            opened->schema, dir + "/cube.bin", &opened->fact));
-  opened->dictionaries.resize(opened->schema.num_dims());
-  for (int d = 0; d < opened->schema.num_dims(); ++d) {
-    opened->dictionaries[d].resize(opened->schema.dim(d).num_levels());
-    for (int l = 0; l < opened->schema.dim(d).num_levels(); ++l) {
-      const std::string path =
-          dir + "/dict_" + std::to_string(d) + "_" + std::to_string(l) + ".txt";
-      CURE_ASSIGN_OR_RETURN(std::string data, cure::etl::ReadFileToString(path));
-      CURE_ASSIGN_OR_RETURN(opened->dictionaries[d][l],
-                            cure::etl::Dictionary::Deserialize(data));
-    }
-  }
-  return opened;
-}
+using cure::tools::OpenCubeDir;
+using cure::tools::OpenedCube;
 
 int RunInfo(int argc, char** argv) {
   if (argc < 3) return Usage();
@@ -199,37 +174,43 @@ int RunQuery(int argc, char** argv) {
   const cure::schema::CubeSchema& schema = (*opened)->schema;
   const cure::schema::NodeIdCodec& codec = (*opened)->cube->store().codec();
 
-  // Parse the node: comma-separated level-column names (or "ALL").
-  std::vector<int> levels(schema.num_dims());
-  for (int d = 0; d < schema.num_dims(); ++d) levels[d] = codec.all_level(d);
-  std::vector<int> grouped_dims;
-  const std::string node_text = argv[3];
-  if (node_text != "ALL") {
-    size_t start = 0;
-    while (start <= node_text.size()) {
-      size_t end = node_text.find(',', start);
-      if (end == std::string::npos) end = node_text.size();
-      const std::string level_name = node_text.substr(start, end - start);
-      start = end + 1;
-      if (level_name.empty()) continue;
-      bool found = false;
-      for (int d = 0; d < schema.num_dims() && !found; ++d) {
-        for (int l = 0; l < schema.dim(d).num_levels(); ++l) {
-          if (schema.dim(d).level(l).name == level_name) {
-            levels[d] = l;
-            found = true;
-            break;
-          }
-        }
-      }
-      if (!found) {
-        std::fprintf(stderr, "error: no hierarchy level named '%s'\n",
-                     level_name.c_str());
-        return 1;
-      }
-      if (start > node_text.size()) break;
+  Result<cure::schema::NodeId> node =
+      cure::serve::ParseNodeSpec(schema, codec, argv[3]);
+  if (!node.ok()) return Fail(node.status());
+
+  // Optional slice predicates and iceberg threshold.
+  std::vector<cure::query::CureQueryEngine::Slice> slices;
+  int64_t min_count = 0;
+  const cure::serve::SliceValueResolver resolver =
+      cure::tools::MakeDictResolver(opened->get());
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slice") == 0 && i + 1 < argc) {
+      Result<cure::query::CureQueryEngine::Slice> slice =
+          cure::serve::ParseSliceSpec(schema, argv[++i], resolver);
+      if (!slice.ok()) return Fail(slice.status());
+      slices.push_back(*slice);
+    } else if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
+      min_count = std::strtoll(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
     }
   }
+  int count_aggregate = -1;
+  if (min_count > 1) {
+    for (int y = 0; y < schema.num_aggregates(); ++y) {
+      if (schema.aggregate(y).fn == cure::schema::AggFn::kCount) {
+        count_aggregate = y;
+        break;
+      }
+    }
+    if (count_aggregate < 0) {
+      return Fail(Status::InvalidArgument(
+          "--minsup requires a COUNT aggregate in the schema"));
+    }
+  }
+
+  const std::vector<int> levels = codec.Decode(*node);
+  std::vector<int> grouped_dims;
   for (int d = 0; d < schema.num_dims(); ++d) {
     if (levels[d] != codec.all_level(d)) grouped_dims.push_back(d);
   }
@@ -238,7 +219,8 @@ int RunQuery(int argc, char** argv) {
       cure::query::CureQueryEngine::Create((*opened)->cube.get(), 1.0);
   if (!engine.ok()) return Fail(engine.status());
   cure::query::ResultSink sink(/*retain=*/true);
-  Status s = (*engine)->QueryNode(codec.Encode(levels), &sink);
+  Status s = (*engine)->QueryNodeSlicedIceberg(*node, slices, count_aggregate,
+                                               min_count, &sink);
   if (!s.ok()) return Fail(s);
 
   // Header.
@@ -263,6 +245,28 @@ int RunQuery(int argc, char** argv) {
   return 0;
 }
 
+int RunServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  cure::serve::CubeServerOptions server_options;
+  cure::serve::TcpServerOptions tcp_options;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      tcp_options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      server_options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      server_options.cache_bytes = std::strtoull(argv[++i], nullptr, 10) << 20;
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      server_options.max_inflight = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  Result<std::unique_ptr<OpenedCube>> opened = OpenCubeDir(argv[2]);
+  if (!opened.ok()) return Fail(opened.status());
+  return cure::tools::RunServeLoop(opened->get(), server_options, tcp_options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,5 +274,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return RunServe(argc, argv);
   return Usage();
 }

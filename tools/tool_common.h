@@ -1,0 +1,113 @@
+// Shared helpers for the command-line tools: opening a persisted cube
+// directory (cube + fact relation + schema + dictionaries) and running the
+// TCP serving loop used by both `cure_serve` and `cure_tool serve`.
+#ifndef CURE_TOOLS_TOOL_COMMON_H_
+#define CURE_TOOLS_TOOL_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cure.h"
+#include "etl/loader.h"
+#include "etl/schema_io.h"
+#include "serve/cube_server.h"
+#include "serve/tcp_server.h"
+#include "storage/relation.h"
+
+namespace cure {
+namespace tools {
+
+/// A persisted cube directory opened for querying: schema, fact relation,
+/// the cube itself, and the per-(dim, level) string dictionaries.
+struct OpenedCube {
+  schema::CubeSchema schema;
+  storage::Relation fact;
+  std::unique_ptr<engine::CureCube> cube;
+  std::vector<std::vector<etl::Dictionary>> dictionaries;
+};
+
+inline Result<std::unique_ptr<OpenedCube>> OpenCubeDir(const std::string& dir) {
+  auto opened = std::make_unique<OpenedCube>();
+  CURE_ASSIGN_OR_RETURN(std::string schema_text,
+                        etl::ReadFileToString(dir + "/schema.txt"));
+  CURE_ASSIGN_OR_RETURN(opened->schema, etl::DeserializeSchema(schema_text));
+  const size_t fact_record = 4ull * opened->schema.num_dims() +
+                             8ull * opened->schema.num_raw_measures();
+  CURE_ASSIGN_OR_RETURN(
+      opened->fact,
+      storage::Relation::OpenFile(dir + "/fact.bin", fact_record));
+  CURE_ASSIGN_OR_RETURN(opened->cube,
+                        engine::CureCube::OpenPersisted(
+                            opened->schema, dir + "/cube.bin", &opened->fact));
+  opened->dictionaries.resize(opened->schema.num_dims());
+  for (int d = 0; d < opened->schema.num_dims(); ++d) {
+    opened->dictionaries[d].resize(opened->schema.dim(d).num_levels());
+    for (int l = 0; l < opened->schema.dim(d).num_levels(); ++l) {
+      const std::string path =
+          dir + "/dict_" + std::to_string(d) + "_" + std::to_string(l) + ".txt";
+      CURE_ASSIGN_OR_RETURN(std::string data, etl::ReadFileToString(path));
+      CURE_ASSIGN_OR_RETURN(opened->dictionaries[d][l],
+                            etl::Dictionary::Deserialize(data));
+    }
+  }
+  return opened;
+}
+
+/// Slice values like France in `country=France` resolve through the cube's
+/// dictionaries. `opened` must outlive the returned resolver.
+inline serve::SliceValueResolver MakeDictResolver(const OpenedCube* opened) {
+  return [opened](int dim, int level,
+                  const std::string& value) -> Result<uint32_t> {
+    return opened->dictionaries[dim][level].Lookup(value);
+  };
+}
+
+/// Row output decodes dimension codes back to their strings.
+inline serve::TcpLineServer::ValueDecoder MakeDictDecoder(
+    const OpenedCube* opened) {
+  return [opened](int dim, int level, uint32_t code) -> std::string {
+    const etl::Dictionary& dict = opened->dictionaries[dim][level];
+    if (code < dict.size()) return dict.Decode(code);
+    return std::to_string(code);
+  };
+}
+
+/// Serves `opened` over the TCP line protocol until stdin reaches EOF (or a
+/// lone "quit" line). Shared by `cure_serve` and `cure_tool serve`.
+inline int RunServeLoop(const OpenedCube* opened,
+                        const serve::CubeServerOptions& server_options,
+                        const serve::TcpServerOptions& tcp_options) {
+  Result<std::unique_ptr<serve::CubeServer>> server =
+      serve::CubeServer::Create(opened->cube.get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<serve::TcpLineServer>> tcp = serve::TcpLineServer::Start(
+      server->get(), tcp_options, MakeDictDecoder(opened),
+      MakeDictResolver(opened));
+  if (!tcp.ok()) {
+    std::fprintf(stderr, "error: %s\n", tcp.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%d (%d workers, cache %llu bytes)\n",
+              (*tcp)->port(), (*server)->options().num_threads,
+              static_cast<unsigned long long>((*server)->options().cache_bytes));
+  std::printf("commands: QUERY <node> | ICEBERG <node> <minsup> | "
+              "SLICE <node> <level=value>... [MINSUP n] | STATS | QUIT\n");
+  std::fflush(stdout);
+  char line[256];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    if (std::string(line) == "quit\n" || std::string(line) == "quit") break;
+  }
+  (*tcp)->Stop();
+  std::printf("--- final stats ---\n%s", (*server)->StatsText().c_str());
+  return 0;
+}
+
+}  // namespace tools
+}  // namespace cure
+
+#endif  // CURE_TOOLS_TOOL_COMMON_H_
