@@ -18,6 +18,7 @@ enum class StatusCode {
   kIoError,
   kResourceExhausted,
   kDeadlineExceeded,
+  kFailedPrecondition,
   kInternal,
   kUnimplemented,
 };
@@ -58,6 +59,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

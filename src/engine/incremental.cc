@@ -419,20 +419,29 @@ Result<UpdateStats> ApplyDelta(CureCube* cube, const FactTable& table,
         "ApplyDelta requires the fact table the cube was built from (with "
         "delta rows appended)");
   }
+  // Precondition failures are distinct (kFailedPrecondition) from argument
+  // errors: the serving layer's refresh path keys its delta-vs-rebuild
+  // decision on this code (a violated precondition means "rebuild instead",
+  // a bad argument means "fail the refresh").
   if (cube->spilled()) {
-    return Status::InvalidArgument("cannot update a disk-resident cube in place");
+    return Status::FailedPrecondition(
+        "ApplyDelta requires an in-memory cube: this cube is spilled "
+        "(disk-resident) and cannot be updated in place");
   }
   if (cube->partition_level() >= 0) {
-    return Status::Unimplemented(
-        "incremental updates of externally built (partitioned) cubes are not "
-        "supported");
+    return Status::FailedPrecondition(
+        "ApplyDelta requires an in-memory-built cube: this cube was built "
+        "externally (partitioned, partition_level >= 0)");
   }
   if (cube->stats().min_support > 1) {
-    return Status::Unimplemented("incremental updates of iceberg cubes are not "
-                                 "supported");
+    return Status::FailedPrecondition(
+        "ApplyDelta requires a complete cube: this cube is an iceberg cube "
+        "(min_support > 1)");
   }
   if (cube->plan_style() != plan::ExecutionPlan::Style::kTall) {
-    return Status::InvalidArgument("incremental updates require the tall plan");
+    return Status::FailedPrecondition(
+        "ApplyDelta requires the tall execution plan: this cube was built "
+        "with the short plan");
   }
   if (table.num_rows() < old_rows) {
     return Status::InvalidArgument("old_rows exceeds the table size");

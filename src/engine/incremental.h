@@ -37,9 +37,12 @@ struct UpdateStats {
 ///    is tombstoned and the merged tuple rewritten (as an NT).
 ///
 /// Requirements: an in-memory (not spilled), complete (min_support == 1),
-/// in-memory-built (non-partitioned) cube. Post-processed cubes are
-/// supported: affected bitmaps/sorted lists are rebuilt as plain TT lists
-/// (re-run CurePostProcess afterwards if desired).
+/// in-memory-built (non-partitioned) cube on the tall plan. A violated
+/// requirement returns kFailedPrecondition naming it — callers (the
+/// maintenance layer's refresh job) treat that code as "fall back to a
+/// staged rebuild". Post-processed cubes are supported: affected
+/// bitmaps/sorted lists are rebuilt as plain TT lists (re-run
+/// CurePostProcess afterwards if desired).
 Result<UpdateStats> ApplyDelta(CureCube* cube, const schema::FactTable& table,
                                uint64_t old_rows);
 

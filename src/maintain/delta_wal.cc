@@ -1,0 +1,147 @@
+#include "maintain/delta_wal.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+
+namespace cure {
+namespace maintain {
+
+void RowBatch::Add(const uint32_t* dims, const int64_t* measures) {
+  const size_t off = packed_.size();
+  packed_.resize(off + record_size_);
+  std::memcpy(packed_.data() + off, dims, 4ull * num_dims_);
+  std::memcpy(packed_.data() + off + 4ull * num_dims_, measures,
+              8ull * num_measures_);
+  ++rows_;
+}
+
+uint64_t DeltaWal::Checksum(const uint8_t* data, size_t len) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+Result<std::unique_ptr<DeltaWal>> DeltaWal::Open(const std::string& path,
+                                                 int num_dims, int num_measures,
+                                                 const RowCallback& on_row,
+                                                 WalRecoveryStats* stats) {
+  auto wal =
+      std::unique_ptr<DeltaWal>(new DeltaWal(path, num_dims, num_measures));
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+  if (!exists) {
+    // Fresh WAL: write and sync the file header so an immediate crash
+    // leaves a replayable (empty) log.
+    CURE_RETURN_IF_ERROR(wal->writer_.Open(path, 1 << 16));
+    const uint64_t magic = kFileMagic;
+    const uint32_t d = static_cast<uint32_t>(num_dims);
+    const uint32_t m = static_cast<uint32_t>(num_measures);
+    CURE_RETURN_IF_ERROR(wal->writer_.Append(&magic, 8));
+    CURE_RETURN_IF_ERROR(wal->writer_.Append(&d, 4));
+    CURE_RETURN_IF_ERROR(wal->writer_.Append(&m, 4));
+    CURE_RETURN_IF_ERROR(wal->writer_.Sync());
+    wal->file_bytes_ = kFileHeaderSize;
+    if (stats != nullptr) *stats = wal->recovery_;
+    return wal;
+  }
+
+  // Replay: deliver committed frames, find the committed prefix length.
+  Stopwatch watch;
+  storage::FileReader reader;
+  CURE_RETURN_IF_ERROR(reader.Open(path));
+  const uint64_t file_size = reader.file_size();
+  if (file_size < kFileHeaderSize) {
+    // Torn header (crash during creation): recreate the file from scratch.
+    reader.Close();
+    CURE_RETURN_IF_ERROR(storage::RemoveFile(path));
+    wal->recovery_.truncated_bytes = file_size;
+    wal->recovery_.seconds = watch.ElapsedSeconds();
+    CURE_ASSIGN_OR_RETURN(std::unique_ptr<DeltaWal> fresh,
+                          Open(path, num_dims, num_measures, on_row, nullptr));
+    fresh->recovery_ = wal->recovery_;
+    if (stats != nullptr) *stats = fresh->recovery_;
+    return fresh;
+  }
+  uint64_t magic = 0;
+  uint32_t d = 0, m = 0;
+  CURE_RETURN_IF_ERROR(reader.ReadAt(0, &magic, 8));
+  CURE_RETURN_IF_ERROR(reader.ReadAt(8, &d, 4));
+  CURE_RETURN_IF_ERROR(reader.ReadAt(12, &m, 4));
+  if (magic != kFileMagic) {
+    return Status::IoError("'" + path + "' is not a CURE delta WAL");
+  }
+  if (d != static_cast<uint32_t>(num_dims) ||
+      m != static_cast<uint32_t>(num_measures)) {
+    return Status::InvalidArgument(
+        "WAL '" + path + "' was written for " + std::to_string(d) + " dims / " +
+        std::to_string(m) + " measures, expected " + std::to_string(num_dims) +
+        " / " + std::to_string(num_measures));
+  }
+
+  const size_t record_size = wal->record_size_;
+  uint64_t committed = kFileHeaderSize;
+  std::vector<uint8_t> payload;
+  while (committed + kFrameHeaderSize <= file_size) {
+    uint32_t frame_magic = 0, row_count = 0;
+    uint64_t checksum = 0;
+    CURE_RETURN_IF_ERROR(reader.ReadAt(committed, &frame_magic, 4));
+    CURE_RETURN_IF_ERROR(reader.ReadAt(committed + 4, &row_count, 4));
+    CURE_RETURN_IF_ERROR(reader.ReadAt(committed + 8, &checksum, 8));
+    if (frame_magic != kFrameMagic || row_count == 0) break;
+    const uint64_t payload_bytes = static_cast<uint64_t>(row_count) * record_size;
+    if (committed + kFrameHeaderSize + payload_bytes > file_size) break;
+    payload.resize(payload_bytes);
+    CURE_RETURN_IF_ERROR(
+        reader.ReadAt(committed + kFrameHeaderSize, payload.data(), payload_bytes));
+    if (Checksum(payload.data(), payload_bytes) != checksum) break;
+    if (on_row) {
+      for (uint32_t r = 0; r < row_count; ++r) {
+        on_row(payload.data() + static_cast<uint64_t>(r) * record_size);
+      }
+    }
+    wal->total_rows_ += row_count;
+    ++wal->total_batches_;
+    committed += kFrameHeaderSize + payload_bytes;
+  }
+  CURE_RETURN_IF_ERROR(reader.Close());
+
+  wal->recovery_.batches = wal->total_batches_;
+  wal->recovery_.rows = wal->total_rows_;
+  wal->recovery_.truncated_bytes = file_size - committed;
+  if (committed < file_size) {
+    CURE_RETURN_IF_ERROR(storage::TruncateFile(path, committed));
+  }
+  CURE_RETURN_IF_ERROR(
+      wal->writer_.Open(path, 1 << 16, storage::FileWriter::OpenMode::kAppend));
+  wal->file_bytes_ = committed;
+  wal->recovery_.seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = wal->recovery_;
+  return wal;
+}
+
+Status DeltaWal::AppendBatch(const RowBatch& batch) {
+  if (batch.record_size() != record_size_) {
+    return Status::InvalidArgument("RowBatch record size does not match WAL");
+  }
+  if (batch.rows() == 0) return Status::OK();
+  const uint32_t row_count = static_cast<uint32_t>(batch.rows());
+  const uint64_t checksum = Checksum(batch.data(), batch.bytes());
+  CURE_RETURN_IF_ERROR(writer_.Append(&kFrameMagic, 4));
+  CURE_RETURN_IF_ERROR(writer_.Append(&row_count, 4));
+  CURE_RETURN_IF_ERROR(writer_.Append(&checksum, 8));
+  CURE_RETURN_IF_ERROR(writer_.Append(batch.data(), batch.bytes()));
+  CURE_RETURN_IF_ERROR(writer_.Sync());  // Commit point.
+  total_rows_ += batch.rows();
+  ++total_batches_;
+  file_bytes_ += kFrameHeaderSize + batch.bytes();
+  return Status::OK();
+}
+
+}  // namespace maintain
+}  // namespace cure

@@ -1,0 +1,128 @@
+#ifndef CURE_MAINTAIN_DELTA_WAL_H_
+#define CURE_MAINTAIN_DELTA_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_io.h"
+
+namespace cure {
+namespace maintain {
+
+/// A batch of fact rows in packed record form: each record is the fact
+/// table's fixed-width binary layout, [D x u32 leaf codes][M x i64 raw
+/// measures]. The unit of WAL commit and of refresh application.
+class RowBatch {
+ public:
+  RowBatch(int num_dims, int num_measures)
+      : num_dims_(num_dims),
+        num_measures_(num_measures),
+        record_size_(4ull * num_dims + 8ull * num_measures) {}
+
+  void Add(const uint32_t* dims, const int64_t* measures);
+
+  int num_dims() const { return num_dims_; }
+  int num_measures() const { return num_measures_; }
+  size_t record_size() const { return record_size_; }
+  uint64_t rows() const { return rows_; }
+  uint64_t bytes() const { return packed_.size(); }
+  const uint8_t* data() const { return packed_.data(); }
+  void Clear() {
+    packed_.clear();
+    rows_ = 0;
+  }
+
+ private:
+  int num_dims_;
+  int num_measures_;
+  size_t record_size_;
+  uint64_t rows_ = 0;
+  std::vector<uint8_t> packed_;
+};
+
+/// Outcome of WAL replay at open: how much committed data was recovered and
+/// whether a torn tail (a crash mid-append) had to be truncated away.
+struct WalRecoveryStats {
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  uint64_t truncated_bytes = 0;  ///< torn-tail bytes discarded
+  double seconds = 0;
+};
+
+/// Durable write-ahead log of appended fact rows.
+///
+/// File layout:
+///   [file header: u64 magic "CUREWAL1" | u32 num_dims | u32 num_measures]
+///   [frame]*
+/// Frame layout (one committed batch):
+///   [u32 frame magic | u32 row_count | u64 FNV-1a checksum of the payload |
+///    payload: row_count fixed-width records]
+///
+/// Append goes through storage::FileWriter (buffered) and commits with
+/// Sync() (fsync) — a batch is durable exactly when AppendBatch returns OK.
+/// Open replays the file front to back, stops at the first frame that is
+/// incomplete or fails its checksum (a torn write), truncates the file to
+/// the committed prefix, and re-opens for append. After `kill -9` at any
+/// byte, replay recovers exactly the batches whose AppendBatch completed.
+///
+/// Not internally synchronized: callers (LiveCube) serialize AppendBatch.
+class DeltaWal {
+ public:
+  static constexpr uint64_t kFileMagic = 0x3157414C45525543ull;  // "CUREWAL1"
+  static constexpr uint32_t kFrameMagic = 0x43574652u;           // "CWFR"
+  static constexpr size_t kFileHeaderSize = 8 + 4 + 4;
+  static constexpr size_t kFrameHeaderSize = 4 + 4 + 8;
+
+  /// Receives one recovered packed record during replay.
+  using RowCallback = std::function<void(const uint8_t* record)>;
+
+  /// Opens (creating if missing) the WAL at `path` for rows of `num_dims`
+  /// dimensions and `num_measures` raw measures. An existing file is
+  /// replayed: every committed record is delivered to `on_row` in append
+  /// order and a torn tail is truncated. Fails if an existing header's
+  /// shape does not match.
+  static Result<std::unique_ptr<DeltaWal>> Open(const std::string& path,
+                                                int num_dims, int num_measures,
+                                                const RowCallback& on_row,
+                                                WalRecoveryStats* stats = nullptr);
+
+  /// Appends one batch as a single frame and fsyncs. Durable on OK return.
+  /// Empty batches are a no-op.
+  Status AppendBatch(const RowBatch& batch);
+
+  uint64_t total_rows() const { return total_rows_; }        ///< committed rows
+  uint64_t total_batches() const { return total_batches_; }  ///< committed frames
+  uint64_t file_bytes() const { return file_bytes_; }
+  size_t record_size() const { return record_size_; }
+  const std::string& path() const { return path_; }
+  const WalRecoveryStats& recovery() const { return recovery_; }
+
+  /// FNV-1a 64-bit over `len` bytes — the frame checksum.
+  static uint64_t Checksum(const uint8_t* data, size_t len);
+
+ private:
+  DeltaWal(std::string path, int num_dims, int num_measures)
+      : path_(std::move(path)),
+        num_dims_(num_dims),
+        num_measures_(num_measures),
+        record_size_(4ull * num_dims + 8ull * num_measures) {}
+
+  std::string path_;
+  int num_dims_;
+  int num_measures_;
+  size_t record_size_;
+  storage::FileWriter writer_;
+  uint64_t total_rows_ = 0;
+  uint64_t total_batches_ = 0;
+  uint64_t file_bytes_ = 0;
+  WalRecoveryStats recovery_;
+};
+
+}  // namespace maintain
+}  // namespace cure
+
+#endif  // CURE_MAINTAIN_DELTA_WAL_H_

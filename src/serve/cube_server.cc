@@ -9,15 +9,17 @@
 namespace cure {
 namespace serve {
 
-CubeServer::CubeServer(const engine::CureCube* cube,
-                       const CubeServerOptions& options,
-                       std::unique_ptr<query::CureQueryEngine> engine)
+CubeServer::CubeServer(
+    const engine::CureCube* cube, maintain::LiveCube* live,
+    const CubeServerOptions& options,
+    std::shared_ptr<const maintain::CubeSnapshot> static_snapshot)
     : cube_(cube),
+      live_(live),
       options_(options),
-      engine_(std::move(engine)),
+      static_snapshot_(std::move(static_snapshot)),
       cache_(options.cache_bytes, options.cache_shards),
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {
-  const schema::CubeSchema& schema = cube_->schema();
+  const schema::CubeSchema& schema = this->schema();
   for (int y = 0; y < schema.num_aggregates(); ++y) {
     if (schema.aggregate(y).fn == schema::AggFn::kCount) {
       count_aggregate_ = y;
@@ -30,28 +32,77 @@ CubeServer::CubeServer(const engine::CureCube* cube,
   deadline_exceeded_total_ = metrics_.counter("deadline_exceeded_total");
   latency_us_ = metrics_.histogram("query_latency");
   queue_wait_us_ = metrics_.histogram("queue_wait");
+  // Background refreshes share the query worker pool (the refresh job never
+  // blocks on in-flight queries — it skips and retries — so queries queued
+  // behind it are delayed by at most one delta application, not deadlocked).
+  if (live_ != nullptr) live_->set_refresh_pool(pool_.get());
 }
 
-CubeServer::~CubeServer() { pool_->Shutdown(); }
+CubeServer::~CubeServer() {
+  pool_->Shutdown();
+  if (live_ != nullptr) live_->set_refresh_pool(nullptr);
+}
 
 Result<std::unique_ptr<CubeServer>> CubeServer::Create(
     const engine::CureCube* cube, const CubeServerOptions& options) {
   if (options.max_inflight < 1) {
     return Status::InvalidArgument("max_inflight must be >= 1");
   }
+  // The static cube is wrapped into a fixed snapshot (version 0) so both
+  // modes share one execution path.
+  auto snapshot = std::make_shared<maintain::CubeSnapshot>();
+  snapshot->version = 0;
+  snapshot->rows = cube->stats().input_rows;
+  snapshot->cube = cube;
   CURE_ASSIGN_OR_RETURN(
-      std::unique_ptr<query::CureQueryEngine> engine,
+      snapshot->engine,
       query::CureQueryEngine::Create(cube, options.fact_cache_fraction));
   return std::unique_ptr<CubeServer>(
-      new CubeServer(cube, options, std::move(engine)));
+      new CubeServer(cube, nullptr, options, std::move(snapshot)));
 }
 
-Result<QueryKey> CubeServer::MakeKey(const QueryRequest& request) const {
+Result<std::unique_ptr<CubeServer>> CubeServer::Create(
+    maintain::LiveCube* live, const CubeServerOptions& options) {
+  if (options.max_inflight < 1) {
+    return Status::InvalidArgument("max_inflight must be >= 1");
+  }
+  return std::unique_ptr<CubeServer>(
+      new CubeServer(nullptr, live, options, nullptr));
+}
+
+Status CubeServer::Append(const maintain::RowBatch& batch) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "APPEND requires a live cube (the server was started over a static "
+        "cube)");
+  }
+  return live_->Append(batch);
+}
+
+Result<maintain::RefreshStats> CubeServer::Flush() {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "FLUSH requires a live cube (the server was started over a static "
+        "cube)");
+  }
+  return live_->Flush();
+}
+
+Result<maintain::Freshness> CubeServer::GetFreshness() const {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("the server is serving a static cube");
+  }
+  return live_->freshness();
+}
+
+Result<QueryKey> CubeServer::MakeKey(const QueryRequest& request,
+                                     uint64_t epoch) const {
   QueryKey key;
   key.node = request.node;
   key.slices = request.slices;
   key.min_count = request.min_count;
   key.count_aggregate = request.count_aggregate;
+  key.epoch = epoch;
   if (key.min_count > 1 && key.count_aggregate < 0) {
     if (count_aggregate_ < 0) {
       return Status::InvalidArgument(
@@ -68,7 +119,12 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   Stopwatch watch;
   queries_total_->Inc();
 
-  Result<QueryKey> key = MakeKey(request);
+  // Pin the snapshot for the whole execution: a refresh swapping versions
+  // mid-query cannot mutate or free anything this query reads.
+  const std::shared_ptr<const maintain::CubeSnapshot> snapshot = Snapshot();
+  response.version = snapshot->version;
+
+  Result<QueryKey> key = MakeKey(request, snapshot->version);
   if (!key.ok()) {
     queries_errors_->Inc();
     response.status = key.status();
@@ -92,7 +148,7 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   // store them; checksum-only requests with the cache off stay lean.
   const bool retain = request.retain_rows || cache_.enabled();
   query::ResultSink sink(retain);
-  response.status = engine_->QueryNodeSlicedIceberg(
+  response.status = snapshot->engine->QueryNodeSlicedIceberg(
       key->node, key->slices, key->count_aggregate, key->min_count, &sink);
   if (!response.status.ok()) {
     queries_errors_->Inc();
@@ -172,6 +228,34 @@ std::string CubeServer::StatsText() const {
                 stats.evictions, stats.inserts, stats.bytes, stats.entries,
                 in_flight());
   out += line;
+
+  if (live_ != nullptr) {
+    const maintain::Freshness fresh = live_->freshness();
+    const maintain::LiveCube::Counters c = live_->counters();
+    std::snprintf(line, sizeof(line),
+                  "cube_version %" PRIu64 "\nsnapshot_rows %" PRIu64
+                  "\ntotal_rows %" PRIu64 "\npending_wal_rows %" PRIu64
+                  "\npending_wal_bytes %" PRIu64 "\nstaleness_seconds %.3f\n",
+                  fresh.version, fresh.snapshot_rows, fresh.total_rows,
+                  fresh.pending_rows, fresh.pending_bytes,
+                  fresh.staleness_seconds);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "last_refresh_unix %.3f\nlast_refresh_seconds %.3f\n",
+                  fresh.last_refresh_unix, fresh.last_refresh_seconds);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "refresh_total %" PRIu64 "\nrefresh_delta %" PRIu64
+                  "\nrefresh_rebuild %" PRIu64 "\nrefresh_failed %" PRIu64
+                  "\nrefresh_skipped %" PRIu64 "\nappend_batches %" PRIu64
+                  "\nappend_rows %" PRIu64 "\n",
+                  c.refresh_total, c.refresh_delta, c.refresh_rebuild,
+                  c.refresh_failed, c.refresh_skipped, c.append_batches,
+                  c.append_rows);
+    out += line;
+    AppendHistogramText("refresh_latency", live_->refresh_latency_us(), &out);
+    AppendHistogramText("wal_replay", live_->wal_replay_us(), &out);
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/cure.h"
+#include "maintain/live_cube.h"
 #include "query/node_query.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
@@ -59,19 +60,34 @@ struct QueryResponse {
   std::shared_ptr<const QueryResult> result;
   bool cache_hit = false;
   double latency_seconds = 0;
+  /// Cube snapshot version the query ran against (0 for a static cube).
+  uint64_t version = 0;
 };
 
-/// Long-lived concurrent serving layer over an immutable CURE cube: one
-/// shared CureQueryEngine, a FIFO ThreadPool of query workers, a sharded LRU
+/// Long-lived concurrent serving layer over a CURE cube: per-snapshot
+/// CureQueryEngines, a FIFO ThreadPool of query workers, a sharded LRU
 /// result cache, bounded admission, per-query deadlines, and a metrics
 /// registry. Concurrent queries produce (count, checksum) identical to
-/// serial execution — the shared read path is immutable after startup (see
+/// serial execution — each query runs against one immutable snapshot (see
 /// DESIGN.md §9).
+///
+/// Two modes:
+///  * static — Create(cube): one immutable cube for the server's lifetime;
+///  * live — Create(live): snapshots come from a maintain::LiveCube, rows
+///    arrive through Append/Flush, and background refreshes (scheduled on
+///    this server's worker pool) swap in new versions with zero downtime. A
+///    query in flight keeps serving its snapshot across a swap; the result
+///    cache is invalidated by epoch (version-stamped keys), never purged.
 class CubeServer {
  public:
   /// `cube` must outlive the server and must not be mutated while serving.
   static Result<std::unique_ptr<CubeServer>> Create(
       const engine::CureCube* cube, const CubeServerOptions& options);
+
+  /// Live mode: serves `live`'s current snapshot and refreshes through it.
+  /// `live` must outlive the server.
+  static Result<std::unique_ptr<CubeServer>> Create(
+      maintain::LiveCube* live, const CubeServerOptions& options);
 
   /// Drains queued queries, then joins the workers.
   ~CubeServer();
@@ -88,14 +104,28 @@ class CubeServer {
   /// admission control and deadlines; still cached and counted).
   QueryResponse Execute(const QueryRequest& request);
 
+  /// Durable row ingest (live mode only; kFailedPrecondition otherwise).
+  Status Append(const maintain::RowBatch& batch);
+  /// Synchronous refresh of everything appended so far (live mode only).
+  Result<maintain::RefreshStats> Flush();
+  /// Staleness view of the served snapshot (live mode only).
+  Result<maintain::Freshness> GetFreshness() const;
+
   /// Metrics text dump plus cache gauges — the line protocol's STATS body.
+  /// Live mode adds the maintenance section: cube version, last-refresh
+  /// wall time, pending-WAL rows, staleness gauge, refresh/replay
+  /// histograms.
   std::string StatsText() const;
 
   MetricsRegistry* metrics() { return &metrics_; }
   QueryCache* cache() { return &cache_; }
-  const query::CureQueryEngine& engine() const { return *engine_; }
-  const schema::CubeSchema& schema() const { return cube_->schema(); }
-  const schema::NodeIdCodec& codec() const { return cube_->store().codec(); }
+  maintain::LiveCube* live() { return live_; }
+  const schema::CubeSchema& schema() const {
+    return live_ != nullptr ? live_->schema() : cube_->schema();
+  }
+  const schema::NodeIdCodec& codec() const {
+    return live_ != nullptr ? live_->codec() : cube_->store().codec();
+  }
   const CubeServerOptions& options() const { return options_; }
   /// Index of the schema's COUNT aggregate, -1 when absent.
   int count_aggregate() const { return count_aggregate_; }
@@ -110,17 +140,26 @@ class CubeServer {
   }
 
  private:
-  CubeServer(const engine::CureCube* cube, const CubeServerOptions& options,
-             std::unique_ptr<query::CureQueryEngine> engine);
+  CubeServer(const engine::CureCube* cube, maintain::LiveCube* live,
+             const CubeServerOptions& options,
+             std::shared_ptr<const maintain::CubeSnapshot> static_snapshot);
 
-  /// Canonicalizes the request into a cache key; fails on an iceberg
-  /// request when the schema has no COUNT aggregate.
-  Result<QueryKey> MakeKey(const QueryRequest& request) const;
+  /// The snapshot queries run against right now. Live mode reads the
+  /// LiveCube's active version; static mode returns the fixed one.
+  std::shared_ptr<const maintain::CubeSnapshot> Snapshot() const {
+    return live_ != nullptr ? live_->snapshot() : static_snapshot_;
+  }
+
+  /// Canonicalizes the request into a cache key stamped with the snapshot
+  /// epoch; fails on an iceberg request when the schema has no COUNT
+  /// aggregate.
+  Result<QueryKey> MakeKey(const QueryRequest& request, uint64_t epoch) const;
   QueryResponse ExecuteInternal(const QueryRequest& request);
 
-  const engine::CureCube* cube_;
+  const engine::CureCube* cube_;  ///< static mode only (null in live mode)
+  maintain::LiveCube* live_;      ///< live mode only (null in static mode)
   CubeServerOptions options_;
-  std::unique_ptr<query::CureQueryEngine> engine_;
+  std::shared_ptr<const maintain::CubeSnapshot> static_snapshot_;
   int count_aggregate_ = -1;
   QueryCache cache_;
   MetricsRegistry metrics_;

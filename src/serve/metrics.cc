@@ -20,6 +20,27 @@ LogHistogram* MetricsRegistry::histogram(const std::string& name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+void AppendHistogramText(const std::string& name, const LogHistogram& histogram,
+                         std::string* out) {
+  const LogHistogram::Snapshot snap = histogram.TakeSnapshot();
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s_count %" PRIu64 "\n%s_avg_us %.1f\n%s_p50_us %" PRId64
+                "\n%s_p95_us %" PRId64 "\n%s_p99_us %" PRId64
+                "\n%s_max_us %" PRId64 "\n",
+                name.c_str(), snap.count, name.c_str(), snap.avg, name.c_str(),
+                snap.p50, name.c_str(), snap.p95, name.c_str(), snap.p99,
+                name.c_str(), snap.max);
+  *out += line;
+}
+
 std::string MetricsRegistry::TextSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -29,16 +50,12 @@ std::string MetricsRegistry::TextSnapshot() const {
                   counter->value());
     out += line;
   }
-  for (const auto& [name, histogram] : histograms_) {
-    const LogHistogram::Snapshot snap = histogram->TakeSnapshot();
-    std::snprintf(line, sizeof(line),
-                  "%s_count %" PRIu64 "\n%s_avg_us %.1f\n%s_p50_us %" PRId64
-                  "\n%s_p95_us %" PRId64 "\n%s_p99_us %" PRId64
-                  "\n%s_max_us %" PRId64 "\n",
-                  name.c_str(), snap.count, name.c_str(), snap.avg, name.c_str(),
-                  snap.p50, name.c_str(), snap.p95, name.c_str(), snap.p99,
-                  name.c_str(), snap.max);
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "%s %.3f\n", name.c_str(), gauge->value());
     out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    AppendHistogramText(name, *histogram, &out);
   }
   return out;
 }

@@ -33,7 +33,8 @@ void QueryKey::Canonicalize() {
 
 bool QueryKey::operator==(const QueryKey& other) const {
   if (node != other.node || count_aggregate != other.count_aggregate ||
-      min_count != other.min_count || slices.size() != other.slices.size()) {
+      min_count != other.min_count || epoch != other.epoch ||
+      slices.size() != other.slices.size()) {
     return false;
   }
   for (size_t i = 0; i < slices.size(); ++i) {
@@ -49,6 +50,7 @@ bool QueryKey::operator==(const QueryKey& other) const {
 uint64_t QueryKey::Hash() const {
   uint64_t h = 0x243F6A8885A308D3ull;
   h = Mix(h, node);
+  h = Mix(h, epoch);
   h = Mix(h, static_cast<uint64_t>(count_aggregate + 1));
   h = Mix(h, static_cast<uint64_t>(min_count));
   for (const auto& slice : slices) {

@@ -17,14 +17,19 @@ namespace cure {
 namespace serve {
 
 /// Cache key of one node query: the queried lattice node, the slice
-/// predicates in canonical (sorted) order, and the iceberg threshold. Two
-/// requests with equal keys are guaranteed identical results over an
-/// immutable cube, which is what makes result caching sound.
+/// predicates in canonical (sorted) order, the iceberg threshold, and the
+/// cube epoch the query ran against. Two requests with equal keys are
+/// guaranteed identical results over an immutable cube snapshot, which is
+/// what makes result caching sound; stamping the snapshot version into the
+/// key invalidates every entry of an older cube at refresh time without a
+/// stop-the-world purge (stale epochs simply stop being looked up and age
+/// out through LRU eviction).
 struct QueryKey {
   schema::NodeId node = 0;
   std::vector<query::CureQueryEngine::Slice> slices;  // sorted by (dim, level, code)
   int count_aggregate = -1;  ///< -1 when not an iceberg query
   int64_t min_count = 0;     ///< 0 when not an iceberg query
+  uint64_t epoch = 0;        ///< cube snapshot version (0 = static cube)
 
   /// Sorts the slices so logically equal requests collide.
   void Canonicalize();

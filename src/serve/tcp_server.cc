@@ -39,16 +39,23 @@ bool ParseInt64(const std::string& text, int64_t* out) {
   return true;
 }
 
-/// Writes the whole buffer, tolerating partial sends; false on error.
-bool SendAll(int fd, const std::string& data) {
+/// Writes the whole buffer: loops over partial write(2) results (a send on
+/// a full socket buffer may accept only a prefix) and retries EINTR (a
+/// signal landing mid-send must not drop the rest of the response). False
+/// on any other error.
+bool WriteAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  return WriteAll(fd, data.data(), data.size());
 }
 
 }  // namespace
@@ -198,10 +205,70 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
   if (cmd == "STATS") {
     return "OK\n" + server_->StatsText() + ".\n";
   }
+  if (cmd == "APPEND") {
+    const schema::CubeSchema& schema = server_->schema();
+    const size_t width =
+        static_cast<size_t>(schema.num_dims() + schema.num_raw_measures());
+    if (tokens.size() <= 1 || (tokens.size() - 1) % width != 0) {
+      return ErrResponse(
+          StatusCode::kInvalidArgument,
+          "APPEND takes k*" + std::to_string(width) +
+              " integers: <leaf codes...> <measures...> per row");
+    }
+    maintain::RowBatch batch(schema.num_dims(), schema.num_raw_measures());
+    std::vector<uint32_t> dims(schema.num_dims());
+    std::vector<int64_t> measures(schema.num_raw_measures());
+    size_t t = 1;
+    while (t < tokens.size()) {
+      for (int d = 0; d < schema.num_dims(); ++d, ++t) {
+        int64_t value = 0;
+        if (!ParseInt64(tokens[t], &value) || value < 0 ||
+            value > 0xFFFFFFFFll) {
+          return ErrResponse(StatusCode::kInvalidArgument,
+                             "'" + tokens[t] + "' is not a valid leaf code");
+        }
+        dims[d] = static_cast<uint32_t>(value);
+      }
+      for (int m = 0; m < schema.num_raw_measures(); ++m, ++t) {
+        int64_t value = 0;
+        if (!ParseInt64(tokens[t], &value)) {
+          return ErrResponse(StatusCode::kInvalidArgument,
+                             "'" + tokens[t] + "' is not a valid measure");
+        }
+        measures[m] = value;
+      }
+      batch.Add(dims.data(), measures.data());
+    }
+    const Status status = server_->Append(batch);
+    if (!status.ok()) return ErrResponse(status);
+    Result<maintain::Freshness> fresh = server_->GetFreshness();
+    const uint64_t pending = fresh.ok() ? fresh->pending_rows : 0;
+    char header[64];
+    std::snprintf(header, sizeof(header), "OK %llu %llu\n.\n",
+                  static_cast<unsigned long long>(batch.rows()),
+                  static_cast<unsigned long long>(pending));
+    return header;
+  }
+  if (cmd == "FLUSH") {
+    if (tokens.size() != 1) {
+      return ErrResponse(StatusCode::kInvalidArgument, "FLUSH takes no arguments");
+    }
+    Result<maintain::RefreshStats> result = server_->Flush();
+    if (!result.ok()) return ErrResponse(result.status());
+    char header[96];
+    std::snprintf(header, sizeof(header), "OK %llu %llu %s\n.\n",
+                  static_cast<unsigned long long>(result->version),
+                  static_cast<unsigned long long>(result->rows_applied),
+                  result->refreshed
+                      ? (result->used_delta ? "DELTA" : "REBUILD")
+                      : "NOOP");
+    return header;
+  }
   if (cmd != "QUERY" && cmd != "ICEBERG" && cmd != "SLICE") {
     return ErrResponse(StatusCode::kInvalidArgument,
                        "unknown command '" + tokens[0] +
-                           "' (expected QUERY, ICEBERG, SLICE, STATS or QUIT)");
+                           "' (expected QUERY, ICEBERG, SLICE, APPEND, FLUSH, "
+                           "STATS or QUIT)");
   }
   if (tokens.size() < 2) {
     return ErrResponse(StatusCode::kInvalidArgument,

@@ -35,6 +35,13 @@ struct TcpServerOptions {
 ///   QUERY <node>                      e.g. QUERY city,category  |  QUERY ALL
 ///   ICEBERG <node> <minsup>           count-iceberg query
 ///   SLICE <node> <level=value>... [MINSUP <n>]   sliced (optionally iceberg)
+///   APPEND <int>...                   live mode: append k rows, each row
+///                                     D leaf codes then M measures; durable
+///                                     (WAL-fsynced) on OK. Response:
+///                                     "OK <rows> <pending-rows>"
+///   FLUSH                             live mode: synchronous refresh.
+///                                     Response: "OK <version> <applied>
+///                                     <DELTA|REBUILD|NOOP>"
 ///   STATS                             metrics text dump
 ///   QUIT                              closes the connection
 /// Query responses: "OK <count> <checksum-hex> <HIT|MISS>" then one

@@ -38,9 +38,12 @@ FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
   return *this;
 }
 
-Status FileWriter::Open(const std::string& path, size_t buffer_bytes) {
+Status FileWriter::Open(const std::string& path, size_t buffer_bytes,
+                        OpenMode mode) {
   CURE_RETURN_IF_ERROR(Close());
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int flags = O_WRONLY | O_CREAT |
+                    (mode == OpenMode::kAppend ? O_APPEND : O_TRUNC);
+  fd_ = ::open(path.c_str(), flags, 0644);
   if (fd_ < 0) return ErrnoStatus("open", path);
   path_ = path;
   buffer_.resize(buffer_bytes);
@@ -77,6 +80,13 @@ Status FileWriter::Flush() {
   }
   bytes_written_ += buffer_used_;
   buffer_used_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::Sync() {
+  if (fd_ < 0) return Status::Internal("FileWriter::Sync on closed file");
+  CURE_RETURN_IF_ERROR(Flush());
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
   return Status::OK();
 }
 
@@ -141,6 +151,13 @@ Status FileReader::ReadAt(uint64_t offset, void* out, size_t len) const {
     dst += n;
     offset += static_cast<uint64_t>(n);
     len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
   }
   return Status::OK();
 }

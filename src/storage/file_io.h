@@ -23,14 +23,24 @@ class FileWriter {
   FileWriter(FileWriter&& other) noexcept;
   FileWriter& operator=(FileWriter&& other) noexcept;
 
+  enum class OpenMode {
+    kTruncate,  ///< create or truncate (the default, all build output)
+    kAppend,    ///< create if missing, append at the end (the delta WAL)
+  };
+
   /// Creates (truncating) the file at `path`.
-  Status Open(const std::string& path, size_t buffer_bytes = 1 << 20);
+  Status Open(const std::string& path, size_t buffer_bytes = 1 << 20,
+              OpenMode mode = OpenMode::kTruncate);
 
   /// Appends `len` bytes.
   Status Append(const void* data, size_t len);
 
   /// Flushes the user-space buffer to the OS.
   Status Flush();
+
+  /// Flushes, then fsyncs the file to stable storage — the WAL's commit
+  /// point: after Sync() returns OK the appended bytes survive a crash.
+  Status Sync();
 
   /// Flushes and closes. Safe to call twice.
   Status Close();
@@ -77,6 +87,10 @@ class FileReader {
 
 /// Removes a file if it exists; OK when missing.
 Status RemoveFile(const std::string& path);
+
+/// Truncates the file at `path` to exactly `size` bytes (WAL torn-tail
+/// recovery). The file must exist and be at least `size` bytes long.
+Status TruncateFile(const std::string& path, uint64_t size);
 
 /// Creates a directory (and parents); OK when it already exists.
 Status EnsureDir(const std::string& path);

@@ -161,38 +161,101 @@ TEST(ApplyDeltaTest, NoOpDelta) {
   EXPECT_EQ(stats->delta_rows, 0u);
 }
 
-TEST(ApplyDeltaTest, RejectsUnsupportedCubes) {
+// Each unsupported-cube path must fail with kFailedPrecondition and name
+// the violated requirement: the serving layer's refresh arbitration keys
+// its delta-vs-rebuild decision on exactly this code, and operators read
+// the message as the fallback reason. One regression test per path.
+TEST(ApplyDeltaTest, IcebergCubeIsAFailedPrecondition) {
   schema::CubeSchema schema = MakeSchema();
   schema::FactTable table(3, 1);
   AppendRandomRows(&table, 100, 6000);
-  // Iceberg cube.
-  {
-    CureOptions options;
-    options.min_support = 2;
-    FactInput input{.table = &table};
-    auto cube = BuildCure(schema, input, options);
-    ASSERT_TRUE(cube.ok());
-    EXPECT_FALSE(ApplyDelta(cube->get(), table, table.num_rows() - 1).ok());
-  }
-  // Wrong table.
-  {
-    CureOptions options;
-    FactInput input{.table = &table};
-    auto cube = BuildCure(schema, input, options);
-    ASSERT_TRUE(cube.ok());
-    schema::FactTable other(3, 1);
-    EXPECT_FALSE(ApplyDelta(cube->get(), other, 0).ok());
-  }
-  // Spilled cube.
-  {
-    CureOptions options;
-    FactInput input{.table = &table};
-    auto cube = BuildCure(schema, input, options);
-    ASSERT_TRUE(cube.ok());
-    ASSERT_TRUE((*cube)->SpillStoreToDisk("/tmp/cure_incr_spill.bin").ok());
-    EXPECT_FALSE(ApplyDelta(cube->get(), table, table.num_rows()).ok());
-    ASSERT_TRUE(storage::RemoveFile("/tmp/cure_incr_spill.bin").ok());
-  }
+  CureOptions options;
+  options.min_support = 2;
+  FactInput input{.table = &table};
+  auto cube = BuildCure(schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  const Status status =
+      ApplyDelta(cube->get(), table, table.num_rows() - 1).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
+  EXPECT_NE(status.message().find("iceberg"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("min_support"), std::string::npos);
+}
+
+TEST(ApplyDeltaTest, SpilledCubeIsAFailedPrecondition) {
+  schema::CubeSchema schema = MakeSchema();
+  schema::FactTable table(3, 1);
+  AppendRandomRows(&table, 100, 6001);
+  CureOptions options;
+  FactInput input{.table = &table};
+  auto cube = BuildCure(schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  ASSERT_TRUE((*cube)->SpillStoreToDisk("/tmp/cure_incr_spill.bin").ok());
+  const Status status =
+      ApplyDelta(cube->get(), table, table.num_rows()).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
+  EXPECT_NE(status.message().find("spilled"), std::string::npos)
+      << status.ToString();
+  ASSERT_TRUE(storage::RemoveFile("/tmp/cure_incr_spill.bin").ok());
+}
+
+TEST(ApplyDeltaTest, ExternallyBuiltCubeIsAFailedPrecondition) {
+  schema::CubeSchema schema = MakeSchema();
+  schema::FactTable table(3, 1);
+  AppendRandomRows(&table, 200, 6002);
+  storage::Relation rel = storage::Relation::Memory(table.RecordSize());
+  ASSERT_TRUE(table.WriteTo(&rel).ok());
+  CureOptions options;
+  options.force_external = true;  // partitioned path: partition_level >= 0
+  // Both forms: the external build reads the relation, while the cube still
+  // records the table pointer, so ApplyDelta reaches the partition check.
+  FactInput input{.table = &table, .relation = &rel};
+  auto cube = BuildCure(schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  ASSERT_GE((*cube)->partition_level(), 0);
+  const Status status =
+      ApplyDelta(cube->get(), table, table.num_rows()).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
+  EXPECT_NE(status.message().find("partition"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ApplyDeltaTest, ShortPlanCubeIsAFailedPrecondition) {
+  schema::CubeSchema schema = MakeSchema();
+  schema::FactTable table(3, 1);
+  AppendRandomRows(&table, 100, 6003);
+  CureOptions options;
+  options.plan_style = plan::ExecutionPlan::Style::kShort;
+  FactInput input{.table = &table};
+  auto cube = BuildCure(schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  const Status status =
+      ApplyDelta(cube->get(), table, table.num_rows()).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+      << status.ToString();
+  EXPECT_NE(status.message().find("tall"), std::string::npos)
+      << status.ToString();
+}
+
+// Argument errors stay kInvalidArgument — a refresh must fail loudly on a
+// bad call rather than silently falling back to a rebuild.
+TEST(ApplyDeltaTest, WrongTableStaysInvalidArgument) {
+  schema::CubeSchema schema = MakeSchema();
+  schema::FactTable table(3, 1);
+  AppendRandomRows(&table, 100, 6004);
+  CureOptions options;
+  FactInput input{.table = &table};
+  auto cube = BuildCure(schema, input, options);
+  ASSERT_TRUE(cube.ok());
+  schema::FactTable other(3, 1);
+  EXPECT_EQ(ApplyDelta(cube->get(), other, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ApplyDelta(cube->get(), table, table.num_rows() + 1).status().code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(ApplyDeltaTest, IncrementalIsFasterThanRebuildForSmallDeltas) {

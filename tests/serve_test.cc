@@ -614,5 +614,87 @@ TEST(TcpLineServerTest, HandleLineRejectsMalformedCommands) {
   EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2").rfind("OK ", 0), 0u);
 }
 
+// A response far larger than the socket buffer must arrive complete: the
+// server's WriteAll loop has to survive partial send(2) returns while the
+// client's tiny receive window keeps the kernel buffers full.
+TEST(TcpLineServerTest, StreamsResponsesLargerThanTheSocketBuffer) {
+  gen::Dataset ds;
+  {
+    std::vector<schema::Dimension> dims;
+    dims.push_back(schema::Dimension::Flat("A", 4000));
+    dims.push_back(schema::Dimension::Flat("B", 32));
+    auto schema = schema::CubeSchema::Create(
+        std::move(dims), 1,
+        {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+    ASSERT_TRUE(schema.ok());
+    ds.schema = std::move(schema).value();
+    ds.table = schema::FactTable(2, 1);
+    gen::Rng rng(31);
+    for (uint64_t t = 0; t < 50000; ++t) {
+      const uint32_t row[2] = {static_cast<uint32_t>(rng.NextRange(4000)),
+                               static_cast<uint32_t>(rng.NextRange(32))};
+      const int64_t m = static_cast<int64_t>(rng.NextRange(100));
+      ds.table.AppendRow(row, &m);
+    }
+  }
+  CureOptions build;
+  FactInput input{.table = &ds.table};
+  auto cube = BuildCure(ds.schema, input, build);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  CubeServerOptions options;
+  options.num_threads = 2;
+  auto server = CubeServer::Create(cube->get(), options);
+  ASSERT_TRUE(server.ok());
+  auto tcp = TcpLineServer::Start(server->get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  // Shrink the client's receive buffer *before* connect so the advertised
+  // window is small and the server cannot hand the whole response to the
+  // kernel in one call.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 2048;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf)),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>((*tcp)->port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::string request = "QUERY A_L0,B_L0\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  while (response.rfind("\n.\n") == std::string::npos ||
+         response.rfind("\n.\n") != response.size() - 3) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection closed after " << response.size()
+                    << " bytes";
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // The full tab-separated result set arrived intact.
+  unsigned long long count = 0;
+  ASSERT_EQ(std::sscanf(response.c_str(), "OK %llu", &count), 1)
+      << response.substr(0, 64);
+  uint64_t newlines = 0;
+  for (char c : response) newlines += c == '\n';
+  EXPECT_EQ(newlines, count + 2);  // header + rows + "." terminator
+  {
+    ResultSink expected;
+    auto direct = CureQueryEngine::Create(cube->get(), 1.0);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(
+        (*direct)->QueryNode(server->get()->codec().Encode({0, 0}), &expected)
+            .ok());
+    EXPECT_EQ(count, expected.count());
+  }
+  EXPECT_GT(response.size(), 256u * 1024);  // genuinely bigger than a buffer
+  (*tcp)->Stop();
+}
+
 }  // namespace
 }  // namespace cure

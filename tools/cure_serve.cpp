@@ -3,9 +3,18 @@
 //
 //   cure_serve <cubedir> [--port P] [--threads N] [--cache-mb M]
 //              [--max-inflight N] [--deadline-ms D]
+//              [--live] [--wal PATH] [--refresh-rows N] [--refresh-ms D]
+//              [--no-delta]
 //
 // Binds 127.0.0.1 (port 0 = ephemeral, printed on startup) and serves until
 // stdin closes. Protocol: see serve/tcp_server.h.
+//
+// --live turns on live maintenance: the fact table is loaded into memory,
+// the delta WAL (default <cubedir>/wal.bin) is replayed, a fresh cube is
+// built, and the APPEND/FLUSH verbs become available. Appends are durable
+// (fsynced) on OK and folded into the served cube by background refreshes
+// with zero downtime. --refresh-rows/--refresh-ms tune the refresh
+// triggers; --no-delta forces every refresh down the staged-rebuild path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +28,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cure_serve <cubedir> [--port P] [--threads N] "
-               "[--cache-mb M] [--max-inflight N] [--deadline-ms D]\n");
+               "[--cache-mb M] [--max-inflight N] [--deadline-ms D]\n"
+               "                 [--live] [--wal PATH] [--refresh-rows N] "
+               "[--refresh-ms D] [--no-delta]\n");
   return 2;
 }
 
@@ -30,6 +41,8 @@ int main(int argc, char** argv) {
   const std::string dir = argv[1];
   cure::serve::CubeServerOptions server_options;
   cure::serve::TcpServerOptions tcp_options;
+  cure::maintain::MaintainOptions maintain_options;
+  bool live = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       tcp_options.port = std::atoi(argv[++i]);
@@ -41,11 +54,31 @@ int main(int argc, char** argv) {
       server_options.max_inflight = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       server_options.default_deadline_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      maintain_options.wal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--refresh-rows") == 0 && i + 1 < argc) {
+      maintain_options.refresh_rows = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--refresh-ms") == 0 && i + 1 < argc) {
+      maintain_options.refresh_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--no-delta") == 0) {
+      maintain_options.allow_delta = false;
     } else {
       return Usage();
     }
   }
 
+  if (live) {
+    cure::Result<std::unique_ptr<cure::tools::OpenedLiveCube>> opened =
+        cure::tools::OpenLiveCubeDir(dir, maintain_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    return cure::tools::RunLiveServeLoop(opened->get(), server_options,
+                                         tcp_options);
+  }
   cure::Result<std::unique_ptr<cure::tools::OpenedCube>> opened =
       cure::tools::OpenCubeDir(dir);
   if (!opened.ok()) {

@@ -53,8 +53,12 @@ int Usage() {
                "  cure_tool info  <outdir>\n"
                "  cure_tool query <outdir> <level[,level...]|ALL> "
                "[--slice [dim:]level=value]... [--minsup N]\n"
+               "  cure_tool append <outdir> <dim>... <measure>...  "
+               "(k rows of D+M values; dims by name or code)\n"
                "  cure_tool serve <outdir> [--port P] [--threads N] "
-               "[--cache-mb M] [--max-inflight N]\n");
+               "[--cache-mb M] [--max-inflight N]\n"
+               "                  [--live] [--refresh-rows N] [--refresh-ms D] "
+               "[--no-delta]\n");
   return 2;
 }
 
@@ -245,10 +249,79 @@ int RunQuery(int argc, char** argv) {
   return 0;
 }
 
+// Appends rows to a cube directory's delta WAL *offline* — no cube build,
+// no server. The rows become durable immediately and are folded in by the
+// next live serve session (WAL replay at open) or refresh. Dimension values
+// resolve through the leaf-level dictionary; numeric codes also work.
+int RunAppend(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string dir = argv[2];
+  Result<std::string> schema_text = cure::etl::ReadFileToString(dir + "/schema.txt");
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  Result<cure::schema::CubeSchema> schema =
+      cure::etl::DeserializeSchema(*schema_text);
+  if (!schema.ok()) return Fail(schema.status());
+  Result<std::vector<std::vector<cure::etl::Dictionary>>> dictionaries =
+      cure::tools::LoadDictionaries(dir, *schema);
+  if (!dictionaries.ok()) return Fail(dictionaries.status());
+
+  const int num_dims = schema->num_dims();
+  const int num_measures = schema->num_raw_measures();
+  const int width = num_dims + num_measures;
+  const int num_values = argc - 3;
+  if (num_values % width != 0) {
+    return Fail(Status::InvalidArgument(
+        "append takes k*" + std::to_string(width) + " values (" +
+        std::to_string(num_dims) + " dims then " + std::to_string(num_measures) +
+        " measures per row), got " + std::to_string(num_values)));
+  }
+
+  cure::maintain::RowBatch batch(num_dims, num_measures);
+  std::vector<uint32_t> dims(num_dims);
+  std::vector<int64_t> measures(num_measures);
+  int arg = 3;
+  for (int row = 0; row < num_values / width; ++row) {
+    for (int d = 0; d < num_dims; ++d, ++arg) {
+      const std::string value = argv[arg];
+      Result<uint32_t> code = (*dictionaries)[d][0].Lookup(value);
+      if (!code.ok()) {  // Not a dictionary word: accept a numeric leaf code.
+        char* end = nullptr;
+        const unsigned long long numeric = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') return Fail(code.status());
+        code = static_cast<uint32_t>(numeric);
+      }
+      if (*code >= schema->dim(d).leaf_cardinality()) {
+        return Fail(Status::OutOfRange(
+            "leaf code " + std::to_string(*code) + " out of range for '" +
+            schema->dim(d).name() + "'"));
+      }
+      dims[d] = *code;
+    }
+    for (int m = 0; m < num_measures; ++m, ++arg) {
+      measures[m] = std::strtoll(argv[arg], nullptr, 10);
+    }
+    batch.Add(dims.data(), measures.data());
+  }
+
+  Result<std::unique_ptr<cure::maintain::DeltaWal>> wal =
+      cure::maintain::DeltaWal::Open(cure::tools::WalPath(dir), num_dims,
+                                     num_measures, nullptr);
+  if (!wal.ok()) return Fail(wal.status());
+  Status s = (*wal)->AppendBatch(batch);
+  if (!s.ok()) return Fail(s);
+  std::printf("appended %llu rows (WAL now %llu rows, %s)\n",
+              static_cast<unsigned long long>(batch.rows()),
+              static_cast<unsigned long long>((*wal)->total_rows()),
+              FormatBytes((*wal)->file_bytes()).c_str());
+  return 0;
+}
+
 int RunServe(int argc, char** argv) {
   if (argc < 3) return Usage();
   cure::serve::CubeServerOptions server_options;
   cure::serve::TcpServerOptions tcp_options;
+  cure::maintain::MaintainOptions maintain_options;
+  bool live = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       tcp_options.port = std::atoi(argv[++i]);
@@ -258,9 +331,24 @@ int RunServe(int argc, char** argv) {
       server_options.cache_bytes = std::strtoull(argv[++i], nullptr, 10) << 20;
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       server_options.max_inflight = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+    } else if (std::strcmp(argv[i], "--refresh-rows") == 0 && i + 1 < argc) {
+      maintain_options.refresh_rows = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--refresh-ms") == 0 && i + 1 < argc) {
+      maintain_options.refresh_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--no-delta") == 0) {
+      maintain_options.allow_delta = false;
     } else {
       return Usage();
     }
+  }
+  if (live) {
+    Result<std::unique_ptr<cure::tools::OpenedLiveCube>> opened =
+        cure::tools::OpenLiveCubeDir(argv[2], maintain_options);
+    if (!opened.ok()) return Fail(opened.status());
+    return cure::tools::RunLiveServeLoop(opened->get(), server_options,
+                                         tcp_options);
   }
   Result<std::unique_ptr<OpenedCube>> opened = OpenCubeDir(argv[2]);
   if (!opened.ok()) return Fail(opened.status());
@@ -274,6 +362,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  if (std::strcmp(argv[1], "append") == 0) return RunAppend(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return RunServe(argc, argv);
   return Usage();
 }
