@@ -31,4 +31,13 @@ std::string FormatSeconds(double seconds) {
   return buf;
 }
 
+uint64_t Fnv1a64(const uint8_t* data, size_t len, uint64_t seed) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace cure

@@ -1,6 +1,7 @@
 #ifndef CURE_COMMON_BYTES_H_
 #define CURE_COMMON_BYTES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -11,6 +12,13 @@ std::string FormatBytes(uint64_t bytes);
 
 /// Formats seconds adaptively ("420 us", "1.2 ms", "3.45 s").
 std::string FormatSeconds(double seconds);
+
+/// FNV-1a 64-bit hash. `seed` defaults to the standard offset basis;
+/// pass a previous digest to chain incremental updates.
+inline constexpr uint64_t kFnv1a64Offset = 0xCBF29CE484222325ull;
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len,
+                 uint64_t seed = kFnv1a64Offset);
 
 }  // namespace cure
 

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kIoError:
       return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:

@@ -16,6 +16,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kIoError,
+  kDataLoss,
   kResourceExhausted,
   kDeadlineExceeded,
   kFailedPrecondition,
@@ -53,6 +54,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));

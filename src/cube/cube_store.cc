@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 
+#include "common/bytes.h"
 #include "common/logging.h"
+#include "storage/file_io.h"
 
 namespace cure {
 namespace cube {
@@ -207,7 +210,7 @@ Status AppendAllRecords(const storage::Relation& from, storage::Relation* to) {
   while (const uint8_t* rec = scan.Next()) {
     CURE_RETURN_IF_ERROR(to->Append(rec));
   }
-  return Status::OK();
+  return scan.status();
 }
 
 }  // namespace
@@ -277,6 +280,7 @@ Status CubeStore::MergeShard(CubeStore&& shard) {
         std::memcpy(rec + arowid_offset, &arowid, 8);
         CURE_RETURN_IF_ERROR(node->cat.Append(rec));
       }
+      CURE_RETURN_IF_ERROR(scan.status());
     }
     if (snode.has_plain) {
       if (!node->has_plain) {
@@ -305,6 +309,7 @@ Status CubeStore::PostProcess(const SourceSet& sources,
         std::memcpy(&r, rec, 8);
         rowids.push_back(r);
       }
+      CURE_RETURN_IF_ERROR(scan.status());
       std::sort(rowids.begin(), rowids.end());
       const SourceAccessor* src = sources.Get(node.tt_source);
       const uint64_t universe = src != nullptr ? src->num_rows() : 0;
@@ -330,6 +335,7 @@ Status CubeStore::PostProcess(const SourceSet& sources,
         std::memcpy(&a, rec, 8);
         arowids.push_back(a);
       }
+      CURE_RETURN_IF_ERROR(scan.status());
       std::sort(arowids.begin(), arowids.end());
       storage::Relation sorted = storage::Relation::Memory(CatRecordSize());
       for (uint64_t a : arowids) CURE_RETURN_IF_ERROR(sorted.Append(&a));
@@ -341,9 +347,12 @@ Status CubeStore::PostProcess(const SourceSet& sources,
 
 namespace {
 
-// Packed cube file layout: header, manifest, data segments.
+// Packed cube file layout: header, manifest (section table), data sections.
+// Version 2 adds crash consistency: per-section FNV-1a checksums, a
+// checksummed manifest, and the total file size, all verified at open.
 constexpr uint64_t kPackedMagic = 0x4342554345525543ull;  // "CURECUBC"
-constexpr uint32_t kPackedVersion = 1;
+constexpr uint32_t kPackedVersion = 2;
+constexpr uint32_t kPackedVersionLegacy = 1;  // pre-manifest, no checksums
 
 enum PackedKind : uint32_t {
   kPackedNt = 0,
@@ -354,6 +363,20 @@ enum PackedKind : uint32_t {
   kPackedAggregates = 5,
 };
 
+const char* PackedKindName(uint32_t kind) {
+  switch (kind) {
+    case kPackedNt: return "NT";
+    case kPackedTt: return "TT";
+    case kPackedCat: return "CAT";
+    case kPackedPlain: return "PLAIN";
+    case kPackedTtBitmap: return "TTBITMAP";
+    case kPackedAggregates: return "AGGREGATES";
+  }
+  return "?";
+}
+
+// Both structs are padding-free (checked below): their raw bytes are the
+// on-disk manifest, hashed as written.
 struct PackedHeader {
   uint64_t magic;
   uint32_t version;
@@ -361,7 +384,10 @@ struct PackedHeader {
   uint32_t cat_format;
   uint32_t reserved;
   uint64_t num_entries;
+  uint64_t total_size;         ///< whole-file byte length (truncation check)
+  uint64_t manifest_checksum;  ///< FNV-1a of header (this field zeroed) + entries
 };
+static_assert(sizeof(PackedHeader) == 48, "PackedHeader must be packed");
 
 struct PackedEntry {
   uint64_t node_id;
@@ -370,7 +396,14 @@ struct PackedEntry {
   uint64_t rows;         // bitmap entries: number of 64-bit words
   uint64_t offset;
   uint64_t extra;        // bitmap universe / TT source tag packed
+  uint64_t checksum;     // FNV-1a of the section's bytes
 };
+static_assert(sizeof(PackedEntry) == 48, "PackedEntry must be packed");
+
+uint64_t EntryBytes(const PackedEntry& entry) {
+  return entry.kind == kPackedTtBitmap ? entry.rows * 8
+                                       : entry.rows * entry.record_size;
+}
 
 Status WriteRelationBlob(const storage::Relation& rel, storage::FileWriter* out) {
   if (rel.memory_backed() && rel.num_rows() > 0) {
@@ -379,6 +412,138 @@ Status WriteRelationBlob(const storage::Relation& rel, storage::FileWriter* out)
   storage::Relation::Scanner scan(rel);
   while (const uint8_t* rec = scan.Next()) {
     CURE_RETURN_IF_ERROR(out->Append(rec, rel.record_size()));
+  }
+  return scan.status();
+}
+
+Result<uint64_t> ChecksumRelation(const storage::Relation& rel) {
+  if (rel.memory_backed() && rel.num_rows() > 0) {
+    return Fnv1a64(rel.RawRecord(0), rel.bytes());
+  }
+  uint64_t h = kFnv1a64Offset;
+  storage::Relation::Scanner scan(rel);
+  while (const uint8_t* rec = scan.Next()) {
+    h = Fnv1a64(rec, rel.record_size(), h);
+  }
+  CURE_RETURN_IF_ERROR(scan.status());
+  return h;
+}
+
+/// FNV-1a over the manifest: the header with manifest_checksum zeroed,
+/// then every entry, in file order.
+uint64_t ManifestChecksum(PackedHeader header,
+                          const std::vector<PackedEntry>& entries) {
+  header.manifest_checksum = 0;
+  uint64_t h = Fnv1a64(reinterpret_cast<const uint8_t*>(&header),
+                       sizeof(header));
+  if (!entries.empty()) {
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(entries.data()),
+                entries.size() * sizeof(PackedEntry), h);
+  }
+  return h;
+}
+
+/// Streams `len` bytes at `offset` through FNV-1a in bounded chunks.
+Status ChecksumFileSection(const storage::FileReader& reader, uint64_t offset,
+                           uint64_t len, uint64_t* out) {
+  std::vector<uint8_t> buf(
+      static_cast<size_t>(std::min<uint64_t>(std::max<uint64_t>(len, 1), 1 << 20)));
+  uint64_t h = kFnv1a64Offset;
+  while (len > 0) {
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(len, buf.size()));
+    CURE_RETURN_IF_ERROR(reader.ReadAt(offset, buf.data(), chunk));
+    h = Fnv1a64(buf.data(), chunk, h);
+    offset += chunk;
+    len -= chunk;
+  }
+  *out = h;
+  return Status::OK();
+}
+
+Status DataLossAt(const std::string& path, const std::string& what) {
+  return Status::DataLoss("packed cube '" + path + "': " + what);
+}
+
+/// Reads and structurally verifies the manifest: magic, version (legacy v1
+/// gets a distinct actionable error), total size vs the real file size,
+/// manifest checksum, and per-entry bounds. Section *data* checksums are
+/// the caller's job (OpenPacked fails fast; VerifyPacked reports each).
+Status ReadPackedManifest(const storage::FileReader& reader,
+                          const std::string& path, PackedHeader* header,
+                          std::vector<PackedEntry>* entries) {
+  const uint64_t file_size = reader.file_size();
+  // Magic + version first: they sit at the same offsets in every version,
+  // so a legacy cube is told apart from garbage before the v2-sized header
+  // read can fail.
+  struct {
+    uint64_t magic;
+    uint32_t version;
+  } prefix;
+  if (file_size < sizeof(prefix)) {
+    return DataLossAt(path, "file is " + std::to_string(file_size) +
+                                " bytes, too small for a packed cube header");
+  }
+  CURE_RETURN_IF_ERROR(reader.ReadAt(0, &prefix, sizeof(prefix)));
+  if (prefix.magic != kPackedMagic) {
+    return DataLossAt(path, "bad magic: not a packed cube file or its header "
+                            "was overwritten");
+  }
+  if (prefix.version == kPackedVersionLegacy) {
+    return Status::InvalidArgument(
+        "'" + path + "' is a legacy (v1) packed cube written before "
+        "checksummed manifests; it cannot be verified — rebuild it with "
+        "`cure_tool build` to upgrade");
+  }
+  if (prefix.version != kPackedVersion) {
+    return DataLossAt(path, "unsupported format version " +
+                                std::to_string(prefix.version));
+  }
+  if (file_size < sizeof(PackedHeader)) {
+    return DataLossAt(path, "file truncated inside the header");
+  }
+  CURE_RETURN_IF_ERROR(reader.ReadAt(0, header, sizeof(PackedHeader)));
+  if (header->total_size != file_size) {
+    return DataLossAt(path, "file is " + std::to_string(file_size) +
+                                " bytes but the manifest records " +
+                                std::to_string(header->total_size) +
+                                " (truncated or appended-to)");
+  }
+  const uint64_t manifest_end =
+      sizeof(PackedHeader) + header->num_entries * sizeof(PackedEntry);
+  if (header->num_entries > file_size / sizeof(PackedEntry) ||
+      manifest_end > file_size) {
+    return DataLossAt(path, "manifest section table exceeds the file");
+  }
+  entries->assign(header->num_entries, PackedEntry{});
+  if (!entries->empty()) {
+    CURE_RETURN_IF_ERROR(reader.ReadAt(sizeof(PackedHeader), entries->data(),
+                                       entries->size() * sizeof(PackedEntry)));
+  }
+  if (ManifestChecksum(*header, *entries) != header->manifest_checksum) {
+    return DataLossAt(path, "manifest checksum mismatch (header or section "
+                            "table corrupted)");
+  }
+  // Entry bounds: every section must lie inside [manifest_end, total_size)
+  // without arithmetic wrap-around.
+  for (size_t i = 0; i < entries->size(); ++i) {
+    const PackedEntry& entry = (*entries)[i];
+    const std::string where = "section " + std::to_string(i) + " (" +
+                              PackedKindName(entry.kind) + ")";
+    if (entry.kind > kPackedAggregates) {
+      return DataLossAt(path, where + ": unknown section kind");
+    }
+    if (entry.kind != kPackedTtBitmap && entry.rows > 0 &&
+        entry.record_size == 0) {
+      return DataLossAt(path, where + ": zero record size");
+    }
+    const uint64_t per_row =
+        entry.kind == kPackedTtBitmap ? 8 : entry.record_size;
+    if (entry.offset < manifest_end || entry.offset > file_size) {
+      return DataLossAt(path, where + ": offset outside the file");
+    }
+    if (entry.rows > 0 && per_row > (file_size - entry.offset) / entry.rows) {
+      return DataLossAt(path, where + ": section extends past end of file");
+    }
   }
   return Status::OK();
 }
@@ -430,35 +595,65 @@ Status CubeStore::PersistPacked(const std::string& path) const {
   }
   if (aggregates_init_) add_relation(~uint64_t{0}, kPackedAggregates, aggregates_);
 
-  // Assign offsets.
+  // Assign offsets and compute per-section checksums (for file-backed
+  // relations this is a first streaming pass; the write below is the
+  // second).
   uint64_t offset = sizeof(PackedHeader) + entries.size() * sizeof(PackedEntry);
-  for (PackedEntry& entry : entries) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    PackedEntry& entry = entries[i];
     entry.offset = offset;
-    offset += entry.kind == kPackedTtBitmap ? entry.rows * 8
-                                            : entry.rows * entry.record_size;
+    offset += EntryBytes(entry);
+    if (blobs[i].second != nullptr) {
+      const auto& words = blobs[i].second->words();
+      entry.checksum = Fnv1a64(reinterpret_cast<const uint8_t*>(words.data()),
+                               words.size() * 8);
+    } else {
+      CURE_ASSIGN_OR_RETURN(entry.checksum, ChecksumRelation(*blobs[i].first));
+    }
   }
 
-  storage::FileWriter writer;
-  CURE_RETURN_IF_ERROR(writer.Open(path));
   PackedHeader header{};
   header.magic = kPackedMagic;
   header.version = kPackedVersion;
   header.dims_in_nt = options_.dims_in_nt ? 1 : 0;
   header.cat_format = static_cast<uint32_t>(cat_format_);
   header.num_entries = entries.size();
-  CURE_RETURN_IF_ERROR(writer.Append(&header, sizeof(header)));
-  for (const PackedEntry& entry : entries) {
-    CURE_RETURN_IF_ERROR(writer.Append(&entry, sizeof(entry)));
-  }
-  for (size_t i = 0; i < blobs.size(); ++i) {
-    if (blobs[i].second != nullptr) {
-      const auto& words = blobs[i].second->words();
-      CURE_RETURN_IF_ERROR(writer.Append(words.data(), words.size() * 8));
-    } else {
-      CURE_RETURN_IF_ERROR(WriteRelationBlob(*blobs[i].first, &writer));
+  header.total_size = offset;
+  header.manifest_checksum = ManifestChecksum(header, entries);
+
+  // Crash-consistent publish: stage the complete image at a temp path,
+  // fsync it, atomically rename onto `path`, then fsync the parent
+  // directory so the new name itself is durable. Readers racing a crash
+  // see either the old file or the complete new one.
+  const std::string tmp = path + ".tmp";
+  auto write_image = [&]() -> Status {
+    storage::FileWriter writer;
+    CURE_RETURN_IF_ERROR(writer.Open(tmp));
+    CURE_RETURN_IF_ERROR(writer.Append(&header, sizeof(header)));
+    for (const PackedEntry& entry : entries) {
+      CURE_RETURN_IF_ERROR(writer.Append(&entry, sizeof(entry)));
     }
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      if (blobs[i].second != nullptr) {
+        const auto& words = blobs[i].second->words();
+        CURE_RETURN_IF_ERROR(writer.Append(words.data(), words.size() * 8));
+      } else {
+        CURE_RETURN_IF_ERROR(WriteRelationBlob(*blobs[i].first, &writer));
+      }
+    }
+    CURE_RETURN_IF_ERROR(writer.Sync());
+    return writer.Close();
+  };
+  Status s = write_image();
+  if (s.ok()) s = storage::RenameFile(tmp, path);
+  if (s.ok()) s = storage::SyncDir(storage::DirName(path));
+  if (!s.ok()) {
+    // Leave no stale temp image behind. Deliberately not the (fault-
+    // injectable) RemoveFile shim: cleanup must succeed even mid-sweep.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
   }
-  return writer.Close();
+  return s;
 }
 
 Result<CubeStore> CubeStore::OpenPacked(const std::string& path,
@@ -466,19 +661,25 @@ Result<CubeStore> CubeStore::OpenPacked(const std::string& path,
   auto reader = std::make_shared<storage::FileReader>();
   CURE_RETURN_IF_ERROR(reader->Open(path));
   PackedHeader header;
-  CURE_RETURN_IF_ERROR(reader->ReadAt(0, &header, sizeof(header)));
-  if (header.magic != kPackedMagic || header.version != kPackedVersion) {
-    return Status::InvalidArgument("'" + path + "' is not a packed cube file");
+  std::vector<PackedEntry> entries;
+  CURE_RETURN_IF_ERROR(ReadPackedManifest(*reader, path, &header, &entries));
+  // Verify every section's checksum before handing out views: a bit flip
+  // or torn write must surface as kDataLoss at open, never as wrong rows
+  // at query time.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    uint64_t actual = 0;
+    CURE_RETURN_IF_ERROR(ChecksumFileSection(*reader, entries[i].offset,
+                                             EntryBytes(entries[i]), &actual));
+    if (actual != entries[i].checksum) {
+      return DataLossAt(path, "section " + std::to_string(i) + " (" +
+                                  PackedKindName(entries[i].kind) +
+                                  ") checksum mismatch: data corrupted");
+    }
   }
   Options options;
   options.dims_in_nt = header.dims_in_nt != 0;
   CubeStore store(schema, options);
   store.cat_format_ = static_cast<CatFormat>(header.cat_format);
-  std::vector<PackedEntry> entries(header.num_entries);
-  if (!entries.empty()) {
-    CURE_RETURN_IF_ERROR(reader->ReadAt(sizeof(header), entries.data(),
-                                        entries.size() * sizeof(PackedEntry)));
-  }
   for (const PackedEntry& entry : entries) {
     if (entry.kind == kPackedAggregates) {
       store.aggregates_ = storage::Relation::FileView(reader, entry.offset,
@@ -526,6 +727,47 @@ Result<CubeStore> CubeStore::OpenPacked(const std::string& path,
     }
   }
   return store;
+}
+
+CubeStore::PackedVerifyReport CubeStore::VerifyPacked(const std::string& path) {
+  PackedVerifyReport report;
+  storage::FileReader reader;
+  Status s = reader.Open(path);
+  if (!s.ok()) {
+    report.status = s;
+    return report;
+  }
+  report.file_size = reader.file_size();
+  PackedHeader header;
+  std::vector<PackedEntry> entries;
+  s = ReadPackedManifest(reader, path, &header, &entries);
+  if (!s.ok()) {
+    report.status = s;
+    return report;
+  }
+  report.version = header.version;
+  report.manifest_ok = true;
+  uint64_t bad_sections = 0;
+  for (const PackedEntry& entry : entries) {
+    PackedSectionReport section;
+    section.node_id = entry.node_id;
+    section.kind = PackedKindName(entry.kind);
+    section.rows = entry.rows;
+    section.bytes = EntryBytes(entry);
+    section.offset = entry.offset;
+    uint64_t actual = 0;
+    s = ChecksumFileSection(reader, entry.offset, section.bytes, &actual);
+    section.checksum_ok = s.ok() && actual == entry.checksum;
+    if (!section.checksum_ok) ++bad_sections;
+    report.sections.push_back(std::move(section));
+  }
+  report.status =
+      bad_sections == 0
+          ? Status::OK()
+          : DataLossAt(path, std::to_string(bad_sections) + " of " +
+                                 std::to_string(report.sections.size()) +
+                                 " sections failed checksum verification");
+  return report;
 }
 
 uint64_t CubeStore::TotalBytes() const {

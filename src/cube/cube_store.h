@@ -158,15 +158,44 @@ class CubeStore {
   // ------- persistence -------
 
   /// Writes every node relation, TT bitmap and the AGGREGATES relation into
-  /// one packed file (single-file cube, manifest + data segments). This is
-  /// the "output cost" of materializing the cube on disk.
+  /// one packed file (single-file cube, checksummed manifest + data
+  /// sections). Crash-consistent: the image is staged at `path + ".tmp"`,
+  /// fsynced, atomically renamed onto `path`, and the parent directory is
+  /// fsynced — a crash at any point leaves either the old cube or the
+  /// complete new one, never a torn file. On failure the temp file is
+  /// removed and `path` is untouched. See DESIGN.md §11.
   Status PersistPacked(const std::string& path) const;
 
   /// Opens a packed cube file; node relations become read-only views served
   /// by a shared pread-based reader, so node scans hit storage (bitmaps are
-  /// loaded eagerly — they are small by construction).
+  /// loaded eagerly — they are small by construction). Verifies the
+  /// manifest and every section checksum before returning: any mismatch,
+  /// truncation, or garbage yields kDataLoss (legacy pre-manifest cubes get
+  /// a distinct "legacy packed cube" kInvalidArgument), never a misread.
   static Result<CubeStore> OpenPacked(const std::string& path,
                                       const schema::CubeSchema* schema);
+
+  /// One section's verification outcome (`cure_tool verify`).
+  struct PackedSectionReport {
+    uint64_t node_id = 0;   ///< ~0 for the AGGREGATES relation
+    std::string kind;       ///< "NT", "TT", "CAT", "PLAIN", "TTBITMAP", "AGGREGATES"
+    uint64_t rows = 0;
+    uint64_t bytes = 0;
+    uint64_t offset = 0;
+    bool checksum_ok = false;
+  };
+  struct PackedVerifyReport {
+    Status status;          ///< OK only when the whole file verified
+    uint32_t version = 0;
+    uint64_t file_size = 0;
+    bool manifest_ok = false;
+    std::vector<PackedSectionReport> sections;
+  };
+
+  /// Verifies a packed cube file without building a store: manifest
+  /// structure + checksum, then every section checksum (unlike OpenPacked
+  /// it keeps going after a bad section to report them all).
+  static PackedVerifyReport VerifyPacked(const std::string& path);
 
   // ------- read path -------
 

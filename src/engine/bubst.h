@@ -52,6 +52,7 @@ class BubstCube {
     while (const uint8_t* rec = scan.Next()) {
       CURE_RETURN_IF_ERROR(file.Append(rec));
     }
+    CURE_RETURN_IF_ERROR(scan.status());
     CURE_RETURN_IF_ERROR(file.Seal());
     monolithic_ = std::move(file);
     return Status::OK();

@@ -72,6 +72,7 @@ Result<Load> LoadFromFactRelation(const storage::Relation& rel,
     load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
     ++i;
   }
+  CURE_RETURN_IF_ERROR(scan.status());
   load.native.resize(d);
   load.aggrs.resize(y);
   for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
@@ -110,6 +111,7 @@ Result<Load> LoadFromPartition(const storage::Relation& rel,
     std::memcpy(&rowid, p, 8);
     load.rowids.push_back(cube::MakeRowId(cube::kSourceFact, rowid));
   }
+  CURE_RETURN_IF_ERROR(scan.status());
   load.native.resize(d);
   load.aggrs.resize(y);
   for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();

@@ -180,6 +180,7 @@ class DeltaUpdater {
         if (!relevant(key)) continue;
         probe.tuples.emplace(std::move(key), std::move(tuple));
       }
+      CURE_RETURN_IF_ERROR(scan.status());
     }
     if (data->has_cat) {
       const storage::Relation& aggregates = store_->aggregates();
@@ -206,6 +207,7 @@ class DeltaUpdater {
         if (!relevant(key)) continue;
         probe.tuples.emplace(std::move(key), std::move(tuple));
       }
+      CURE_RETURN_IF_ERROR(scan.status());
     }
     if (data->tt_bitmap != nullptr) {
       probe.tt_was_bitmap = true;
@@ -229,6 +231,7 @@ class DeltaUpdater {
         if (!relevant(key)) continue;
         probe.tuples.emplace(std::move(key), std::move(tuple));
       }
+      CURE_RETURN_IF_ERROR(scan.status());
     }
     return &probe;
   }
@@ -353,6 +356,7 @@ class DeltaUpdater {
           if (probe.consumed_nt.count(scan.row()) != 0) continue;
           CURE_RETURN_IF_ERROR(rebuilt.Append(rec));
         }
+        CURE_RETURN_IF_ERROR(scan.status());
         data->has_nt = rebuilt.num_rows() > 0;
         data->nt = std::move(rebuilt);
       }
@@ -364,6 +368,7 @@ class DeltaUpdater {
           if (probe.consumed_cat.count(scan.row()) != 0) continue;
           CURE_RETURN_IF_ERROR(rebuilt.Append(rec));
         }
+        CURE_RETURN_IF_ERROR(scan.status());
         data->has_cat = rebuilt.num_rows() > 0;
         data->cat = std::move(rebuilt);
       }
@@ -384,6 +389,7 @@ class DeltaUpdater {
             if (probe.consumed_tt.count(scan.row()) != 0) continue;
             CURE_RETURN_IF_ERROR(rebuilt.Append(rec));
           }
+          CURE_RETURN_IF_ERROR(scan.status());
         }
         data->has_tt = rebuilt.num_rows() > 0;
         data->tt = std::move(rebuilt);

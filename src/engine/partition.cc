@@ -93,6 +93,7 @@ Result<std::vector<std::vector<uint64_t>>> ComputeLevelHistograms(
     }
     for (int l = 0; l < dim0.num_levels(); ++l) ++hist[l][dim0.CodeAt(leaf, l)];
   }
+  CURE_RETURN_IF_ERROR(scan.status());
   return hist;
 }
 
@@ -259,6 +260,7 @@ Result<PartitionOutcome> PartitionFact(
     }
     ++rowid;
   }
+  CURE_RETURN_IF_ERROR(scan.status());
 
   for (storage::Relation& part : outcome.partitions) {
     CURE_RETURN_IF_ERROR(part.Seal());

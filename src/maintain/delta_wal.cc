@@ -46,6 +46,10 @@ Result<std::unique_ptr<DeltaWal>> DeltaWal::Open(const std::string& path,
     CURE_RETURN_IF_ERROR(wal->writer_.Append(&d, 4));
     CURE_RETURN_IF_ERROR(wal->writer_.Append(&m, 4));
     CURE_RETURN_IF_ERROR(wal->writer_.Sync());
+    // fsync the parent directory too: Sync() made the header durable, but
+    // without a durable directory entry a crash right after the first
+    // commit could lose the *file*, not just its tail.
+    CURE_RETURN_IF_ERROR(storage::SyncDir(storage::DirName(path)));
     wal->file_bytes_ = kFileHeaderSize;
     if (stats != nullptr) *stats = wal->recovery_;
     return wal;
@@ -119,6 +123,9 @@ Result<std::unique_ptr<DeltaWal>> DeltaWal::Open(const std::string& path,
   }
   CURE_RETURN_IF_ERROR(
       wal->writer_.Open(path, 1 << 16, storage::FileWriter::OpenMode::kAppend));
+  // Make the (possibly just-truncated) entry durable before accepting new
+  // commits — recovery decisions must not be undone by a crash.
+  CURE_RETURN_IF_ERROR(storage::SyncDir(storage::DirName(path)));
   wal->file_bytes_ = committed;
   wal->recovery_.seconds = watch.ElapsedSeconds();
   if (stats != nullptr) *stats = wal->recovery_;

@@ -1,5 +1,6 @@
 #include "maintain/live_cube.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -208,13 +209,31 @@ uint64_t LiveCube::wal_rows() const {
   return wal_->total_rows();
 }
 
-Result<RefreshStats> LiveCube::Flush() { return RefreshOnce(true); }
+Result<RefreshStats> LiveCube::Flush() { return RefreshWithRetry(true); }
+
+Result<RefreshStats> LiveCube::RefreshWithRetry(bool wait_for_standby) {
+  const int attempts = options_.io_retry_attempts > 0
+                           ? options_.io_retry_attempts
+                           : 1;
+  uint64_t backoff_ms = std::max<uint64_t>(options_.io_retry_backoff_ms, 1);
+  for (int attempt = 1;; ++attempt) {
+    auto result = RefreshOnce(wait_for_standby);
+    // Only transient I/O failures retry: the published snapshot is still
+    // serving, so a capped backoff costs staleness, not availability.
+    if (result.ok() || result.status().code() != StatusCode::kIoError ||
+        attempt >= attempts || stopping_.load()) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options_.io_retry_backoff_cap_ms);
+  }
+}
 
 void LiveCube::MaybeScheduleRefresh() {
   if (stopping_.load()) return;
   if (refresh_scheduled_.exchange(true)) return;
   auto job = [this]() -> Status {
-    auto result = RefreshOnce(false);
+    auto result = RefreshWithRetry(false);
     refresh_scheduled_.store(false);
     if (!result.ok()) return result.status();
     // Rows that arrived while we were refreshing (or a busy skip) may have
@@ -273,6 +292,16 @@ Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
     stats.version = active_->version;
     prev_rows = active_->rows;
     if (prev_rows == target) return stats;  // Nothing pending.
+  }
+
+  // Fault-test seam: a failing hook is indistinguishable from an attempt
+  // that died in real I/O — counted, retried per policy, snapshot intact.
+  if (refresh_hook_) {
+    Status hook_status = refresh_hook_();
+    if (!hook_status.ok()) {
+      refresh_failed_.fetch_add(1, std::memory_order_relaxed);
+      return hook_status;
+    }
   }
 
   // The standby replica may still be read by queries that started before

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,15 @@ struct MaintainOptions {
   /// Force the staged-rebuild path even when ApplyDelta's preconditions
   /// hold (benchmarks compare the two).
   bool allow_delta = true;
+  /// Transient-I/O resilience: a refresh attempt failing with kIoError is
+  /// retried up to `io_retry_attempts` total attempts with exponential
+  /// backoff starting at `io_retry_backoff_ms` and capped at
+  /// `io_retry_backoff_cap_ms`. Non-I/O errors never retry. On persistent
+  /// failure the published snapshot stays untouched and refresh_failed
+  /// counts every failed attempt (surfaced in STATS).
+  int io_retry_attempts = 3;
+  uint64_t io_retry_backoff_ms = 1;
+  uint64_t io_retry_backoff_cap_ms = 100;
 };
 
 /// A live, crash-safe CURE cube: durable row ingest through a delta WAL,
@@ -133,6 +143,15 @@ class LiveCube {
   /// before it is destroyed (ThreadPool::Shutdown does).
   void set_refresh_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Test seam: invoked at the start of every refresh attempt that has
+  /// pending rows; a non-OK return fails the attempt with that status
+  /// (counted in refresh_failed, subject to the kIoError retry policy).
+  /// Lets fault tests exercise the retry/backoff path even when the cube
+  /// itself rebuilds purely in memory. Set before concurrent use.
+  void set_refresh_hook(std::function<Status()> hook) {
+    refresh_hook_ = std::move(hook);
+  }
+
   const schema::CubeSchema& schema() const { return schema_; }
   const schema::NodeIdCodec& codec() const { return codec_; }
   const MaintainOptions& options() const { return options_; }
@@ -168,6 +187,11 @@ class LiveCube {
   /// standby replica's previous version drains; otherwise a pinned standby
   /// returns skipped_busy and the next trigger retries.
   Result<RefreshStats> RefreshOnce(bool wait_for_standby);
+
+  /// RefreshOnce wrapped in the kIoError retry policy (MaintainOptions'
+  /// io_retry_* knobs): transient I/O failures back off exponentially and
+  /// retry; anything else — and exhaustion — propagates.
+  Result<RefreshStats> RefreshWithRetry(bool wait_for_standby);
 
   /// Schedules a background refresh if none is queued or running.
   void MaybeScheduleRefresh();
@@ -206,6 +230,7 @@ class LiveCube {
   uint64_t next_version_ = 1;
   std::atomic<bool> refresh_scheduled_{false};
   ThreadPool* pool_ = nullptr;
+  std::function<Status()> refresh_hook_;
 
   // Timer thread (refresh_seconds > 0 only).
   std::thread timer_;

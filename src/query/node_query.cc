@@ -135,6 +135,7 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
       if (!passes_slices(dims)) continue;
       sink->Emit(dims, g, aggrs, y);
     }
+    CURE_RETURN_IF_ERROR(scan.status());
   }
 
   // Common aggregate tuples.
@@ -164,6 +165,7 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
       if (!passes_slices(dims)) continue;
       sink->Emit(dims, g, aggrs, y);
     }
+    CURE_RETURN_IF_ERROR(scan.status());
   }
 
   // Trivial tuples, shared along the plan path (skipped entirely for
@@ -195,6 +197,7 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
           std::memcpy(&rowid, rec, 8);
           CURE_RETURN_IF_ERROR(emit_tt(rowid));
         }
+        CURE_RETURN_IF_ERROR(scan.status());
       }
     }
   }
@@ -216,7 +219,7 @@ Status BucQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
     std::memcpy(aggrs, rec + 4ull * g, 8ull * y);
     sink->Emit(dims, g, aggrs, y);
   }
-  return Status::OK();
+  return scan.status();
 }
 
 Status BubstQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
@@ -278,7 +281,7 @@ Status BubstQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
     }
     sink->Emit(out_dims, g, aggrs, y);
   }
-  return Status::OK();
+  return scan.status();
 }
 
 FlatNodeMapping MapToFlatNode(const schema::CubeSchema& hier_schema,

@@ -49,6 +49,7 @@ Result<FactTable> FactTable::ReadFrom(const storage::Relation& rel, int num_dims
     }
     table.AppendRow(dims.data(), measures.data());
   }
+  CURE_RETURN_IF_ERROR(scan.status());
   return table;
 }
 

@@ -30,6 +30,8 @@ CubeServer::CubeServer(
   queries_errors_ = metrics_.counter("queries_errors");
   rejected_total_ = metrics_.counter("rejected_total");
   deadline_exceeded_total_ = metrics_.counter("deadline_exceeded_total");
+  io_errors_total_ = metrics_.counter("io_errors_total");
+  data_loss_total_ = metrics_.counter("data_loss_total");
   latency_us_ = metrics_.histogram("query_latency");
   queue_wait_us_ = metrics_.histogram("queue_wait");
   // Background refreshes share the query worker pool (the refresh job never
@@ -127,6 +129,7 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   Result<QueryKey> key = MakeKey(request, snapshot->version);
   if (!key.ok()) {
     queries_errors_->Inc();
+    CountErrorClass(key.status());
     response.status = key.status();
     response.latency_seconds = watch.ElapsedSeconds();
     return response;
@@ -152,6 +155,7 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
       key->node, key->slices, key->count_aggregate, key->min_count, &sink);
   if (!response.status.ok()) {
     queries_errors_->Inc();
+    CountErrorClass(response.status);
     response.latency_seconds = watch.ElapsedSeconds();
     return response;
   }
@@ -168,6 +172,16 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   response.latency_seconds = watch.ElapsedSeconds();
   latency_us_->Record(watch.ElapsedMicros());
   return response;
+}
+
+void CubeServer::CountErrorClass(const Status& status) {
+  // Storage faults get their own counters so an operator can tell "the
+  // disk is dying / the cube file is corrupt" from request mistakes.
+  if (status.code() == StatusCode::kIoError) {
+    io_errors_total_->Inc();
+  } else if (status.code() == StatusCode::kDataLoss) {
+    data_loss_total_->Inc();
+  }
 }
 
 QueryResponse CubeServer::Execute(const QueryRequest& request) {

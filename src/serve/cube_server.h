@@ -167,11 +167,17 @@ class CubeServer {
   std::atomic<int64_t> in_flight_{0};
   std::function<void()> worker_hook_;
 
+  /// Classifies a failed query into the storage-fault counters
+  /// (io_errors_total / data_loss_total) in addition to queries_errors.
+  void CountErrorClass(const Status& status);
+
   // Hot-path metric handles (owned by metrics_).
   Counter* queries_total_;
   Counter* queries_errors_;
   Counter* rejected_total_;
   Counter* deadline_exceeded_total_;
+  Counter* io_errors_total_;
+  Counter* data_loss_total_;
   LogHistogram* latency_us_;
   LogHistogram* queue_wait_us_;
 };

@@ -24,7 +24,10 @@ Status BufferCache::Init(const Relation* relation, double cached_fraction) {
   Relation::Scanner scan(*relation);
   for (uint64_t r = 0; r < cached_rows_; ++r) {
     const uint8_t* rec = scan.Next();
-    if (rec == nullptr) return Status::Internal("short relation during cache fill");
+    if (rec == nullptr) {
+      CURE_RETURN_IF_ERROR(scan.status());
+      return Status::Internal("short relation during cache fill");
+    }
     std::memcpy(pinned_.data() + r * width, rec, width);
   }
   return Status::OK();

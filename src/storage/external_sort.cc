@@ -49,6 +49,7 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
       std::memcpy(buf.data() + i * width, rec, width);
       ++i;
     }
+    CURE_RETURN_IF_ERROR(scan.status());
     SortRun(&buf, input.num_rows(), width, less);
     for (uint64_t r = 0; r < input.num_rows(); ++r) {
       CURE_RETURN_IF_ERROR(output->Append(buf.data() + r * width));
@@ -92,6 +93,7 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
       ++in_buf;
       if (in_buf >= run_records) CURE_RETURN_IF_ERROR(flush_run());
     }
+    CURE_RETURN_IF_ERROR(scan.status());
     CURE_RETURN_IF_ERROR(flush_run());
   }
 
@@ -108,6 +110,7 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
     c.scan = std::make_unique<Relation::Scanner>(runs[i]);
     c.rec = c.scan->Next();
     c.run = i;
+    CURE_RETURN_IF_ERROR(c.scan->status());
     if (c.rec != nullptr) cursors.push_back(std::move(c));
   }
   auto heap_greater = [&](size_t a, size_t b) {
@@ -123,6 +126,7 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
     heap.pop_back();
     CURE_RETURN_IF_ERROR(output->Append(cursors[top].rec));
     cursors[top].rec = cursors[top].scan->Next();
+    CURE_RETURN_IF_ERROR(cursors[top].scan->status());
     if (cursors[top].rec != nullptr) {
       heap.push_back(top);
       std::push_heap(heap.begin(), heap.end(), heap_greater);

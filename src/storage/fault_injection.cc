@@ -1,0 +1,75 @@
+#include "storage/fault_injection.h"
+
+namespace cure {
+namespace storage {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  ops_matched_ = 0;
+  faults_injected_ = 0;
+  fired_once_ = false;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  plan_ = FaultPlan{};
+  fired_once_ = false;
+}
+
+uint64_t FaultInjector::ops_matched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_matched_;
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+int FaultInjector::Consult(const char* op, const std::string& path) {
+  if (!armed_.load(std::memory_order_relaxed)) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConsultLocked(op, path, nullptr);
+}
+
+int FaultInjector::ConsultWrite(const std::string& path, size_t* len) {
+  if (!armed_.load(std::memory_order_relaxed)) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConsultLocked("write", path, len);
+}
+
+int FaultInjector::ConsultLocked(const char* op, const std::string& path,
+                                 size_t* len) {
+  if (!armed_.load(std::memory_order_relaxed)) return 0;
+  if (!plan_.op.empty() && plan_.op != op) return 0;
+  if (!plan_.path_substr.empty() &&
+      path.find(plan_.path_substr) == std::string::npos) {
+    return 0;
+  }
+  const uint64_t index = ops_matched_++;
+  if (plan_.fail_index == UINT64_MAX) return 0;  // counting mode
+  const bool fires =
+      plan_.once ? (index == plan_.fail_index && !fired_once_)
+                 : (index >= plan_.fail_index);
+  if (!fires) return 0;
+  fired_once_ = true;
+  ++faults_injected_;
+  if (len != nullptr && plan_.short_fraction > 0 &&
+      plan_.short_fraction < 1 && *len > 1) {
+    *len = static_cast<size_t>(static_cast<double>(*len) *
+                               plan_.short_fraction);
+    if (*len == 0) *len = 1;
+  }
+  return plan_.error;
+}
+
+}  // namespace storage
+}  // namespace cure

@@ -1,0 +1,113 @@
+#ifndef CURE_STORAGE_FAULT_INJECTION_H_
+#define CURE_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cure {
+namespace storage {
+
+/// A deterministic fault to inject into the file_io syscall shims.
+///
+/// Matching: an I/O operation matches when `op` is empty or equals the
+/// shim's operation name ("open", "read", "write", "fsync", "rename",
+/// "truncate", "unlink", "syncdir") AND `path_substr` is empty or a
+/// substring of the operation's path. Matching operations are counted;
+/// the `fail_index`-th match (0-based) trips the fault.
+struct FaultPlan {
+  /// Operation name to match; empty matches every operation.
+  std::string op;
+  /// Path substring to match; empty matches every path.
+  std::string path_substr;
+  /// 0-based index (among matching operations) of the op that fails.
+  /// UINT64_MAX never fires — used to count call sites for a sweep.
+  uint64_t fail_index = 0;
+  /// errno to inject (e.g. EIO, ENOSPC). 0 with short_fraction set
+  /// means "short write only": the write is truncated but succeeds.
+  int error = 0;
+  /// Fail only the fail_index-th op (transient) vs every op from
+  /// fail_index on (sticky — models a dead disk).
+  bool once = false;
+  /// For "write" ops: fraction (0,1) of the requested length actually
+  /// written before the fault. With error == 0 the shortened write
+  /// SUCCEEDS (kernel-style short write the caller must loop over).
+  double short_fraction = 0;
+};
+
+/// Process-global, test-scoped deterministic fault injector.
+///
+/// Disarmed (the default) it costs one relaxed atomic load per I/O
+/// operation. Tests arm a FaultPlan (usually via ScopedFaultInjection),
+/// run the workload, and read back counters: `ops_matched` says how many
+/// matching operations executed — arming with fail_index = UINT64_MAX
+/// turns the injector into a pure counter for enumerating a workload's
+/// I/O points before sweeping them.
+///
+/// Thread-safe: shims on pool threads consult the same plan; counters
+/// are mutex-protected so a sweep's op ordering is deterministic only
+/// when the workload itself is (use num_threads = 1 for sweeps).
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `plan`, resetting counters. Replaces any armed plan.
+  void Arm(const FaultPlan& plan);
+
+  /// Disarms and resets counters.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Number of operations that matched the plan since Arm().
+  uint64_t ops_matched() const;
+  /// Number of faults actually injected since Arm().
+  uint64_t faults_injected() const;
+
+  /// Shim hook for non-write ops: returns 0 (proceed) or the errno to
+  /// inject. Counts the op when it matches the armed plan.
+  int Consult(const char* op, const std::string& path);
+
+  /// Shim hook for writes: like Consult, but may instead shorten the
+  /// write — on return, when the result is 0 and *len was reduced, the
+  /// shim must write only *len bytes and report success.
+  int ConsultWrite(const std::string& path, size_t* len);
+
+ private:
+  FaultInjector() = default;
+
+  int ConsultLocked(const char* op, const std::string& path, size_t* len);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  uint64_t ops_matched_ = 0;
+  uint64_t faults_injected_ = 0;
+  bool fired_once_ = false;
+};
+
+/// RAII arm/disarm for tests.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultPlan& plan) {
+    FaultInjector::Instance().Arm(plan);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Instance().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  uint64_t ops_matched() const {
+    return FaultInjector::Instance().ops_matched();
+  }
+  uint64_t faults_injected() const {
+    return FaultInjector::Instance().faults_injected();
+  }
+};
+
+}  // namespace storage
+}  // namespace cure
+
+#endif  // CURE_STORAGE_FAULT_INJECTION_H_

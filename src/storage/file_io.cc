@@ -5,8 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+
+#include "storage/fault_injection.h"
 
 namespace cure {
 namespace storage {
@@ -14,7 +17,20 @@ namespace storage {
 namespace {
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
-  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+  const int err = errno;
+  std::string msg = op + " '" + path + "': " + std::strerror(err);
+  if (err == ENOSPC) {
+    msg +=
+        " (device out of space: free space or move the cube/scratch "
+        "directories to a larger volume)";
+  }
+  return Status::IoError(msg);
+}
+
+/// Fault-injection shim for non-write operations: returns the errno to
+/// inject, or 0 to proceed with the real syscall.
+int Inject(const char* op, const std::string& path) {
+  return FaultInjector::Instance().Consult(op, path);
 }
 
 }  // namespace
@@ -41,6 +57,10 @@ FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
 Status FileWriter::Open(const std::string& path, size_t buffer_bytes,
                         OpenMode mode) {
   CURE_RETURN_IF_ERROR(Close());
+  if (const int inj = Inject("open", path)) {
+    errno = inj;
+    return ErrnoStatus("open", path);
+  }
   const int flags = O_WRONLY | O_CREAT |
                     (mode == OpenMode::kAppend ? O_APPEND : O_TRUNC);
   fd_ = ::open(path.c_str(), flags, 0644);
@@ -70,22 +90,44 @@ Status FileWriter::Append(const void* data, size_t len) {
 Status FileWriter::Flush() {
   if (fd_ < 0) return Status::OK();
   size_t off = 0;
+  Status fail = Status::OK();
   while (off < buffer_used_) {
-    const ssize_t n = ::write(fd_, buffer_.data() + off, buffer_used_ - off);
+    // The shim may shorten `want` (a kernel-style short write the loop
+    // absorbs) or inject an errno outright.
+    size_t want = buffer_used_ - off;
+    const int inj = FaultInjector::Instance().ConsultWrite(path_, &want);
+    ssize_t n;
+    if (inj != 0) {
+      errno = inj;
+      n = -1;
+    } else {
+      n = ::write(fd_, buffer_.data() + off, want);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoStatus("write", path_);
+      fail = ErrnoStatus("write", path_);
+      break;
     }
     off += static_cast<size_t>(n);
   }
-  bytes_written_ += buffer_used_;
-  buffer_used_ = 0;
-  return Status::OK();
+  // Keep buffer state consistent with the file even on failure: drop the
+  // bytes that did reach the fd so a later Flush/Close retry never writes
+  // them twice.
+  if (off > 0 && off < buffer_used_) {
+    std::memmove(buffer_.data(), buffer_.data() + off, buffer_used_ - off);
+  }
+  bytes_written_ += off;
+  buffer_used_ -= off;
+  return fail;
 }
 
 Status FileWriter::Sync() {
   if (fd_ < 0) return Status::Internal("FileWriter::Sync on closed file");
   CURE_RETURN_IF_ERROR(Flush());
+  if (const int inj = Inject("fsync", path_)) {
+    errno = inj;
+    return ErrnoStatus("fsync", path_);
+  }
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
   return Status::OK();
 }
@@ -116,6 +158,10 @@ FileReader& FileReader::operator=(FileReader&& other) noexcept {
 
 Status FileReader::Open(const std::string& path) {
   CURE_RETURN_IF_ERROR(Close());
+  if (const int inj = Inject("open", path)) {
+    errno = inj;
+    return ErrnoStatus("open", path);
+  }
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) return ErrnoStatus("open", path);
   struct stat st;
@@ -142,7 +188,13 @@ Status FileReader::ReadAt(uint64_t offset, void* out, size_t len) const {
   if (fd_ < 0) return Status::Internal("FileReader::ReadAt on closed file");
   uint8_t* dst = static_cast<uint8_t*>(out);
   while (len > 0) {
-    const ssize_t n = ::pread(fd_, dst, len, static_cast<off_t>(offset));
+    ssize_t n;
+    if (const int inj = Inject("read", path_)) {
+      errno = inj;
+      n = -1;
+    } else {
+      n = ::pread(fd_, dst, len, static_cast<off_t>(offset));
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("pread", path_);
@@ -156,6 +208,10 @@ Status FileReader::ReadAt(uint64_t offset, void* out, size_t len) const {
 }
 
 Status TruncateFile(const std::string& path, uint64_t size) {
+  if (const int inj = Inject("truncate", path)) {
+    errno = inj;
+    return ErrnoStatus("truncate", path);
+  }
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("truncate", path);
   }
@@ -163,10 +219,45 @@ Status TruncateFile(const std::string& path, uint64_t size) {
 }
 
 Status RemoveFile(const std::string& path) {
+  if (const int inj = Inject("unlink", path)) {
+    errno = inj;
+    return ErrnoStatus("unlink", path);
+  }
   std::error_code ec;
   std::filesystem::remove(path, ec);
   if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
   return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (const int inj = Inject("rename", from)) {
+    errno = inj;
+    return ErrnoStatus("rename", from);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename '" + from + "' ->", to);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  if (const int inj = Inject("syncdir", path)) {
+    errno = inj;
+    return ErrnoStatus("fsync dir", path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", path);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir", path);
+  ::close(fd);
+  return s;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 Status EnsureDir(const std::string& path) {

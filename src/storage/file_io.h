@@ -88,6 +88,20 @@ class FileReader {
 /// Removes a file if it exists; OK when missing.
 Status RemoveFile(const std::string& path);
 
+/// Atomically renames `from` onto `to` (same filesystem). The publish
+/// step of the crash-consistent persist protocol: rename is atomic, so
+/// readers see either the old file or the complete new one, never a
+/// partial write.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// fsyncs the directory at `path`, making directory entries (created,
+/// renamed, or removed names) durable. Required after creating or
+/// renaming a file whose *existence* must survive a crash.
+Status SyncDir(const std::string& path);
+
+/// Parent directory of `path` ("." when there is no separator).
+std::string DirName(const std::string& path);
+
 /// Truncates the file at `path` to exactly `size` bytes (WAL torn-tail
 /// recovery). The file must exist and be at least `size` bytes long.
 Status TruncateFile(const std::string& path, uint64_t size);

@@ -100,6 +100,7 @@ Relation::Scanner::Scanner(const Relation& rel, size_t buffer_records)
 }
 
 const uint8_t* Relation::Scanner::Next() {
+  if (!status_.ok()) return nullptr;
   if (row_ >= rel_.num_rows()) return nullptr;
   if (rel_.memory_) {
     const uint8_t* rec = rel_.data_.data() + row_ * rel_.record_size_;
@@ -115,7 +116,13 @@ const uint8_t* Relation::Scanner::Next() {
                                    : rel_.reader_.get();
     Status s = reader->ReadAt(rel_.view_offset_ + row_ * rel_.record_size_,
                               buffer_.data(), n * rel_.record_size_);
-    CURE_CHECK(s.ok()) << s.ToString();
+    if (!s.ok()) {
+      // Surface the failure through status() instead of aborting: serve-
+      // time scans must degrade to an error reply, not take the process
+      // down.
+      status_ = std::move(s);
+      return nullptr;
+    }
     buffered_begin_ = row_;
     buffered_end_ = row_ + n;
   }

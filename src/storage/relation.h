@@ -73,9 +73,15 @@ class Relation {
    public:
     explicit Scanner(const Relation& rel, size_t buffer_records = 4096);
 
-    /// Returns a pointer to the next record, or nullptr at end. The pointer
-    /// is valid until the next call.
+    /// Returns a pointer to the next record, or nullptr at end OR on a
+    /// read error — check status() after the scan loop to tell the two
+    /// apart. The pointer is valid until the next call.
     const uint8_t* Next();
+
+    /// OK while the scan is clean; the read error that ended it otherwise.
+    /// A scan loop that must distinguish I/O failure from end-of-relation
+    /// propagates this after Next() returns nullptr.
+    const Status& status() const { return status_; }
 
     /// Current 0-based row index of the record last returned by Next().
     uint64_t row() const { return row_ - 1; }
@@ -86,6 +92,7 @@ class Relation {
     uint64_t row_ = 0;
     uint64_t buffered_begin_ = 0;
     uint64_t buffered_end_ = 0;
+    Status status_;
   };
 
  private:

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <future>
@@ -21,6 +22,8 @@
 #include "serve/protocol.h"
 #include "serve/query_cache.h"
 #include "serve/tcp_server.h"
+#include "storage/fault_injection.h"
+#include "storage/file_io.h"
 
 namespace cure {
 namespace {
@@ -432,6 +435,43 @@ TEST(CubeServerTest, InvalidRequestsAreErrorsNotCrashes) {
   QueryResponse response = server->Submit(bad).get();
   EXPECT_FALSE(response.status.ok());
   EXPECT_EQ(server->metrics()->counter("queries_errors")->value(), 1u);
+}
+
+TEST(CubeServerTest, StorageFaultsAreClassifiedAndRecoverable) {
+  ServerFixture fx(300, 26);
+  // Spill the store so queries actually read the packed file via pread —
+  // the path an injected disk fault can hit.
+  const std::string path = "/tmp/cure_serve_fault_" +
+                           std::to_string(::getpid()) + ".bin";
+  ASSERT_TRUE(fx.cube->SpillStoreToDisk(path).ok());
+  std::unique_ptr<CubeServer> server = fx.MakeServer();
+  QueryRequest request;
+  request.node = server->codec().Encode({0, 0, 1});
+
+  {
+    storage::FaultPlan plan;
+    plan.op = "read";
+    plan.path_substr = path;
+    plan.error = EIO;
+    storage::ScopedFaultInjection fault(plan);
+    QueryResponse faulted = server->Execute(request);
+    ASSERT_FALSE(faulted.status.ok());
+    EXPECT_EQ(faulted.status.code(), StatusCode::kIoError)
+        << faulted.status.ToString();
+    EXPECT_GE(fault.faults_injected(), 1u);
+  }
+  // The failure class is surfaced as its own counter in STATS.
+  EXPECT_EQ(server->metrics()->counter("io_errors_total")->value(), 1u);
+  EXPECT_EQ(server->metrics()->counter("queries_errors")->value(), 1u);
+  const std::string stats = server->StatsText();
+  EXPECT_NE(stats.find("io_errors_total 1\n"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("data_loss_total 0\n"), std::string::npos) << stats;
+
+  // Degradation, not an outage: the fault cleared, the same query works.
+  QueryResponse recovered = server->Execute(request);
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_GT(recovered.count, 0u);
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
 }
 
 // ----------------------------------------------------------------- protocol

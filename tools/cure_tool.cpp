@@ -7,6 +7,7 @@
 //   cure_tool query <outdir> <node> [--slice dim:level=value]... [--minsup N]
 //                                          e.g.  country,category
 //                                          or    city,category  or  ALL
+//   cure_tool verify <outdir|cube.bin>
 //   cure_tool serve <outdir> [--port P] [--threads N] [--cache-mb M]
 //
 // The spec file (see etl/loader.h):
@@ -21,9 +22,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "common/bytes.h"
+#include "cube/cube_store.h"
 #include "common/logging.h"
 #include "engine/cure.h"
 #include "etl/loader.h"
@@ -51,6 +54,8 @@ int Usage() {
                "  cure_tool build <data.csv> <spec.txt> <outdir> [--dr] "
                "[--plus] [--minsup N]\n"
                "  cure_tool info  <outdir>\n"
+               "  cure_tool verify <outdir|cube.bin>   (checksum audit; exit "
+               "1 on corruption)\n"
                "  cure_tool query <outdir> <level[,level...]|ALL> "
                "[--slice [dim:]level=value]... [--minsup N]\n"
                "  cure_tool append <outdir> <dim>... <measure>...  "
@@ -168,6 +173,46 @@ int RunInfo(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  return 0;
+}
+
+int RunVerify(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string path = argv[2];
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) path += "/cube.bin";
+
+  const cure::cube::CubeStore::PackedVerifyReport report =
+      cure::cube::CubeStore::VerifyPacked(path);
+  std::printf("file:        %s (%s)\n", path.c_str(),
+              FormatBytes(report.file_size).c_str());
+  std::printf("format:      v%u\n", report.version);
+  std::printf("manifest:    %s\n", report.manifest_ok ? "OK" : "CORRUPT");
+  uint64_t bad = 0;
+  for (const auto& section : report.sections) {
+    char id[32];
+    if (section.node_id == ~0ull) {
+      std::snprintf(id, sizeof(id), "-");
+    } else {
+      std::snprintf(id, sizeof(id), "%llu",
+                    static_cast<unsigned long long>(section.node_id));
+    }
+    std::printf("  section node=%-8s %-10s rows=%-10llu %-10s @%-12llu %s\n",
+                id, section.kind.c_str(),
+                static_cast<unsigned long long>(section.rows),
+                FormatBytes(section.bytes).c_str(),
+                static_cast<unsigned long long>(section.offset),
+                section.checksum_ok ? "OK" : "CORRUPT");
+    if (!section.checksum_ok) ++bad;
+  }
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "verify FAILED: %s\n",
+                 report.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("verify OK: %llu sections, %llu corrupt\n",
+              static_cast<unsigned long long>(report.sections.size()),
+              static_cast<unsigned long long>(bad));
   return 0;
 }
 
@@ -361,6 +406,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
+  if (std::strcmp(argv[1], "verify") == 0) return RunVerify(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
   if (std::strcmp(argv[1], "append") == 0) return RunAppend(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return RunServe(argc, argv);
