@@ -113,17 +113,24 @@ int main() {
               "max", "avg");
   std::vector<schema::NodeId> all_nodes;
   for (const NodeCost& node : nodes) all_nodes.push_back(node.id);
+  // Per-variant latency distributions land in one shared registry and are
+  // re-rendered below in the serving layer's STATS histogram format.
+  MetricsRegistry qrt_metrics;
   for (Variant& v : variants) {
     const query::QrtStats stats = MeasureEngineQrt(
-        all_nodes, [&](schema::NodeId id, query::ResultSink* sink) {
+        all_nodes,
+        [&](schema::NodeId id, query::ResultSink* sink) {
           return v.engine->QueryNode(id, sink);
-        });
+        },
+        qrt_metrics.histogram(std::string("qrt_") + v.label));
     std::printf("%-10s %12s %12s %12s %12s\n", v.label,
                 FormatSeconds(stats.p50_seconds).c_str(),
                 FormatSeconds(stats.p95_seconds).c_str(),
                 FormatSeconds(stats.max_seconds).c_str(),
                 FormatSeconds(stats.avg_seconds).c_str());
   }
+  std::printf("\nSTATS-format latency histograms (identical renderer to "
+              "cure_serve):\n%s", qrt_metrics.TextSnapshot().c_str());
 
   CURE_CHECK_OK(storage::RemoveFile(path));
   for (Variant& v : variants) {

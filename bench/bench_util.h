@@ -18,6 +18,7 @@
 #include "common/bytes.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "engine/bubst.h"
 #include "engine/buc.h"
@@ -100,13 +101,27 @@ inline CureBuildResult BuildCureVariant(const std::string& label,
   return result;
 }
 
-/// Average QRT of a query engine over a random node workload.
+/// Average QRT of a query engine over a random node workload. When
+/// `latencies` is non-null, per-query micros are also recorded there (use a
+/// MetricsRegistry histogram so the bench publishes the same distribution
+/// the serving layer snapshots).
 inline query::QrtStats MeasureEngineQrt(
     const std::vector<schema::NodeId>& workload,
-    const std::function<Status(schema::NodeId, query::ResultSink*)>& fn) {
-  Result<query::QrtStats> stats = query::MeasureQrt(workload, fn);
+    const std::function<Status(schema::NodeId, query::ResultSink*)>& fn,
+    LogHistogram* latencies = nullptr) {
+  Result<query::QrtStats> stats = query::MeasureQrt(workload, fn, latencies);
   CURE_CHECK(stats.ok()) << stats.status().ToString();
   return std::move(stats).value();
+}
+
+/// Prints a latency histogram in the exact `<name>_{count,avg_us,p50_us,
+/// p95_us,p99_us,max_us}` shape the serving layer's STATS verb uses —
+/// benches and serve report percentiles through one renderer.
+inline void PrintLatencyHistogram(const std::string& name,
+                                  const LogHistogram& histogram) {
+  std::string text;
+  AppendHistogramText(name, histogram, &text);
+  std::fputs(text.c_str(), stdout);
 }
 
 /// Spills a CURE cube's store to a packed file (timed); queries then read

@@ -1,0 +1,195 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace cure {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+LogHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<LogHistogram>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+void AppendHistogramText(const std::string& name, const LogHistogram& histogram,
+                         std::string* out) {
+  const LogHistogram::Snapshot snap = histogram.TakeSnapshot();
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s_count %" PRIu64 "\n%s_avg_us %.1f\n%s_p50_us %" PRId64
+                "\n%s_p95_us %" PRId64 "\n%s_p99_us %" PRId64
+                "\n%s_max_us %" PRId64 "\n",
+                name.c_str(), snap.count, name.c_str(), snap.avg, name.c_str(),
+                snap.p50, name.c_str(), snap.p95, name.c_str(), snap.p99,
+                name.c_str(), snap.max);
+  *out += line;
+}
+
+std::string FormatMetricValue(double value) {
+  char buf[48];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(),
+                  counter->value());
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name;
+    out += ' ';
+    out += FormatMetricValue(gauge->value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    AppendHistogramText(name, *histogram, &out);
+  }
+  return out;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!alpha && !(digit && i > 0)) return false;
+  }
+  return true;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusSampleLine(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double value) {
+  if (!std::isfinite(value)) return std::string();
+  std::string out = SanitizeMetricName(name);
+  if (!labels.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [label_name, label_value] : labels) {
+      if (!first) out += ',';
+      first = false;
+      out += SanitizeMetricName(label_name);
+      out += "=\"";
+      out += EscapeLabelValue(label_value);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+  out += FormatMetricValue(value);
+  out += '\n';
+  return out;
+}
+
+void AppendPrometheusHistogram(const std::string& name,
+                               const LogHistogram& histogram,
+                               std::string* out) {
+  const std::string base = SanitizeMetricName(name);
+  const LogHistogram::Snapshot snap = histogram.TakeSnapshot();
+  *out += "# TYPE " + base + " summary\n";
+  *out += PrometheusSampleLine(base, {{"quantile", "0.5"}},
+                               static_cast<double>(snap.p50));
+  *out += PrometheusSampleLine(base, {{"quantile", "0.95"}},
+                               static_cast<double>(snap.p95));
+  *out += PrometheusSampleLine(base, {{"quantile", "0.99"}},
+                               static_cast<double>(snap.p99));
+  *out += PrometheusSampleLine(base + "_sum", {},
+                               static_cast<double>(snap.sum));
+  *out += PrometheusSampleLine(base + "_count", {},
+                               static_cast<double>(snap.count));
+}
+
+std::string MetricsRegistry::PrometheusText(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string full = SanitizeMetricName(prefix + name);
+    out += "# TYPE " + full + " counter\n";
+    out += PrometheusSampleLine(full, {},
+                                static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const double value = gauge->value();
+    // The exposition format technically permits NaN, but a NaN gauge here
+    // always means "never observed" — skip the whole block instead of
+    // publishing a poisoned sample.
+    if (!std::isfinite(value)) continue;
+    const std::string full = SanitizeMetricName(prefix + name);
+    out += "# TYPE " + full + " gauge\n";
+    out += PrometheusSampleLine(full, {}, value);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    AppendPrometheusHistogram(prefix + name + "_us", *histogram, &out);
+  }
+  return out;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+}  // namespace cure

@@ -37,6 +37,7 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
       return f;
     }
     queue_.push_back(std::move(wrapped));
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
   return future;
@@ -65,7 +66,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     task();  // Status travels through the promise; tasks do not throw.
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef CURE_COMMON_THREAD_POOL_H_
 #define CURE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -48,14 +50,36 @@ class ThreadPool {
   /// completion, and joins the workers. Idempotent.
   void Shutdown();
 
+  /// ---- Observability (satellite: queue depth and worker utilization) ----
+  /// Tasks currently waiting for a worker.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  /// Workers currently running a task.
+  int busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+  /// Tasks accepted by Submit() over the pool's lifetime.
+  uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+  /// Tasks that finished running.
+  uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<Status()>> queue_;
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
+  std::atomic<int> busy_workers_{0};
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_completed_{0};
 };
 
 }  // namespace cure

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace cure {
 namespace engine {
@@ -117,6 +118,13 @@ class BubstExecutor {
     CURE_RETURN_IF_ERROR(WriteRow(idx_[begin], /*bst=*/false, aggrs));
 
     for (int d = dim; d < num_dims_; ++d) {
+      // Per-node timing, mirroring construct.cc: this edge sorts the span
+      // on dimension d and materializes the node with d newly included.
+      TraceSpan span("cure.baseline.edge");
+      if (Tracer::enabled()) {
+        span.AddArg("dim", static_cast<uint64_t>(d));
+        span.AddArg("rows", static_cast<uint64_t>(count));
+      }
       const uint32_t cardinality = schema_->dim(d).leaf_cardinality();
       const std::vector<uint32_t>& col = table_->dim_column(d);
       SortSpan(
@@ -167,6 +175,7 @@ Result<std::unique_ptr<BubstCube>> BuildBubst(const CubeSchema& schema,
   cube->stats_.input_rows = table.num_rows();
 
   Stopwatch watch;
+  CURE_TRACE_SPAN("cure.baseline.bubst_build", "rows", table.num_rows());
   BubstExecutor executor(&cube->schema_, &table, &options, &cube->monolithic_,
                          &cube->stats_);
   CURE_RETURN_IF_ERROR(executor.Run());

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "engine/cure.h"
 #include "storage/file_io.h"
 
@@ -74,6 +75,8 @@ class StageTimer {
 }  // namespace
 
 Status BuildPipeline::Run() {
+  CURE_TRACE_SPAN("cure.build.run", "threads",
+                  static_cast<uint64_t>(ctx_.external ? ctx_.num_threads : 1));
   Stopwatch watch;
   stats_->num_threads = ctx_.external ? ctx_.num_threads : 1;
   CURE_RETURN_IF_ERROR(LoadStage());
@@ -86,6 +89,7 @@ Status BuildPipeline::Run() {
 }
 
 Status BuildPipeline::LoadStage() {
+  CURE_TRACE_SPAN("cure.build.load");
   StageTimer timer(&stats_->load_stage);
   if (!ctx_.external) {
     if (ctx_.input->table != nullptr) {
@@ -111,6 +115,7 @@ Status BuildPipeline::LoadStage() {
 }
 
 Status BuildPipeline::PartitionStage() {
+  CURE_TRACE_SPAN("cure.build.partition");
   StageTimer timer(&stats_->partition_stage);
   PartitionOptions popts;
   popts.memory_budget_bytes = ctx_.options->memory_budget_bytes;
@@ -138,6 +143,8 @@ Status BuildPipeline::ConstructOnePartition(size_t index,
                                             cube::SignaturePool* pool,
                                             BuildStats* stats) {
   storage::Relation& part = outcome_.partitions[index];
+  CURE_TRACE_SPAN("cure.build.partition_construct", "partition",
+                  static_cast<uint64_t>(index), "rows", part.num_rows());
   stats->partition_read_bytes += part.bytes();
   CURE_ASSIGN_OR_RETURN(Load load, LoadFromPartition(part, *ctx_.schema));
   Executor executor(ctx_.schema, ctx_.options, store, pool, stats);
@@ -153,6 +160,7 @@ Status BuildPipeline::ConstructOnePartition(size_t index,
 }
 
 Status BuildPipeline::ConstructStage() {
+  CURE_TRACE_SPAN("cure.build.construct");
   StageTimer timer(&stats_->construct_stage);
   if (!ctx_.external) {
     CURE_CHECK(load_ready_);
@@ -240,6 +248,7 @@ Status BuildPipeline::ConstructParallel() {
 
 Status BuildPipeline::MergeStage() {
   if (!ctx_.external) return Status::OK();
+  CURE_TRACE_SPAN("cure.build.merge");
   StageTimer timer(&stats_->merge_stage);
   // Stitch shards in partition order; with sound partitions this reproduces
   // the serial append order exactly (serial construction visits partitions
@@ -259,6 +268,7 @@ Status BuildPipeline::MergeStage() {
 }
 
 Status BuildPipeline::PersistStage() {
+  CURE_TRACE_SPAN("cure.build.persist");
   StageTimer timer(&stats_->persist_stage);
   ++stats_->signature_flushes;
   CURE_RETURN_IF_ERROR(pool_.Flush(store_));

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/build_pipeline.h"
 
 namespace cure {
@@ -75,6 +76,7 @@ Result<std::unique_ptr<CureCube>> BuildCure(const CubeSchema& schema,
   if (input.table == nullptr && input.relation == nullptr) {
     return Status::InvalidArgument("FactInput needs a table or a relation");
   }
+  if (options.trace && !Tracer::enabled()) Tracer::Instance().Enable();
   std::unique_ptr<CureCube> cube(new CureCube());
   cube->schema_ = options.flat ? schema.Flattened() : schema;
   cube->store_ = cube::CubeStore(

@@ -58,6 +58,13 @@ struct CureOptions {
 
   /// Test hook for the CAT storage format.
   cube::CatFormat forced_cat_format = cube::CatFormat::kUndecided;
+
+  /// Arms the process-global span tracer (common/trace.h) for this build
+  /// when it is not already enabled: per-stage, per-partition and per-node
+  /// spans become recordable, exportable via Tracer::WriteChromeTrace().
+  /// Equivalent to the CURE_TRACE environment toggle; leaves the tracer
+  /// enabled afterwards so the caller can export.
+  bool trace = false;
 };
 
 struct UpdateStats;  // engine/incremental.h

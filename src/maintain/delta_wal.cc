@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace cure {
 namespace maintain {
@@ -137,13 +138,18 @@ Status DeltaWal::AppendBatch(const RowBatch& batch) {
     return Status::InvalidArgument("RowBatch record size does not match WAL");
   }
   if (batch.rows() == 0) return Status::OK();
+  CURE_TRACE_SPAN("cure.maintain.wal_append", "rows", batch.rows(), "bytes",
+                  batch.bytes());
   const uint32_t row_count = static_cast<uint32_t>(batch.rows());
   const uint64_t checksum = Checksum(batch.data(), batch.bytes());
   CURE_RETURN_IF_ERROR(writer_.Append(&kFrameMagic, 4));
   CURE_RETURN_IF_ERROR(writer_.Append(&row_count, 4));
   CURE_RETURN_IF_ERROR(writer_.Append(&checksum, 8));
   CURE_RETURN_IF_ERROR(writer_.Append(batch.data(), batch.bytes()));
-  CURE_RETURN_IF_ERROR(writer_.Sync());  // Commit point.
+  {
+    CURE_TRACE_SPAN("cure.maintain.wal_fsync");
+    CURE_RETURN_IF_ERROR(writer_.Sync());  // Commit point.
+  }
   total_rows_ += batch.rows();
   ++total_batches_;
   file_bytes_ += kFrameHeaderSize + batch.bytes();

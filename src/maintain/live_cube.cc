@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "engine/incremental.h"
 
 namespace cure {
@@ -272,6 +273,7 @@ void LiveCube::TimerLoop() {
 
 Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
   std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  CURE_TRACE_SPAN("cure.maintain.refresh");
   Stopwatch watch;
   RefreshStats stats;
   if (stopping_.load() && !wait_for_standby) {
@@ -338,6 +340,7 @@ Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
   Replica* standby = replicas_[standby_idx].get();
   const uint64_t old_rows = standby->table.num_rows();
   if (old_rows < target) {
+    CURE_TRACE_SPAN("cure.maintain.refresh.catchup", "rows", target - old_rows);
     std::vector<uint8_t> slice((target - old_rows) * record_size_);
     {
       std::lock_guard<std::mutex> lock(state_mu_);
@@ -370,6 +373,7 @@ Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
     stats.fallback_reason = "standby replica has no cube yet (first refresh)";
   }
   if (standby->cube != nullptr && options_.allow_delta) {
+    CURE_TRACE_SPAN("cure.maintain.refresh.delta", "rows", target - old_rows);
     auto update =
         engine::ApplyDelta(standby->cube.get(), standby->table, old_rows);
     if (update.ok()) {
@@ -382,6 +386,8 @@ Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
     }
   }
   if (!delta_applied) {
+    CURE_TRACE_SPAN("cure.maintain.refresh.rebuild", "rows",
+                    standby->table.num_rows());
     standby->cube.reset();  // Release before rebuilding (peak memory).
     engine::FactInput input;
     input.table = &standby->table;
@@ -411,6 +417,7 @@ Result<RefreshStats> LiveCube::RefreshOnce(bool wait_for_standby) {
   // Publish: swap the active snapshot; the old one becomes retired and pins
   // its replica until its readers drain.
   {
+    CURE_TRACE_SPAN("cure.maintain.refresh.publish", "version", snap->version);
     std::lock_guard<std::mutex> lock(snap_mu_);
     retired_ = std::move(active_);
     active_ = std::move(snap);

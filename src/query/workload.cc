@@ -46,9 +46,11 @@ std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
 
 Result<QrtStats> MeasureQrt(
     const std::vector<schema::NodeId>& workload,
-    const std::function<Status(schema::NodeId, ResultSink*)>& query) {
+    const std::function<Status(schema::NodeId, ResultSink*)>& query,
+    LogHistogram* latencies_out) {
   QrtStats stats;
-  LogHistogram latencies;
+  LogHistogram local;
+  LogHistogram& latencies = latencies_out != nullptr ? *latencies_out : local;
   ResultSink sink;
   for (schema::NodeId node : workload) {
     sink.Reset();

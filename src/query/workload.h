@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "query/node_query.h"
 #include "schema/node_id.h"
@@ -35,10 +36,15 @@ struct QrtStats {
 };
 
 /// Runs `query(node, sink)` for every node in the workload and aggregates
-/// timing. The sink is reset per query; tuple counts accumulate.
+/// timing. The sink is reset per query; tuple counts accumulate. When
+/// `latencies` is non-null, every per-query latency (microseconds) is also
+/// recorded there — pass a MetricsRegistry histogram to publish the exact
+/// per-query distribution the serving layer snapshots, rather than the
+/// collapsed QrtStats percentiles.
 Result<QrtStats> MeasureQrt(
     const std::vector<schema::NodeId>& workload,
-    const std::function<Status(schema::NodeId, ResultSink*)>& query);
+    const std::function<Status(schema::NodeId, ResultSink*)>& query,
+    LogHistogram* latencies = nullptr);
 
 }  // namespace query
 }  // namespace cure

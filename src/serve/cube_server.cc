@@ -4,7 +4,11 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
+#include "cube/source.h"
 
 namespace cure {
 namespace serve {
@@ -32,6 +36,7 @@ CubeServer::CubeServer(
   deadline_exceeded_total_ = metrics_.counter("deadline_exceeded_total");
   io_errors_total_ = metrics_.counter("io_errors_total");
   data_loss_total_ = metrics_.counter("data_loss_total");
+  slow_queries_total_ = metrics_.counter("slow_queries_total");
   latency_us_ = metrics_.histogram("query_latency");
   queue_wait_us_ = metrics_.histogram("queue_wait");
   // Background refreshes share the query worker pool (the refresh job never
@@ -119,7 +124,35 @@ Result<QueryKey> CubeServer::MakeKey(const QueryRequest& request,
 QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   QueryResponse response;
   Stopwatch watch;
+  response.trace_id = Tracer::Instance().NextTraceId();
+  TraceSpan query_span("cure.serve.query", "trace_id", response.trace_id,
+                       "node", static_cast<uint64_t>(request.node));
   queries_total_->Inc();
+
+  // Per-stage checkpoints (micros since `watch`): cheap enough to keep
+  // unconditionally, reported by the slow-query log and the trace.
+  int64_t key_done_us = 0;
+  int64_t cache_done_us = 0;
+  int64_t execute_done_us = 0;
+  const auto finish = [&](bool record_latency) {
+    const int64_t total_us = watch.ElapsedMicros();
+    response.latency_seconds = static_cast<double>(total_us) * 1e-6;
+    if (record_latency) latency_us_->Record(total_us);
+    if (options_.slow_query_seconds > 0 &&
+        response.latency_seconds > options_.slow_query_seconds) {
+      slow_queries_total_->Inc();
+      CURE_LOG(kWarning) << "slow query trace=" << response.trace_id
+                         << " node=" << request.node
+                         << " version=" << response.version
+                         << " status=" << response.status.ToString()
+                         << " total_us=" << total_us
+                         << " key_us=" << key_done_us
+                         << " cache_us=" << (cache_done_us - key_done_us)
+                         << " execute_us=" << (execute_done_us - cache_done_us)
+                         << " rows=" << response.count
+                         << (response.cache_hit ? " cache=HIT" : " cache=MISS");
+    }
+  };
 
   // Pin the snapshot for the whole execution: a refresh swapping versions
   // mid-query cannot mutate or free anything this query reads.
@@ -127,36 +160,44 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   response.version = snapshot->version;
 
   Result<QueryKey> key = MakeKey(request, snapshot->version);
+  key_done_us = watch.ElapsedMicros();
   if (!key.ok()) {
     queries_errors_->Inc();
     CountErrorClass(key.status());
     response.status = key.status();
-    response.latency_seconds = watch.ElapsedSeconds();
+    finish(/*record_latency=*/false);
     return response;
   }
 
   if (cache_.enabled()) {
+    CURE_TRACE_SPAN("cure.serve.cache_lookup");
     if (std::shared_ptr<const QueryResult> cached = cache_.Lookup(*key)) {
       response.cache_hit = true;
       response.count = cached->count;
       response.checksum = cached->checksum;
       response.result = std::move(cached);
-      response.latency_seconds = watch.ElapsedSeconds();
-      latency_us_->Record(watch.ElapsedMicros());
+      cache_done_us = watch.ElapsedMicros();
+      execute_done_us = cache_done_us;
+      finish(/*record_latency=*/true);
       return response;
     }
   }
+  cache_done_us = watch.ElapsedMicros();
 
   // Rows are materialized when the caller wants them or the cache will
   // store them; checksum-only requests with the cache off stay lean.
   const bool retain = request.retain_rows || cache_.enabled();
   query::ResultSink sink(retain);
-  response.status = snapshot->engine->QueryNodeSlicedIceberg(
-      key->node, key->slices, key->count_aggregate, key->min_count, &sink);
+  {
+    CURE_TRACE_SPAN("cure.serve.execute", "trace_id", response.trace_id);
+    response.status = snapshot->engine->QueryNodeSlicedIceberg(
+        key->node, key->slices, key->count_aggregate, key->min_count, &sink);
+  }
+  execute_done_us = watch.ElapsedMicros();
   if (!response.status.ok()) {
     queries_errors_->Inc();
     CountErrorClass(response.status);
-    response.latency_seconds = watch.ElapsedSeconds();
+    finish(/*record_latency=*/false);
     return response;
   }
   response.count = sink.count();
@@ -169,8 +210,7 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
     if (cache_.enabled()) cache_.Insert(*key, result);
     response.result = std::move(result);
   }
-  response.latency_seconds = watch.ElapsedSeconds();
-  latency_us_->Record(watch.ElapsedMicros());
+  finish(/*record_latency=*/true);
   return response;
 }
 
@@ -213,7 +253,18 @@ std::future<QueryResponse> CubeServer::Submit(QueryRequest request) {
                  request = std::move(request),
                  submit_watch = Stopwatch()]() mutable -> Status {
     if (worker_hook_) worker_hook_();
-    queue_wait_us_->Record(submit_watch.ElapsedMicros());
+    const int64_t wait_us = submit_watch.ElapsedMicros();
+    queue_wait_us_->Record(wait_us);
+    if (Tracer::enabled()) {
+      // The wait happened before this worker picked the task up, so the
+      // span is recorded retroactively with an explicit start timestamp.
+      TraceEvent event;
+      event.name = "cure.serve.queue_wait";
+      event.type = TraceEventType::kComplete;
+      event.ts_us = Tracer::NowMicros() - wait_us;
+      event.dur_us = wait_us;
+      Tracer::Instance().Record(event);
+    }
     QueryResponse response;
     if (deadline > 0 && submit_watch.ElapsedSeconds() > deadline) {
       deadline_exceeded_total_->Inc();
@@ -229,47 +280,98 @@ std::future<QueryResponse> CubeServer::Submit(QueryRequest request) {
   return future;
 }
 
-std::string CubeServer::StatsText() const {
-  std::string out = metrics_.TextSnapshot();
+void CubeServer::UpdateDerivedMetrics() const {
+  // Satellite: every point-in-time stat flows through the registry (one
+  // uniform rendering path for STATS and METRICS) instead of ad-hoc
+  // snprintf assembly.
   const QueryCache::Stats stats = cache_.stats();
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "cache_enabled %d\ncache_hits %" PRIu64 "\ncache_misses %" PRIu64
-                "\ncache_evictions %" PRIu64 "\ncache_inserts %" PRIu64
-                "\ncache_bytes %" PRIu64 "\ncache_entries %" PRIu64
-                "\nin_flight %" PRId64 "\n",
-                cache_.enabled() ? 1 : 0, stats.hits, stats.misses,
-                stats.evictions, stats.inserts, stats.bytes, stats.entries,
-                in_flight());
-  out += line;
+  metrics_.gauge("cache_enabled")->Set(cache_.enabled() ? 1 : 0);
+  metrics_.gauge("cache_hits")->Set(static_cast<double>(stats.hits));
+  metrics_.gauge("cache_misses")->Set(static_cast<double>(stats.misses));
+  metrics_.gauge("cache_evictions")->Set(static_cast<double>(stats.evictions));
+  metrics_.gauge("cache_inserts")->Set(static_cast<double>(stats.inserts));
+  metrics_.gauge("cache_bytes")->Set(static_cast<double>(stats.bytes));
+  metrics_.gauge("cache_entries")->Set(static_cast<double>(stats.entries));
+  metrics_.gauge("in_flight")->Set(static_cast<double>(in_flight()));
+
+  // Satellite: thread-pool queue depth and worker utilization.
+  metrics_.gauge("pool_threads")->Set(pool_->num_threads());
+  metrics_.gauge("pool_queue_depth")
+      ->Set(static_cast<double>(pool_->queue_depth()));
+  metrics_.gauge("pool_busy_workers")->Set(pool_->busy_workers());
+  metrics_.gauge("pool_tasks_submitted")
+      ->Set(static_cast<double>(pool_->tasks_submitted()));
+  metrics_.gauge("pool_tasks_completed")
+      ->Set(static_cast<double>(pool_->tasks_completed()));
+
+  // Buffer-cache counters of the served snapshot's fact source (already
+  // relaxed atomics; sampled here rather than plumbed through the engine).
+  if (const std::shared_ptr<const maintain::CubeSnapshot> snapshot =
+          Snapshot();
+      snapshot != nullptr && snapshot->engine != nullptr) {
+    const cube::SourceAccessor* fact =
+        snapshot->engine->sources().Get(cube::kSourceFact);
+    if (const auto* rel = dynamic_cast<const cube::FactRelationSource*>(fact)) {
+      const storage::BufferCache& cache = rel->cache();
+      metrics_.gauge("buffer_cache_hits")
+          ->Set(static_cast<double>(cache.hits()));
+      metrics_.gauge("buffer_cache_misses")
+          ->Set(static_cast<double>(cache.misses()));
+      metrics_.gauge("buffer_cache_cached_rows")
+          ->Set(static_cast<double>(cache.cached_rows()));
+    }
+  }
 
   if (live_ != nullptr) {
     const maintain::Freshness fresh = live_->freshness();
     const maintain::LiveCube::Counters c = live_->counters();
-    std::snprintf(line, sizeof(line),
-                  "cube_version %" PRIu64 "\nsnapshot_rows %" PRIu64
-                  "\ntotal_rows %" PRIu64 "\npending_wal_rows %" PRIu64
-                  "\npending_wal_bytes %" PRIu64 "\nstaleness_seconds %.3f\n",
-                  fresh.version, fresh.snapshot_rows, fresh.total_rows,
-                  fresh.pending_rows, fresh.pending_bytes,
-                  fresh.staleness_seconds);
-    out += line;
-    std::snprintf(line, sizeof(line),
-                  "last_refresh_unix %.3f\nlast_refresh_seconds %.3f\n",
-                  fresh.last_refresh_unix, fresh.last_refresh_seconds);
-    out += line;
-    std::snprintf(line, sizeof(line),
-                  "refresh_total %" PRIu64 "\nrefresh_delta %" PRIu64
-                  "\nrefresh_rebuild %" PRIu64 "\nrefresh_failed %" PRIu64
-                  "\nrefresh_skipped %" PRIu64 "\nappend_batches %" PRIu64
-                  "\nappend_rows %" PRIu64 "\n",
-                  c.refresh_total, c.refresh_delta, c.refresh_rebuild,
-                  c.refresh_failed, c.refresh_skipped, c.append_batches,
-                  c.append_rows);
-    out += line;
+    metrics_.gauge("cube_version")->Set(static_cast<double>(fresh.version));
+    metrics_.gauge("snapshot_rows")
+        ->Set(static_cast<double>(fresh.snapshot_rows));
+    metrics_.gauge("total_rows")->Set(static_cast<double>(fresh.total_rows));
+    metrics_.gauge("pending_wal_rows")
+        ->Set(static_cast<double>(fresh.pending_rows));
+    metrics_.gauge("pending_wal_bytes")
+        ->Set(static_cast<double>(fresh.pending_bytes));
+    metrics_.gauge("staleness_seconds")->Set(fresh.staleness_seconds);
+    metrics_.gauge("last_refresh_unix")->Set(fresh.last_refresh_unix);
+    metrics_.gauge("last_refresh_seconds")->Set(fresh.last_refresh_seconds);
+    metrics_.gauge("refresh_total")->Set(static_cast<double>(c.refresh_total));
+    metrics_.gauge("refresh_delta")->Set(static_cast<double>(c.refresh_delta));
+    metrics_.gauge("refresh_rebuild")
+        ->Set(static_cast<double>(c.refresh_rebuild));
+    metrics_.gauge("refresh_failed")
+        ->Set(static_cast<double>(c.refresh_failed));
+    metrics_.gauge("refresh_skipped")
+        ->Set(static_cast<double>(c.refresh_skipped));
+    metrics_.gauge("append_batches")
+        ->Set(static_cast<double>(c.append_batches));
+    metrics_.gauge("append_rows")->Set(static_cast<double>(c.append_rows));
+  }
+}
+
+std::string CubeServer::StatsText() const {
+  UpdateDerivedMetrics();
+  std::string out = metrics_.TextSnapshot();
+  if (live_ != nullptr) {
     AppendHistogramText("refresh_latency", live_->refresh_latency_us(), &out);
     AppendHistogramText("wal_replay", live_->wal_replay_us(), &out);
   }
+  return out;
+}
+
+std::string CubeServer::PrometheusText() const {
+  UpdateDerivedMetrics();
+  std::string out = metrics_.PrometheusText("cure_serve_");
+  if (live_ != nullptr) {
+    AppendPrometheusHistogram("cure_serve_refresh_latency_us",
+                              live_->refresh_latency_us(), &out);
+    AppendPrometheusHistogram("cure_serve_wal_replay_us",
+                              live_->wal_replay_us(), &out);
+  }
+  // Process-global storage series (file I/O, external sort, ...) — already
+  // prefixed cure_storage_.
+  out += GlobalMetrics().PrometheusText();
   return out;
 }
 

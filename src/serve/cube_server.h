@@ -36,6 +36,11 @@ struct CubeServerOptions {
   /// still queued when its deadline passes fails with kDeadlineExceeded
   /// without running.
   double default_deadline_seconds = 0;
+  /// Slow-query log threshold: queries slower than this log a
+  /// CURE_LOG(kWarning) line with the per-stage breakdown (key/cache/
+  /// execute micros) and the trace id. 0 disables the log. Overridable via
+  /// the CURE_SLOW_QUERY_MS environment variable in cure_serve.
+  double slow_query_seconds = 0;
 };
 
 /// One query against the served cube. `min_count > 1` makes it an iceberg
@@ -62,6 +67,9 @@ struct QueryResponse {
   double latency_seconds = 0;
   /// Cube snapshot version the query ran against (0 for a static cube).
   uint64_t version = 0;
+  /// Process-unique id correlating this query across trace spans, the
+  /// slow-query log and the protocol response header (`trace=<id>`).
+  uint64_t trace_id = 0;
 };
 
 /// Long-lived concurrent serving layer over a CURE cube: per-snapshot
@@ -117,6 +125,12 @@ class CubeServer {
   /// histograms.
   std::string StatsText() const;
 
+  /// Prometheus text exposition — the line protocol's METRICS body. Server
+  /// series carry the `cure_serve_` prefix (query latency, cache, thread
+  /// pool, refresh); the process-global storage series (buffer cache, I/O
+  /// bytes, fsyncs, sort spills) are appended from GlobalMetrics().
+  std::string PrometheusText() const;
+
   MetricsRegistry* metrics() { return &metrics_; }
   QueryCache* cache() { return &cache_; }
   maintain::LiveCube* live() { return live_; }
@@ -156,13 +170,20 @@ class CubeServer {
   Result<QueryKey> MakeKey(const QueryRequest& request, uint64_t epoch) const;
   QueryResponse ExecuteInternal(const QueryRequest& request);
 
+  /// Samples point-in-time state (cache, thread pool, buffer cache, live
+  /// freshness) into registry gauges so StatsText and PrometheusText render
+  /// from one source instead of ad-hoc string assembly.
+  void UpdateDerivedMetrics() const;
+
   const engine::CureCube* cube_;  ///< static mode only (null in live mode)
   maintain::LiveCube* live_;      ///< live mode only (null in static mode)
   CubeServerOptions options_;
   std::shared_ptr<const maintain::CubeSnapshot> static_snapshot_;
   int count_aggregate_ = -1;
   QueryCache cache_;
-  MetricsRegistry metrics_;
+  // mutable: StatsText()/PrometheusText() are logically const but sample
+  // point-in-time gauges into the registry right before rendering.
+  mutable MetricsRegistry metrics_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<int64_t> in_flight_{0};
   std::function<void()> worker_hook_;
@@ -178,6 +199,7 @@ class CubeServer {
   Counter* deadline_exceeded_total_;
   Counter* io_errors_total_;
   Counter* data_loss_total_;
+  Counter* slow_queries_total_;
   LogHistogram* latency_us_;
   LogHistogram* queue_wait_us_;
 };

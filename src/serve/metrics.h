@@ -1,75 +1,19 @@
 #ifndef CURE_SERVE_METRICS_H_
 #define CURE_SERVE_METRICS_H_
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
+// The metrics registry was promoted to common/metrics.h so storage, engine,
+// maintain and bench code can report through the same layer. This header
+// stays as a compatibility alias for serve-layer code and tests.
 
-#include "common/histogram.h"
+#include "common/metrics.h"
 
 namespace cure {
 namespace serve {
 
-/// A monotonically increasing counter. Wait-free increments.
-class Counter {
- public:
-  void Inc() { value_.fetch_add(1, std::memory_order_relaxed); }
-  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-/// A point-in-time value (e.g. staleness seconds, pending WAL rows), set by
-/// whoever observes it — typically right before a text snapshot.
-class Gauge {
- public:
-  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
-  double value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<double> value_{0};
-};
-
-/// Appends the standard histogram text lines
-/// (`<name>_{count,avg_us,p50_us,p95_us,p99_us,max_us}`) for `histogram` to
-/// `*out` — the same format MetricsRegistry::TextSnapshot uses, shared so
-/// externally owned histograms (the maintenance layer's) render uniformly.
-void AppendHistogramText(const std::string& name, const LogHistogram& histogram,
-                         std::string* out);
-
-/// Lock-cheap metrics registry for the serving layer: named atomic counters
-/// and log-bucketed latency histograms (microseconds). Registration takes a
-/// mutex; after that the hot path touches only relaxed atomics through the
-/// returned pointers, which stay valid for the registry's lifetime.
-class MetricsRegistry {
- public:
-  /// Returns the counter named `name`, creating it on first use.
-  Counter* counter(const std::string& name);
-
-  /// Returns the histogram named `name`, creating it on first use. Values
-  /// are interpreted as microseconds in the text snapshot.
-  LogHistogram* histogram(const std::string& name);
-
-  /// Returns the gauge named `name`, creating it on first use.
-  Gauge* gauge(const std::string& name);
-
-  /// Plain-text dump, one `name value` pair per line, names sorted.
-  /// Histograms expand into `<name>_{count,avg,p50,p95,p99,max}` lines.
-  /// External gauges (e.g. cache occupancy sampled at dump time) can be
-  /// appended by the caller.
-  std::string TextSnapshot() const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-};
+using ::cure::AppendHistogramText;
+using ::cure::Counter;
+using ::cure::Gauge;
+using ::cure::MetricsRegistry;
 
 }  // namespace serve
 }  // namespace cure

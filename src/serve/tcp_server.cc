@@ -12,6 +12,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/trace.h"
+
 namespace cure {
 namespace serve {
 
@@ -205,6 +207,11 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
   if (cmd == "STATS") {
     return "OK\n" + server_->StatsText() + ".\n";
   }
+  if (cmd == "METRICS") {
+    // Prometheus text exposition (server series + process-global storage
+    // series); scrape with e.g. `printf 'METRICS\nQUIT\n' | nc host port`.
+    return "OK\n" + server_->PrometheusText() + ".\n";
+  }
   if (cmd == "APPEND") {
     const schema::CubeSchema& schema = server_->schema();
     const size_t width =
@@ -268,7 +275,7 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
     return ErrResponse(StatusCode::kInvalidArgument,
                        "unknown command '" + tokens[0] +
                            "' (expected QUERY, ICEBERG, SLICE, APPEND, FLUSH, "
-                           "STATS or QUIT)");
+                           "STATS, METRICS or QUIT)");
   }
   if (tokens.size() < 2) {
     return ErrResponse(StatusCode::kInvalidArgument,
@@ -335,11 +342,15 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
 
 std::string TcpLineServer::FormatQueryResponse(
     schema::NodeId node, const QueryResponse& response) const {
-  char header[64];
-  std::snprintf(header, sizeof(header), "OK %llu %016llx %s\n",
+  CURE_TRACE_SPAN("cure.serve.encode", "trace_id", response.trace_id);
+  // The trace id is echoed so a slow response can be matched against the
+  // slow-query log and exported trace spans.
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx %s trace=%llu\n",
                 static_cast<unsigned long long>(response.count),
                 static_cast<unsigned long long>(response.checksum),
-                response.cache_hit ? "HIT" : "MISS");
+                response.cache_hit ? "HIT" : "MISS",
+                static_cast<unsigned long long>(response.trace_id));
   std::string out = header;
 
   if (response.result != nullptr) {

@@ -8,11 +8,30 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace cure {
 namespace storage {
 
 namespace {
+
+struct SortMetrics {
+  Counter* runs;
+  Counter* spill_bytes;
+  Counter* in_memory_sorts;
+  Counter* external_sorts;
+};
+
+SortMetrics& Sm() {
+  static SortMetrics metrics = {
+      GlobalMetrics().counter("cure_storage_sort_runs_total"),
+      GlobalMetrics().counter("cure_storage_sort_spill_bytes_total"),
+      GlobalMetrics().counter("cure_storage_sort_in_memory_total"),
+      GlobalMetrics().counter("cure_storage_sort_external_total"),
+  };
+  return metrics;
+}
 
 // Sorts `records` (a flat buffer of `n` records of `width` bytes) in place.
 void SortRun(std::vector<uint8_t>* records, size_t n, size_t width,
@@ -42,6 +61,8 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
 
   // Fast path: everything fits in the budget.
   if (total_bytes <= options.memory_budget_bytes) {
+    CURE_TRACE_SPAN("cure.storage.sort_in_memory", "rows", input.num_rows());
+    Sm().in_memory_sorts->Inc();
     std::vector<uint8_t> buf(total_bytes);
     Relation::Scanner scan(input);
     uint64_t i = 0;
@@ -58,6 +79,8 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
   }
 
   // Run generation.
+  CURE_TRACE_SPAN("cure.storage.sort_external", "rows", input.num_rows());
+  Sm().external_sorts->Inc();
   const uint64_t run_records =
       std::max<uint64_t>(1, options.memory_budget_bytes / width);
   std::vector<Relation> runs;
@@ -68,6 +91,10 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
     size_t in_buf = 0;
     auto flush_run = [&]() -> Status {
       if (in_buf == 0) return Status::OK();
+      CURE_TRACE_SPAN("cure.storage.sort_run", "rows", in_buf, "bytes",
+                      in_buf * width);
+      Sm().runs->Inc();
+      Sm().spill_bytes->Add(in_buf * width);
       SortRun(&buf, in_buf, width, less);
       // Process-wide unique run names: concurrent sorts (parallel build
       // workers) and back-to-back sorts in one process must never reuse a
@@ -98,6 +125,7 @@ Status ExternalSort(const Relation& input, const RecordLess& less,
   }
 
   // K-way merge with a heap of (record, run) cursors.
+  CURE_TRACE_SPAN("cure.storage.sort_merge", "runs", runs.size());
   struct Cursor {
     std::unique_ptr<Relation::Scanner> scan;
     const uint8_t* rec = nullptr;

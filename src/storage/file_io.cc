@@ -9,12 +9,35 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/metrics.h"
 #include "storage/fault_injection.h"
 
 namespace cure {
 namespace storage {
 
 namespace {
+
+/// Always-on I/O accounting (one relaxed atomic add per syscall — noise
+/// next to the syscall itself). Pointers are resolved once and stay valid
+/// for the process lifetime (GlobalMetrics is leaked).
+struct IoMetrics {
+  Counter* read_bytes;
+  Counter* write_bytes;
+  Counter* reads;
+  Counter* writes;
+  Counter* fsyncs;
+};
+
+IoMetrics& Io() {
+  static IoMetrics metrics = {
+      GlobalMetrics().counter("cure_storage_read_bytes_total"),
+      GlobalMetrics().counter("cure_storage_write_bytes_total"),
+      GlobalMetrics().counter("cure_storage_read_ops_total"),
+      GlobalMetrics().counter("cure_storage_write_ops_total"),
+      GlobalMetrics().counter("cure_storage_fsync_total"),
+  };
+  return metrics;
+}
 
 Status ErrnoStatus(const std::string& op, const std::string& path) {
   const int err = errno;
@@ -118,6 +141,10 @@ Status FileWriter::Flush() {
   }
   bytes_written_ += off;
   buffer_used_ -= off;
+  if (off > 0) {
+    Io().write_bytes->Add(off);
+    Io().writes->Inc();
+  }
   return fail;
 }
 
@@ -129,6 +156,7 @@ Status FileWriter::Sync() {
     return ErrnoStatus("fsync", path_);
   }
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  Io().fsyncs->Inc();
   return Status::OK();
 }
 
@@ -200,6 +228,8 @@ Status FileReader::ReadAt(uint64_t offset, void* out, size_t len) const {
       return ErrnoStatus("pread", path_);
     }
     if (n == 0) return Status::OutOfRange("read past end of '" + path_ + "'");
+    Io().read_bytes->Add(static_cast<uint64_t>(n));
+    Io().reads->Inc();
     dst += n;
     offset += static_cast<uint64_t>(n);
     len -= static_cast<size_t>(n);
@@ -250,6 +280,7 @@ Status SyncDir(const std::string& path) {
   Status s = Status::OK();
   if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir", path);
   ::close(fd);
+  if (s.ok()) Io().fsyncs->Inc();
   return s;
 }
 

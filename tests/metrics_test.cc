@@ -1,0 +1,307 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cure {
+namespace {
+
+// ---- A strict parse-back of the Prometheus text exposition format. Every
+// line the registry emits must round-trip through this, which is the
+// contract a real scraper holds us to. ----
+
+struct ParsedSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+bool ParseMetricName(const std::string& line, size_t* pos, std::string* name) {
+  const size_t start = *pos;
+  while (*pos < line.size()) {
+    const char c = line[*pos];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!alpha && !(digit && *pos > start)) break;
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *name = line.substr(start, *pos - start);
+  return true;
+}
+
+// Parses one non-comment exposition line; returns false (with a gtest
+// failure) on any deviation from the grammar.
+bool ParseSampleLine(const std::string& line, ParsedSample* out) {
+  size_t pos = 0;
+  if (!ParseMetricName(line, &pos, &out->name)) {
+    ADD_FAILURE() << "bad metric name in: " << line;
+    return false;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::string label_name;
+      if (!ParseMetricName(line, &pos, &label_name)) {
+        ADD_FAILURE() << "bad label name in: " << line;
+        return false;
+      }
+      if (pos + 1 >= line.size() || line[pos] != '=' || line[pos + 1] != '"') {
+        ADD_FAILURE() << "label missing =\" in: " << line;
+        return false;
+      }
+      pos += 2;
+      std::string label_value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\n') {
+          ADD_FAILURE() << "raw newline in label value: " << line;
+          return false;
+        }
+        if (line[pos] == '\\') {
+          if (pos + 1 >= line.size()) {
+            ADD_FAILURE() << "dangling escape in: " << line;
+            return false;
+          }
+          const char esc = line[pos + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') {
+            ADD_FAILURE() << "unknown escape \\" << esc << " in: " << line;
+            return false;
+          }
+          label_value += esc == 'n' ? '\n' : esc;
+          pos += 2;
+        } else {
+          label_value += line[pos++];
+        }
+      }
+      if (pos >= line.size()) {
+        ADD_FAILURE() << "unterminated label value in: " << line;
+        return false;
+      }
+      ++pos;  // closing quote
+      out->labels.emplace_back(label_name, label_value);
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      ADD_FAILURE() << "unterminated label set in: " << line;
+      return false;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    ADD_FAILURE() << "missing value separator in: " << line;
+    return false;
+  }
+  ++pos;
+  const std::string value_token = line.substr(pos);
+  char* end = nullptr;
+  out->value = std::strtod(value_token.c_str(), &end);
+  if (end != value_token.c_str() + value_token.size()) {
+    ADD_FAILURE() << "trailing junk after value in: " << line;
+    return false;
+  }
+  if (!std::isfinite(out->value)) {
+    ADD_FAILURE() << "non-finite sample value in: " << line;
+    return false;
+  }
+  return true;
+}
+
+// Validates a whole exposition body line by line; returns the samples keyed
+// by name (labels flattened back into the key) and the `# TYPE` map.
+void ParseExposition(const std::string& text,
+                     std::map<std::string, double>* samples,
+                     std::map<std::string, std::string>* types) {
+  size_t start = 0;
+  int line_number = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos)
+        << "exposition must end every line with \\n";
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    ASSERT_FALSE(line.empty()) << "blank line " << line_number;
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <type>` comments are emitted.
+      size_t pos = 0;
+      ASSERT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      pos = 7;
+      std::string name;
+      ASSERT_TRUE(ParseMetricName(line, &pos, &name)) << line;
+      ASSERT_EQ(line[pos], ' ') << line;
+      const std::string type = line.substr(pos + 1);
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+          << line;
+      (*types)[name] = type;
+      continue;
+    }
+    ParsedSample sample;
+    ASSERT_TRUE(ParseSampleLine(line, &sample)) << line;
+    std::string key = sample.name;
+    for (const auto& [k, v] : sample.labels) key += "{" + k + "=" + v + "}";
+    (*samples)[key] = sample.value;
+  }
+}
+
+// ---- Formatting primitives ----
+
+TEST(FormatMetricValueTest, IntegralValuesHaveNoDecimalPoint) {
+  EXPECT_EQ(FormatMetricValue(0), "0");
+  EXPECT_EQ(FormatMetricValue(1), "1");
+  EXPECT_EQ(FormatMetricValue(-3), "-3");
+  EXPECT_EQ(FormatMetricValue(123456789), "123456789");
+  EXPECT_EQ(FormatMetricValue(2.5), "2.5");
+  EXPECT_EQ(FormatMetricValue(0.001), "0.001");
+  // Beyond exact-integer double range: falls back to %.6g.
+  EXPECT_EQ(FormatMetricValue(1e20), "1e+20");
+}
+
+TEST(MetricNameTest, ValidAndInvalidNames) {
+  EXPECT_TRUE(IsValidMetricName("cure_serve_queries_total"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(IsValidMetricName("_leading_underscore"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9leading_digit"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("unicode\xc3\xa9"));
+}
+
+TEST(MetricNameTest, SanitizeMapsOntoGrammar) {
+  EXPECT_EQ(SanitizeMetricName("queries.total"), "queries_total");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("already_fine"), "already_fine");
+  EXPECT_TRUE(IsValidMetricName(SanitizeMetricName("weird name-with.stuff")));
+}
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PrometheusSampleLineTest, RendersAndRejectsNonFinite) {
+  EXPECT_EQ(PrometheusSampleLine("up", {}, 1), "up 1\n");
+  EXPECT_EQ(PrometheusSampleLine("lat", {{"quantile", "0.5"}}, 2.5),
+            "lat{quantile=\"0.5\"} 2.5\n");
+  // NaN/Inf samples are suppressed entirely.
+  EXPECT_EQ(
+      PrometheusSampleLine("bad", {}, std::numeric_limits<double>::quiet_NaN()),
+      "");
+  EXPECT_EQ(
+      PrometheusSampleLine("bad", {}, std::numeric_limits<double>::infinity()),
+      "");
+  // Hostile label values survive the round trip.
+  ParsedSample sample;
+  const std::string line = PrometheusSampleLine(
+      "m", {{"path", "a\\b\"c\nd"}}, 7);
+  ASSERT_TRUE(ParseSampleLine(line.substr(0, line.size() - 1), &sample));
+  ASSERT_EQ(sample.labels.size(), 1u);
+  EXPECT_EQ(sample.labels[0].second, "a\\b\"c\nd");
+  EXPECT_EQ(sample.value, 7);
+}
+
+// ---- Registry exposition ----
+
+TEST(MetricsRegistryTest, PrometheusTextParsesBackCompletely) {
+  MetricsRegistry registry;
+  registry.counter("queries_total")->Add(41);
+  registry.counter("queries_total")->Inc();
+  registry.counter("queries_errors")->Inc();
+  registry.gauge("cache_bytes")->Set(1 << 20);
+  registry.gauge("staleness_seconds")->Set(0.25);
+  LogHistogram* latency = registry.histogram("latency");
+  for (int i = 1; i <= 100; ++i) latency->Record(i * 10);
+
+  const std::string text = registry.PrometheusText("cure_serve_");
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+  ParseExposition(text, &samples, &types);
+
+  EXPECT_EQ(types["cure_serve_queries_total"], "counter");
+  EXPECT_EQ(types["cure_serve_queries_errors"], "counter");
+  EXPECT_EQ(types["cure_serve_cache_bytes"], "gauge");
+  EXPECT_EQ(types["cure_serve_staleness_seconds"], "gauge");
+  EXPECT_EQ(types["cure_serve_latency_us"], "summary");
+
+  EXPECT_EQ(samples["cure_serve_queries_total"], 42);
+  EXPECT_EQ(samples["cure_serve_queries_errors"], 1);
+  EXPECT_EQ(samples["cure_serve_cache_bytes"], 1 << 20);
+  EXPECT_EQ(samples["cure_serve_staleness_seconds"], 0.25);
+  EXPECT_EQ(samples["cure_serve_latency_us_count"], 100);
+  EXPECT_GT(samples["cure_serve_latency_us_sum"], 0);
+  // Quantile samples exist and are ordered.
+  ASSERT_TRUE(samples.count("cure_serve_latency_us{quantile=0.5}"));
+  ASSERT_TRUE(samples.count("cure_serve_latency_us{quantile=0.95}"));
+  ASSERT_TRUE(samples.count("cure_serve_latency_us{quantile=0.99}"));
+  EXPECT_LE(samples["cure_serve_latency_us{quantile=0.5}"],
+            samples["cure_serve_latency_us{quantile=0.95}"]);
+  EXPECT_LE(samples["cure_serve_latency_us{quantile=0.95}"],
+            samples["cure_serve_latency_us{quantile=0.99}"]);
+}
+
+TEST(MetricsRegistryTest, NanGaugeIsSkippedNotEmitted) {
+  MetricsRegistry registry;
+  registry.gauge("healthy")->Set(1);
+  registry.gauge("poisoned")->Set(std::numeric_limits<double>::quiet_NaN());
+  const std::string text = registry.PrometheusText();
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+  ParseExposition(text, &samples, &types);
+  EXPECT_EQ(samples.count("healthy"), 1u);
+  EXPECT_EQ(samples.count("poisoned"), 0u);
+  EXPECT_EQ(types.count("poisoned"), 0u);  // No orphan TYPE comment either.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DottedNamesAreSanitizedInExposition) {
+  MetricsRegistry registry;
+  registry.counter("weird.name-with space")->Inc();
+  const std::string text = registry.PrometheusText("p_");
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+  ParseExposition(text, &samples, &types);
+  EXPECT_EQ(samples["p_weird_name_with_space"], 1);
+}
+
+TEST(MetricsRegistryTest, TextSnapshotKeepsIntegerGaugeFormat) {
+  MetricsRegistry registry;
+  registry.counter("cache_hits")->Inc();
+  registry.gauge("cache_entries")->Set(3);
+  registry.gauge("hit_rate")->Set(0.75);
+  const std::string text = registry.TextSnapshot();
+  // Integral gauges keep the legacy `name <int>` STATS shape.
+  EXPECT_NE(text.find("cache_hits 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache_entries 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("hit_rate 0.75\n"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, HandlesReRegistrationAndGlobalSingleton) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("same");
+  Counter* b = registry.counter("same");
+  EXPECT_EQ(a, b);  // One counter per name; pointers stay stable.
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramStillParses) {
+  MetricsRegistry registry;
+  registry.histogram("never_recorded");
+  const std::string text = registry.PrometheusText();
+  std::map<std::string, double> samples;
+  std::map<std::string, std::string> types;
+  ParseExposition(text, &samples, &types);
+  EXPECT_EQ(samples["never_recorded_us_count"], 0);
+}
+
+}  // namespace
+}  // namespace cure

@@ -1,0 +1,361 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "engine/cure.h"
+#include "gen/random.h"
+#include "gen/zipf.h"
+#include "query/node_query.h"
+#include "schema/fact_table.h"
+#include "storage/file_io.h"
+#include "storage/relation.h"
+
+namespace cure {
+namespace {
+
+// Every test owns the process-global tracer: start from a clean slate and
+// leave it disabled for the next test.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().Reset();
+  }
+  void TearDown() override {
+    Tracer::Instance().Disable();
+    Tracer::Instance().Reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    CURE_TRACE_SPAN("cure.test.disabled");
+    CURE_TRACE_SPAN("cure.test.disabled_args", "rows", 7);
+    EXPECT_EQ(TraceDepth(), 0);  // Spans are unarmed while disabled.
+    TraceCounter("cure.test.counter", 1);
+    TraceInstant("cure.test.instant");
+  }
+  EXPECT_EQ(Tracer::Instance().recorded_events(), 0u);
+  EXPECT_EQ(Tracer::Instance().dropped_events(), 0u);
+
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(
+      ValidateChromeTrace(Tracer::Instance().ExportChromeTraceJson(), &summary)
+          .ok());
+  EXPECT_EQ(summary.total_events, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndExport) {
+  Tracer::Instance().Enable();
+  EXPECT_EQ(TraceDepth(), 0);
+  {
+    CURE_TRACE_SPAN("cure.test.outer", "level", 1);
+    EXPECT_EQ(TraceDepth(), 1);
+    {
+      CURE_TRACE_SPAN("cure.test.inner", "level", 2);
+      EXPECT_EQ(TraceDepth(), 2);
+      {
+        CURE_TRACE_SPAN("cure.test.leaf");
+        EXPECT_EQ(TraceDepth(), 3);
+      }
+      EXPECT_EQ(TraceDepth(), 2);
+    }
+    EXPECT_EQ(TraceDepth(), 1);
+  }
+  EXPECT_EQ(TraceDepth(), 0);
+  EXPECT_EQ(Tracer::Instance().recorded_events(), 3u);
+
+  ChromeTraceSummary summary;
+  const std::string json = Tracer::Instance().ExportChromeTraceJson();
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok()) << json;
+  EXPECT_EQ(summary.complete_events, 3u);
+  EXPECT_EQ(summary.CompleteCount("cure.test.outer"), 1u);
+  EXPECT_EQ(summary.CompleteCount("cure.test.inner"), 1u);
+  EXPECT_EQ(summary.CompleteCount("cure.test.leaf"), 1u);
+  EXPECT_EQ(summary.ArgValues("cure.test.outer", "level"),
+            (std::vector<uint64_t>{1}));
+  EXPECT_EQ(summary.ArgValues("cure.test.inner", "level"),
+            (std::vector<uint64_t>{2}));
+}
+
+TEST_F(TraceTest, AddArgAttachesLateValues) {
+  Tracer::Instance().Enable();
+  // The tracer stores arg-name *pointers*; reusing the same pointer
+  // overwrites the slot (literal merging is not guaranteed, so callers that
+  // overwrite use one named constant — as here).
+  static constexpr const char* kRows = "rows";
+  {
+    TraceSpan span("cure.test.late");
+    span.AddArg(kRows, 5);
+    span.AddArg(kRows, 9);  // Same pointer: overwrites in place.
+    span.AddArg("bytes", 640);
+  }
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(
+      ValidateChromeTrace(Tracer::Instance().ExportChromeTraceJson(), &summary)
+          .ok());
+  EXPECT_EQ(summary.ArgValues("cure.test.late", "rows"),
+            (std::vector<uint64_t>{9}));
+  EXPECT_EQ(summary.ArgValues("cure.test.late", "bytes"),
+            (std::vector<uint64_t>{640}));
+}
+
+TEST_F(TraceTest, CounterAndInstantEvents) {
+  Tracer::Instance().Enable();
+  TraceCounter("cure.test.queue_depth", 3);
+  TraceCounter("cure.test.queue_depth", 5);
+  TraceInstant("cure.test.tick");
+  TraceInstant("cure.test.tock", "seq", 11);
+
+  ChromeTraceSummary summary;
+  const std::string json = Tracer::Instance().ExportChromeTraceJson();
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok()) << json;
+  EXPECT_EQ(summary.counter_events, 2u);
+  EXPECT_EQ(summary.instant_events, 2u);
+  EXPECT_EQ(summary.ArgValues("cure.test.queue_depth", "value"),
+            (std::vector<uint64_t>{3, 5}));
+  EXPECT_EQ(summary.ArgValues("cure.test.tock", "seq"),
+            (std::vector<uint64_t>{11}));
+}
+
+TEST_F(TraceTest, CrossThreadSpansLandInSeparateBuffers) {
+  Tracer::Instance().Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        CURE_TRACE_SPAN("cure.test.worker", "iteration",
+                        static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(Tracer::Instance().recorded_events(),
+            static_cast<uint64_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(Tracer::Instance().dropped_events(), 0u);
+
+  ChromeTraceSummary summary;
+  const std::string json = Tracer::Instance().ExportChromeTraceJson();
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok());
+  EXPECT_EQ(summary.CompleteCount("cure.test.worker"),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  // Each recording thread got its own tid (assigned 1..kThreads in
+  // registration order after the Reset in SetUp).
+  EXPECT_NE(json.find("\"tid\":" + std::to_string(kThreads)),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapKeepsNewestAndCountsDropped) {
+  constexpr size_t kCapacity = 8;
+  constexpr uint64_t kEvents = 20;
+  Tracer::Instance().Enable(kCapacity);
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    TraceCounter("cure.test.wrap", i);
+  }
+  EXPECT_EQ(Tracer::Instance().recorded_events(), kCapacity);
+  EXPECT_EQ(Tracer::Instance().dropped_events(), kEvents - kCapacity);
+
+  ChromeTraceSummary summary;
+  const std::string json = Tracer::Instance().ExportChromeTraceJson();
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok()) << json;
+  EXPECT_EQ(summary.total_events, kCapacity);
+  // Oldest events were overwritten: only the last kCapacity values remain.
+  std::vector<uint64_t> expected;
+  for (uint64_t i = kEvents - kCapacity; i < kEvents; ++i) {
+    expected.push_back(i);
+  }
+  EXPECT_EQ(summary.ArgValues("cure.test.wrap", "value"), expected);
+}
+
+TEST_F(TraceTest, ResetDiscardsEverything) {
+  Tracer::Instance().Enable();
+  { CURE_TRACE_SPAN("cure.test.before_reset"); }
+  ASSERT_EQ(Tracer::Instance().recorded_events(), 1u);
+  Tracer::Instance().Reset();
+  EXPECT_EQ(Tracer::Instance().recorded_events(), 0u);
+  // Still enabled: the thread re-registers a fresh buffer on next record.
+  { CURE_TRACE_SPAN("cure.test.after_reset"); }
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(
+      ValidateChromeTrace(Tracer::Instance().ExportChromeTraceJson(), &summary)
+          .ok());
+  EXPECT_FALSE(summary.Contains("cure.test.before_reset"));
+  EXPECT_TRUE(summary.Contains("cure.test.after_reset"));
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTripsThroughFile) {
+  Tracer::Instance().Enable();
+  {
+    CURE_TRACE_SPAN("cure.test.file", "rows", 42);
+  }
+  const std::string path =
+      "/tmp/cure_trace_test_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(Tracer::Instance().WriteChromeTrace(path).ok());
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(ValidateChromeTraceFile(path, &summary).ok());
+  EXPECT_EQ(summary.CompleteCount("cure.test.file"), 1u);
+  EXPECT_EQ(summary.ArgValues("cure.test.file", "rows"),
+            (std::vector<uint64_t>{42}));
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+}
+
+TEST_F(TraceTest, NextTraceIdIsUniqueAndNonZero) {
+  uint64_t previous = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = Tracer::Instance().NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, previous);
+    previous = id;
+  }
+}
+
+// ---- Validator strictness ----
+
+TEST(ChromeTraceValidatorTest, AcceptsHandWrittenTrace) {
+  const std::string json =
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":1,\"dur\":2,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"rows\":3}}],"
+      "\"displayTimeUnit\":\"ms\"}";
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok());
+  EXPECT_EQ(summary.complete_events, 1u);
+  EXPECT_EQ(summary.ArgValues("a", "rows"), (std::vector<uint64_t>{3}));
+}
+
+TEST(ChromeTraceValidatorTest, RejectsMalformedInput) {
+  // Truncated JSON.
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\":[", nullptr).ok());
+  // Trailing garbage after the top-level object.
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\":[]} x", nullptr).ok());
+  // NaN is not JSON.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\","
+                          "\"ts\":NaN,\"dur\":1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+  // Missing traceEvents.
+  EXPECT_FALSE(ValidateChromeTrace("{}", nullptr).ok());
+  // Unknown phase.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"Z\","
+                          "\"ts\":1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+  // "X" event without dur.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\","
+                          "\"ts\":1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+  // Negative dur.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\","
+                          "\"ts\":1,\"dur\":-1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+  // Non-integer tid.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\","
+                          "\"ts\":1,\"dur\":1,\"pid\":1,\"tid\":1.5}]}",
+                          nullptr)
+          .ok());
+  // Empty name.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"\",\"ph\":\"X\","
+                          "\"ts\":1,\"dur\":1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+  // Unescaped control character inside a string.
+  EXPECT_FALSE(
+      ValidateChromeTrace("{\"traceEvents\":[{\"name\":\"a\nb\",\"ph\":\"i\","
+                          "\"ts\":1,\"pid\":1,\"tid\":1}]}",
+                          nullptr)
+          .ok());
+}
+
+// ---- End-to-end: a traced external build covers every stage and every
+// partition (the ISSUE acceptance bar for `cure_tool build --trace-out`). ----
+
+TEST(TraceBuildSmokeTest, ExternalBuildEmitsAllStagesAndPartitions) {
+  Tracer::Instance().Disable();
+  Tracer::Instance().Reset();
+
+  // Hierarchical Zipf dataset sized so the external path produces several
+  // partitions (same shape as parallel_build_test).
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {48, 4, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {10, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  Result<schema::CubeSchema> schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "sum"}, {schema::AggFn::kCount, 0, "cnt"}});
+  ASSERT_TRUE(schema.ok());
+  schema::FactTable table(3, 1);
+  gen::Rng rng(4242);
+  gen::ZipfSampler zipf_a(48, 0.5);
+  gen::ZipfSampler zipf_b(10, 0.3);
+  for (uint64_t t = 0; t < 4000; ++t) {
+    const uint32_t row[3] = {zipf_a.Sample(&rng), zipf_b.Sample(&rng),
+                             static_cast<uint32_t>(rng.NextRange(5))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(40));
+    table.AppendRow(row, &m);
+  }
+
+  // External construction reads the fact table in relation form.
+  storage::Relation rel = storage::Relation::Memory(table.RecordSize());
+  ASSERT_TRUE(table.WriteTo(&rel).ok());
+  const uint64_t write_bytes_before =
+      GlobalMetrics().counter("cure_storage_write_bytes_total")->value();
+
+  engine::CureOptions options;
+  options.force_external = true;
+  options.memory_budget_bytes = 24576;
+  options.signature_pool_capacity = 256;
+  options.trace = true;  // CureOptions toggle enables the global tracer.
+  engine::FactInput input{.relation = &rel};
+  Result<std::unique_ptr<engine::CureCube>> cube =
+      engine::BuildCure(*schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  ASSERT_TRUE((*cube)->stats().external);
+  const uint64_t num_partitions = (*cube)->stats().num_partitions;
+  ASSERT_GT(num_partitions, 1u);
+  Tracer::Instance().Disable();
+
+  ChromeTraceSummary summary;
+  const std::string json = Tracer::Instance().ExportChromeTraceJson();
+  ASSERT_TRUE(ValidateChromeTrace(json, &summary).ok());
+  for (const char* stage :
+       {"cure.build.run", "cure.build.load", "cure.build.partition",
+        "cure.build.construct", "cure.build.merge", "cure.build.persist"}) {
+    EXPECT_TRUE(summary.Contains(stage)) << stage;
+    EXPECT_EQ(summary.CompleteCount(stage), 1u) << stage;
+  }
+  // One construction span per partition, carrying its index.
+  EXPECT_EQ(summary.CompleteCount("cure.build.partition_construct"),
+            static_cast<size_t>(num_partitions));
+  const std::vector<uint64_t> indices =
+      summary.ArgValues("cure.build.partition_construct", "partition");
+  ASSERT_EQ(indices.size(), static_cast<size_t>(num_partitions));
+  for (uint64_t p = 0; p < num_partitions; ++p) EXPECT_EQ(indices[p], p);
+  // Per-node construction spans exist too.
+  EXPECT_TRUE(summary.Contains("cure.build.edge"));
+  // Storage instrumentation rode along: spilling partitions to temp files
+  // moved the file-layer byte counters in the shared metrics registry.
+  EXPECT_GT(GlobalMetrics().counter("cure_storage_write_bytes_total")->value(),
+            write_bytes_before);
+
+  Tracer::Instance().Reset();
+}
+
+}  // namespace
+}  // namespace cure

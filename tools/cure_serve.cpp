@@ -2,12 +2,17 @@
 // directory (as written by `cure_tool build`).
 //
 //   cure_serve <cubedir> [--port P] [--threads N] [--cache-mb M]
-//              [--max-inflight N] [--deadline-ms D]
+//              [--max-inflight N] [--deadline-ms D] [--slow-ms D]
 //              [--live] [--wal PATH] [--refresh-rows N] [--refresh-ms D]
 //              [--no-delta]
 //
 // Binds 127.0.0.1 (port 0 = ephemeral, printed on startup) and serves until
 // stdin closes. Protocol: see serve/tcp_server.h.
+//
+// Observability: the METRICS verb returns Prometheus text exposition;
+// --slow-ms (or CURE_SLOW_QUERY_MS) logs queries slower than the threshold
+// with a per-stage breakdown; CURE_TRACE=1 + CURE_TRACE_OUT=<file>.json
+// records spans for every request and writes a Chrome trace at exit.
 //
 // --live turns on live maintenance: the fact table is loaded into memory,
 // the delta WAL (default <cubedir>/wal.bin) is replayed, a fresh cube is
@@ -21,6 +26,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/trace.h"
 #include "tool_common.h"
 
 namespace {
@@ -29,8 +35,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cure_serve <cubedir> [--port P] [--threads N] "
                "[--cache-mb M] [--max-inflight N] [--deadline-ms D]\n"
-               "                 [--live] [--wal PATH] [--refresh-rows N] "
-               "[--refresh-ms D] [--no-delta]\n");
+               "                 [--slow-ms D] [--live] [--wal PATH] "
+               "[--refresh-rows N] [--refresh-ms D] [--no-delta]\n");
   return 2;
 }
 
@@ -38,10 +44,14 @@ int Usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  cure::Tracer::ArmFromEnv();
   const std::string dir = argv[1];
   cure::serve::CubeServerOptions server_options;
   cure::serve::TcpServerOptions tcp_options;
   cure::maintain::MaintainOptions maintain_options;
+  if (const char* slow_ms = std::getenv("CURE_SLOW_QUERY_MS")) {
+    server_options.slow_query_seconds = std::atof(slow_ms) / 1000.0;
+  }
   bool live = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -54,6 +64,8 @@ int main(int argc, char** argv) {
       server_options.max_inflight = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       server_options.default_deadline_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      server_options.slow_query_seconds = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--live") == 0) {
       live = true;
     } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {

@@ -21,11 +21,13 @@
 // (absent dimensions stay at ALL).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/trace.h"
 #include "cube/cube_store.h"
 #include "common/logging.h"
 #include "engine/cure.h"
@@ -52,12 +54,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  cure_tool build <data.csv> <spec.txt> <outdir> [--dr] "
-               "[--plus] [--minsup N]\n"
+               "[--plus] [--minsup N] [--trace-out=<file>.json]\n"
                "  cure_tool info  <outdir>\n"
                "  cure_tool verify <outdir|cube.bin>   (checksum audit; exit "
                "1 on corruption)\n"
                "  cure_tool query <outdir> <level[,level...]|ALL> "
-               "[--slice [dim:]level=value]... [--minsup N]\n"
+               "[--slice [dim:]level=value]... [--minsup N] "
+               "[--trace-out=<file>.json]\n"
+               "  cure_tool tracecheck <trace.json>    (validate a Chrome "
+               "trace; exit 1 on malformed JSON)\n"
                "  cure_tool append <outdir> <dim>... <measure>...  "
                "(k rows of D+M values; dims by name or code)\n"
                "  cure_tool serve <outdir> [--port P] [--threads N] "
@@ -67,6 +72,33 @@ int Usage() {
   return 2;
 }
 
+// Matches "--trace-out=PATH" or "--trace-out PATH" at argv[*i], advancing
+// *i when the path is a separate argument.
+bool ParseTraceOut(int argc, char** argv, int* i, std::string* path) {
+  if (std::strncmp(argv[*i], "--trace-out=", 12) == 0) {
+    *path = argv[*i] + 12;
+    return true;
+  }
+  if (std::strcmp(argv[*i], "--trace-out") == 0 && *i + 1 < argc) {
+    *path = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+// Flushes the recorded trace to `path` as Chrome trace_event JSON.
+int WriteTraceOut(const std::string& path) {
+  cure::Tracer& tracer = cure::Tracer::Instance();
+  tracer.Disable();
+  Status s = tracer.WriteChromeTrace(path);
+  if (!s.ok()) return Fail(s);
+  std::fprintf(stderr, "trace: %llu events -> %s (%llu dropped)\n",
+               static_cast<unsigned long long>(tracer.recorded_events()),
+               path.c_str(),
+               static_cast<unsigned long long>(tracer.dropped_events()));
+  return 0;
+}
+
 int RunBuild(int argc, char** argv) {
   if (argc < 5) return Usage();
   const std::string csv_path = argv[2];
@@ -74,6 +106,7 @@ int RunBuild(int argc, char** argv) {
   const std::string outdir = argv[4];
   cure::engine::CureOptions options;
   bool plus = false;
+  std::string trace_out;
   for (int i = 5; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dr") == 0) {
       options.dims_in_nt = true;
@@ -81,6 +114,10 @@ int RunBuild(int argc, char** argv) {
       plus = true;
     } else if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
       options.min_support = std::strtoull(argv[++i], nullptr, 10);
+    } else if (ParseTraceOut(argc, argv, &i, &trace_out)) {
+      // Enable before the CSV load so cure.build.load is captured too.
+      cure::Tracer::Instance().Enable();
+      options.trace = true;
     } else {
       return Usage();
     }
@@ -141,6 +178,7 @@ int RunBuild(int argc, char** argv) {
   }
   std::printf("wrote %s/{cube.bin, fact.bin, schema.txt, dictionaries}\n",
               outdir.c_str());
+  if (!trace_out.empty()) return WriteTraceOut(trace_out);
   return 0;
 }
 
@@ -230,6 +268,7 @@ int RunQuery(int argc, char** argv) {
   // Optional slice predicates and iceberg threshold.
   std::vector<cure::query::CureQueryEngine::Slice> slices;
   int64_t min_count = 0;
+  std::string trace_out;
   const cure::serve::SliceValueResolver resolver =
       cure::tools::MakeDictResolver(opened->get());
   for (int i = 4; i < argc; ++i) {
@@ -240,6 +279,8 @@ int RunQuery(int argc, char** argv) {
       slices.push_back(*slice);
     } else if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
       min_count = std::strtoll(argv[++i], nullptr, 10);
+    } else if (ParseTraceOut(argc, argv, &i, &trace_out)) {
+      cure::Tracer::Instance().Enable();
     } else {
       return Usage();
     }
@@ -268,8 +309,12 @@ int RunQuery(int argc, char** argv) {
       cure::query::CureQueryEngine::Create((*opened)->cube.get(), 1.0);
   if (!engine.ok()) return Fail(engine.status());
   cure::query::ResultSink sink(/*retain=*/true);
-  Status s = (*engine)->QueryNodeSlicedIceberg(*node, slices, count_aggregate,
-                                               min_count, &sink);
+  Status s;
+  {
+    CURE_TRACE_SPAN("cure.query.execute", "node", *node);
+    s = (*engine)->QueryNodeSlicedIceberg(*node, slices, count_aggregate,
+                                          min_count, &sink);
+  }
   if (!s.ok()) return Fail(s);
 
   // Header.
@@ -291,6 +336,37 @@ int RunQuery(int argc, char** argv) {
   }
   std::fprintf(stderr, "(%llu rows)\n",
                static_cast<unsigned long long>(sink.count()));
+  if (!trace_out.empty()) return WriteTraceOut(trace_out);
+  return 0;
+}
+
+// Validates a Chrome trace_event JSON file (our own exporter's output, or
+// any externally produced trace) and prints what it contains. Exit 1 on
+// malformed input — CI runs this on the smoke-test trace.
+int RunTraceCheck(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  cure::ChromeTraceSummary summary;
+  Status s = cure::ValidateChromeTraceFile(argv[2], &summary);
+  if (!s.ok()) {
+    std::fprintf(stderr, "tracecheck FAILED: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("tracecheck OK: %llu events (%llu spans, %llu counters, "
+              "%llu instants), %llu distinct names\n",
+              static_cast<unsigned long long>(summary.total_events),
+              static_cast<unsigned long long>(summary.complete_events),
+              static_cast<unsigned long long>(summary.counter_events),
+              static_cast<unsigned long long>(summary.instant_events),
+              static_cast<unsigned long long>(summary.names.size()));
+  for (const std::string& name : summary.names) {
+    const size_t spans = summary.CompleteCount(name);
+    if (spans > 0) {
+      std::printf("  %-40s x%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(spans));
+    } else {
+      std::printf("  %s\n", name.c_str());
+    }
+  }
   return 0;
 }
 
@@ -376,6 +452,8 @@ int RunServe(int argc, char** argv) {
       server_options.cache_bytes = std::strtoull(argv[++i], nullptr, 10) << 20;
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       server_options.max_inflight = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      server_options.slow_query_seconds = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--live") == 0) {
       live = true;
     } else if (std::strcmp(argv[i], "--refresh-rows") == 0 && i + 1 < argc) {
@@ -404,11 +482,15 @@ int RunServe(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // CURE_TRACE=1 (+ CURE_TRACE_OUT=<file>) traces any subcommand, including
+  // serve, without touching its flags.
+  cure::Tracer::ArmFromEnv();
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return RunVerify(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
   if (std::strcmp(argv[1], "append") == 0) return RunAppend(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return RunServe(argc, argv);
+  if (std::strcmp(argv[1], "tracecheck") == 0) return RunTraceCheck(argc, argv);
   return Usage();
 }
