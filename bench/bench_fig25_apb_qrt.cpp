@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "bench/bench_util.h"
+#include "engine/kernels.h"
 #include "storage/file_io.h"
 #include "storage/relation.h"
 
@@ -131,6 +132,48 @@ int main() {
   }
   std::printf("\nSTATS-format latency histograms (identical renderer to "
               "cure_serve):\n%s", qrt_metrics.TextSnapshot().c_str());
+
+  // Batch vs scalar scan path (DESIGN.md §13): the cubes are byte-identical,
+  // only the speed differs. Rebuild plain CURE on the record-at-a-time
+  // reference path (batch_rows = 1) and compare the end-to-end build time
+  // and the all-node avg QRT against the default block-oriented build above.
+  {
+    engine::CureOptions options;
+    options.memory_budget_bytes = budget;
+    options.temp_dir = "/tmp";
+    options.batch_rows = 1;
+    CureBuildResult scalar =
+        BuildCureVariant("CURE(scalar)", apb.schema, input, options, false);
+    SpillCure(scalar.cube.get(), "/tmp/cure_bench_fig25_scalar.bin");
+    auto scalar_engine = query::CureQueryEngine::Create(
+        scalar.cube.get(),
+        std::min(1.0, 0.25 * static_cast<double>(budget) /
+                          static_cast<double>(rel->bytes())));
+    CURE_CHECK(scalar_engine.ok()) << scalar_engine.status().ToString();
+    (*scalar_engine)->set_batch_rows(1);
+    const query::QrtStats scalar_qrt = MeasureEngineQrt(
+        all_nodes, [&](schema::NodeId id, query::ResultSink* sink) {
+          return (*scalar_engine)->QueryNode(id, sink);
+        });
+    const query::QrtStats batch_qrt = MeasureEngineQrt(
+        all_nodes, [&](schema::NodeId id, query::ResultSink* sink) {
+          return variants[0].engine->QueryNode(id, sink);
+        });
+    const double scalar_build = scalar.cube->stats().build_seconds;
+    const double batch_build = variants[0].cube->stats().build_seconds;
+    std::printf(
+        "\nBatch vs scalar scan path (plain CURE, batch_rows=%zu vs 1):\n"
+        "  end-to-end build: %s batch vs %s scalar (%.2fx)\n"
+        "  all-node avg QRT: %s batch vs %s scalar (%.2fx)\n",
+        engine::ResolveBatchRows(0), FormatSeconds(batch_build).c_str(),
+        FormatSeconds(scalar_build).c_str(),
+        batch_build > 0 ? scalar_build / batch_build : 0.0,
+        FormatSeconds(batch_qrt.avg_seconds).c_str(),
+        FormatSeconds(scalar_qrt.avg_seconds).c_str(),
+        batch_qrt.avg_seconds > 0 ? scalar_qrt.avg_seconds / batch_qrt.avg_seconds
+                                  : 0.0);
+    CURE_CHECK_OK(storage::RemoveFile("/tmp/cure_bench_fig25_scalar.bin"));
+  }
 
   CURE_CHECK_OK(storage::RemoveFile(path));
   for (Variant& v : variants) {

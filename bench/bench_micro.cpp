@@ -1,15 +1,28 @@
 // Micro-benchmarks (google-benchmark) of the performance-critical
 // substrates: segment sorting (counting vs comparison, the skew remedy of
-// Sec. 7), the Zipf sampler, signature-pool flushes, bitmap iteration, and
-// the external sorter.
+// Sec. 7), the Zipf sampler, signature-pool flushes, bitmap iteration, the
+// external sorter, and the columnar batch scan path (batch kernels vs the
+// record-at-a-time scalar scan).
+//
+// Extra modes (both exit without running google-benchmark):
+//   --smoke               batch-vs-scalar checksum equality over memory- and
+//                         file-backed relations; exit 0 iff all match (CI).
+//   --kernels-json=PATH   hand-timed per-kernel ns/row, scalar vs batch,
+//                         written as JSON (the BENCH_kernels.json baseline).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <numeric>
+#include <string>
 
 #include "cube/cube_store.h"
 #include "cube/signature.h"
 #include "engine/cure.h"
+#include "engine/kernels.h"
 #include "engine/sorters.h"
 #include "gen/random.h"
 #include "gen/zipf.h"
@@ -17,6 +30,8 @@
 #include "schema/fact_table.h"
 #include "storage/bitmap.h"
 #include "storage/external_sort.h"
+#include "storage/file_io.h"
+#include "storage/row_block.h"
 
 namespace {
 
@@ -198,9 +213,265 @@ void BM_ParallelConstruct(benchmark::State& state) {
 BENCHMARK(BM_ParallelConstruct)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ---- Columnar batch scan path: batch kernels vs the scalar scan ----
+//
+// Records mimic a fact relation column pair: [u32 key][i64 measure],
+// 12 bytes. The scalar paths reproduce the legacy record-at-a-time shape
+// (Scanner::Next per row, memcpy field extraction, per-row aggregate
+// dispatch); the batch paths run Relation::BlockScanner + one gather per
+// column per block + the contiguous kernels of engine/kernels.h.
+
+constexpr uint32_t kKernelCardinality = 1024;
+constexpr uint64_t kKernelRows = 1 << 18;
+
+cure::storage::Relation MakeKernelRelation(uint64_t n, bool file_backed,
+                                           const std::string& path) {
+  cure::gen::Rng rng(29);
+  cure::gen::ZipfSampler zipf(kKernelCardinality, 0.8);
+  cure::storage::Relation rel = cure::storage::Relation::Memory(12);
+  if (file_backed) {
+    auto r = cure::storage::Relation::CreateFile(path, 12);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cannot create %s: %s\n", path.c_str(),
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    rel = std::move(r).value();
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t rec[12];
+    const uint32_t key = zipf.Sample(&rng);
+    const int64_t measure = static_cast<int64_t>(rng.NextRange(1000));
+    std::memcpy(rec, &key, 4);
+    std::memcpy(rec + 4, &measure, 8);
+    cure::Status s = rel.Append(rec);
+    benchmark::DoNotOptimize(s);
+  }
+  if (file_backed) {
+    cure::Status s = rel.Seal();
+    benchmark::DoNotOptimize(s);
+  }
+  return rel;
+}
+
+/// Scalar histogram fill: one Scanner::Next and one memcpy per row.
+/// Returns an order-independent checksum of the counts array.
+uint64_t HistogramScalar(const cure::storage::Relation& rel) {
+  std::vector<uint32_t> counts(kKernelCardinality + 1, 0);
+  cure::storage::Relation::Scanner scan(rel);
+  while (const uint8_t* rec = scan.Next()) {
+    uint32_t key;
+    std::memcpy(&key, rec, 4);
+    ++counts[key + 1];
+  }
+  uint64_t checksum = 0;
+  for (size_t c = 0; c < counts.size(); ++c) checksum += counts[c] * (c + 1);
+  return checksum;
+}
+
+/// Batch histogram fill: one gather + HistogramFill per block.
+uint64_t HistogramBatch(const cure::storage::Relation& rel, size_t block_rows) {
+  std::vector<uint32_t> counts(kKernelCardinality + 1, 0);
+  cure::storage::Relation::BlockScanner scan(rel, block_rows);
+  cure::storage::RowBlock block;
+  std::vector<uint32_t> keys(block_rows);
+  while (scan.Next(&block)) {
+    cure::storage::GatherBlockU32(block, 0, keys.data());
+    cure::engine::HistogramFill(keys.data(), block.rows, counts.data());
+  }
+  uint64_t checksum = 0;
+  for (size_t c = 0; c < counts.size(); ++c) checksum += counts[c] * (c + 1);
+  return checksum;
+}
+
+/// Scalar SUM/COUNT accumulate: per-row memcpy and per-row per-aggregate
+/// dispatch, the legacy executor shape.
+uint64_t AggregateScalar(const cure::storage::Relation& rel) {
+  const cure::schema::AggFn fns[2] = {cure::schema::AggFn::kSum,
+                                      cure::schema::AggFn::kCount};
+  int64_t acc[2] = {0, 0};
+  cure::storage::Relation::Scanner scan(rel);
+  while (const uint8_t* rec = scan.Next()) {
+    int64_t measure;
+    std::memcpy(&measure, rec + 4, 8);
+    for (int a = 0; a < 2; ++a) {
+      switch (fns[a]) {
+        case cure::schema::AggFn::kSum:
+          acc[a] += measure;
+          break;
+        case cure::schema::AggFn::kCount:
+          acc[a] += 1;
+          break;
+        case cure::schema::AggFn::kMin:
+          acc[a] = std::min(acc[a], measure);
+          break;
+        case cure::schema::AggFn::kMax:
+          acc[a] = std::max(acc[a], measure);
+          break;
+      }
+    }
+  }
+  return static_cast<uint64_t>(acc[0]) ^ (static_cast<uint64_t>(acc[1]) << 32);
+}
+
+/// Batch SUM/COUNT accumulate: one gather + contiguous-slice kernels per
+/// block; COUNT degenerates to the block row count.
+uint64_t AggregateBatch(const cure::storage::Relation& rel, size_t block_rows) {
+  int64_t sum = 0;
+  int64_t count = 0;
+  cure::storage::Relation::BlockScanner scan(rel, block_rows);
+  cure::storage::RowBlock block;
+  std::vector<int64_t> measures(block_rows);
+  while (scan.Next(&block)) {
+    cure::storage::GatherBlockI64(block, 4, measures.data());
+    sum += cure::engine::SumSlice(measures.data(), block.rows);
+    count += static_cast<int64_t>(block.rows);
+  }
+  return static_cast<uint64_t>(sum) ^ (static_cast<uint64_t>(count) << 32);
+}
+
+const cure::storage::Relation& KernelRelation(bool file_backed) {
+  static const cure::storage::Relation* memory =
+      new cure::storage::Relation(MakeKernelRelation(kKernelRows, false, ""));
+  static const cure::storage::Relation* file = new cure::storage::Relation(
+      MakeKernelRelation(kKernelRows, true, "/tmp/cure_bench_kernels.bin"));
+  return file_backed ? *file : *memory;
+}
+
+void BM_HistogramFillScalar(benchmark::State& state) {
+  const cure::storage::Relation& rel = KernelRelation(state.range(0) != 0);
+  for (auto _ : state) benchmark::DoNotOptimize(HistogramScalar(rel));
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_HistogramFillScalar)->Arg(0)->Arg(1);
+
+void BM_HistogramFillBatch(benchmark::State& state) {
+  const cure::storage::Relation& rel = KernelRelation(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HistogramBatch(rel, cure::storage::kDefaultBlockRows));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_HistogramFillBatch)->Arg(0)->Arg(1);
+
+void BM_AggAccumulateScalar(benchmark::State& state) {
+  const cure::storage::Relation& rel = KernelRelation(state.range(0) != 0);
+  for (auto _ : state) benchmark::DoNotOptimize(AggregateScalar(rel));
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_AggAccumulateScalar)->Arg(0)->Arg(1);
+
+void BM_AggAccumulateBatch(benchmark::State& state) {
+  const cure::storage::Relation& rel = KernelRelation(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AggregateBatch(rel, cure::storage::kDefaultBlockRows));
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+}
+BENCHMARK(BM_AggAccumulateBatch)->Arg(0)->Arg(1);
+
+/// Median-of-repeats wall time of `fn`, in nanoseconds per row.
+template <typename Fn>
+double TimeNsPerRow(Fn fn, uint64_t rows, int repeats = 5) {
+  std::vector<double> ns(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    const auto stop = std::chrono::steady_clock::now();
+    ns[r] = std::chrono::duration<double, std::nano>(stop - start).count() /
+            static_cast<double>(rows);
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[repeats / 2];
+}
+
+/// --smoke: batch and scalar paths must agree bit-for-bit on both backends
+/// and several block sizes. Exit code 0 iff everything matches.
+int RunSmoke() {
+  int failures = 0;
+  for (bool file_backed : {false, true}) {
+    const cure::storage::Relation& rel = KernelRelation(file_backed);
+    const uint64_t hist_ref = HistogramScalar(rel);
+    const uint64_t agg_ref = AggregateScalar(rel);
+    for (size_t block_rows : {3ul, 64ul, 1024ul, 4096ul}) {
+      const uint64_t hist = HistogramBatch(rel, block_rows);
+      const uint64_t agg = AggregateBatch(rel, block_rows);
+      const bool ok = hist == hist_ref && agg == agg_ref;
+      failures += ok ? 0 : 1;
+      std::printf("smoke %s block=%zu hist=%llu agg=%llu %s\n",
+                  file_backed ? "file" : "memory", block_rows,
+                  static_cast<unsigned long long>(hist),
+                  static_cast<unsigned long long>(agg), ok ? "OK" : "MISMATCH");
+    }
+  }
+  std::printf(failures == 0 ? "SMOKE PASS\n" : "SMOKE FAIL\n");
+  return failures == 0 ? 0 : 1;
+}
+
+/// --kernels-json: per-kernel ns/row baseline, scalar vs batch.
+int WriteKernelsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"rows\": " << kKernelRows
+      << ",\n  \"cardinality\": " << kKernelCardinality
+      << ",\n  \"block_rows\": " << cure::storage::kDefaultBlockRows
+      << ",\n  \"kernels\": [\n";
+  bool first = true;
+  for (bool file_backed : {false, true}) {
+    const cure::storage::Relation& rel = KernelRelation(file_backed);
+    const char* backend = file_backed ? "file" : "memory";
+    struct Row {
+      const char* kernel;
+      double scalar_ns;
+      double batch_ns;
+    };
+    const Row rows[] = {
+        {"histogram_fill",
+         TimeNsPerRow([&] { return HistogramScalar(rel); }, kKernelRows),
+         TimeNsPerRow(
+             [&] {
+               return HistogramBatch(rel, cure::storage::kDefaultBlockRows);
+             },
+             kKernelRows)},
+        {"sum_count_accumulate",
+         TimeNsPerRow([&] { return AggregateScalar(rel); }, kKernelRows),
+         TimeNsPerRow(
+             [&] {
+               return AggregateBatch(rel, cure::storage::kDefaultBlockRows);
+             },
+             kKernelRows)},
+    };
+    for (const Row& row : rows) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"kernel\": \"%s\", \"backend\": \"%s\", "
+                    "\"scalar_ns_per_row\": %.2f, \"batch_ns_per_row\": %.2f, "
+                    "\"speedup\": %.2f}",
+                    row.kernel, backend, row.scalar_ns, row.batch_ns,
+                    row.scalar_ns / row.batch_ns);
+      out << buf;
+      std::printf("%s\n", buf);
+    }
+  }
+  out << "\n  ]\n}\n";
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") return RunSmoke();
+    if (arg.rfind("--kernels-json=", 0) == 0) {
+      return WriteKernelsJson(arg.substr(std::strlen("--kernels-json=")));
+    }
+  }
   RegisterSorts();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "cube/measures.h"
+#include "engine/kernels.h"
 
 namespace cure {
 namespace engine {
@@ -32,6 +33,7 @@ class BucExecutor {
     agg_buf_.resize(y_);
     dims_buf_.resize(num_dims_);
     node_levels_buf_.resize(num_dims_);
+    batched_ = ResolveBatchRows(options->batch_rows) > 1;
     // Lift COUNT aggregates once; other aggregates read measure columns.
     for (int a = 0; a < y_; ++a) {
       if (schema->aggregate(a).fn == schema::AggFn::kCount) {
@@ -55,28 +57,10 @@ class BucExecutor {
     if (count < options_->min_support || count == 0) return Status::OK();
 
     // Aggregate and write the current node's tuple (uncondensed).
+    const uint32_t* span_idx = idx_.data() + begin;
     for (int a = 0; a < y_; ++a) {
-      const int64_t* col = AggColumn(a);
-      const schema::AggFn fn = schema_->aggregate(a).fn;
-      int64_t acc;
-      switch (fn) {
-        case schema::AggFn::kSum:
-        case schema::AggFn::kCount:
-          acc = 0;
-          for (size_t i = begin; i < end; ++i) acc += col[idx_[i]];
-          break;
-        case schema::AggFn::kMin:
-          acc = std::numeric_limits<int64_t>::max();
-          for (size_t i = begin; i < end; ++i)
-            acc = std::min(acc, col[idx_[i]]);
-          break;
-        case schema::AggFn::kMax:
-          acc = std::numeric_limits<int64_t>::min();
-          for (size_t i = begin; i < end; ++i)
-            acc = std::max(acc, col[idx_[i]]);
-          break;
-      }
-      agg_buf_[a] = acc;
+      agg_buf_[a] = AggregateGather(schema_->aggregate(a).fn, AggColumn(a),
+                                    span_idx, count);
     }
     const uint32_t first = idx_[begin];
     for (int d = 0; d < num_dims_; ++d) {
@@ -89,19 +73,38 @@ class BucExecutor {
     for (int d = dim; d < num_dims_; ++d) {
       const uint32_t cardinality = schema_->dim(d).leaf_cardinality();
       const std::vector<uint32_t>& col = table_->dim_column(d);
-      SortSpan(
-          idx_.data() + begin, count, cardinality,
-          [&](uint32_t row) { return col[row]; }, options_->sort_policy, &scratch_);
       included_[d] = true;
-      size_t i = begin;
-      Status status;
-      while (i < end) {
-        const uint32_t value = col[idx_[i]];
-        size_t j = i + 1;
-        while (j < end && col[idx_[j]] == value) ++j;
-        status = Recurse(i, j, d + 1);
-        if (!status.ok()) break;
-        i = j;
+      Status status = Status::OK();
+      if (batched_) {
+        const size_t depth = static_cast<size_t>(edge_depth_++);
+        if (segments_pool_.size() <= depth) segments_pool_.resize(depth + 1);
+        SortSpanSegments(
+            idx_.data() + begin, count, cardinality,
+            [&](uint32_t row) { return col[row]; }, options_->sort_policy,
+            &scratch_, &segments_pool_[depth]);
+        for (size_t s = 0; status.ok(); ++s) {
+          const std::vector<uint32_t>& segs = segments_pool_[depth];
+          if (s >= segs.size()) break;
+          const size_t i = begin + segs[s];
+          const size_t j =
+              s + 1 < segs.size() ? begin + segs[s + 1] : begin + count;
+          status = Recurse(i, j, d + 1);
+        }
+        --edge_depth_;
+      } else {
+        SortSpan(
+            idx_.data() + begin, count, cardinality,
+            [&](uint32_t row) { return col[row]; }, options_->sort_policy,
+            &scratch_);
+        size_t i = begin;
+        while (i < end) {
+          const uint32_t value = col[idx_[i]];
+          size_t j = i + 1;
+          while (j < end && col[idx_[j]] == value) ++j;
+          status = Recurse(i, j, d + 1);
+          if (!status.ok()) break;
+          i = j;
+        }
       }
       included_[d] = false;
       CURE_RETURN_IF_ERROR(status);
@@ -124,6 +127,9 @@ class BucExecutor {
   std::vector<int> node_levels_buf_;
   std::vector<int64_t> count_ones_;
   SortScratch scratch_;
+  bool batched_ = true;
+  int edge_depth_ = 0;
+  std::vector<std::vector<uint32_t>> segments_pool_;
 };
 
 }  // namespace

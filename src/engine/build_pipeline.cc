@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "engine/cure.h"
@@ -85,6 +86,13 @@ Status BuildPipeline::Run() {
   CURE_RETURN_IF_ERROR(MergeStage());
   CURE_RETURN_IF_ERROR(PersistStage());
   stats_->build_seconds = watch.ElapsedSeconds();
+  const uint64_t input_rows = ctx_.input->table != nullptr
+                                  ? ctx_.input->table->num_rows()
+                                  : ctx_.input->relation->num_rows();
+  if (stats_->build_seconds > 0) {
+    GlobalMetrics().gauge("cure_build_rows_per_sec")
+        ->Set(static_cast<double>(input_rows) / stats_->build_seconds);
+  }
   return Status::OK();
 }
 
@@ -96,7 +104,8 @@ Status BuildPipeline::LoadStage() {
       load_ = LoadFromTable(*ctx_.input->table, *ctx_.schema);
     } else {
       CURE_ASSIGN_OR_RETURN(
-          load_, LoadFromFactRelation(*ctx_.input->relation, *ctx_.schema));
+          load_, LoadFromFactRelation(*ctx_.input->relation, *ctx_.schema,
+                                      ctx_.options->batch_rows));
     }
     load_ready_ = true;
     return Status::OK();
@@ -122,7 +131,8 @@ Status BuildPipeline::PartitionStage() {
   popts.temp_dir = ctx_.scratch_dir;
   CURE_ASSIGN_OR_RETURN(
       std::vector<std::vector<uint64_t>> hist,
-      ComputeLevelHistograms(*ctx_.input->relation, *ctx_.schema));
+      ComputeLevelHistograms(*ctx_.input->relation, *ctx_.schema,
+                             ctx_.options->batch_rows));
   CURE_ASSIGN_OR_RETURN(
       LevelChoice choice,
       SelectPartitionLevel(*ctx_.schema, hist, ctx_.input->relation->num_rows(),
@@ -146,7 +156,8 @@ Status BuildPipeline::ConstructOnePartition(size_t index,
   CURE_TRACE_SPAN("cure.build.partition_construct", "partition",
                   static_cast<uint64_t>(index), "rows", part.num_rows());
   stats->partition_read_bytes += part.bytes();
-  CURE_ASSIGN_OR_RETURN(Load load, LoadFromPartition(part, *ctx_.schema));
+  CURE_ASSIGN_OR_RETURN(Load load, LoadFromPartition(part, *ctx_.schema,
+                                                     ctx_.options->batch_rows));
   Executor executor(ctx_.schema, ctx_.options, store, pool, stats);
   CURE_RETURN_IF_ERROR(executor.RunPartition(load, outcome_.level));
   // Partition-boundary flush: CAT detection never spans sound partitions,

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/trace.h"
 #include "engine/cure.h"
+#include "engine/kernels.h"
+#include "storage/row_block.h"
 
 namespace cure {
 namespace engine {
@@ -44,36 +46,67 @@ Load LoadFromTable(const schema::FactTable& table, const CubeSchema& schema) {
 }
 
 Result<Load> LoadFromFactRelation(const storage::Relation& rel,
-                                  const CubeSchema& schema) {
+                                  const CubeSchema& schema, size_t batch_rows) {
   const int d = schema.num_dims();
   const int y = schema.num_aggregates();
   const int raw = schema.num_raw_measures();
+  const size_t batch = ResolveBatchRows(batch_rows);
   Load load;
   load.n = rel.num_rows();
   load.native_level.assign(d, 0);
   load.own_dims.assign(d, {});
   load.own_aggrs.assign(y, {});
-  for (auto& col : load.own_dims) col.reserve(load.n);
-  for (auto& col : load.own_aggrs) col.reserve(load.n);
   load.rowids.resize(load.n);
-  Aggregator aggregator(schema);
-  std::vector<int64_t> raw_buf(std::max(raw, 1));
-  std::vector<int64_t> lifted(y);
-  storage::Relation::Scanner scan(rel);
-  uint64_t i = 0;
-  while (const uint8_t* rec = scan.Next()) {
-    uint32_t code;
-    for (int k = 0; k < d; ++k) {
-      std::memcpy(&code, rec + 4ull * k, 4);
-      load.own_dims[k].push_back(code);
+  if (batch > 1) {
+    // Block path: one contiguous gather per column per block; COUNT
+    // aggregates lift to a constant fill, others to a measure-column
+    // gather (the columnarized Aggregator::Lift).
+    CURE_TRACE_SPAN("cure.engine.kernel.load_gather", "rows", load.n, "cols",
+                    static_cast<uint64_t>(d + y));
+    for (auto& col : load.own_dims) col.resize(load.n);
+    for (auto& col : load.own_aggrs) col.resize(load.n);
+    storage::Relation::BlockScanner scan(rel, batch);
+    storage::RowBlock block;
+    while (scan.Next(&block)) {
+      const size_t base = block.first_row;
+      for (int k = 0; k < d; ++k) {
+        storage::GatherBlockU32(block, 4ull * k, load.own_dims[k].data() + base);
+      }
+      for (int a = 0; a < y; ++a) {
+        const schema::AggregateSpec& spec = schema.aggregate(a);
+        int64_t* out = load.own_aggrs[a].data() + base;
+        if (spec.fn == schema::AggFn::kCount) {
+          std::fill(out, out + block.rows, int64_t{1});
+        } else {
+          storage::GatherBlockI64(block, 4ull * d + 8ull * spec.measure_index,
+                                  out);
+        }
+      }
     }
-    std::memcpy(raw_buf.data(), rec + 4ull * d, 8ull * raw);
-    aggregator.Lift(raw_buf.data(), lifted.data());
-    for (int a = 0; a < y; ++a) load.own_aggrs[a].push_back(lifted[a]);
-    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
-    ++i;
+    CURE_RETURN_IF_ERROR(scan.status());
+  } else {
+    // Scalar reference path: record at a time through Scanner::Next().
+    for (auto& col : load.own_dims) col.reserve(load.n);
+    for (auto& col : load.own_aggrs) col.reserve(load.n);
+    Aggregator aggregator(schema);
+    std::vector<int64_t> raw_buf(std::max(raw, 1));
+    std::vector<int64_t> lifted(y);
+    storage::Relation::Scanner scan(rel);
+    while (const uint8_t* rec = scan.Next()) {
+      uint32_t code;
+      for (int k = 0; k < d; ++k) {
+        std::memcpy(&code, rec + 4ull * k, 4);
+        load.own_dims[k].push_back(code);
+      }
+      std::memcpy(raw_buf.data(), rec + 4ull * d, 8ull * raw);
+      aggregator.Lift(raw_buf.data(), lifted.data());
+      for (int a = 0; a < y; ++a) load.own_aggrs[a].push_back(lifted[a]);
+    }
+    CURE_RETURN_IF_ERROR(scan.status());
   }
-  CURE_RETURN_IF_ERROR(scan.status());
+  for (size_t i = 0; i < load.n; ++i) {
+    load.rowids[i] = cube::MakeRowId(cube::kSourceFact, i);
+  }
   load.native.resize(d);
   load.aggrs.resize(y);
   for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
@@ -82,37 +115,66 @@ Result<Load> LoadFromFactRelation(const storage::Relation& rel,
 }
 
 Result<Load> LoadFromPartition(const storage::Relation& rel,
-                               const CubeSchema& schema) {
+                               const CubeSchema& schema, size_t batch_rows) {
   const int d = schema.num_dims();
   const int y = schema.num_aggregates();
+  const size_t batch = ResolveBatchRows(batch_rows);
   Load load;
   load.n = rel.num_rows();
   load.native_level.assign(d, 0);
   load.own_dims.assign(d, {});
   load.own_aggrs.assign(y, {});
-  for (auto& col : load.own_dims) col.reserve(load.n);
-  for (auto& col : load.own_aggrs) col.reserve(load.n);
-  load.rowids.reserve(load.n);
-  storage::Relation::Scanner scan(rel);
-  while (const uint8_t* rec = scan.Next()) {
-    const uint8_t* p = rec;
-    uint32_t code;
-    for (int k = 0; k < d; ++k) {
-      std::memcpy(&code, p, 4);
-      load.own_dims[k].push_back(code);
-      p += 4;
+  if (batch > 1) {
+    // Block path: partition records carry lifted aggregates and raw
+    // fact-table ordinals, so every column is a straight gather.
+    CURE_TRACE_SPAN("cure.engine.kernel.load_gather", "rows", load.n, "cols",
+                    static_cast<uint64_t>(d + y + 1));
+    for (auto& col : load.own_dims) col.resize(load.n);
+    for (auto& col : load.own_aggrs) col.resize(load.n);
+    load.rowids.resize(load.n);
+    storage::Relation::BlockScanner scan(rel, batch);
+    storage::RowBlock block;
+    while (scan.Next(&block)) {
+      const size_t base = block.first_row;
+      for (int k = 0; k < d; ++k) {
+        storage::GatherBlockU32(block, 4ull * k, load.own_dims[k].data() + base);
+      }
+      for (int a = 0; a < y; ++a) {
+        storage::GatherBlockI64(block, 4ull * d + 8ull * a,
+                                load.own_aggrs[a].data() + base);
+      }
+      storage::GatherBlockU64(block, 4ull * d + 8ull * y,
+                              load.rowids.data() + base);
     }
-    int64_t v;
-    for (int a = 0; a < y; ++a) {
-      std::memcpy(&v, p, 8);
-      load.own_aggrs[a].push_back(v);
-      p += 8;
+    CURE_RETURN_IF_ERROR(scan.status());
+    for (size_t i = 0; i < load.n; ++i) {
+      load.rowids[i] = cube::MakeRowId(cube::kSourceFact, load.rowids[i]);
     }
-    uint64_t rowid;
-    std::memcpy(&rowid, p, 8);
-    load.rowids.push_back(cube::MakeRowId(cube::kSourceFact, rowid));
+  } else {
+    for (auto& col : load.own_dims) col.reserve(load.n);
+    for (auto& col : load.own_aggrs) col.reserve(load.n);
+    load.rowids.reserve(load.n);
+    storage::Relation::Scanner scan(rel);
+    while (const uint8_t* rec = scan.Next()) {
+      const uint8_t* p = rec;
+      uint32_t code;
+      for (int k = 0; k < d; ++k) {
+        std::memcpy(&code, p, 4);
+        load.own_dims[k].push_back(code);
+        p += 4;
+      }
+      int64_t v;
+      for (int a = 0; a < y; ++a) {
+        std::memcpy(&v, p, 8);
+        load.own_aggrs[a].push_back(v);
+        p += 8;
+      }
+      uint64_t rowid;
+      std::memcpy(&rowid, p, 8);
+      load.rowids.push_back(cube::MakeRowId(cube::kSourceFact, rowid));
+    }
+    CURE_RETURN_IF_ERROR(scan.status());
   }
-  CURE_RETURN_IF_ERROR(scan.status());
   load.native.resize(d);
   load.aggrs.resize(y);
   for (int k = 0; k < d; ++k) load.native[k] = load.own_dims[k].data();
@@ -151,6 +213,7 @@ Executor::Executor(const CubeSchema* schema, const CureOptions* options,
   agg_buf_.resize(y_);
   dr_dims_.resize(num_dims_);
   node_levels_buf_.resize(num_dims_);
+  batched_ = ResolveBatchRows(options->batch_rows) > 1;
 }
 
 Status Executor::RunInMemory(const Load& load) {
@@ -221,31 +284,14 @@ Status Executor::ExecutePlan(size_t begin, size_t end, int dim) {
     return store_->WriteTT(node, load_->rowids[idx_[begin]]);
   }
 
-  // Aggregate the span and pool the signature.
-  RowId min_rowid = std::numeric_limits<RowId>::max();
-  for (size_t i = begin; i < end; ++i) {
-    min_rowid = std::min(min_rowid, load_->rowids[idx_[i]]);
-  }
+  // Aggregate the span and pool the signature — batch kernels over the
+  // index span (engine/kernels.h): per-aggregate dispatch happens once per
+  // span, the accumulation is a tight loop.
+  const uint32_t* span_idx = idx_.data() + begin;
+  const RowId min_rowid = MinU64Gather(load_->rowids.data(), span_idx, count);
   for (int a = 0; a < y_; ++a) {
-    const int64_t* col = load_->aggrs[a];
-    const schema::AggFn fn = schema_->aggregate(a).fn;
-    int64_t acc;
-    switch (fn) {
-      case schema::AggFn::kSum:
-      case schema::AggFn::kCount:
-        acc = 0;
-        for (size_t i = begin; i < end; ++i) acc += col[idx_[i]];
-        break;
-      case schema::AggFn::kMin:
-        acc = std::numeric_limits<int64_t>::max();
-        for (size_t i = begin; i < end; ++i) acc = std::min(acc, col[idx_[i]]);
-        break;
-      case schema::AggFn::kMax:
-        acc = std::numeric_limits<int64_t>::min();
-        for (size_t i = begin; i < end; ++i) acc = std::max(acc, col[idx_[i]]);
-        break;
-    }
-    agg_buf_[a] = acc;
+    agg_buf_[a] = AggregateGather(schema_->aggregate(a).fn, load_->aggrs[a],
+                                  span_idx, count);
   }
   if (pool_->full()) {
     ++stats_->signature_flushes;
@@ -314,6 +360,30 @@ Status Executor::FollowEdge(size_t begin, size_t end, int d) {
   }
   const int level = levels_[d];
   const uint32_t cardinality = schema_->dim(d).cardinality(level);
+  if (batched_) {
+    // Batch path: the sort gathers keys once and hands back the equal-key
+    // segment boundaries, so no Key() re-evaluation happens here. One
+    // segment buffer per recursion depth; re-index the pool on every
+    // iteration because deeper edges may grow it (which moves elements).
+    const size_t depth = static_cast<size_t>(edge_depth_++);
+    if (segments_pool_.size() <= depth) segments_pool_.resize(depth + 1);
+    SortSpanSegments(
+        idx_.data() + begin, end - begin, cardinality,
+        [&](uint32_t row) { return Key(row, d, level); }, options_->sort_policy,
+        &scratch_, &segments_pool_[depth]);
+    Status status = Status::OK();
+    const size_t n = end - begin;
+    for (size_t s = 0; status.ok(); ++s) {
+      const std::vector<uint32_t>& segs = segments_pool_[depth];
+      if (s >= segs.size()) break;
+      const size_t i = begin + segs[s];
+      const size_t j = s + 1 < segs.size() ? begin + segs[s + 1] : begin + n;
+      status = ExecutePlan(i, j, d + 1);
+    }
+    --edge_depth_;
+    return status;
+  }
+  // Scalar reference path (batch_rows = 1): per-row key evaluation.
   SortSpan(
       idx_.data() + begin, end - begin, cardinality,
       [&](uint32_t row) { return Key(row, d, level); }, options_->sort_policy,

@@ -41,14 +41,20 @@ Load LoadFromTable(const schema::FactTable& table,
                    const schema::CubeSchema& schema);
 
 /// Scans a sealed binary fact relation ([D x u32][M x i64] records), lifting
-/// raw measures into aggregate space.
+/// raw measures into aggregate space. `batch_rows` > 1 runs the block-
+/// oriented column-gather path (one contiguous gather per column per
+/// block); 1 the record-at-a-time reference path; 0 defers to
+/// CURE_BATCH_ROWS / the built-in default. Identical Loads either way.
 Result<Load> LoadFromFactRelation(const storage::Relation& rel,
-                                  const schema::CubeSchema& schema);
+                                  const schema::CubeSchema& schema,
+                                  size_t batch_rows = 0);
 
 /// Scans a sound-partition relation ([D x u32][Y x i64 lifted][u64 rowid]
-/// records) written by PartitionFact.
+/// records) written by PartitionFact. Same `batch_rows` contract as
+/// LoadFromFactRelation.
 Result<Load> LoadFromPartition(const storage::Relation& rel,
-                               const schema::CubeSchema& schema);
+                               const schema::CubeSchema& schema,
+                               size_t batch_rows = 0);
 
 /// Aliases the partition-pass node N (already aggregated; row-ids reference
 /// N itself).
@@ -106,6 +112,14 @@ class Executor {
   std::vector<int64_t> agg_buf_;
   std::vector<uint32_t> dr_dims_;
   std::vector<int> node_levels_buf_;
+
+  // Batch path (batched_ = resolved batch_rows > 1): FollowEdge takes
+  // segment boundaries straight from the batched counting sort instead of
+  // re-evaluating Key() per row. One segment buffer per recursion depth —
+  // an edge iterates its segments while deeper edges fill their own.
+  bool batched_ = true;
+  int edge_depth_ = 0;
+  std::vector<std::vector<uint32_t>> segments_pool_;
 };
 
 }  // namespace engine

@@ -42,6 +42,21 @@ struct CureOptions {
   /// Segment sort policy (counting sort matters under skew).
   SortPolicy sort_policy = SortPolicy::kAuto;
 
+  /// Rows per block of the columnar batch scan path (DESIGN.md §13):
+  /// relation scans run through Relation::BlockScanner in blocks of this
+  /// many rows and the aggregation kernels run over contiguous column
+  /// slices. 1 selects the record-at-a-time scalar reference path
+  /// (differential testing); 0 defers to the CURE_BATCH_ROWS environment
+  /// variable, then to storage::kDefaultBlockRows. Every setting produces
+  /// byte-identical cubes and query results.
+  size_t batch_rows = 0;
+
+  /// Buffered-read size, in records, of legacy record-at-a-time scans
+  /// (Relation::Scanner) issued by the build. Blocks and legacy scans
+  /// share this one tuning surface; 0 defers to
+  /// storage::kDefaultScanBufferRecords.
+  size_t scan_buffer_records = 0;
+
   /// Base directory for build scratch files. Every build creates (and
   /// removes, on success and error alike) its own unique subdirectory here,
   /// so concurrent builds sharing a temp_dir never collide.

@@ -70,9 +70,13 @@ Result<LevelChoice> SelectPartitionLevel(
     uint64_t num_rows, const PartitionOptions& options);
 
 /// Computes the per-level histograms of dimension 0 with one sequential
-/// scan of the fact relation.
+/// scan of the fact relation. `batch_rows` follows the CureOptions contract
+/// (1 = record-at-a-time reference path; 0 = CURE_BATCH_ROWS env / default);
+/// > 1 scans in blocks and fills the histograms from a gathered leaf-code
+/// slice. Identical histograms either way.
 Result<std::vector<std::vector<uint64_t>>> ComputeLevelHistograms(
-    const storage::Relation& fact, const schema::CubeSchema& schema);
+    const storage::Relation& fact, const schema::CubeSchema& schema,
+    size_t batch_rows = 0);
 
 /// Runs the partitioning pass: scans `fact` once, routes each row to its
 /// sound partition file, and simultaneously hash-builds node N.

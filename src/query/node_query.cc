@@ -4,7 +4,10 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "cube/rowid.h"
+#include "engine/kernels.h"
+#include "storage/row_block.h"
 
 namespace cure {
 namespace query {
@@ -115,9 +118,64 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
   CURE_CHECK_LE(y, 16);
 
   const CubeStore::NodeData* node = store.node(id);
+  const size_t block_rows = engine::ResolveBatchRows(batch_rows_);
 
   // Normal tuples.
-  if (node != nullptr && node->has_nt) {
+  if (node != nullptr && node->has_nt && block_rows > 1) {
+    // Block path: predicates run as selection-vector kernels over column
+    // slices gathered once per block; only surviving rows are materialized
+    // (and, in the row-id scheme, dereferenced through the sources).
+    CURE_TRACE_SPAN("cure.engine.kernel.nt_scan", "rows", node->nt.num_rows());
+    const bool dims_in_nt = store.options().dims_in_nt;
+    storage::Relation::BlockScanner scan(node->nt, block_rows);
+    storage::RowBlock block;
+    storage::SelectionVector sel(block_rows);
+    std::vector<int64_t> count_col(iceberg ? block_rows : 0);
+    std::vector<uint32_t> dim_col(
+        dims_in_nt && !prepared.empty() ? block_rows : 0);
+    while (scan.Next(&block)) {
+      size_t n;
+      if (iceberg) {
+        // Iceberg prefilter before any per-row work: in the row-id scheme
+        // this skips the source dereference for sub-threshold groups.
+        const size_t off =
+            (dims_in_nt ? 4ull * g : 8ull) + 8ull * count_aggregate;
+        storage::GatherBlockI64(block, off, count_col.data());
+        n = engine::SelectGeI64(count_col.data(), block.rows, min_count,
+                                sel.data());
+      } else {
+        n = block.rows;
+        for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+      }
+      if (dims_in_nt) {
+        for (const PreparedSlice& p : prepared) {
+          if (n == 0) break;
+          storage::GatherBlockU32(block, 4ull * p.output_pos, dim_col.data());
+          n = p.map.empty()
+                  ? engine::RefineEqU32(dim_col.data(), p.code, sel.data(), n)
+                  : engine::RefineMappedEqU32(dim_col.data(), p.map.data(),
+                                              p.code, sel.data(), n);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        const uint8_t* rec = block.record(sel[j]);
+        if (dims_in_nt) {
+          std::memcpy(dims, rec, 4ull * g);
+          std::memcpy(aggrs, rec + 4ull * g, 8ull * y);
+        } else {
+          RowId rowid;
+          std::memcpy(&rowid, rec, 8);
+          std::memcpy(aggrs, rec + 8, 8ull * y);
+          CURE_RETURN_IF_ERROR(sources_.GetRow(rowid, native, row_aggrs));
+          CURE_RETURN_IF_ERROR(sources_.ProjectDims(cube::RowIdSource(rowid),
+                                                    native, levels, dims));
+          if (!passes_slices(dims)) continue;
+        }
+        sink->Emit(dims, g, aggrs, y);
+      }
+    }
+    CURE_RETURN_IF_ERROR(scan.status());
+  } else if (node != nullptr && node->has_nt) {
     storage::Relation::Scanner scan(node->nt);
     while (const uint8_t* rec = scan.Next()) {
       if (store.options().dims_in_nt) {
@@ -138,13 +196,14 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
     CURE_RETURN_IF_ERROR(scan.status());
   }
 
-  // Common aggregate tuples.
+  // Common aggregate tuples. The block scanner batches the CAT relation
+  // reads; the per-row aggregate-table dereference is inherently random
+  // access and stays scalar.
   if (node != nullptr && node->has_cat) {
     const storage::Relation& aggregates = store.aggregates();
-    storage::Relation::Scanner scan(node->cat);
     uint8_t agg_rec[256];
     CURE_CHECK_LE(aggregates.record_size(), sizeof(agg_rec));
-    while (const uint8_t* rec = scan.Next()) {
+    auto emit_cat = [&](const uint8_t* rec) -> Status {
       RowId rowid = 0;
       uint64_t arowid = 0;
       if (store.cat_format() == CatFormat::kFormatA) {
@@ -158,14 +217,30 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
         CURE_RETURN_IF_ERROR(aggregates.Read(arowid, agg_rec));
         std::memcpy(aggrs, agg_rec, 8ull * y);
       }
-      if (iceberg && aggrs[count_aggregate] < min_count) continue;
+      if (iceberg && aggrs[count_aggregate] < min_count) return Status::OK();
       CURE_RETURN_IF_ERROR(sources_.GetRow(rowid, native, row_aggrs));
       CURE_RETURN_IF_ERROR(
           sources_.ProjectDims(cube::RowIdSource(rowid), native, levels, dims));
-      if (!passes_slices(dims)) continue;
+      if (!passes_slices(dims)) return Status::OK();
       sink->Emit(dims, g, aggrs, y);
+      return Status::OK();
+    };
+    if (block_rows > 1) {
+      storage::Relation::BlockScanner scan(node->cat, block_rows);
+      storage::RowBlock block;
+      while (scan.Next(&block)) {
+        for (size_t i = 0; i < block.rows; ++i) {
+          CURE_RETURN_IF_ERROR(emit_cat(block.record(i)));
+        }
+      }
+      CURE_RETURN_IF_ERROR(scan.status());
+    } else {
+      storage::Relation::Scanner scan(node->cat);
+      while (const uint8_t* rec = scan.Next()) {
+        CURE_RETURN_IF_ERROR(emit_cat(rec));
+      }
+      CURE_RETURN_IF_ERROR(scan.status());
     }
-    CURE_RETURN_IF_ERROR(scan.status());
   }
 
   // Trivial tuples, shared along the plan path (skipped entirely for
@@ -190,6 +265,19 @@ Status CureQueryEngine::QueryImpl(NodeId id, int count_aggregate,
           status = emit_tt(cube::MakeRowId(pd->tt_source, ordinal));
         });
         CURE_RETURN_IF_ERROR(status);
+      } else if (pd->has_tt && block_rows > 1) {
+        // Block path: one contiguous row-id gather per block, then the
+        // scalar per-row dereference/emit.
+        storage::Relation::BlockScanner scan(pd->tt, block_rows);
+        storage::RowBlock block;
+        std::vector<uint64_t> rowids(block_rows);
+        while (scan.Next(&block)) {
+          storage::GatherBlockU64(block, 0, rowids.data());
+          for (size_t i = 0; i < block.rows; ++i) {
+            CURE_RETURN_IF_ERROR(emit_tt(rowids[i]));
+          }
+        }
+        CURE_RETURN_IF_ERROR(scan.status());
       } else if (pd->has_tt) {
         storage::Relation::Scanner scan(pd->tt);
         while (const uint8_t* rec = scan.Next()) {
@@ -213,6 +301,20 @@ Status BucQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
   const int g = static_cast<int>(node->grouping_dims.size());
   uint32_t dims[64];
   int64_t aggrs[16];
+  const size_t block_rows = engine::ResolveBatchRows(batch_rows_);
+  if (block_rows > 1) {
+    storage::Relation::BlockScanner scan(node->plain, block_rows);
+    storage::RowBlock block;
+    while (scan.Next(&block)) {
+      for (size_t i = 0; i < block.rows; ++i) {
+        const uint8_t* rec = block.record(i);
+        std::memcpy(dims, rec, 4ull * g);
+        std::memcpy(aggrs, rec + 4ull * g, 8ull * y);
+        sink->Emit(dims, g, aggrs, y);
+      }
+    }
+    return scan.status();
+  }
   storage::Relation::Scanner scan(node->plain);
   while (const uint8_t* rec = scan.Next()) {
     std::memcpy(dims, rec, 4ull * g);
@@ -238,13 +340,12 @@ Status BubstQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
   uint32_t out_dims[64];
   int64_t aggrs[16];
   std::vector<int> row_levels(num_dims);
-  // The format's cost: every query scans the entire monolithic relation.
-  storage::Relation::Scanner scan(cube_->monolithic());
-  while (const uint8_t* rec = scan.Next()) {
+  const size_t tag_offset = 4ull * num_dims + 8ull * y;
+  auto emit_row = [&](const uint8_t* rec) {
     std::memcpy(row_dims, rec, 4ull * num_dims);
     std::memcpy(aggrs, rec + 4ull * num_dims, 8ull * y);
     uint64_t tag;
-    std::memcpy(&tag, rec + 4ull * num_dims + 8ull * y, 8);
+    std::memcpy(&tag, rec + tag_offset, 8);
     const bool bst = (tag & engine::BubstRecord::kBstFlag) != 0;
     const NodeId row_node = tag & ~engine::BubstRecord::kBstFlag;
     bool matches;
@@ -274,13 +375,35 @@ Status BubstQueryEngine::QueryNode(NodeId id, ResultSink* sink) const {
     } else {
       matches = row_node == id;
     }
-    if (!matches) continue;
+    if (!matches) return;
     int o = 0;
     for (int d = 0; d < num_dims; ++d) {
       if (grouped[d]) out_dims[o++] = row_dims[d];
     }
     sink->Emit(out_dims, g, aggrs, y);
+  };
+
+  // The format's cost: every query scans the entire monolithic relation.
+  const size_t block_rows = engine::ResolveBatchRows(batch_rows_);
+  if (block_rows > 1) {
+    // Block path: gather the node-tag column once per block and prefilter
+    // with a branch-free kernel — only exact-node rows and BSTs (which need
+    // the full sub-tree test) reach the per-row logic.
+    storage::Relation::BlockScanner scan(cube_->monolithic(), block_rows);
+    storage::RowBlock block;
+    std::vector<uint64_t> tags(block_rows);
+    storage::SelectionVector sel(block_rows);
+    while (scan.Next(&block)) {
+      storage::GatherBlockU64(block, tag_offset, tags.data());
+      const size_t n = engine::SelectEqOrFlagU64(
+          tags.data(), block.rows, id, engine::BubstRecord::kBstFlag,
+          sel.data());
+      for (size_t j = 0; j < n; ++j) emit_row(block.record(sel[j]));
+    }
+    return scan.status();
   }
+  storage::Relation::Scanner scan(cube_->monolithic());
+  while (const uint8_t* rec = scan.Next()) emit_row(rec);
   return scan.status();
 }
 

@@ -117,6 +117,11 @@ class CureQueryEngine {
   const cube::SourceSet& sources() const { return sources_; }
   const plan::ExecutionPlan& plan() const { return plan_; }
 
+  /// Batch scan path of the readers, same contract as
+  /// CureOptions::batch_rows: 1 = record-at-a-time reference path, 0 =
+  /// CURE_BATCH_ROWS env / built-in default. Identical results either way.
+  void set_batch_rows(size_t batch_rows) { batch_rows_ = batch_rows; }
+
  private:
   CureQueryEngine(const engine::CureCube* cube, cube::SourceSet sources)
       : cube_(cube),
@@ -130,6 +135,7 @@ class CureQueryEngine {
   const engine::CureCube* cube_;
   cube::SourceSet sources_;
   plan::ExecutionPlan plan_;
+  size_t batch_rows_ = 0;
 };
 
 /// Answers node queries over a BUC cube: a direct scan of the node's
@@ -140,8 +146,12 @@ class BucQueryEngine {
 
   Status QueryNode(schema::NodeId id, ResultSink* sink) const;
 
+  /// Same contract as CureQueryEngine::set_batch_rows.
+  void set_batch_rows(size_t batch_rows) { batch_rows_ = batch_rows; }
+
  private:
   const engine::BucCube* cube_;
+  size_t batch_rows_ = 0;
 };
 
 /// Answers node queries over a BU-BST cube: a sequential scan of the entire
@@ -153,9 +163,13 @@ class BubstQueryEngine {
 
   Status QueryNode(schema::NodeId id, ResultSink* sink) const;
 
+  /// Same contract as CureQueryEngine::set_batch_rows.
+  void set_batch_rows(size_t batch_rows) { batch_rows_ = batch_rows; }
+
  private:
   const engine::BubstCube* cube_;
   schema::NodeIdCodec codec_;
+  size_t batch_rows_ = 0;
 };
 
 /// Mapping between a hierarchical node and its leaf-level (flat) twin.

@@ -64,6 +64,7 @@ Result<std::unique_ptr<CubeServer>> CubeServer::Create(
   CURE_ASSIGN_OR_RETURN(
       snapshot->engine,
       query::CureQueryEngine::Create(cube, options.fact_cache_fraction));
+  snapshot->engine->set_batch_rows(options.batch_rows);
   return std::unique_ptr<CubeServer>(
       new CubeServer(cube, nullptr, options, std::move(snapshot)));
 }

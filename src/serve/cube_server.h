@@ -41,6 +41,11 @@ struct CubeServerOptions {
   /// execute micros) and the trace id. 0 disables the log. Overridable via
   /// the CURE_SLOW_QUERY_MS environment variable in cure_serve.
   double slow_query_seconds = 0;
+  /// Batch scan path of the query engines (CureOptions::batch_rows
+  /// contract): 1 = record-at-a-time reference path, 0 = the
+  /// CURE_BATCH_ROWS environment variable then the built-in block size.
+  /// Identical query results at every setting.
+  size_t batch_rows = 0;
 };
 
 /// One query against the served cube. `min_count > 1` makes it an iceberg

@@ -131,5 +131,46 @@ const uint8_t* Relation::Scanner::Next() {
   return rec;
 }
 
+Relation::BlockScanner::BlockScanner(const Relation& rel, size_t block_rows)
+    : rel_(rel), block_rows_(block_rows == 0 ? 1 : block_rows) {
+  CURE_CHECK_GT(rel.record_size(), 0u);
+  if (!rel.memory_backed()) {
+    buffer_.resize(block_rows_ * rel.record_size());
+  }
+}
+
+bool Relation::BlockScanner::Next(RowBlock* block) {
+  if (!status_.ok()) return false;
+  if (row_ >= rel_.num_rows()) return false;
+  uint64_t n = rel_.num_rows() - row_;
+  if (n > block_rows_) n = block_rows_;
+  block->first_row = row_;
+  block->rows = static_cast<size_t>(n);
+  block->record_size = rel_.record_size_;
+  if (rel_.memory_) {
+    // Zero-copy: records live contiguously in the backing vector.
+    block->data = rel_.data_.data() + row_ * rel_.record_size_;
+    row_ += n;
+    return true;
+  }
+  const FileReader* reader = rel_.shared_reader_ != nullptr
+                                 ? rel_.shared_reader_.get()
+                                 : rel_.reader_.get();
+  if (reader == nullptr) {
+    status_ = Status::Internal("block scan of unsealed file relation");
+    return false;
+  }
+  Status s = reader->ReadAt(rel_.view_offset_ + row_ * rel_.record_size_,
+                            buffer_.data(), n * rel_.record_size_);
+  if (!s.ok()) {
+    // Degrade to an error result, mirroring Scanner::Next().
+    status_ = std::move(s);
+    return false;
+  }
+  block->data = buffer_.data();
+  row_ += n;
+  return true;
+}
+
 }  // namespace storage
 }  // namespace cure

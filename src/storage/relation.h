@@ -9,9 +9,16 @@
 
 #include "common/status.h"
 #include "storage/file_io.h"
+#include "storage/row_block.h"
 
 namespace cure {
 namespace storage {
+
+/// Default buffered-read size, in records, of the legacy record-at-a-time
+/// Scanner. The one tuning knob shared by legacy and block scans: callers
+/// with access to engine options pass CureOptions::scan_buffer_records /
+/// batch_rows through; everyone else inherits this default.
+inline constexpr size_t kDefaultScanBufferRecords = 4096;
 
 /// A relation of fixed-width binary records, the universal container of the
 /// ROLAP layer: fact tables, partitions, per-node NT/TT/CAT relations and the
@@ -71,7 +78,8 @@ class Relation {
   /// Buffered sequential scanner over a sealed relation.
   class Scanner {
    public:
-    explicit Scanner(const Relation& rel, size_t buffer_records = 4096);
+    explicit Scanner(const Relation& rel,
+                     size_t buffer_records = kDefaultScanBufferRecords);
 
     /// Returns a pointer to the next record, or nullptr at end OR on a
     /// read error — check status() after the scan loop to tell the two
@@ -84,7 +92,9 @@ class Relation {
     const Status& status() const { return status_; }
 
     /// Current 0-based row index of the record last returned by Next().
-    uint64_t row() const { return row_ - 1; }
+    /// Before the first Next() there is no such record; returns 0 rather
+    /// than underflowing to UINT64_MAX.
+    uint64_t row() const { return row_ == 0 ? 0 : row_ - 1; }
 
    private:
     const Relation& rel_;
@@ -92,6 +102,33 @@ class Relation {
     uint64_t row_ = 0;
     uint64_t buffered_begin_ = 0;
     uint64_t buffered_end_ = 0;
+    Status status_;
+  };
+
+  /// Block-oriented sequential scanner: yields batches of up to
+  /// `block_rows` consecutive records as RowBlocks. Memory-backed relations
+  /// yield zero-copy views into the backing store; file-backed ones issue
+  /// one buffered read per block. The batch seam of the columnar scan path
+  /// (DESIGN.md §13) — pair with ColumnView to get contiguous column
+  /// slices for the vectorized kernels.
+  class BlockScanner {
+   public:
+    explicit BlockScanner(const Relation& rel,
+                          size_t block_rows = kDefaultBlockRows);
+
+    /// Fills `*block` with the next batch. Returns false at end OR on a
+    /// read error — check status() to tell the two apart. Block pointers
+    /// are valid until the next call.
+    bool Next(RowBlock* block);
+
+    /// OK while the scan is clean; the read error that ended it otherwise.
+    const Status& status() const { return status_; }
+
+   private:
+    const Relation& rel_;
+    size_t block_rows_;
+    std::vector<uint8_t> buffer_;  // file-backed reads only
+    uint64_t row_ = 0;
     Status status_;
   };
 

@@ -1,0 +1,332 @@
+// Differential property tests of the columnar batch scan path (DESIGN.md
+// §13): the block size is a pure performance knob. For every batch_rows
+// setting — scalar reference (1), a tiny odd size (3), and realistic block
+// sizes (64, 1024) — over memory- and file-backed fact relations of skewed
+// (Zipf) data, the build must produce byte-identical packed cubes and the
+// readers identical (count, checksum) query results.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/buc.h"
+#include "engine/bubst.h"
+#include "engine/cure.h"
+#include "engine/partition.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "gen/zipf.h"
+#include "query/node_query.h"
+#include "schema/node_id.h"
+#include "storage/file_io.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureCube;
+using engine::CureOptions;
+using engine::FactInput;
+using gen::Dataset;
+using query::CureQueryEngine;
+using query::ResultSink;
+using schema::NodeId;
+
+const size_t kBatchMatrix[] = {1, 3, 64, 1024};
+
+// Hierarchical Zipf dataset: skewed first dimension (exercises the counting
+// sort under skew), one SUM and one COUNT aggregate.
+Dataset MakeZipfDataset(uint64_t tuples, uint64_t seed) {
+  Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {48, 4, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {10, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  Result<schema::CubeSchema> schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "sum"}, {schema::AggFn::kCount, 0, "cnt"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  gen::ZipfSampler zipf_a(48, 0.9);
+  gen::ZipfSampler zipf_b(10, 0.5);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t dims_row[3] = {zipf_a.Sample(&rng), zipf_b.Sample(&rng),
+                                  static_cast<uint32_t>(rng.NextRange(5))};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(40));
+    ds.table.AppendRow(dims_row, &m);
+  }
+  return ds;
+}
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/cure_batch_scan_" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+Result<storage::Relation> MakeFileRelation(const Dataset& ds,
+                                           const std::string& path) {
+  CURE_ASSIGN_OR_RETURN(storage::Relation rel, storage::Relation::CreateFile(
+                                                   path, ds.table.RecordSize()));
+  CURE_RETURN_IF_ERROR(ds.table.WriteTo(&rel));
+  CURE_RETURN_IF_ERROR(rel.Seal());
+  return rel;
+}
+
+// Builds with the given batch_rows, persists the packed store, returns its
+// bytes.
+std::string BuildAndPack(const Dataset& ds, const storage::Relation& rel,
+                         CureOptions options, size_t batch_rows) {
+  options.batch_rows = batch_rows;
+  FactInput input{.relation = &rel};
+  Result<std::unique_ptr<CureCube>> cube = BuildCure(ds.schema, input, options);
+  EXPECT_TRUE(cube.ok()) << cube.status().ToString();
+  if (!cube.ok()) return "";
+  const std::string path =
+      TempPath("pack_b" + std::to_string(batch_rows) + ".bin");
+  Status s = (*cube)->store().PersistPacked(path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::string bytes = ReadFileBytes(path);
+  EXPECT_TRUE(storage::RemoveFile(path).ok());
+  return bytes;
+}
+
+TEST(BatchScanBuildTest, ByteIdenticalPackedCubesMemoryBacked) {
+  Dataset ds = MakeZipfDataset(3000, 101);
+  storage::Relation rel = storage::Relation::Memory(ds.table.RecordSize());
+  ASSERT_TRUE(ds.table.WriteTo(&rel).ok());
+  for (bool dims_in_nt : {false, true}) {
+    CureOptions options;
+    options.dims_in_nt = dims_in_nt;
+    const std::string reference = BuildAndPack(ds, rel, options, 1);
+    ASSERT_FALSE(reference.empty());
+    for (size_t batch : kBatchMatrix) {
+      if (batch == 1) continue;
+      const std::string packed = BuildAndPack(ds, rel, options, batch);
+      ASSERT_EQ(packed.size(), reference.size())
+          << "batch_rows=" << batch << " dims_in_nt=" << dims_in_nt;
+      EXPECT_TRUE(packed == reference)
+          << "packed cube differs from the scalar reference at batch_rows="
+          << batch << " dims_in_nt=" << dims_in_nt;
+    }
+  }
+}
+
+TEST(BatchScanBuildTest, ByteIdenticalPackedCubesFileBackedExternal) {
+  Dataset ds = MakeZipfDataset(4000, 202);
+  const std::string rel_path = TempPath("fact.bin");
+  Result<storage::Relation> rel = MakeFileRelation(ds, rel_path);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+
+  CureOptions options;
+  options.force_external = true;  // partition + per-partition + node-N path
+  // Large enough for the Zipf-skewed heaviest leaf partition to fit, small
+  // enough that the build still splits into several partitions.
+  options.memory_budget_bytes = 96 * 1024;
+  options.signature_pool_capacity = 256;
+  const std::string reference = BuildAndPack(ds, rel.value(), options, 1);
+  ASSERT_FALSE(reference.empty());
+  for (size_t batch : kBatchMatrix) {
+    if (batch == 1) continue;
+    const std::string packed = BuildAndPack(ds, rel.value(), options, batch);
+    ASSERT_EQ(packed.size(), reference.size()) << "batch_rows=" << batch;
+    EXPECT_TRUE(packed == reference)
+        << "packed cube differs from the scalar reference at batch_rows="
+        << batch;
+  }
+  ASSERT_TRUE(storage::RemoveFile(rel_path).ok());
+}
+
+TEST(BatchScanBuildTest, LevelHistogramsIdenticalAcrossBatchRows) {
+  Dataset ds = MakeZipfDataset(2500, 303);
+  const std::string rel_path = TempPath("hist.bin");
+  Result<storage::Relation> rel = MakeFileRelation(ds, rel_path);
+  ASSERT_TRUE(rel.ok());
+  Result<std::vector<std::vector<uint64_t>>> reference =
+      engine::ComputeLevelHistograms(rel.value(), ds.schema, 1);
+  ASSERT_TRUE(reference.ok());
+  for (size_t batch : kBatchMatrix) {
+    if (batch == 1) continue;
+    Result<std::vector<std::vector<uint64_t>>> hist =
+        engine::ComputeLevelHistograms(rel.value(), ds.schema, batch);
+    ASSERT_TRUE(hist.ok());
+    EXPECT_EQ(hist.value(), reference.value()) << "batch_rows=" << batch;
+  }
+  ASSERT_TRUE(storage::RemoveFile(rel_path).ok());
+}
+
+// Runs plain, iceberg, sliced, and sliced-iceberg queries over every lattice
+// node and folds (count, checksum) of each into one digest.
+std::pair<uint64_t, uint64_t> QueryDigest(const CureQueryEngine& eng,
+                                          const schema::CubeSchema& schema) {
+  const schema::NodeIdCodec codec(schema);
+  uint64_t count = 0, checksum = 0;
+  ResultSink sink;
+  const std::vector<CureQueryEngine::Slice> slices = {{0, 1, 1}};
+  for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+    sink.Reset();
+    EXPECT_TRUE(eng.QueryNode(id, &sink).ok());
+    count += sink.count();
+    checksum ^= sink.checksum();
+    sink.Reset();
+    EXPECT_TRUE(eng.QueryNodeCountIceberg(id, 1, 3, &sink).ok());
+    count += sink.count();
+    checksum ^= sink.checksum();
+    // Slices are only valid on nodes grouping dim 0 at level <= 1; both
+    // engines must agree on the rejection too.
+    sink.Reset();
+    Status s = eng.QueryNodeSliced(id, slices, &sink);
+    if (s.ok()) {
+      count += sink.count();
+      checksum ^= sink.checksum();
+    }
+    sink.Reset();
+    Status si = eng.QueryNodeSlicedIceberg(id, slices, 1, 2, &sink);
+    EXPECT_EQ(s.ok(), si.ok());
+    if (si.ok()) {
+      count += sink.count();
+      checksum ^= sink.checksum();
+    }
+  }
+  return {count, checksum};
+}
+
+TEST(BatchScanQueryTest, IdenticalResultsAcrossBatchRowsInMemory) {
+  Dataset ds = MakeZipfDataset(3000, 404);
+  for (bool dims_in_nt : {false, true}) {
+    CureOptions options;
+    options.dims_in_nt = dims_in_nt;
+    FactInput input{.table = &ds.table};
+    Result<std::unique_ptr<CureCube>> cube =
+        BuildCure(ds.schema, input, options);
+    ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+    Result<std::unique_ptr<CureQueryEngine>> eng =
+        CureQueryEngine::Create(cube->get(), 1.0);
+    ASSERT_TRUE(eng.ok());
+    (*eng)->set_batch_rows(1);
+    const auto reference = QueryDigest(**eng, (*cube)->schema());
+    ASSERT_GT(reference.first, 0u);
+    for (size_t batch : kBatchMatrix) {
+      if (batch == 1) continue;
+      (*eng)->set_batch_rows(batch);
+      EXPECT_EQ(QueryDigest(**eng, (*cube)->schema()), reference)
+          << "batch_rows=" << batch << " dims_in_nt=" << dims_in_nt;
+    }
+  }
+}
+
+TEST(BatchScanQueryTest, IdenticalResultsAcrossBatchRowsFileBacked) {
+  Dataset ds = MakeZipfDataset(3000, 505);
+  const std::string rel_path = TempPath("qfact.bin");
+  Result<storage::Relation> rel = MakeFileRelation(ds, rel_path);
+  ASSERT_TRUE(rel.ok());
+  CureOptions options;
+  FactInput input{.relation = &rel.value()};
+  Result<std::unique_ptr<CureCube>> cube = BuildCure(ds.schema, input, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  // Spill the store so the block scanners really read files.
+  const std::string pack_path = TempPath("qpack.bin");
+  ASSERT_TRUE((*cube)->SpillStoreToDisk(pack_path).ok());
+  Result<std::unique_ptr<CureQueryEngine>> eng =
+      CureQueryEngine::Create(cube->get(), 0.5);
+  ASSERT_TRUE(eng.ok());
+  (*eng)->set_batch_rows(1);
+  const auto reference = QueryDigest(**eng, (*cube)->schema());
+  ASSERT_GT(reference.first, 0u);
+  for (size_t batch : kBatchMatrix) {
+    if (batch == 1) continue;
+    (*eng)->set_batch_rows(batch);
+    EXPECT_EQ(QueryDigest(**eng, (*cube)->schema()), reference)
+        << "batch_rows=" << batch;
+  }
+  cube->reset();  // Close the packed store before unlinking.
+  ASSERT_TRUE(storage::RemoveFile(pack_path).ok());
+  ASSERT_TRUE(storage::RemoveFile(rel_path).ok());
+}
+
+TEST(BatchScanBaselineTest, BucIdenticalAcrossBatchRows) {
+  Dataset ds = MakeZipfDataset(1200, 606);
+  const schema::CubeSchema flat = ds.schema.Flattened();
+  const schema::NodeIdCodec codec(flat);
+
+  auto digest = [&](size_t batch) -> std::pair<uint64_t, uint64_t> {
+    engine::BucOptions options;
+    options.batch_rows = batch;
+    Result<std::unique_ptr<engine::BucCube>> cube =
+        engine::BuildBuc(ds.schema, ds.table, options);
+    EXPECT_TRUE(cube.ok()) << cube.status().ToString();
+    query::BucQueryEngine eng(cube->get());
+    eng.set_batch_rows(batch);
+    uint64_t count = 0, checksum = 0;
+    ResultSink sink;
+    for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+      sink.Reset();
+      EXPECT_TRUE(eng.QueryNode(id, &sink).ok());
+      count += sink.count();
+      checksum ^= sink.checksum();
+    }
+    return {count, checksum};
+  };
+  const auto reference = digest(1);
+  ASSERT_GT(reference.first, 0u);
+  for (size_t batch : kBatchMatrix) {
+    if (batch == 1) continue;
+    EXPECT_EQ(digest(batch), reference) << "batch_rows=" << batch;
+  }
+}
+
+TEST(BatchScanBaselineTest, BubstIdenticalAcrossBatchRows) {
+  Dataset ds = MakeZipfDataset(1200, 707);
+  const schema::CubeSchema flat = ds.schema.Flattened();
+  const schema::NodeIdCodec codec(flat);
+
+  auto digest = [&](size_t batch,
+                    std::string* monolithic) -> std::pair<uint64_t, uint64_t> {
+    engine::BubstOptions options;
+    options.batch_rows = batch;
+    Result<std::unique_ptr<engine::BubstCube>> cube =
+        engine::BuildBubst(ds.schema, ds.table, options);
+    EXPECT_TRUE(cube.ok()) << cube.status().ToString();
+    // The monolithic relation must be byte-identical across batch sizes.
+    const std::string path =
+        TempPath("bubst_b" + std::to_string(batch) + ".bin");
+    EXPECT_TRUE((*cube)->SpillToDisk(path).ok());
+    *monolithic = ReadFileBytes(path);
+    query::BubstQueryEngine eng(cube->get());
+    eng.set_batch_rows(batch);
+    uint64_t count = 0, checksum = 0;
+    ResultSink sink;
+    for (NodeId id = 0; id < codec.num_nodes(); ++id) {
+      sink.Reset();
+      EXPECT_TRUE(eng.QueryNode(id, &sink).ok());
+      count += sink.count();
+      checksum ^= sink.checksum();
+    }
+    cube->reset();  // Close before unlinking.
+    EXPECT_TRUE(storage::RemoveFile(path).ok());
+    return {count, checksum};
+  };
+  std::string reference_bytes;
+  const auto reference = digest(1, &reference_bytes);
+  ASSERT_GT(reference.first, 0u);
+  for (size_t batch : kBatchMatrix) {
+    if (batch == 1) continue;
+    std::string bytes;
+    EXPECT_EQ(digest(batch, &bytes), reference) << "batch_rows=" << batch;
+    EXPECT_TRUE(bytes == reference_bytes)
+        << "monolithic relation differs at batch_rows=" << batch;
+  }
+}
+
+}  // namespace
+}  // namespace cure

@@ -10,6 +10,7 @@
 #include "storage/external_sort.h"
 #include "storage/file_io.h"
 #include "storage/relation.h"
+#include "storage/row_block.h"
 
 namespace cure {
 namespace storage {
@@ -86,6 +87,127 @@ TEST(RelationTest, MemoryAppendReadScan) {
     ++i;
   }
   EXPECT_EQ(i, 100u);
+}
+
+TEST(RelationTest, ScannerRowBeforeFirstNext) {
+  // Regression: row() used to compute row_ - 1 before the first Next() and
+  // underflow to UINT64_MAX.
+  Relation rel = Relation::Memory(sizeof(Rec));
+  Rec r{1, 2, 0};
+  ASSERT_TRUE(rel.Append(&r).ok());
+  Relation::Scanner scan(rel);
+  EXPECT_EQ(scan.row(), 0u);
+  ASSERT_NE(scan.Next(), nullptr);
+  EXPECT_EQ(scan.row(), 0u);
+  EXPECT_EQ(scan.Next(), nullptr);
+}
+
+TEST(RowBlockTest, MemoryBlockScannerIsZeroCopy) {
+  Relation rel = Relation::Memory(sizeof(Rec));
+  for (uint64_t i = 0; i < 100; ++i) {
+    Rec r{i * 3, static_cast<uint32_t>(i), 0};
+    ASSERT_TRUE(rel.Append(&r).ok());
+  }
+  Relation::BlockScanner scan(rel, /*block_rows=*/32);
+  RowBlock block;
+  uint64_t row = 0;
+  std::vector<size_t> sizes;
+  while (scan.Next(&block)) {
+    EXPECT_EQ(block.first_row, row);
+    EXPECT_EQ(block.record_size, sizeof(Rec));
+    sizes.push_back(block.rows);
+    for (size_t i = 0; i < block.rows; ++i) {
+      Rec r;
+      std::memcpy(&r, block.record(i), sizeof(Rec));
+      EXPECT_EQ(r.key, (row + i) * 3);
+    }
+    row += block.rows;
+  }
+  ASSERT_TRUE(scan.status().ok());
+  EXPECT_EQ(row, 100u);
+  EXPECT_EQ(sizes, (std::vector<size_t>{32, 32, 32, 4}));
+}
+
+TEST(RowBlockTest, FileBlockScannerMatchesScalarScan) {
+  const std::string path = TempPath("blocks.bin");
+  Result<Relation> rel = Relation::CreateFile(path, sizeof(Rec));
+  ASSERT_TRUE(rel.ok());
+  const uint64_t n = 10000;
+  for (uint64_t i = 0; i < n; ++i) {
+    Rec r{i * 7 + 1, static_cast<uint32_t>(i % 13), 0};
+    ASSERT_TRUE(rel->Append(&r).ok());
+  }
+  ASSERT_TRUE(rel->Seal().ok());
+
+  // Odd block size: exercises partial tail blocks.
+  Relation::BlockScanner scan(rel.value(), /*block_rows=*/257);
+  RowBlock block;
+  uint64_t row = 0;
+  while (scan.Next(&block)) {
+    EXPECT_EQ(block.first_row, row);
+    for (size_t i = 0; i < block.rows; ++i) {
+      Rec r;
+      std::memcpy(&r, block.record(i), sizeof(Rec));
+      ASSERT_EQ(r.key, (row + i) * 7 + 1);
+    }
+    row += block.rows;
+  }
+  ASSERT_TRUE(scan.status().ok());
+  EXPECT_EQ(row, n);
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(RowBlockTest, BlockScannerRejectsUnsealedFile) {
+  const std::string path = TempPath("unsealed.bin");
+  Result<Relation> rel = Relation::CreateFile(path, sizeof(Rec));
+  ASSERT_TRUE(rel.ok());
+  Rec r{1, 1, 0};
+  ASSERT_TRUE(rel->Append(&r).ok());
+  Relation::BlockScanner scan(rel.value(), 8);
+  RowBlock block;
+  EXPECT_FALSE(scan.Next(&block));
+  EXPECT_FALSE(scan.status().ok());
+  ASSERT_TRUE(rel->Seal().ok());
+  ASSERT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(RowBlockTest, ColumnViewGathersContiguousSlices) {
+  Relation rel = Relation::Memory(sizeof(Rec));
+  for (uint64_t i = 0; i < 50; ++i) {
+    Rec r{i + 1000, static_cast<uint32_t>(i * 5), 0};
+    ASSERT_TRUE(rel.Append(&r).ok());
+  }
+  Relation::BlockScanner scan(rel, /*block_rows=*/16);
+  RowBlock block;
+  ColumnView view;
+  uint64_t row = 0;
+  while (scan.Next(&block)) {
+    const uint64_t* keys = view.GatherU64(block, offsetof(Rec, key));
+    const uint32_t* payloads = view.GatherU32(block, offsetof(Rec, payload));
+    for (size_t i = 0; i < block.rows; ++i) {
+      EXPECT_EQ(keys[i], row + i + 1000);
+      EXPECT_EQ(payloads[i], (row + i) * 5);
+    }
+    row += block.rows;
+  }
+  ASSERT_TRUE(scan.status().ok());
+  EXPECT_EQ(row, 50u);
+}
+
+TEST(RowBlockTest, ZeroBlockRowsClampsToOne) {
+  Relation rel = Relation::Memory(sizeof(Rec));
+  for (uint64_t i = 0; i < 5; ++i) {
+    Rec r{i, 0, 0};
+    ASSERT_TRUE(rel.Append(&r).ok());
+  }
+  Relation::BlockScanner scan(rel, 0);
+  RowBlock block;
+  uint64_t blocks = 0;
+  while (scan.Next(&block)) {
+    EXPECT_EQ(block.rows, 1u);
+    ++blocks;
+  }
+  EXPECT_EQ(blocks, 5u);
 }
 
 TEST(RelationTest, FileBackedAppendSealReadScan) {
