@@ -37,6 +37,24 @@ int64_t LogHistogram::Snapshot::Percentile(double q) const {
   return max;
 }
 
+void LogHistogram::Merge(const LogHistogram& other) {
+  uint64_t merged = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const int64_t other_max = other.max_.load(std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev && !max_.compare_exchange_weak(
+                                 prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 LogHistogram::Snapshot LogHistogram::TakeSnapshot() const {
   Snapshot snap;
   for (int i = 0; i < kNumBuckets; ++i) {

@@ -38,6 +38,15 @@ class LogHistogram {
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Folds another histogram's observations into this one, bucket by
+  /// bucket — the distributed-aggregation analogue of Record(): a router
+  /// merges per-backend latency histograms into one cluster-level
+  /// distribution whose quantiles carry the same ≤1/16 relative error as
+  /// any single histogram (identical bucket boundaries make the merge
+  /// exact at the bucket level). Reads `other` with the same point-in-time
+  /// semantics as TakeSnapshot(); exact once writers are quiescent.
+  void Merge(const LogHistogram& other);
+
   /// Point-in-time view. Taken bucket by bucket, so a snapshot racing with
   /// concurrent Record() calls may be off by the in-flight observations —
   /// fine for monitoring; exact once writers are quiescent.

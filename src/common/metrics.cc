@@ -30,7 +30,10 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 void AppendHistogramText(const std::string& name, const LogHistogram& histogram,
                          std::string* out) {
   const LogHistogram::Snapshot snap = histogram.TakeSnapshot();
-  char line[160];
+  // Six lines, each repeating the name: size for long names (the router's
+  // per-backend histograms) — a truncated dump would corrupt the line
+  // protocol's framing.
+  char line[512];
   std::snprintf(line, sizeof(line),
                 "%s_count %" PRIu64 "\n%s_avg_us %.1f\n%s_p50_us %" PRId64
                 "\n%s_p95_us %" PRId64 "\n%s_p99_us %" PRId64

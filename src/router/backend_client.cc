@@ -1,0 +1,191 @@
+#include "router/backend_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "serve/line_transport.h"
+
+namespace cure {
+namespace router {
+
+namespace {
+
+/// Applies `seconds` as both SO_RCVTIMEO and SO_SNDTIMEO (which also bounds
+/// connect(2) on Linux). 0 leaves the socket fully blocking.
+void SetSocketTimeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Result<int> Connect(const BackendAddress& addr, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  SetSocketTimeout(fd, timeout_seconds);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(addr.port));
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("backend host '" + addr.host +
+                                   "' is not an IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + addr.ToString() + ": " + err);
+  }
+  return fd;
+}
+
+/// Maps a protocol code name ("IOError", "DataLoss", ...) back onto its
+/// StatusCode; unknown names collapse to kInternal so a newer backend's
+/// error still fails closed rather than silently succeeding.
+StatusCode ParseStatusCodeName(const std::string& name) {
+  static const StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument,  StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,    StatusCode::kOutOfRange,
+      StatusCode::kIoError,          StatusCode::kDataLoss,
+      StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+      StatusCode::kFailedPrecondition, StatusCode::kInternal,
+      StatusCode::kUnimplemented,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+Result<std::string> BackendClient::RoundTrip(const BackendAddress& addr,
+                                             const std::string& line) const {
+  auto fd_result = Connect(addr, timeout_seconds_);
+  if (!fd_result.ok()) return fd_result.status();
+  const int fd = fd_result.value();
+
+  const std::string request = line + "\nQUIT\n";
+  if (!serve::WriteAllToFd(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::IoError("send to " + addr.ToString() + " failed");
+  }
+
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("recv from " + addr.ToString() + ": " + err);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::IoError("backend " + addr.ToString() +
+                             " closed the connection mid-response");
+    }
+    response.append(buffer, static_cast<size_t>(n));
+    if (response == ".\n" ||
+        (response.size() >= 3 &&
+         response.compare(response.size() - 3, 3, "\n.\n") == 0)) {
+      break;
+    }
+  }
+  ::close(fd);
+  // Strip the ".\n" terminator line.
+  response.erase(response.size() - 2);
+  return response;
+}
+
+BackendReply ParseBackendReply(const std::string& response) {
+  BackendReply reply;
+  std::istringstream in(response);
+  std::string header;
+  if (!std::getline(in, header)) {
+    reply.status = Status::IoError("empty backend response");
+    return reply;
+  }
+  std::istringstream fields(header);
+  std::string verdict;
+  fields >> verdict;
+  if (verdict == "ERR") {
+    std::string code_name;
+    fields >> code_name;
+    std::string message;
+    std::getline(fields, message);
+    if (!message.empty() && message.front() == ' ') message.erase(0, 1);
+    reply.status = Status(ParseStatusCodeName(code_name), message);
+    return reply;
+  }
+  if (verdict != "OK") {
+    reply.status =
+        Status::IoError("malformed backend response header '" + header + "'");
+    return reply;
+  }
+  std::string checksum_hex, cache_token, trace_token;
+  if (!(fields >> reply.count >> checksum_hex >> cache_token >> trace_token)) {
+    reply.status =
+        Status::IoError("malformed backend OK header '" + header + "'");
+    return reply;
+  }
+  reply.checksum = std::strtoull(checksum_hex.c_str(), nullptr, 16);
+  reply.cache_hit = cache_token == "HIT";
+  if (trace_token.rfind("trace=", 0) == 0) {
+    reply.trace_id = std::strtoull(trace_token.c_str() + 6, nullptr, 10);
+  }
+  std::string row;
+  while (std::getline(in, row)) {
+    if (!row.empty() && row.back() == '\r') row.pop_back();
+    reply.rows.push_back(std::move(row));
+  }
+  return reply;
+}
+
+Result<BackendReply> BackendClient::Query(const BackendAddress& addr,
+                                          const std::string& line) const {
+  auto response = RoundTrip(addr, line);
+  if (!response.ok()) return response.status();
+  return ParseBackendReply(response.value());
+}
+
+Result<BackendFreshness> BackendClient::ProbeStats(
+    const BackendAddress& addr) const {
+  auto response = RoundTrip(addr, "STATS");
+  if (!response.ok()) return response.status();
+  BackendFreshness fresh;
+  std::istringstream in(response.value());
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("OK", 0) != 0) {
+    return Status::IoError("malformed STATS response from " + addr.ToString());
+  }
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string name;
+    double value = 0;
+    if (!(fields >> name >> value)) continue;
+    if (name == "cube_version") {
+      fresh.cube_version = static_cast<uint64_t>(value);
+    } else if (name == "staleness_seconds") {
+      fresh.staleness_seconds = value;
+    }
+  }
+  return fresh;
+}
+
+}  // namespace router
+}  // namespace cure

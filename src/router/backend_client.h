@@ -1,0 +1,81 @@
+#ifndef CURE_ROUTER_BACKEND_CLIENT_H_
+#define CURE_ROUTER_BACKEND_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "router/shard_map.h"
+
+namespace cure {
+namespace router {
+
+/// One backend's answer to a QUERY/ICEBERG/SLICE line, parsed from the
+/// protocol framing:
+///   OK <count> <checksum-hex> <HIT|MISS> trace=<id>\n <rows...> .\n
+///   ERR <CodeName> <message>\n .\n
+struct BackendReply {
+  /// OK, or the backend's error mapped back onto its StatusCode (an
+  /// unrecognized code name maps to kInternal). Transport failures
+  /// (connect/read/write/timeout) surface as kIoError from the caller's
+  /// point of view, exactly like a backend-reported IOError — both mean
+  /// "try another replica".
+  Status status;
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+  uint64_t trace_id = 0;
+  bool cache_hit = false;
+  /// Tab-separated body rows, one per result row, dictionary-decoded by the
+  /// backend (dims as strings, aggregates as decimal int64).
+  std::vector<std::string> rows;
+};
+
+/// Freshness probe result parsed from a backend's STATS body.
+struct BackendFreshness {
+  /// maintain section's cube_version gauge; 0 for a static cube (which is
+  /// never stale).
+  uint64_t cube_version = 0;
+  double staleness_seconds = 0;
+};
+
+/// Blocking one-shot line-protocol client for cure_serve backends. Each
+/// call opens a fresh connection, sends one command followed by QUIT, and
+/// reads until the ".\n" terminator. Connections are not pooled — the
+/// router's scatter path opens one per (shard, attempt), which keeps
+/// failover trivially correct (no half-dead pooled sockets) at loopback
+/// latencies far below a query's execution cost.
+class BackendClient {
+ public:
+  /// `timeout_seconds` bounds connect, each send and each receive
+  /// individually (SO_SNDTIMEO/SO_RCVTIMEO); 0 = no timeout.
+  explicit BackendClient(double timeout_seconds = 5.0)
+      : timeout_seconds_(timeout_seconds) {}
+
+  /// Sends `line` and returns the raw response text up to and excluding the
+  /// ".\n" terminator. kIoError on any transport failure.
+  Result<std::string> RoundTrip(const BackendAddress& addr,
+                                const std::string& line) const;
+
+  /// Sends a query verb line and parses the framed reply. The outer Result
+  /// is the transport layer; reply.status is the backend's verdict.
+  Result<BackendReply> Query(const BackendAddress& addr,
+                             const std::string& line) const;
+
+  /// STATS round trip, parsed into the freshness gauges the replica-pick
+  /// policy needs. Doubles as the health probe: an error means the backend
+  /// is unreachable.
+  Result<BackendFreshness> ProbeStats(const BackendAddress& addr) const;
+
+ private:
+  double timeout_seconds_;
+};
+
+/// Parses "OK <count> <checksum-hex> <HIT|MISS> trace=<id>" + body rows or
+/// "ERR <CodeName> <message>" into a BackendReply. Exposed for tests.
+BackendReply ParseBackendReply(const std::string& response);
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_BACKEND_CLIENT_H_

@@ -1,0 +1,42 @@
+#include "router/merge.h"
+
+#include <algorithm>
+
+namespace cure {
+namespace router {
+
+void PartialMerger::Add(const std::vector<uint32_t>& dims,
+                        const int64_t* aggrs) {
+  auto [it, inserted] = groups_.try_emplace(dims);
+  if (inserted) {
+    it->second.resize(aggregator_.num_aggregates());
+    aggregator_.Init(it->second.data());
+  }
+  aggregator_.Combine(it->second.data(), aggrs);
+}
+
+Status PartialMerger::Finish(int count_aggregate, int64_t min_count,
+                             query::ResultSink* sink) const {
+  if (min_count > 1 &&
+      (count_aggregate < 0 ||
+       count_aggregate >= aggregator_.num_aggregates())) {
+    return Status::FailedPrecondition(
+        "iceberg merge requires a COUNT aggregate in the schema");
+  }
+  std::vector<const std::pair<const std::vector<uint32_t>,
+                              std::vector<int64_t>>*> ordered;
+  ordered.reserve(groups_.size());
+  for (const auto& entry : groups_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : ordered) {
+    if (min_count > 1 && entry->second[count_aggregate] < min_count) continue;
+    sink->Emit(entry->first.data(), static_cast<int>(entry->first.size()),
+               entry->second.data(),
+               static_cast<int>(entry->second.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace router
+}  // namespace cure

@@ -1,0 +1,68 @@
+#ifndef CURE_ROUTER_MERGE_H_
+#define CURE_ROUTER_MERGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/measures.h"
+#include "query/node_query.h"
+#include "schema/cube_schema.h"
+
+namespace cure {
+namespace router {
+
+/// Re-aggregates per-shard partial relations into the global result — the
+/// gather half of the router's scatter–gather. Because every aggregate is
+/// distributive (SUM/COUNT/MIN/MAX) and lifting happens once at the fact
+/// row, per-shard results are already in aggregate space and merging is the
+/// same associative Combine the cube build uses (paper Sec. 4 observation
+/// 3). The shards' fact partitions are disjoint, so the merged relation is
+/// exactly the single-node relation.
+///
+/// Iceberg thresholds MUST be applied here, after the merge: a group can
+/// clear MINSUP globally while clearing it on no single shard. The router
+/// therefore scatters plain (non-iceberg) queries and filters in Finish().
+class PartialMerger {
+ public:
+  explicit PartialMerger(const schema::CubeSchema& schema)
+      : aggregator_(schema) {}
+
+  /// Folds one partial group in: dims are the grouped dimensions' codes (in
+  /// dimension order), aggrs the shard's aggregate vector for that group.
+  /// `aggrs` must hold exactly num_aggregates() values.
+  void Add(const std::vector<uint32_t>& dims, const int64_t* aggrs);
+
+  int num_aggregates() const { return aggregator_.num_aggregates(); }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Emits every merged group into `sink`, sorted lexicographically by dim
+  /// codes (deterministic output order across runs). With `min_count > 0`
+  /// only groups whose aggrs[count_aggregate] >= min_count survive — the
+  /// post-merge iceberg filter; `count_aggregate` must then index a COUNT
+  /// aggregate (kFailedPrecondition when it is out of range).
+  Status Finish(int count_aggregate, int64_t min_count,
+                query::ResultSink* sink) const;
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<uint32_t>& v) const {
+      uint64_t h = 0x9E3779B97F4A7C15ull;
+      for (uint32_t x : v) {
+        h ^= x + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+        h *= 0xBF58476D1CE4E5B9ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  cube::Aggregator aggregator_;
+  std::unordered_map<std::vector<uint32_t>, std::vector<int64_t>, VecHash>
+      groups_;
+};
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_MERGE_H_

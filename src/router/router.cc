@@ -1,0 +1,554 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/trace.h"
+#include "serve/protocol.h"
+
+namespace cure {
+namespace router {
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string ErrResponse(const Status& status) {
+  return "ERR " + std::string(StatusCodeName(status.code())) + " " +
+         status.message() + "\n.\n";
+}
+
+std::string ErrResponse(StatusCode code, const std::string& message) {
+  return "ERR " + std::string(StatusCodeName(code)) + " " + message + "\n.\n";
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Same contract as the serve layer's trace-token strip: an optional
+/// trailing `trace=<id>` is adopted instead of minting a new id.
+bool TakeTraceToken(std::vector<std::string>* tokens, uint64_t* trace_id) {
+  if (tokens->empty()) return true;
+  const std::string& last = tokens->back();
+  if (last.rfind("trace=", 0) != 0) return true;
+  const std::string value = last.substr(6);
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || id == 0) {
+    return false;
+  }
+  *trace_id = id;
+  tokens->pop_back();
+  return true;
+}
+
+/// Splits a backend result row on tabs.
+std::vector<std::string> SplitRow(const std::string& row) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t tab = row.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(row.substr(start));
+      return fields;
+    }
+    fields.push_back(row.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CureRouter>> CureRouter::Create(
+    const schema::CubeSchema* schema, ShardMap map,
+    const RouterOptions& options, ValueEncoder encoder, ValueDecoder decoder) {
+  CURE_RETURN_IF_ERROR(map.Validate());
+  auto self = std::unique_ptr<CureRouter>(
+      new CureRouter(schema, std::move(map), options, std::move(encoder),
+                     std::move(decoder)));
+  if (options.health_period_seconds > 0) {
+    self->health_thread_ = std::thread([raw = self.get()] {
+      std::unique_lock<std::mutex> lock(raw->health_mu_);
+      while (!raw->stopping_) {
+        lock.unlock();
+        raw->ProbeHealth();
+        lock.lock();
+        raw->health_cv_.wait_for(
+            lock,
+            std::chrono::duration<double>(raw->options_.health_period_seconds),
+            [raw] { return raw->stopping_; });
+      }
+    });
+  }
+  return self;
+}
+
+CureRouter::CureRouter(const schema::CubeSchema* schema, ShardMap map,
+                       const RouterOptions& options, ValueEncoder encoder,
+                       ValueDecoder decoder)
+    : schema_(schema),
+      codec_(*schema),
+      map_(std::move(map)),
+      options_(options),
+      encoder_(std::move(encoder)),
+      decoder_(std::move(decoder)),
+      client_(options.backend_timeout_seconds) {
+  for (int y = 0; y < schema_->num_aggregates(); ++y) {
+    if (schema_->aggregate(y).fn == schema::AggFn::kCount) {
+      count_aggregate_ = y;
+      break;
+    }
+  }
+  replicas_.resize(map_.num_shards());
+  rr_.assign(map_.num_shards(), 0);
+  backend_latency_.resize(map_.num_shards());
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    replicas_[s].resize(map_.num_replicas(s));
+    for (int r = 0; r < map_.num_replicas(s); ++r) {
+      backend_latency_[s].push_back(metrics_.histogram(
+          "backend_s" + std::to_string(s) + "_r" + std::to_string(r) +
+          "_latency"));
+    }
+  }
+  const int threads = options_.num_threads > 0 ? options_.num_threads
+                                               : map_.num_shards();
+  pool_ = std::make_unique<ThreadPool>(threads);
+  queries_total_ = metrics_.counter("queries_total");
+  queries_errors_ = metrics_.counter("queries_errors");
+  backend_rpcs_total_ = metrics_.counter("backend_rpcs_total");
+  backend_retries_total_ = metrics_.counter("backend_retries_total");
+  replicas_ejected_total_ = metrics_.counter("replicas_ejected_total");
+  health_probes_total_ = metrics_.counter("health_probes_total");
+  health_probe_failures_total_ = metrics_.counter("health_probe_failures_total");
+  query_latency_us_ = metrics_.histogram("query_latency_us");
+}
+
+CureRouter::~CureRouter() {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    stopping_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+  pool_.reset();
+}
+
+void CureRouter::ProbeHealth() {
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    for (int r = 0; r < map_.num_replicas(s); ++r) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (replicas_[s][r].ejected) continue;  // tombstoned for good
+      }
+      health_probes_total_->Inc();
+      auto fresh = client_.ProbeStats(map_.shards[s][r]);
+      std::lock_guard<std::mutex> lock(mu_);
+      ReplicaState& state = replicas_[s][r];
+      if (fresh.ok()) {
+        state.healthy = true;
+        state.cube_version = fresh->cube_version;
+        state.staleness_seconds = fresh->staleness_seconds;
+      } else {
+        health_probe_failures_total_->Inc();
+        state.healthy = false;
+      }
+    }
+  }
+}
+
+std::vector<int> CureRouter::PickOrder(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& states = replicas_[shard];
+  const uint64_t rotation = rr_[shard]++;
+  const int n = static_cast<int>(states.size());
+  // Partition into healthy and suspect (unhealthy-but-not-ejected) in
+  // round-robin rotation order, then order the healthy ones by freshness.
+  std::vector<int> healthy, suspect;
+  for (int i = 0; i < n; ++i) {
+    const int r = static_cast<int>((rotation + i) % n);
+    if (states[r].ejected) continue;
+    (states[r].healthy ? healthy : suspect).push_back(r);
+  }
+  std::stable_sort(healthy.begin(), healthy.end(), [&](int a, int b) {
+    if (states[a].cube_version != states[b].cube_version) {
+      return states[a].cube_version > states[b].cube_version;
+    }
+    return states[a].staleness_seconds < states[b].staleness_seconds;
+  });
+  // Suspects stay as last-resort candidates: a probe may be stale, and
+  // trying them beats failing the whole query.
+  healthy.insert(healthy.end(), suspect.begin(), suspect.end());
+  return healthy;
+}
+
+Result<BackendReply> CureRouter::QueryShard(int shard,
+                                            const std::string& backend_line) {
+  const std::vector<int> order = PickOrder(shard);
+  if (order.empty()) {
+    return Status::IoError("shard " + std::to_string(shard) +
+                           " has no serving replicas (all ejected)");
+  }
+  Status last_error = Status::OK();
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const int r = order[attempt];
+    const BackendAddress& addr = map_.shards[shard][r];
+    if (attempt > 0) backend_retries_total_->Inc();
+    backend_rpcs_total_->Inc();
+    CURE_TRACE_SPAN("cure.router.backend_rpc", "shard",
+                    static_cast<uint64_t>(shard), "replica",
+                    static_cast<uint64_t>(r));
+    const int64_t start_us = NowMicros();
+    Result<BackendReply> reply = client_.Query(addr, backend_line);
+    backend_latency_[shard][r]->Record(NowMicros() - start_us);
+    const Status status = reply.ok() ? reply->status : reply.status();
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      replicas_[shard][r].healthy = true;
+      return reply;
+    }
+    if (status.code() == StatusCode::kDataLoss) {
+      // The replica's storage is corrupt; take it out of rotation for good
+      // (a health probe reaching the process again proves nothing about the
+      // data).
+      replicas_ejected_total_->Inc();
+      std::lock_guard<std::mutex> lock(mu_);
+      replicas_[shard][r].ejected = true;
+      replicas_[shard][r].healthy = false;
+      last_error = status;
+      continue;
+    }
+    if (!reply.ok() || status.code() == StatusCode::kIoError) {
+      // Transport failure or backend-reported I/O error: mark unhealthy and
+      // try the next replica.
+      std::lock_guard<std::mutex> lock(mu_);
+      replicas_[shard][r].healthy = false;
+      last_error = status;
+      continue;
+    }
+    // Deterministic request error (InvalidArgument, NotFound, ...): every
+    // replica would answer the same — fail fast without burning retries.
+    return reply;
+  }
+  return Status(last_error.code() == StatusCode::kOk ? StatusCode::kIoError
+                                                     : last_error.code(),
+                "shard " + std::to_string(shard) +
+                    " exhausted all replicas: " + last_error.message());
+}
+
+std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
+                                    const std::string& cmd) {
+  std::vector<std::string> tokens = tokens_in;
+  uint64_t trace_id = 0;
+  if (!TakeTraceToken(&tokens, &trace_id)) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "trace=<id> requires a positive integer id");
+  }
+  if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
+  CURE_TRACE_SPAN("cure.router.query", "trace_id", trace_id);
+  const int64_t start_us = NowMicros();
+  queries_total_->Inc();
+
+  if (tokens.size() < 2) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       cmd + " requires a node spec, e.g. " + cmd +
+                           " city,category");
+  }
+
+  // Parse the node locally: the grouped columns drive row re-encoding and
+  // a bad node spec should fail here, not N times on the backends.
+  Result<schema::NodeId> node = serve::ParseNodeSpec(*schema_, codec_, tokens[1]);
+  if (!node.ok()) {
+    queries_errors_->Inc();
+    return ErrResponse(node.status());
+  }
+
+  // Strip the iceberg threshold: MINSUP must be applied AFTER the merge (a
+  // group can clear it globally while clearing it on no single shard), so
+  // backends always run the plain query.
+  int64_t min_count = 0;
+  std::vector<std::string> backend_tokens;
+  backend_tokens.push_back(cmd == "ICEBERG" ? "QUERY" : cmd);
+  if (cmd == "ICEBERG") {
+    if (tokens.size() != 3) {
+      queries_errors_->Inc();
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "usage: ICEBERG <node> <minsup>");
+    }
+    if (!ParseInt64(tokens[2], &min_count) || min_count < 1) {
+      queries_errors_->Inc();
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "minsup '" + tokens[2] + "' is not a positive integer");
+    }
+    backend_tokens.push_back(tokens[1]);
+  } else {
+    backend_tokens.push_back(tokens[1]);
+    for (size_t arg = 2; arg < tokens.size(); ++arg) {
+      if (cmd == "SLICE" && ToUpper(tokens[arg]) == "MINSUP") {
+        if (arg + 2 != tokens.size() || !ParseInt64(tokens[arg + 1], &min_count) ||
+            min_count < 1) {
+          queries_errors_->Inc();
+          return ErrResponse(StatusCode::kInvalidArgument,
+                             "MINSUP must be followed by a single positive "
+                             "integer at the end of the command");
+        }
+        break;
+      }
+      backend_tokens.push_back(tokens[arg]);
+    }
+  }
+  if (min_count > 1 && count_aggregate_ < 0) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kFailedPrecondition,
+                       "iceberg queries require a COUNT aggregate in the "
+                       "schema");
+  }
+
+  std::string backend_line;
+  for (const std::string& token : backend_tokens) {
+    if (!backend_line.empty()) backend_line += ' ';
+    backend_line += token;
+  }
+  backend_line += " trace=" + std::to_string(trace_id);
+
+  // Scatter: one task per shard, each picking its own replica.
+  std::vector<std::future<Status>> futures;
+  std::vector<Result<BackendReply>> replies(
+      static_cast<size_t>(map_.num_shards()),
+      Status::Internal("shard reply missing"));
+  {
+    CURE_TRACE_SPAN("cure.router.scatter", "trace_id", trace_id, "shards",
+                    static_cast<uint64_t>(map_.num_shards()));
+    futures.reserve(replies.size());
+    for (int s = 0; s < map_.num_shards(); ++s) {
+      futures.push_back(pool_->Submit([this, s, &backend_line, &replies] {
+        replies[s] = QueryShard(s, backend_line);
+        return Status::OK();
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // The grouped columns, in dimension order — the shape of every row.
+  const std::vector<int> levels = codec_.Decode(*node);
+  std::vector<std::pair<int, int>> columns;
+  for (int d = 0; d < codec_.num_dims(); ++d) {
+    if (levels[d] != codec_.all_level(d)) columns.emplace_back(d, levels[d]);
+  }
+  const size_t num_aggrs = static_cast<size_t>(schema_->num_aggregates());
+
+  // Gather: fold every shard's partial relation into the merger.
+  PartialMerger merger(*schema_);
+  {
+    CURE_TRACE_SPAN("cure.router.merge", "trace_id", trace_id);
+    std::vector<uint32_t> dims(columns.size());
+    std::vector<int64_t> aggrs(num_aggrs);
+    for (int s = 0; s < map_.num_shards(); ++s) {
+      const Result<BackendReply>& reply = replies[s];
+      const Status status = reply.ok() ? reply->status : reply.status();
+      if (!status.ok()) {
+        queries_errors_->Inc();
+        query_latency_us_->Record(NowMicros() - start_us);
+        return ErrResponse(status);
+      }
+      for (const std::string& row : reply->rows) {
+        const std::vector<std::string> fields = SplitRow(row);
+        if (fields.size() != columns.size() + num_aggrs) {
+          queries_errors_->Inc();
+          query_latency_us_->Record(NowMicros() - start_us);
+          return ErrResponse(
+              StatusCode::kInternal,
+              "shard " + std::to_string(s) + " returned a row with " +
+                  std::to_string(fields.size()) + " fields, expected " +
+                  std::to_string(columns.size() + num_aggrs));
+        }
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (encoder_ != nullptr) {
+            Result<uint32_t> code =
+                encoder_(columns[i].first, columns[i].second, fields[i]);
+            if (!code.ok()) {
+              queries_errors_->Inc();
+              query_latency_us_->Record(NowMicros() - start_us);
+              return ErrResponse(code.status());
+            }
+            dims[i] = code.value();
+          } else {
+            dims[i] = static_cast<uint32_t>(
+                std::strtoul(fields[i].c_str(), nullptr, 10));
+          }
+        }
+        for (size_t y = 0; y < num_aggrs; ++y) {
+          int64_t value = 0;
+          if (!ParseInt64(fields[columns.size() + y], &value)) {
+            queries_errors_->Inc();
+            query_latency_us_->Record(NowMicros() - start_us);
+            return ErrResponse(StatusCode::kInternal,
+                               "shard " + std::to_string(s) +
+                                   " returned a non-numeric aggregate '" +
+                                   fields[columns.size() + y] + "'");
+          }
+          aggrs[y] = value;
+        }
+        merger.Add(dims, aggrs.data());
+      }
+    }
+  }
+
+  query::ResultSink sink(/*retain=*/true);
+  const Status finish =
+      merger.Finish(count_aggregate_, min_count, &sink);
+  if (!finish.ok()) {
+    queries_errors_->Inc();
+    query_latency_us_->Record(NowMicros() - start_us);
+    return ErrResponse(finish);
+  }
+
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu\n",
+                static_cast<unsigned long long>(sink.count()),
+                static_cast<unsigned long long>(sink.checksum()),
+                static_cast<unsigned long long>(trace_id));
+  std::string out = header;
+  for (const query::ResultSink::Row& row : sink.rows()) {
+    std::string line;
+    for (size_t i = 0; i < row.dims.size(); ++i) {
+      if (!line.empty()) line += '\t';
+      if (decoder_ != nullptr && i < columns.size()) {
+        line += decoder_(columns[i].first, columns[i].second, row.dims[i]);
+      } else {
+        line += std::to_string(row.dims[i]);
+      }
+    }
+    for (const int64_t aggr : row.aggrs) {
+      if (!line.empty()) line += '\t';
+      line += std::to_string(aggr);
+    }
+    out += line;
+    out += '\n';
+  }
+  out += ".\n";
+  query_latency_us_->Record(NowMicros() - start_us);
+  return out;
+}
+
+std::string CureRouter::HealthText() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "OK\n";
+  char line[192];
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    for (int r = 0; r < map_.num_replicas(s); ++r) {
+      const ReplicaState& state = replicas_[s][r];
+      std::snprintf(line, sizeof(line),
+                    "shard %d replica %d %s %s version=%llu staleness=%s\n", s,
+                    r, map_.shards[s][r].ToString().c_str(),
+                    state.ejected ? "EJECTED" : (state.healthy ? "UP" : "DOWN"),
+                    static_cast<unsigned long long>(state.cube_version),
+                    FormatMetricValue(state.staleness_seconds).c_str());
+      out += line;
+    }
+  }
+  out += ".\n";
+  return out;
+}
+
+void CureRouter::UpdateDerivedMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int healthy = 0, ejected = 0, total = 0;
+  for (const auto& shard : replicas_) {
+    for (const ReplicaState& state : shard) {
+      ++total;
+      if (state.ejected) {
+        ++ejected;
+      } else if (state.healthy) {
+        ++healthy;
+      }
+    }
+  }
+  metrics_.gauge("shards")->Set(map_.num_shards());
+  metrics_.gauge("replicas_total")->Set(total);
+  metrics_.gauge("replicas_healthy")->Set(healthy);
+  metrics_.gauge("replicas_ejected")->Set(ejected);
+  metrics_.gauge("pool_queue_depth")
+      ->Set(static_cast<double>(pool_->queue_depth()));
+  metrics_.gauge("pool_busy_workers")->Set(pool_->busy_workers());
+}
+
+void CureRouter::MergeBackendLatency(LogHistogram* out) const {
+  for (const auto& shard : backend_latency_) {
+    for (const LogHistogram* histogram : shard) out->Merge(*histogram);
+  }
+}
+
+std::string CureRouter::StatsText() const {
+  UpdateDerivedMetrics();
+  std::string out = metrics_.TextSnapshot();
+  LogHistogram cluster;
+  MergeBackendLatency(&cluster);
+  AppendHistogramText("backend_all_latency", cluster, &out);
+  return out;
+}
+
+std::string CureRouter::PrometheusText() const {
+  UpdateDerivedMetrics();
+  std::string out = metrics_.PrometheusText("cure_router_");
+  LogHistogram cluster;
+  MergeBackendLatency(&cluster);
+  AppendPrometheusHistogram("cure_router_backend_all_latency", cluster, &out);
+  return out;
+}
+
+std::string CureRouter::HandleLine(const std::string& line) {
+  std::vector<std::string> tokens = serve::SplitTokens(line);
+  if (tokens.empty()) {
+    return ErrResponse(StatusCode::kInvalidArgument, "empty command");
+  }
+  const std::string cmd = ToUpper(tokens[0]);
+  if (cmd == "STATS") return "OK\n" + StatsText() + ".\n";
+  if (cmd == "METRICS") return "OK\n" + PrometheusText() + ".\n";
+  if (cmd == "HEALTH") return HealthText();
+  if (cmd == "QUERY" || cmd == "ICEBERG" || cmd == "SLICE") {
+    return HandleQuery(tokens, cmd);
+  }
+  return ErrResponse(StatusCode::kInvalidArgument,
+                     "unknown command '" + tokens[0] +
+                         "' (expected QUERY, ICEBERG, SLICE, STATS, METRICS, "
+                         "HEALTH or QUIT)");
+}
+
+void CureRouter::OverrideReplicaFreshnessForTest(int shard, int replica,
+                                                 uint64_t version,
+                                                 double staleness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = replicas_[shard][replica];
+  state.healthy = true;
+  state.cube_version = version;
+  state.staleness_seconds = staleness;
+}
+
+std::vector<int> CureRouter::ReplicaOrderForTest(int shard) {
+  return PickOrder(shard);
+}
+
+}  // namespace router
+}  // namespace cure

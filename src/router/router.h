@@ -1,0 +1,179 @@
+#ifndef CURE_ROUTER_ROUTER_H_
+#define CURE_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "router/backend_client.h"
+#include "router/merge.h"
+#include "router/shard_map.h"
+#include "schema/cube_schema.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace router {
+
+struct RouterOptions {
+  /// Per-backend-call timeout (connect / send / recv each); 0 = none.
+  double backend_timeout_seconds = 5.0;
+  /// Background health-probe period; 0 disables the probe thread (health
+  /// state then changes only through query outcomes and explicit
+  /// ProbeHealth() calls — the mode tests use).
+  double health_period_seconds = 0;
+  /// Scatter worker threads (0 = one per shard).
+  int num_threads = 0;
+};
+
+/// Sharded, replicated scatter–gather front end over cure_serve backends.
+///
+/// The cube's fact table is partitioned across the shard map's shards
+/// (cure_tool shard builds one complete cube per disjoint fact partition);
+/// each query verb is scattered to ONE replica of EVERY shard, the
+/// per-shard partial relations are gathered and re-aggregated with the
+/// cube's own distributive merge semantics (SUM/COUNT/MIN/MAX Combine), and
+/// the merged relation — bit-identical to a single-node cube over the whole
+/// fact table, including the order-independent checksum — is returned to
+/// the client in the same line protocol cure_serve speaks.
+///
+/// Replica pick is staleness-aware: health probes read each backend's STATS
+/// gauges and the router prefers, per shard, the healthy replica with the
+/// highest cube_version, breaking ties by lowest staleness_seconds, then
+/// round-robin. Failure handling follows the storage-fault taxonomy:
+/// transport failures and backend IOError retry on the next replica;
+/// DataLoss permanently ejects the replica (health probes do not restore
+/// it); deterministic request errors (InvalidArgument, NotFound, ...) are
+/// returned to the client without failover.
+class CureRouter {
+ public:
+  /// Re-encodes a dimension string emitted by a backend into its code at
+  /// (dim, level) — the inverse of TcpLineServer::ValueDecoder. Codes parse
+  /// numerically when absent (cubes without dictionaries).
+  using ValueEncoder =
+      std::function<Result<uint32_t>(int dim, int level, const std::string& value)>;
+  /// Decodes a code for client row output, exactly as the backends do.
+  using ValueDecoder =
+      std::function<std::string(int dim, int level, uint32_t code)>;
+
+  /// `schema` must match the backends' cube schema (cure_tool shard writes
+  /// it next to the shard map) and must outlive the router.
+  static Result<std::unique_ptr<CureRouter>> Create(
+      const schema::CubeSchema* schema, ShardMap map,
+      const RouterOptions& options, ValueEncoder encoder = nullptr,
+      ValueDecoder decoder = nullptr);
+
+  ~CureRouter();
+
+  CureRouter(const CureRouter&) = delete;
+  CureRouter& operator=(const CureRouter&) = delete;
+
+  /// Executes one protocol line and returns the full response (including
+  /// the terminating ".\n"). Thread-safe — the LineTransport front end
+  /// calls this from one thread per client connection.
+  ///
+  /// Verbs: QUERY/ICEBERG/SLICE (scattered; responses read
+  /// "OK <count> <checksum-hex> SCATTER trace=<id>" plus merged rows),
+  /// STATS, METRICS (Prometheus, cure_router_ prefix), HEALTH (one line per
+  /// replica: "shard <s> replica <r> <addr> <UP|DOWN|EJECTED> version=<v>
+  /// staleness=<s>").
+  std::string HandleLine(const std::string& line);
+
+  /// Probes every non-ejected replica's STATS once, updating health and
+  /// freshness. Called by the background thread when enabled.
+  void ProbeHealth();
+
+  const ShardMap& shard_map() const { return map_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// STATS body: registry text plus the per-backend latency histograms
+  /// merged into one cluster-wide histogram (backend_all_latency_*).
+  std::string StatsText() const;
+  /// Prometheus exposition with the cure_router_ prefix.
+  std::string PrometheusText() const;
+
+  /// ---- Test seams ----
+  /// Overrides a replica's freshness (and marks it healthy) so replica-pick
+  /// tests don't need live backends.
+  void OverrideReplicaFreshnessForTest(int shard, int replica,
+                                       uint64_t version, double staleness);
+  /// The replica order the picker would try for `shard` right now.
+  std::vector<int> ReplicaOrderForTest(int shard);
+
+ private:
+  /// Per-replica serving state, guarded by mu_.
+  struct ReplicaState {
+    bool healthy = true;   ///< optimistic until a probe or query says otherwise
+    bool ejected = false;  ///< DataLoss tombstone; never cleared
+    uint64_t cube_version = 0;
+    double staleness_seconds = 0;
+  };
+
+  CureRouter(const schema::CubeSchema* schema, ShardMap map,
+             const RouterOptions& options, ValueEncoder encoder,
+             ValueDecoder decoder);
+
+  /// Scatters `backend_line` to shard `shard` with replica pick + failover.
+  /// OK replies come back verbatim; the Status reflects either the last
+  /// transport/IOError (all replicas exhausted) or the first deterministic
+  /// backend error.
+  Result<BackendReply> QueryShard(int shard, const std::string& backend_line);
+
+  /// Candidate replica order for a shard (see class comment).
+  std::vector<int> PickOrder(int shard);
+
+  std::string HandleQuery(const std::vector<std::string>& tokens,
+                          const std::string& cmd);
+  std::string HealthText();
+  void UpdateDerivedMetrics() const;
+  /// Merges every per-backend latency histogram into `out` (stack-local
+  /// cluster view; avoids double-accumulation in the registry).
+  void MergeBackendLatency(LogHistogram* out) const;
+
+  const schema::CubeSchema* schema_;
+  schema::NodeIdCodec codec_;
+  ShardMap map_;
+  RouterOptions options_;
+  ValueEncoder encoder_;
+  ValueDecoder decoder_;
+  BackendClient client_;
+  int count_aggregate_ = -1;
+
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<ReplicaState>> replicas_;  ///< [shard][replica]
+  std::vector<uint64_t> rr_;                         ///< round-robin cursors
+
+  // mutable: StatsText()/PrometheusText() sample gauges before rendering.
+  mutable MetricsRegistry metrics_;
+  Counter* queries_total_;
+  Counter* queries_errors_;
+  Counter* backend_rpcs_total_;
+  Counter* backend_retries_total_;
+  Counter* replicas_ejected_total_;
+  Counter* health_probes_total_;
+  Counter* health_probe_failures_total_;
+  LogHistogram* query_latency_us_;
+  /// Per-backend call latency, indexed like the shard map; registry-owned,
+  /// named backend_s<shard>_r<replica>_latency.
+  std::vector<std::vector<LogHistogram*>> backend_latency_;
+
+  std::thread health_thread_;
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_ROUTER_H_

@@ -1,0 +1,104 @@
+#include "router/shard_map.h"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace cure {
+namespace router {
+
+Result<BackendAddress> ParseBackendAddress(const std::string& text) {
+  BackendAddress addr;
+  std::string port_text = text;
+  const size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon == 0) {
+      return Status::InvalidArgument("backend address '" + text +
+                                     "' has an empty host");
+    }
+    addr.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == port_text.c_str() || *end != '\0' ||
+      port <= 0 || port > 65535) {
+    return Status::InvalidArgument("backend address '" + text +
+                                   "' has an invalid port");
+  }
+  addr.port = static_cast<int>(port);
+  return addr;
+}
+
+Status ShardMap::Validate() const {
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  std::set<std::string> seen;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s].empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " has no replicas");
+    }
+    for (const BackendAddress& addr : shards[s]) {
+      if (!seen.insert(addr.ToString()).second) {
+        return Status::InvalidArgument("backend " + addr.ToString() +
+                                       " appears twice in the shard map");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ShardMap::Serialize() const {
+  std::ostringstream out;
+  out << "cure-cluster v1\n";
+  for (const auto& replicas : shards) {
+    out << "shard";
+    for (const BackendAddress& addr : replicas) out << ' ' << addr.ToString();
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<ShardMap> ShardMap::Parse(const std::string& text) {
+  ShardMap map;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (!saw_header) {
+      if (line.substr(start) != "cure-cluster v1") {
+        return Status::InvalidArgument(
+            "shard map must start with 'cure-cluster v1', got '" + line + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "shard") {
+      return Status::InvalidArgument("unknown shard map line '" + line + "'");
+    }
+    std::vector<BackendAddress> replicas;
+    std::string token;
+    while (fields >> token) {
+      auto addr = ParseBackendAddress(token);
+      if (!addr.ok()) return addr.status();
+      replicas.push_back(std::move(addr).value());
+    }
+    map.shards.push_back(std::move(replicas));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("shard map missing 'cure-cluster v1' header");
+  }
+  CURE_RETURN_IF_ERROR(map.Validate());
+  return map;
+}
+
+}  // namespace router
+}  // namespace cure

@@ -1,0 +1,58 @@
+#ifndef CURE_ROUTER_SHARD_MAP_H_
+#define CURE_ROUTER_SHARD_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cure {
+namespace router {
+
+/// One cure_serve backend endpoint.
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+  bool operator==(const BackendAddress& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Parses "host:port" (or a bare port, defaulting the host to 127.0.0.1).
+Result<BackendAddress> ParseBackendAddress(const std::string& text);
+
+/// The router's cluster topology: the cube's fact table is split into
+/// `num_shards()` disjoint row-range partitions (cure_tool shard), each
+/// shard's cube served by one or more replica backends. Every replica of a
+/// shard serves the *same* shard cube; replicas exist for read scaling and
+/// failover, shards for data scaling.
+struct ShardMap {
+  /// shards[s] = the replica endpoints of shard s.
+  std::vector<std::vector<BackendAddress>> shards;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  int num_replicas(int shard) const {
+    return static_cast<int>(shards[shard].size());
+  }
+
+  /// Non-empty, every shard has at least one replica, no duplicate endpoint
+  /// anywhere in the map (one process cannot be two replicas).
+  Status Validate() const;
+
+  /// Text form, one `shard <addr> <addr>...` line per shard:
+  ///   cure-cluster v1
+  ///   shard 127.0.0.1:7101 127.0.0.1:7102
+  ///   shard 127.0.0.1:7103 127.0.0.1:7104
+  std::string Serialize() const;
+
+  /// Parses the Serialize() format ('#' comments and blank lines ignored)
+  /// and validates the result.
+  static Result<ShardMap> Parse(const std::string& text);
+};
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_SHARD_MAP_H_

@@ -125,7 +125,8 @@ Result<QueryKey> CubeServer::MakeKey(const QueryRequest& request,
 QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   QueryResponse response;
   Stopwatch watch;
-  response.trace_id = Tracer::Instance().NextTraceId();
+  response.trace_id = request.trace_id != 0 ? request.trace_id
+                                            : Tracer::Instance().NextTraceId();
   TraceSpan query_span("cure.serve.query", "trace_id", response.trace_id,
                        "node", static_cast<uint64_t>(request.node));
   queries_total_->Inc();

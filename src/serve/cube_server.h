@@ -60,6 +60,10 @@ struct QueryRequest {
   bool retain_rows = false;
   /// Per-request deadline override (seconds from Submit); 0 = server default.
   double deadline_seconds = 0;
+  /// Caller-supplied trace id (e.g. propagated by a scatter–gather router
+  /// so every backend's spans share the fan-out's id); 0 mints a fresh
+  /// process-unique id.
+  uint64_t trace_id = 0;
 };
 
 struct QueryResponse {

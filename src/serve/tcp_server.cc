@@ -1,16 +1,11 @@
 #include "serve/tcp_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/trace.h"
 
@@ -41,23 +36,23 @@ bool ParseInt64(const std::string& text, int64_t* out) {
   return true;
 }
 
-/// Writes the whole buffer: loops over partial write(2) results (a send on
-/// a full socket buffer may accept only a prefix) and retries EINTR (a
-/// signal landing mid-send must not drop the rest of the response). False
-/// on any other error.
-bool WriteAll(int fd, const char* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
+// Strips an optional trailing `trace=<id>` token from a query command's
+// token list; the id (when present and well-formed) is adopted by the
+// query instead of minting a new one, so a router's scattered fan-out
+// shares one trace id end-to-end.
+bool TakeTraceToken(std::vector<std::string>* tokens, uint64_t* trace_id) {
+  if (tokens->empty()) return true;
+  const std::string& last = tokens->back();
+  if (last.rfind("trace=", 0) != 0) return true;
+  const std::string value = last.substr(6);
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || id == 0) {
+    return false;
   }
+  *trace_id = id;
+  tokens->pop_back();
   return true;
-}
-
-bool SendAll(int fd, const std::string& data) {
-  return WriteAll(fd, data.data(), data.size());
 }
 
 }  // namespace
@@ -67,138 +62,27 @@ Result<std::unique_ptr<TcpLineServer>> TcpLineServer::Start(
     SliceValueResolver resolver) {
   auto self = std::unique_ptr<TcpLineServer>(
       new TcpLineServer(server, std::move(decoder), std::move(resolver)));
-  self->max_connections_ = options.max_connections;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal("socket() failed: " +
-                            std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string msg = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("bind(127.0.0.1:" + std::to_string(options.port) +
-                            ") failed: " + msg);
-  }
-  if (::listen(fd, 64) != 0) {
-    const std::string msg = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("listen() failed: " + msg);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    const std::string msg = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("getsockname() failed: " + msg);
-  }
-  self->listen_fd_ = fd;
-  self->port_ = static_cast<int>(ntohs(bound.sin_port));
-  self->accept_thread_ = std::thread([raw = self.get()] { raw->AcceptLoop(); });
+  LineTransportOptions transport_options;
+  transport_options.port = options.port;
+  transport_options.max_connections = options.max_connections;
+  transport_options.reject_response =
+      ErrResponse(StatusCode::kResourceExhausted, "connection limit reached");
+  CURE_ASSIGN_OR_RETURN(
+      self->transport_,
+      LineTransport::Start(
+          [raw = self.get()](const std::string& line) {
+            return raw->HandleLine(line);
+          },
+          transport_options));
   return self;
 }
 
 TcpLineServer::~TcpLineServer() { Stop(); }
 
-void TcpLineServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
-  // Unblock accept(); the loop exits on the next failed accept.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-
-  std::vector<Connection> connections;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connections_);
-  }
-  for (Connection& conn : connections) {
-    ::shutdown(conn.fd, SHUT_RDWR);  // Unblocks a recv() in progress.
-  }
-  for (Connection& conn : connections) {
-    if (conn.thread.joinable()) conn.thread.join();
-  }
-}
-
-void TcpLineServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    if (active_connections_.load(std::memory_order_relaxed) >=
-        max_connections_) {
-      SendAll(fd, ErrResponse(StatusCode::kResourceExhausted,
-                              "connection limit reached"));
-      ::close(fd);
-      continue;
-    }
-    active_connections_.fetch_add(1, std::memory_order_relaxed);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread handler([this, fd, done] {
-      HandleConnection(fd);
-      active_connections_.fetch_sub(1, std::memory_order_relaxed);
-      done->store(true, std::memory_order_release);
-    });
-    std::lock_guard<std::mutex> lock(mu_);
-    // Reap finished connections so a long-lived server does not accumulate
-    // joinable threads; live ones are joined by Stop().
-    for (size_t i = 0; i < connections_.size();) {
-      if (connections_[i].done->load(std::memory_order_acquire)) {
-        connections_[i].thread.join();
-        connections_[i] = std::move(connections_.back());
-        connections_.pop_back();
-      } else {
-        ++i;
-      }
-    }
-    connections_.push_back(Connection{std::move(handler), fd, std::move(done)});
-  }
-}
-
-void TcpLineServer::HandleConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open && !stopping_.load(std::memory_order_relaxed)) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
-         start = nl + 1) {
-      std::string line = buffer.substr(start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      const std::vector<std::string> tokens = SplitTokens(line);
-      if (!tokens.empty() && ToUpper(tokens[0]) == "QUIT") {
-        open = false;
-        break;
-      }
-      if (!SendAll(fd, HandleLine(line))) {
-        open = false;
-        break;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  ::close(fd);
-}
+void TcpLineServer::Stop() { transport_->Stop(); }
 
 std::string TcpLineServer::HandleLine(const std::string& line) {
-  const std::vector<std::string> tokens = SplitTokens(line);
+  std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty()) {
     return ErrResponse(StatusCode::kInvalidArgument, "empty command");
   }
@@ -277,14 +161,19 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
                            "' (expected QUERY, ICEBERG, SLICE, APPEND, FLUSH, "
                            "STATS, METRICS or QUIT)");
   }
+
+  QueryRequest request;
+  request.retain_rows = true;
+  if (!TakeTraceToken(&tokens, &request.trace_id)) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "trace=<id> requires a positive integer id");
+  }
   if (tokens.size() < 2) {
     return ErrResponse(StatusCode::kInvalidArgument,
                        cmd + " requires a node spec, e.g. " + cmd +
                            " city,category");
   }
 
-  QueryRequest request;
-  request.retain_rows = true;
   Result<schema::NodeId> node =
       ParseNodeSpec(server_->schema(), server_->codec(), tokens[1]);
   if (!node.ok()) return ErrResponse(node.status());

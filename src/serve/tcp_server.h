@@ -1,17 +1,14 @@
 #ifndef CURE_SERVE_TCP_SERVER_H_
 #define CURE_SERVE_TCP_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/status.h"
 #include "serve/cube_server.h"
+#include "serve/line_transport.h"
 #include "serve/protocol.h"
 
 namespace cure {
@@ -26,10 +23,10 @@ struct TcpServerOptions {
   int max_connections = 64;
 };
 
-/// Minimal TCP line-protocol front end over a CubeServer. One thread per
-/// connection; every query line is dispatched through CubeServer::Submit,
-/// so the protocol path exercises the same pool, cache, admission control
-/// and metrics as embedded use.
+/// Minimal TCP line-protocol front end over a CubeServer, running on the
+/// shared LineTransport. Every query line is dispatched through
+/// CubeServer::Submit, so the protocol path exercises the same pool, cache,
+/// admission control and metrics as embedded use.
 ///
 /// Protocol (one command per line; responses end with a lone "." line):
 ///   QUERY <node>                      e.g. QUERY city,category  |  QUERY ALL
@@ -44,8 +41,12 @@ struct TcpServerOptions {
 ///                                     <DELTA|REBUILD|NOOP>"
 ///   STATS                             metrics text dump
 ///   QUIT                              closes the connection
-/// Query responses: "OK <count> <checksum-hex> <HIT|MISS>" then one
-/// tab-separated row per line. Errors: "ERR <CodeName> <message>".
+/// QUERY/ICEBERG/SLICE accept an optional trailing `trace=<id>` token: the
+/// supplied id is adopted for the query's trace spans and echoed back in
+/// the response header, so a scatter–gathering router's fan-out shares one
+/// trace id end-to-end instead of each backend minting its own.
+/// Query responses: "OK <count> <checksum-hex> <HIT|MISS> trace=<id>" then
+/// one tab-separated row per line. Errors: "ERR <CodeName> <message>".
 class TcpLineServer {
  public:
   /// Decodes a dimension code for row output (e.g. dictionary lookup);
@@ -66,7 +67,7 @@ class TcpLineServer {
   TcpLineServer& operator=(const TcpLineServer&) = delete;
 
   /// The bound port (resolves ephemeral port 0).
-  int port() const { return port_; }
+  int port() const { return transport_->port(); }
 
   /// Closes the listener and every connection, then joins all threads.
   /// Idempotent.
@@ -83,28 +84,13 @@ class TcpLineServer {
         decoder_(std::move(decoder)),
         resolver_(std::move(resolver)) {}
 
-  void AcceptLoop();
-  void HandleConnection(int fd);
   std::string FormatQueryResponse(schema::NodeId node,
                                   const QueryResponse& response) const;
 
   CubeServer* server_;
   ValueDecoder decoder_;
   SliceValueResolver resolver_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  int max_connections_ = 64;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<int> active_connections_{0};
-
-  struct Connection {
-    std::thread thread;
-    int fd = -1;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::mutex mu_;
-  std::vector<Connection> connections_;
+  std::unique_ptr<LineTransport> transport_;
 };
 
 }  // namespace serve

@@ -1,0 +1,629 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/cure.h"
+#include "gen/datasets.h"
+#include "gen/random.h"
+#include "gen/zipf.h"
+#include "query/node_query.h"
+#include "router/backend_client.h"
+#include "router/merge.h"
+#include "router/router.h"
+#include "router/shard_map.h"
+#include "serve/cube_server.h"
+#include "serve/line_transport.h"
+#include "serve/tcp_server.h"
+
+namespace cure {
+namespace {
+
+using engine::BuildCure;
+using engine::CureOptions;
+using engine::FactInput;
+using query::CureQueryEngine;
+using query::ResultSink;
+using router::BackendAddress;
+using router::BackendReply;
+using router::CureRouter;
+using router::ParseBackendAddress;
+using router::ParseBackendReply;
+using router::PartialMerger;
+using router::RouterOptions;
+using router::ShardMap;
+using schema::NodeId;
+using serve::CubeServer;
+using serve::CubeServerOptions;
+using serve::LineTransport;
+using serve::LineTransportOptions;
+using serve::TcpLineServer;
+using serve::TcpServerOptions;
+
+/// Zipf-skewed hierarchical dataset with all four distributive aggregates —
+/// the shape the re-aggregation proof needs (SUM/COUNT/MIN/MAX over skewed
+/// keys, so per-shard partials genuinely overlap on hot groups).
+gen::Dataset MakeZipfHier(uint64_t tuples, uint64_t seed) {
+  gen::Dataset ds;
+  std::vector<schema::Dimension> dims;
+  dims.push_back(schema::Dimension::Linear("A", {24, 6, 2}));
+  dims.push_back(schema::Dimension::Linear("B", {9, 3}));
+  dims.push_back(schema::Dimension::Flat("C", 5));
+  auto schema = schema::CubeSchema::Create(
+      std::move(dims), 1,
+      {{schema::AggFn::kSum, 0, "s"},
+       {schema::AggFn::kCount, 0, "c"},
+       {schema::AggFn::kMin, 0, "lo"},
+       {schema::AggFn::kMax, 0, "hi"}});
+  EXPECT_TRUE(schema.ok());
+  ds.schema = std::move(schema).value();
+  ds.table = schema::FactTable(3, 1);
+  gen::Rng rng(seed);
+  gen::ZipfSampler za(24, 1.1), zb(9, 0.9), zc(5, 0.7);
+  for (uint64_t t = 0; t < tuples; ++t) {
+    const uint32_t row[3] = {za.Sample(&rng), zb.Sample(&rng), zc.Sample(&rng)};
+    const int64_t m = static_cast<int64_t>(rng.NextRange(1000));
+    ds.table.AppendRow(row, &m);
+  }
+  return ds;
+}
+
+/// Splits a fact table into `parts` contiguous disjoint row ranges — the
+/// same partitioning `cure_tool shard` applies.
+std::vector<schema::FactTable> SplitTable(const schema::FactTable& table,
+                                          int parts) {
+  std::vector<schema::FactTable> out;
+  const uint64_t rows = table.num_rows();
+  std::vector<uint32_t> dims(table.num_dims());
+  std::vector<int64_t> measures(table.num_measures());
+  for (int k = 0; k < parts; ++k) {
+    schema::FactTable part(table.num_dims(), table.num_measures());
+    const uint64_t begin = rows * k / parts;
+    const uint64_t end = rows * (k + 1) / parts;
+    for (uint64_t row = begin; row < end; ++row) {
+      for (int d = 0; d < table.num_dims(); ++d) dims[d] = table.dim(d, row);
+      for (int m = 0; m < table.num_measures(); ++m) {
+        measures[m] = table.measure(m, row);
+      }
+      part.AppendRow(dims.data(), measures.data());
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::unique_ptr<engine::CureCube> BuildCubeFor(
+    const schema::CubeSchema& schema, const schema::FactTable& table) {
+  FactInput input{.table = &table};
+  auto built = BuildCure(schema, input, CureOptions{});
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+// ---------------------------------------------------------------- shard map
+
+TEST(ShardMapTest, ParsesAddresses) {
+  auto full = ParseBackendAddress("10.0.0.2:7101");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->host, "10.0.0.2");
+  EXPECT_EQ(full->port, 7101);
+  auto bare = ParseBackendAddress("7102");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->host, "127.0.0.1");
+  EXPECT_EQ(bare->port, 7102);
+  EXPECT_FALSE(ParseBackendAddress("host:").ok());
+  EXPECT_FALSE(ParseBackendAddress(":99").ok());
+  EXPECT_FALSE(ParseBackendAddress("host:notaport").ok());
+  EXPECT_FALSE(ParseBackendAddress("host:70000").ok());
+  EXPECT_FALSE(ParseBackendAddress("").ok());
+}
+
+TEST(ShardMapTest, SerializeParseRoundTrip) {
+  ShardMap map;
+  map.shards = {{{"127.0.0.1", 7101}, {"127.0.0.1", 7102}},
+                {{"127.0.0.1", 7103}, {"127.0.0.1", 7104}}};
+  ASSERT_TRUE(map.Validate().ok());
+  auto parsed = ShardMap::Parse(map.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_shards(), 2);
+  EXPECT_EQ(parsed->shards[0][1].port, 7102);
+  EXPECT_EQ(parsed->shards[1][0].port, 7103);
+}
+
+TEST(ShardMapTest, ParseToleratesCommentsAndBlankLines) {
+  auto parsed = ShardMap::Parse(
+      "# cluster for the smoke test\ncure-cluster v1\n\n"
+      "shard 127.0.0.1:7101\n  # second shard\nshard 7103 7104\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_shards(), 2);
+  EXPECT_EQ(parsed->num_replicas(1), 2);
+}
+
+TEST(ShardMapTest, RejectsMalformedMaps) {
+  EXPECT_FALSE(ShardMap::Parse("").ok());                        // no header
+  EXPECT_FALSE(ShardMap::Parse("shard 7101\n").ok());            // no header
+  EXPECT_FALSE(ShardMap::Parse("cure-cluster v1\n").ok());       // no shards
+  EXPECT_FALSE(ShardMap::Parse("cure-cluster v1\nshard\n").ok());  // empty
+  EXPECT_FALSE(
+      ShardMap::Parse("cure-cluster v1\nshard 7101\nshard 7101\n").ok());
+  EXPECT_FALSE(
+      ShardMap::Parse("cure-cluster v1\nreplica 7101\n").ok());  // keyword
+}
+
+// ----------------------------------------------------------- reply parsing
+
+TEST(BackendReplyTest, ParsesOkHeaderAndRows) {
+  const BackendReply reply = ParseBackendReply(
+      "OK 2 00000000deadbeef HIT trace=77\n1\t2\t30\t3\n4\t5\t60\t6\n");
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_EQ(reply.count, 2u);
+  EXPECT_EQ(reply.checksum, 0xdeadbeefull);
+  EXPECT_TRUE(reply.cache_hit);
+  EXPECT_EQ(reply.trace_id, 77u);
+  ASSERT_EQ(reply.rows.size(), 2u);
+  EXPECT_EQ(reply.rows[0], "1\t2\t30\t3");
+}
+
+TEST(BackendReplyTest, MapsErrorCodeNames) {
+  EXPECT_EQ(ParseBackendReply("ERR IOError read failed").status.code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ParseBackendReply("ERR DataLoss checksum mismatch").status.code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ParseBackendReply("ERR NotFound no such node").status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      ParseBackendReply("ERR SomeFutureCode whatever").status.code(),
+      StatusCode::kInternal);
+  EXPECT_EQ(ParseBackendReply("garbage").status.code(), StatusCode::kIoError);
+  EXPECT_EQ(ParseBackendReply("").status.code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------- the merge
+
+/// Satellite: merging per-shard partials over disjoint fact partitions must
+/// be bit-identical to the single-node cube — every lattice node, rows and
+/// order-independent checksum, for SUM/COUNT/MIN/MAX over Zipf data.
+TEST(PartialMergerTest, ShardMergeBitIdenticalToSingleNodeAcrossLattice) {
+  gen::Dataset ds = MakeZipfHier(3000, 97);
+  auto whole = BuildCubeFor(ds.schema, ds.table);
+  auto whole_engine = CureQueryEngine::Create(whole.get(), 1.0);
+  ASSERT_TRUE(whole_engine.ok());
+
+  const std::vector<schema::FactTable> parts = SplitTable(ds.table, 3);
+  std::vector<std::unique_ptr<engine::CureCube>> shard_cubes;
+  std::vector<std::unique_ptr<CureQueryEngine>> shard_engines;
+  for (const auto& part : parts) {
+    shard_cubes.push_back(BuildCubeFor(ds.schema, part));
+    auto engine = CureQueryEngine::Create(shard_cubes.back().get(), 1.0);
+    ASSERT_TRUE(engine.ok());
+    shard_engines.push_back(std::move(engine).value());
+  }
+
+  const schema::NodeIdCodec& codec = whole->store().codec();
+  for (NodeId node = 0; node < codec.num_nodes(); ++node) {
+    ResultSink expected(/*retain=*/true);
+    ASSERT_TRUE((*whole_engine)->QueryNode(node, &expected).ok());
+
+    PartialMerger merger(ds.schema);
+    for (const auto& engine : shard_engines) {
+      ResultSink partial(/*retain=*/true);
+      ASSERT_TRUE(engine->QueryNode(node, &partial).ok());
+      for (const ResultSink::Row& row : partial.rows()) {
+        merger.Add(row.dims, row.aggrs.data());
+      }
+    }
+    ResultSink merged(/*retain=*/true);
+    ASSERT_TRUE(merger.Finish(-1, 0, &merged).ok());
+
+    EXPECT_EQ(merged.count(), expected.count()) << "node " << node;
+    EXPECT_EQ(merged.checksum(), expected.checksum()) << "node " << node;
+  }
+}
+
+/// Satellite: post-merge iceberg. The threshold must apply to the MERGED
+/// counts; a group can clear MINSUP globally while clearing it on no single
+/// shard.
+TEST(PartialMergerTest, IcebergThresholdAppliesAfterMergeOnly) {
+  auto schema = schema::CubeSchema::Create(
+      {schema::Dimension::Flat("D", 8)}, 1,
+      {{schema::AggFn::kSum, 0, "s"}, {schema::AggFn::kCount, 0, "c"}});
+  ASSERT_TRUE(schema.ok());
+
+  PartialMerger merger(*schema);
+  // Group {1}: count 2 on each of two shards — fails MINSUP 3 per shard,
+  // clears it after the merge (4 >= 3).
+  const int64_t shard_a[2] = {10, 2};
+  const int64_t shard_b[2] = {5, 2};
+  merger.Add({1}, shard_a);
+  merger.Add({1}, shard_b);
+  // Group {2}: count 2 on one shard only — must be filtered out.
+  const int64_t lone[2] = {7, 2};
+  merger.Add({2}, lone);
+
+  ResultSink sink(/*retain=*/true);
+  ASSERT_TRUE(merger.Finish(/*count_aggregate=*/1, /*min_count=*/3, &sink).ok());
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.rows()[0].dims[0], 1u);
+  EXPECT_EQ(sink.rows()[0].aggrs[0], 15);  // SUM merged
+  EXPECT_EQ(sink.rows()[0].aggrs[1], 4);   // COUNT merged
+
+  // An iceberg threshold without a COUNT aggregate is refused.
+  ResultSink bad;
+  EXPECT_EQ(merger.Finish(-1, 3, &bad).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PartialMergerTest, IcebergMatchesSingleNodeEngine) {
+  gen::Dataset ds = MakeZipfHier(2500, 131);
+  auto whole = BuildCubeFor(ds.schema, ds.table);
+  auto whole_engine = CureQueryEngine::Create(whole.get(), 1.0);
+  ASSERT_TRUE(whole_engine.ok());
+  const std::vector<schema::FactTable> parts = SplitTable(ds.table, 3);
+
+  const NodeId node = whole->store().codec().Encode({0, 0, 0});
+  for (const int64_t minsup : {2, 5, 20}) {
+    ResultSink expected(/*retain=*/true);
+    ASSERT_TRUE((*whole_engine)
+                    ->QueryNodeCountIceberg(node, /*count_aggregate=*/1,
+                                            minsup, &expected)
+                    .ok());
+    PartialMerger merger(ds.schema);
+    for (const auto& part : parts) {
+      auto cube = BuildCubeFor(ds.schema, part);
+      auto engine = CureQueryEngine::Create(cube.get(), 1.0);
+      ASSERT_TRUE(engine.ok());
+      ResultSink partial(/*retain=*/true);
+      // The scattered query is NOT an iceberg query — thresholds only after
+      // the merge.
+      ASSERT_TRUE((*engine)->QueryNode(node, &partial).ok());
+      for (const ResultSink::Row& row : partial.rows()) {
+        merger.Add(row.dims, row.aggrs.data());
+      }
+    }
+    ResultSink merged(/*retain=*/true);
+    ASSERT_TRUE(merger.Finish(1, minsup, &merged).ok());
+    EXPECT_EQ(merged.count(), expected.count()) << "minsup " << minsup;
+    EXPECT_EQ(merged.checksum(), expected.checksum()) << "minsup " << minsup;
+  }
+}
+
+// ------------------------------------------------------------ replica pick
+
+TEST(CureRouterTest, ReplicaPickPrefersVersionThenStalenessThenRotates) {
+  gen::Dataset ds = MakeZipfHier(50, 3);
+  ShardMap map;
+  map.shards = {{{"127.0.0.1", 7101}, {"127.0.0.1", 7102}, {"127.0.0.1", 7103}}};
+  auto router = CureRouter::Create(&ds.schema, map, RouterOptions{});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Highest cube_version wins; staleness breaks the tie.
+  (*router)->OverrideReplicaFreshnessForTest(0, 0, /*version=*/5, /*stale=*/10);
+  (*router)->OverrideReplicaFreshnessForTest(0, 1, /*version=*/7, /*stale=*/3);
+  (*router)->OverrideReplicaFreshnessForTest(0, 2, /*version=*/7, /*stale=*/1);
+  std::vector<int> order = (*router)->ReplicaOrderForTest(0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);  // v7, freshest
+  EXPECT_EQ(order[1], 1);  // v7, staler
+  EXPECT_EQ(order[2], 0);  // v5
+
+  // All equal: successive picks rotate round-robin.
+  (*router)->OverrideReplicaFreshnessForTest(0, 0, 7, 1);
+  (*router)->OverrideReplicaFreshnessForTest(0, 1, 7, 1);
+  (*router)->OverrideReplicaFreshnessForTest(0, 2, 7, 1);
+  std::vector<int> firsts;
+  for (int i = 0; i < 3; ++i) {
+    firsts.push_back((*router)->ReplicaOrderForTest(0)[0]);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(firsts, (std::vector<int>{0, 1, 2}));
+}
+
+// ------------------------------------------- failure handling (fake peers)
+
+/// A scriptable line-protocol backend: answers STATS like a healthy
+/// cure_serve and query verbs with whatever the test programs.
+class FakeBackend {
+ public:
+  explicit FakeBackend(std::string query_response)
+      : query_response_(std::move(query_response)) {
+    auto transport = LineTransport::Start(
+        [this](const std::string& line) { return Handle(line); },
+        LineTransportOptions{});
+    EXPECT_TRUE(transport.ok()) << transport.status().ToString();
+    transport_ = std::move(transport).value();
+  }
+
+  int port() const { return transport_->port(); }
+  void set_query_response(const std::string& response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    query_response_ = response;
+  }
+  std::string last_query_line() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_query_line_;
+  }
+  int queries_seen() const { return queries_seen_.load(); }
+  void Stop() { transport_->Stop(); }
+
+ private:
+  std::string Handle(const std::string& line) {
+    if (line.rfind("STATS", 0) == 0) {
+      return "OK\ncube_version 3\nstaleness_seconds 0\n.\n";
+    }
+    queries_seen_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    last_query_line_ = line;
+    return query_response_;
+  }
+
+  mutable std::mutex mu_;
+  std::string query_response_;
+  std::string last_query_line_;
+  std::atomic<int> queries_seen_{0};
+  std::unique_ptr<LineTransport> transport_;
+};
+
+struct FakePairFixture {
+  gen::Dataset ds = MakeZipfHier(50, 5);
+  FakeBackend bad;
+  FakeBackend good;
+  std::unique_ptr<CureRouter> router;
+
+  /// One shard, two replicas: replica 0 scripted with `bad_response`,
+  /// replica 1 healthy. `ds.schema` has 4 aggregates, so an ALL row is
+  /// "s<TAB>c<TAB>lo<TAB>hi".
+  explicit FakePairFixture(const std::string& bad_response)
+      : bad(bad_response),
+        good("OK 1 0000000000000001 MISS trace=1\n10\t2\t3\t7\n.\n") {
+    ShardMap map;
+    map.shards = {{{"127.0.0.1", bad.port()}, {"127.0.0.1", good.port()}}};
+    // Freeze the rotation so replica 0 (bad) is always tried first.
+    auto created = CureRouter::Create(&ds.schema, map, RouterOptions{});
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    router = std::move(created).value();
+    router->OverrideReplicaFreshnessForTest(0, 0, /*version=*/9, /*stale=*/0);
+    router->OverrideReplicaFreshnessForTest(0, 1, /*version=*/1, /*stale=*/9);
+  }
+};
+
+TEST(CureRouterTest, RetriesNextReplicaOnIoError) {
+  FakePairFixture fx("ERR IOError injected read failure\n.\n");
+  const std::string response = fx.router->HandleLine("QUERY ALL");
+  EXPECT_EQ(response.rfind("OK 1 ", 0), 0u) << response;
+  EXPECT_NE(response.find("10\t2\t3\t7"), std::string::npos) << response;
+  EXPECT_EQ(fx.router->metrics()->counter("backend_retries_total")->value(), 1u);
+  // The failed replica is DOWN, not ejected — a later probe may restore it.
+  const std::string health = fx.router->HandleLine("HEALTH");
+  EXPECT_NE(health.find("replica 0 127.0.0.1:" +
+                        std::to_string(fx.bad.port()) + " DOWN"),
+            std::string::npos)
+      << health;
+  fx.bad.set_query_response("OK 0 0000000000000000 MISS trace=1\n.\n");
+  fx.router->ProbeHealth();
+  EXPECT_NE(fx.router->HandleLine("HEALTH").find("replica 0"), std::string::npos);
+  EXPECT_EQ(fx.router->HandleLine("HEALTH").find("DOWN"), std::string::npos);
+}
+
+TEST(CureRouterTest, EjectsReplicaOnDataLossPermanently) {
+  FakePairFixture fx("ERR DataLoss cube section checksum mismatch\n.\n");
+  const std::string response = fx.router->HandleLine("QUERY ALL");
+  EXPECT_EQ(response.rfind("OK 1 ", 0), 0u) << response;
+  std::string health = fx.router->HandleLine("HEALTH");
+  EXPECT_NE(health.find("EJECTED"), std::string::npos) << health;
+  EXPECT_EQ(fx.router->metrics()->counter("replicas_ejected_total")->value(), 1u);
+
+  // Health probes do NOT resurrect an ejected replica (its STATS would
+  // answer OK — the process is fine, the data is not).
+  fx.router->ProbeHealth();
+  health = fx.router->HandleLine("HEALTH");
+  EXPECT_NE(health.find("EJECTED"), std::string::npos) << health;
+
+  // Subsequent queries no longer touch it.
+  const int before = fx.bad.queries_seen();
+  EXPECT_EQ(fx.router->HandleLine("QUERY ALL").rfind("OK 1 ", 0), 0u);
+  EXPECT_EQ(fx.bad.queries_seen(), before);
+}
+
+TEST(CureRouterTest, DeterministicErrorsFailFastWithoutFailover) {
+  FakePairFixture fx("ERR NotFound node relation missing\n.\n");
+  const std::string response = fx.router->HandleLine("QUERY ALL");
+  EXPECT_EQ(response.rfind("ERR NotFound", 0), 0u) << response;
+  // No retry burned, nobody marked down or ejected.
+  EXPECT_EQ(fx.router->metrics()->counter("backend_retries_total")->value(), 0u);
+  const std::string health = fx.router->HandleLine("HEALTH");
+  EXPECT_EQ(health.find("DOWN"), std::string::npos) << health;
+  EXPECT_EQ(health.find("EJECTED"), std::string::npos) << health;
+}
+
+TEST(CureRouterTest, PropagatesClientTraceIdToBackendsAndResponse) {
+  FakePairFixture fx("ERR IOError nope\n.\n");
+  const std::string response = fx.router->HandleLine("QUERY ALL trace=424242");
+  EXPECT_NE(response.find(" trace=424242\n"), std::string::npos) << response;
+  // The scattered backend line carries the same id (read from the replica
+  // that served it).
+  EXPECT_NE(fx.good.last_query_line().find("trace=424242"), std::string::npos)
+      << fx.good.last_query_line();
+  // Malformed ids are rejected, not silently re-minted.
+  EXPECT_EQ(fx.router->HandleLine("QUERY ALL trace=abc").rfind(
+                "ERR InvalidArgument", 0),
+            0u);
+}
+
+TEST(CureRouterTest, ShardUnavailableWhenAllReplicasFail) {
+  FakeBackend a("ERR IOError a\n.\n");
+  FakeBackend b("ERR IOError b\n.\n");
+  gen::Dataset ds = MakeZipfHier(50, 6);
+  ShardMap map;
+  map.shards = {{{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}}};
+  auto router = CureRouter::Create(&ds.schema, map, RouterOptions{});
+  ASSERT_TRUE(router.ok());
+  const std::string response = (*router)->HandleLine("QUERY ALL");
+  EXPECT_EQ(response.rfind("ERR IOError", 0), 0u) << response;
+  EXPECT_NE(response.find("exhausted all replicas"), std::string::npos)
+      << response;
+}
+
+// ------------------------------------------------------- loopback capstone
+
+/// Parses a full protocol response into (ok, count, checksum token, rows).
+struct ParsedResponse {
+  bool ok = false;
+  uint64_t count = 0;
+  std::string checksum;
+  std::vector<std::string> rows;  // sorted
+};
+
+ParsedResponse ParseResponse(const std::string& response) {
+  ParsedResponse out;
+  std::istringstream in(response);
+  std::string header;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, header)));
+  std::istringstream fields(header);
+  std::string verdict;
+  fields >> verdict;
+  out.ok = verdict == "OK";
+  if (!out.ok) return out;
+  fields >> out.count >> out.checksum;
+  std::string row;
+  while (std::getline(in, row)) {
+    if (row == ".") break;
+    out.rows.push_back(row);
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  return out;
+}
+
+/// The tentpole acceptance fixture: a 3-shard × 2-replica loopback cluster
+/// of real CubeServers/TcpLineServers next to a single-node server over the
+/// unpartitioned fact table.
+struct ClusterFixture {
+  gen::Dataset ds;
+  // The cubes reference their fact tables; the partitions must outlive them.
+  std::vector<schema::FactTable> parts;
+  std::unique_ptr<engine::CureCube> whole_cube;
+  std::unique_ptr<CubeServer> whole_server;
+  std::unique_ptr<TcpLineServer> whole_tcp;
+
+  std::vector<std::unique_ptr<engine::CureCube>> shard_cubes;
+  // [shard][replica] — two independent server stacks per shard cube.
+  std::vector<std::vector<std::unique_ptr<CubeServer>>> servers;
+  std::vector<std::vector<std::unique_ptr<TcpLineServer>>> tcps;
+  std::unique_ptr<CureRouter> router;
+
+  explicit ClusterFixture(uint64_t tuples = 2400, uint64_t seed = 77) {
+    ds = MakeZipfHier(tuples, seed);
+    whole_cube = BuildCubeFor(ds.schema, ds.table);
+    whole_server = MakeServer(whole_cube.get());
+    whole_tcp = MakeTcp(whole_server.get());
+
+    ShardMap map;
+    parts = SplitTable(ds.table, 3);
+    for (const auto& part : parts) {
+      shard_cubes.push_back(BuildCubeFor(ds.schema, part));
+      servers.emplace_back();
+      tcps.emplace_back();
+      std::vector<BackendAddress> replicas;
+      for (int r = 0; r < 2; ++r) {
+        servers.back().push_back(MakeServer(shard_cubes.back().get()));
+        tcps.back().push_back(MakeTcp(servers.back().back().get()));
+        replicas.push_back({"127.0.0.1", tcps.back().back()->port()});
+      }
+      map.shards.push_back(std::move(replicas));
+    }
+    auto created = CureRouter::Create(&ds.schema, map, RouterOptions{});
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    router = std::move(created).value();
+  }
+
+  static std::unique_ptr<CubeServer> MakeServer(const engine::CureCube* cube) {
+    CubeServerOptions options;
+    options.num_threads = 2;
+    auto server = CubeServer::Create(cube, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  static std::unique_ptr<TcpLineServer> MakeTcp(CubeServer* server) {
+    auto tcp = TcpLineServer::Start(server, TcpServerOptions{});
+    EXPECT_TRUE(tcp.ok()) << tcp.status().ToString();
+    return std::move(tcp).value();
+  }
+
+  /// Asserts the router's answer is byte-identical (rows + checksum +
+  /// count) to the single-node server's for `line`.
+  void ExpectMatchesSingleNode(const std::string& line) {
+    const ParsedResponse via_router = ParseResponse(router->HandleLine(line));
+    const ParsedResponse direct = ParseResponse(whole_tcp->HandleLine(line));
+    ASSERT_TRUE(direct.ok) << line;
+    ASSERT_TRUE(via_router.ok) << line;
+    EXPECT_EQ(via_router.count, direct.count) << line;
+    EXPECT_EQ(via_router.checksum, direct.checksum) << line;
+    EXPECT_EQ(via_router.rows, direct.rows) << line;
+  }
+};
+
+TEST(RouterClusterTest, ScatterGatherMatchesSingleNodeAndSurvivesReplicaKill) {
+  ClusterFixture fx;
+  const std::vector<std::string> workload = {
+      "QUERY ALL",
+      "QUERY A_L0,B_L0,C_L0",
+      "QUERY A_L1,B_L1",
+      "QUERY A_L2",
+      "QUERY B_L0,C_L0",
+      "ICEBERG A_L0,B_L0 3",
+      "ICEBERG A_L1 20",
+      "SLICE A_L0,B_L0 A_L2=0",
+      "SLICE A_L1,B_L0,C_L0 B_L1=1",
+      "SLICE A_L0,B_L0,C_L0 A_L1=2 MINSUP 2",
+  };
+  for (const std::string& line : workload) fx.ExpectMatchesSingleNode(line);
+
+  // Kill one replica of EVERY shard; the router must fail over and keep
+  // returning byte-identical results.
+  for (auto& shard : fx.tcps) shard[0]->Stop();
+  for (const std::string& line : workload) fx.ExpectMatchesSingleNode(line);
+  const std::string health = fx.router->HandleLine("HEALTH");
+  EXPECT_NE(health.find("DOWN"), std::string::npos) << health;
+
+  // Deterministic errors pass through unchanged.
+  EXPECT_EQ(fx.router->HandleLine("QUERY bogus").rfind("ERR ", 0), 0u);
+
+  // Observability: the router's own series exist in both expositions.
+  const std::string stats = fx.router->HandleLine("STATS");
+  EXPECT_NE(stats.find("queries_total"), std::string::npos);
+  EXPECT_NE(stats.find("backend_s0_r0_latency_count"), std::string::npos);
+  EXPECT_NE(stats.find("backend_all_latency_count"), std::string::npos);
+  const std::string metrics = fx.router->HandleLine("METRICS");
+  EXPECT_NE(metrics.find("cure_router_queries_total"), std::string::npos);
+  EXPECT_NE(metrics.find("cure_router_backend_all_latency"), std::string::npos);
+}
+
+TEST(RouterClusterTest, ServesOverItsOwnLoopbackTransport) {
+  ClusterFixture fx(1200, 11);
+  auto transport = LineTransport::Start(
+      [raw = fx.router.get()](const std::string& line) {
+        return raw->HandleLine(line);
+      },
+      LineTransportOptions{});
+  ASSERT_TRUE(transport.ok());
+
+  router::BackendClient client(5.0);
+  auto reply = client.Query({"127.0.0.1", (*transport)->port()},
+                            "QUERY A_L1,B_L1 trace=99");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->status.ok()) << reply->status.ToString();
+  EXPECT_EQ(reply->trace_id, 99u);
+
+  const ParsedResponse direct =
+      ParseResponse(fx.whole_tcp->HandleLine("QUERY A_L1,B_L1"));
+  EXPECT_EQ(reply->count, direct.count);
+  std::vector<std::string> rows = reply->rows;
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, direct.rows);
+}
+
+}  // namespace
+}  // namespace cure

@@ -112,6 +112,40 @@ TEST(LogHistogramTest, NegativeValuesClampToZero) {
   EXPECT_EQ(snap.buckets[0], 1u);
 }
 
+TEST(LogHistogramTest, MergeCombinesBucketsCountSumAndMax) {
+  // A merged histogram must equal one that recorded every observation
+  // directly — the property the router relies on when it folds per-backend
+  // latency histograms into a cluster-level distribution.
+  LogHistogram a, b, reference;
+  for (int64_t v = 1; v <= 700; ++v) {
+    a.Record(v);
+    reference.Record(v);
+  }
+  for (int64_t v = 701; v <= 1000; ++v) {
+    b.Record(v);
+    reference.Record(v);
+  }
+  a.Merge(b);
+  const LogHistogram::Snapshot merged = a.TakeSnapshot();
+  const LogHistogram::Snapshot expected = reference.TakeSnapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_EQ(merged.p50, expected.p50);
+  EXPECT_EQ(merged.p95, expected.p95);
+  EXPECT_EQ(merged.p99, expected.p99);
+
+  // Merging an empty histogram is a no-op; merging into an empty one copies.
+  LogHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.TakeSnapshot().count, expected.count);
+  LogHistogram fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.TakeSnapshot().buckets, expected.buckets);
+  EXPECT_EQ(fresh.TakeSnapshot().max, expected.max);
+}
+
 TEST(LogHistogramTest, ConcurrentRecordsAllLand) {
   LogHistogram h;
   constexpr int kThreads = 4;
@@ -628,6 +662,40 @@ TEST(TcpLineServerTest, ServesQueriesOverLoopback) {
   EXPECT_EQ(lines[0].rfind("OK ", 0), 0u) << lines[0];
 
   (*tcp)->Stop();
+}
+
+TEST(TcpLineServerTest, EchoesClientSuppliedTraceId) {
+  ServerFixture fx(150, 30);
+  std::unique_ptr<CubeServer> server = fx.MakeServer();
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  // A client-supplied trace=<id> is adopted and echoed verbatim — the
+  // contract a scatter–gather router relies on so one trace id spans the
+  // whole fan-out. All three query verbs take the token.
+  std::string response = (*tcp)->HandleLine("QUERY A_L2 trace=424242");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find(" trace=424242\n"), std::string::npos) << response;
+  response = (*tcp)->HandleLine("ICEBERG A_L0 2 trace=777");
+  EXPECT_NE(response.find(" trace=777\n"), std::string::npos) << response;
+  response = (*tcp)->HandleLine("SLICE A_L0 A_L2=1 trace=778");
+  EXPECT_NE(response.find(" trace=778\n"), std::string::npos) << response;
+  response = (*tcp)->HandleLine("SLICE A_L0 A_L2=1 MINSUP 2 trace=779");
+  EXPECT_NE(response.find(" trace=779\n"), std::string::npos) << response;
+
+  // Without the token the server mints its own (non-zero) id.
+  response = (*tcp)->HandleLine("QUERY A_L2");
+  const size_t at = response.find(" trace=");
+  ASSERT_NE(at, std::string::npos) << response;
+  EXPECT_NE(response.substr(at, response.find('\n', at) - at), " trace=0");
+
+  // Malformed ids are rejected, not silently ignored.
+  EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2 trace=abc")
+                .rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2 trace=0")
+                .rfind("ERR InvalidArgument", 0),
+            0u);
 }
 
 TEST(TcpLineServerTest, HandleLineRejectsMalformedCommands) {

@@ -34,6 +34,8 @@
 #include "etl/loader.h"
 #include "etl/schema_io.h"
 #include "query/node_query.h"
+#include "router/backend_client.h"
+#include "router/shard_map.h"
 #include "serve/protocol.h"
 #include "storage/file_io.h"
 #include "storage/relation.h"
@@ -55,6 +57,10 @@ int Usage() {
                "usage:\n"
                "  cure_tool build <data.csv> <spec.txt> <outdir> [--dr] "
                "[--plus] [--minsup N] [--trace-out=<file>.json]\n"
+               "  cure_tool shard <data.csv> <spec.txt> <outdir> <shards> "
+               "[--replicas R] [--port-base P] [--dr] [--plus]\n"
+               "  cure_tool send <host:port> <command>...   (one-shot line-"
+               "protocol client; exit 1 on ERR)\n"
                "  cure_tool info  <outdir>\n"
                "  cure_tool verify <outdir|cube.bin>   (checksum audit; exit "
                "1 on corruption)\n"
@@ -97,6 +103,33 @@ int WriteTraceOut(const std::string& path) {
                path.c_str(),
                static_cast<unsigned long long>(tracer.dropped_events()));
   return 0;
+}
+
+// Persists a built cube as a serveable cube directory:
+// {cube.bin, fact.bin, schema.txt, dict_<d>_<l>.txt}.
+Status PersistCubeDir(
+    const std::string& outdir, const cure::schema::CubeSchema& schema,
+    const cure::schema::FactTable& table, cure::engine::CureCube* cube,
+    const std::vector<std::vector<cure::etl::Dictionary>>& dictionaries) {
+  CURE_RETURN_IF_ERROR(cure::storage::EnsureDir(outdir));
+  CURE_ASSIGN_OR_RETURN(cure::storage::Relation fact,
+                        cure::storage::Relation::CreateFile(
+                            outdir + "/fact.bin", table.RecordSize()));
+  CURE_RETURN_IF_ERROR(table.WriteTo(&fact));
+  CURE_RETURN_IF_ERROR(fact.Seal());
+  CURE_RETURN_IF_ERROR(
+      cube->mutable_store().PersistPacked(outdir + "/cube.bin"));
+  CURE_RETURN_IF_ERROR(cure::etl::WriteStringToFile(
+      outdir + "/schema.txt", cure::etl::SerializeSchema(schema)));
+  for (size_t d = 0; d < dictionaries.size(); ++d) {
+    for (size_t l = 0; l < dictionaries[d].size(); ++l) {
+      const std::string path = outdir + "/dict_" + std::to_string(d) + "_" +
+                               std::to_string(l) + ".txt";
+      CURE_RETURN_IF_ERROR(
+          cure::etl::WriteStringToFile(path, dictionaries[d][l].Serialize()));
+    }
+  }
+  return Status::OK();
 }
 
 int RunBuild(int argc, char** argv) {
@@ -147,18 +180,109 @@ int RunBuild(int argc, char** argv) {
               static_cast<unsigned long long>((*cube)->stats().nt),
               static_cast<unsigned long long>((*cube)->stats().cat));
 
+  Status s = PersistCubeDir(outdir, loaded->schema, loaded->table,
+                            cube->get(), loaded->dictionaries);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s/{cube.bin, fact.bin, schema.txt, dictionaries}\n",
+              outdir.c_str());
+  if (!trace_out.empty()) return WriteTraceOut(trace_out);
+  return 0;
+}
+
+// Builds a sharded cluster directory: the CSV is loaded ONCE (one dictionary
+// set, so codes are consistent across every shard), the fact rows are split
+// into <shards> contiguous disjoint ranges, and a complete cube is built per
+// range into <outdir>/shard_<k>/ — each a full cube directory cure_serve can
+// open. The top level gets the shared schema.txt + dictionaries (cure_router
+// re-encodes rows through them) and cluster.txt, a shard-map template whose
+// ports start at --port-base (edit it, or pass --shard to cure_router, to
+// match the actual backend ports).
+//
+// Deliberately no --minsup: iceberg thresholds must be applied after the
+// router's merge, so every shard cube is complete.
+int RunShard(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const std::string csv_path = argv[2];
+  const std::string spec_path = argv[3];
+  const std::string outdir = argv[4];
+  const int num_shards = std::atoi(argv[5]);
+  if (num_shards < 1) {
+    return Fail(Status::InvalidArgument("shard count must be >= 1"));
+  }
+  int replicas = 1;
+  int port_base = 7101;
+  cure::engine::CureOptions options;
+  bool plus = false;
+  for (int i = 6; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+      if (replicas < 1) {
+        return Fail(Status::InvalidArgument("--replicas must be >= 1"));
+      }
+    } else if (std::strcmp(argv[i], "--port-base") == 0 && i + 1 < argc) {
+      port_base = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dr") == 0) {
+      options.dims_in_nt = true;
+    } else if (std::strcmp(argv[i], "--plus") == 0) {
+      plus = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  Result<std::string> spec_text = cure::etl::ReadFileToString(spec_path);
+  if (!spec_text.ok()) return Fail(spec_text.status());
+  Result<cure::etl::LoadedDataset> loaded =
+      cure::etl::LoadCsvFile(csv_path, *spec_text);
+  if (!loaded.ok()) return Fail(loaded.status());
+  const uint64_t total_rows = loaded->table.num_rows();
+  if (total_rows < static_cast<uint64_t>(num_shards)) {
+    return Fail(Status::InvalidArgument(
+        "cannot split " + std::to_string(total_rows) + " rows into " +
+        std::to_string(num_shards) + " shards"));
+  }
+  std::printf("loaded %llu rows; sharding into %d partitions\n",
+              static_cast<unsigned long long>(total_rows), num_shards);
+
   Status s = cure::storage::EnsureDir(outdir);
   if (!s.ok()) return Fail(s);
-  // Fact table in binary relation form.
-  Result<cure::storage::Relation> fact = cure::storage::Relation::CreateFile(
-      outdir + "/fact.bin", loaded->table.RecordSize());
-  if (!fact.ok()) return Fail(fact.status());
-  if (!(s = loaded->table.WriteTo(&fact.value())).ok()) return Fail(s);
-  if (!(s = fact->Seal()).ok()) return Fail(s);
-  // Packed cube, schema, dictionaries.
-  if (!(s = (*cube)->mutable_store().PersistPacked(outdir + "/cube.bin")).ok()) {
-    return Fail(s);
+
+  const int num_dims = loaded->schema.num_dims();
+  const int num_measures = loaded->schema.num_raw_measures();
+  std::vector<uint32_t> dims(num_dims);
+  std::vector<int64_t> measures(num_measures);
+  for (int k = 0; k < num_shards; ++k) {
+    const uint64_t begin = total_rows * k / num_shards;
+    const uint64_t end = total_rows * (k + 1) / num_shards;
+    cure::schema::FactTable part(num_dims, num_measures);
+    part.Reserve(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      for (int d = 0; d < num_dims; ++d) dims[d] = loaded->table.dim(d, row);
+      for (int m = 0; m < num_measures; ++m) {
+        measures[m] = loaded->table.measure(m, row);
+      }
+      part.AppendRow(dims.data(), measures.data());
+    }
+    cure::engine::FactInput input{.table = &part};
+    Result<std::unique_ptr<cure::engine::CureCube>> cube =
+        cure::engine::BuildCure(loaded->schema, input, options);
+    if (!cube.ok()) return Fail(cube.status());
+    if (plus) {
+      if (!(s = cure::engine::CurePostProcess(cube->get())).ok()) {
+        return Fail(s);
+      }
+    }
+    const std::string shard_dir = outdir + "/shard_" + std::to_string(k);
+    s = PersistCubeDir(shard_dir, loaded->schema, part, cube->get(),
+                       loaded->dictionaries);
+    if (!s.ok()) return Fail(s);
+    std::printf("shard %d: rows [%llu, %llu) -> %s (%s)\n", k,
+                static_cast<unsigned long long>(begin),
+                static_cast<unsigned long long>(end), shard_dir.c_str(),
+                FormatBytes((*cube)->TotalBytes()).c_str());
   }
+
+  // Top-level: the router's schema + dictionaries + shard-map template.
   if (!(s = cure::etl::WriteStringToFile(
             outdir + "/schema.txt",
             cure::etl::SerializeSchema(loaded->schema)))
@@ -176,10 +300,43 @@ int RunBuild(int argc, char** argv) {
       }
     }
   }
-  std::printf("wrote %s/{cube.bin, fact.bin, schema.txt, dictionaries}\n",
-              outdir.c_str());
-  if (!trace_out.empty()) return WriteTraceOut(trace_out);
+  cure::router::ShardMap map;
+  map.shards.resize(num_shards);
+  for (int k = 0; k < num_shards; ++k) {
+    for (int r = 0; r < replicas; ++r) {
+      map.shards[k].push_back(
+          {.host = "127.0.0.1", .port = port_base + k * replicas + r});
+    }
+  }
+  if (!(s = cure::etl::WriteStringToFile(outdir + "/cluster.txt",
+                                         map.Serialize()))
+           .ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s/{schema.txt, dictionaries, cluster.txt} + %d shard "
+              "dirs (%d replicas each from port %d)\n",
+              outdir.c_str(), num_shards, replicas, port_base);
   return 0;
+}
+
+// One-shot line-protocol client: sends one command to a cure_serve or
+// cure_router endpoint and prints the response body. Exit 1 on a transport
+// failure or an ERR response — CI's cluster smoke test is built on this.
+int RunSend(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<cure::router::BackendAddress> addr =
+      cure::router::ParseBackendAddress(argv[2]);
+  if (!addr.ok()) return Fail(addr.status());
+  std::string line;
+  for (int i = 3; i < argc; ++i) {
+    if (!line.empty()) line += ' ';
+    line += argv[i];
+  }
+  cure::router::BackendClient client(/*timeout_seconds=*/30.0);
+  Result<std::string> response = client.RoundTrip(*addr, line);
+  if (!response.ok()) return Fail(response.status());
+  std::fputs(response->c_str(), stdout);
+  return response->rfind("ERR", 0) == 0 ? 1 : 0;
 }
 
 using cure::tools::OpenCubeDir;
@@ -486,6 +643,8 @@ int main(int argc, char** argv) {
   // serve, without touching its flags.
   cure::Tracer::ArmFromEnv();
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
+  if (std::strcmp(argv[1], "shard") == 0) return RunShard(argc, argv);
+  if (std::strcmp(argv[1], "send") == 0) return RunSend(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return RunVerify(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
