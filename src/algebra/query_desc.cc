@@ -1,0 +1,131 @@
+#include "algebra/query_desc.h"
+
+#include <algorithm>
+
+namespace cure {
+namespace algebra {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h * 0xBF58476D1CE4E5B9ull;
+}
+
+/// True when request slice (dim, q_level, q_code) implies cached slice
+/// (same dim, c_level, c_code): the request level must derive the cached
+/// level and the request code must roll up to the cached code.
+bool SliceImplies(const schema::Dimension& dim, int q_level, uint32_t q_code,
+                  int c_level, uint32_t c_code) {
+  if (q_level == c_level) return q_code == c_code;
+  if (!dim.Derives(q_level, c_level)) return false;
+  Result<std::vector<uint32_t>> map = dim.LevelToLevelMap(q_level, c_level);
+  if (!map.ok() || q_code >= map->size()) return false;
+  return (*map)[q_code] == c_code;
+}
+
+}  // namespace
+
+void QueryDesc::Canonicalize() {
+  std::sort(slices.begin(), slices.end(),
+            [](const query::CureQueryEngine::Slice& a,
+               const query::CureQueryEngine::Slice& b) {
+              if (a.dim != b.dim) return a.dim < b.dim;
+              if (a.level != b.level) return a.level < b.level;
+              return a.code < b.code;
+            });
+  if (min_count <= 1) {
+    // Non-iceberg requests collapse onto one key regardless of how the
+    // caller spelled "no threshold".
+    min_count = 0;
+    count_aggregate = -1;
+  }
+}
+
+bool QueryDesc::operator==(const QueryDesc& other) const {
+  if (node != other.node || count_aggregate != other.count_aggregate ||
+      min_count != other.min_count || slices.size() != other.slices.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (slices[i].dim != other.slices[i].dim ||
+        slices[i].level != other.slices[i].level ||
+        slices[i].code != other.slices[i].code) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t QueryDesc::Hash() const {
+  uint64_t h = 0x243F6A8885A308D3ull;
+  h = Mix(h, node);
+  h = Mix(h, static_cast<uint64_t>(count_aggregate + 1));
+  h = Mix(h, static_cast<uint64_t>(min_count));
+  for (const auto& slice : slices) {
+    h = Mix(h, static_cast<uint64_t>(slice.dim));
+    h = Mix(h, static_cast<uint64_t>(slice.level));
+    h = Mix(h, slice.code);
+  }
+  return h;
+}
+
+Containment Classify(const schema::CubeSchema& schema,
+                     const schema::Lattice& lattice, const QueryDesc& cached,
+                     const QueryDesc& request) {
+  if (cached == request) return Containment::kIdentical;
+
+  // Rule 1 — the cached node must be at least as detailed as the request's.
+  if (!lattice.IsAncestorOf(cached.node, request.node)) {
+    return Containment::kNo;
+  }
+
+  // An iceberg request needs a resolved count aggregate to apply its
+  // threshold post-rollup; the serving layer always fills it in.
+  if (request.min_count > 1 && request.count_aggregate < 0) {
+    return Containment::kNo;
+  }
+
+  // Rule 3 — iceberg truncation. A truncated cached relation only answers
+  // requests at the SAME node (selection, never aggregation, over it).
+  if (cached.min_count > 1) {
+    if (cached.node != request.node ||
+        cached.count_aggregate != request.count_aggregate ||
+        request.min_count < cached.min_count) {
+      return Containment::kNo;
+    }
+  }
+
+  // Rule 2a — every cached slice must be implied by some request slice on
+  // the same dimension (the cached predicate contains the request's).
+  for (const auto& c : cached.slices) {
+    bool implied = false;
+    for (const auto& q : request.slices) {
+      if (q.dim != c.dim) continue;
+      if (SliceImplies(schema.dim(c.dim), q.level, q.code, c.level, c.code)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return Containment::kNo;
+  }
+
+  // Rule 2b — every request slice must be checkable on the cached rows:
+  // the cached node must group the slice's dimension at a level deriving
+  // the slice level. (Holds by transitivity for any valid request, but a
+  // malformed request must classify as kNo rather than fail derivation.)
+  const std::vector<int> cached_levels = lattice.codec().Decode(cached.node);
+  for (const auto& q : request.slices) {
+    if (q.dim < 0 || q.dim >= schema.num_dims()) return Containment::kNo;
+    const int level = cached_levels[q.dim];
+    if (level == lattice.codec().all_level(q.dim) ||
+        !schema.dim(q.dim).Derives(level, q.level)) {
+      return Containment::kNo;
+    }
+  }
+
+  return Containment::kDerivable;
+}
+
+}  // namespace algebra
+}  // namespace cure

@@ -1,64 +1,14 @@
-#include "serve/query_cache.h"
+#include "algebra/result_cache.h"
 
-#include <algorithm>
 #include <bit>
 
 namespace cure {
-namespace serve {
-
-namespace {
-
-uint64_t Mix(uint64_t h, uint64_t v) {
-  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-  return h * 0xBF58476D1CE4E5B9ull;
-}
-
-}  // namespace
-
-void QueryKey::Canonicalize() {
-  std::sort(slices.begin(), slices.end(),
-            [](const query::CureQueryEngine::Slice& a,
-               const query::CureQueryEngine::Slice& b) {
-              if (a.dim != b.dim) return a.dim < b.dim;
-              if (a.level != b.level) return a.level < b.level;
-              return a.code < b.code;
-            });
-  if (min_count <= 1) {
-    // Non-iceberg requests collapse onto one key regardless of how the
-    // caller spelled "no threshold".
-    min_count = 0;
-    count_aggregate = -1;
-  }
-}
-
-bool QueryKey::operator==(const QueryKey& other) const {
-  if (node != other.node || count_aggregate != other.count_aggregate ||
-      min_count != other.min_count || epoch != other.epoch ||
-      slices.size() != other.slices.size()) {
-    return false;
-  }
-  for (size_t i = 0; i < slices.size(); ++i) {
-    if (slices[i].dim != other.slices[i].dim ||
-        slices[i].level != other.slices[i].level ||
-        slices[i].code != other.slices[i].code) {
-      return false;
-    }
-  }
-  return true;
-}
+namespace algebra {
 
 uint64_t QueryKey::Hash() const {
-  uint64_t h = 0x243F6A8885A308D3ull;
-  h = Mix(h, node);
-  h = Mix(h, epoch);
-  h = Mix(h, static_cast<uint64_t>(count_aggregate + 1));
-  h = Mix(h, static_cast<uint64_t>(min_count));
-  for (const auto& slice : slices) {
-    h = Mix(h, static_cast<uint64_t>(slice.dim));
-    h = Mix(h, static_cast<uint64_t>(slice.level));
-    h = Mix(h, slice.code);
-  }
-  return h;
+  uint64_t h = QueryDesc::Hash();
+  h ^= epoch + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h * 0xBF58476D1CE4E5B9ull;
 }
 
 uint64_t QueryResult::ByteSize() const {
@@ -85,20 +35,21 @@ QueryCache::Shard* QueryCache::ShardFor(const QueryKey& key) {
   return shards_[key.Hash() & (shards_.size() - 1)].get();
 }
 
-std::shared_ptr<const QueryResult> QueryCache::Lookup(const QueryKey& key) {
+std::shared_ptr<const QueryResult> QueryCache::Lookup(const QueryKey& key,
+                                                      bool count_stats) {
   if (!enabled()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (count_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   Shard* shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->map.find(key);
   if (it == shard->map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (count_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (count_stats) hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->result;
 }
 
@@ -142,5 +93,5 @@ QueryCache::Stats QueryCache::stats() const {
   return stats;
 }
 
-}  // namespace serve
+}  // namespace algebra
 }  // namespace cure

@@ -1,0 +1,118 @@
+#ifndef CURE_ALGEBRA_RESULT_CACHE_H_
+#define CURE_ALGEBRA_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/query_desc.h"
+#include "query/node_query.h"
+#include "schema/node_id.h"
+
+namespace cure {
+namespace algebra {
+
+/// Cache key of one node query: the canonical QueryDesc plus the cube epoch
+/// the query ran against. Two requests with equal keys are guaranteed
+/// identical results over an immutable cube snapshot, which is what makes
+/// result caching sound; stamping the snapshot version into the key
+/// invalidates every entry of an older cube at refresh time without a
+/// stop-the-world purge (stale epochs simply stop being looked up and age
+/// out through LRU eviction). The same epoch stamp keeps the SEMANTIC cache
+/// sound for free: containment is only ever tested between keys of the
+/// SAME epoch.
+struct QueryKey : QueryDesc {
+  uint64_t epoch = 0;  ///< cube snapshot version (0 = static cube)
+
+  bool operator==(const QueryKey& other) const {
+    return epoch == other.epoch &&
+           static_cast<const QueryDesc&>(*this) ==
+               static_cast<const QueryDesc&>(other);
+  }
+  uint64_t Hash() const;
+};
+
+/// An immutable, shareable query result: tuple count, order-independent
+/// checksum, and the materialized rows. Entries are handed out by
+/// shared_ptr, so an eviction never invalidates a response in flight.
+struct QueryResult {
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+  std::vector<query::ResultSink::Row> rows;
+
+  /// Approximate heap footprint used against the cache's byte budget.
+  uint64_t ByteSize() const;
+};
+
+/// Sharded LRU result cache with a global byte-capacity budget split evenly
+/// across shards. Each shard is an independent mutex + LRU list + hash map,
+/// so concurrent lookups on different shards never contend; counters are
+/// relaxed atomics. Entries larger than a shard's budget are not cached.
+class QueryCache {
+ public:
+  /// `capacity_bytes` == 0 disables the cache (lookups always miss, inserts
+  /// are dropped). `num_shards` is rounded up to a power of two.
+  explicit QueryCache(uint64_t capacity_bytes, int num_shards = 8);
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Returns the cached result or nullptr; promotes the entry to MRU. With
+  /// `count_stats` false the hit/miss counters are left untouched — the
+  /// semantic layer probes candidates through this without skewing the
+  /// exact-key statistics.
+  std::shared_ptr<const QueryResult> Lookup(const QueryKey& key,
+                                            bool count_stats = true);
+
+  /// Inserts (or replaces) the entry, evicting LRU entries of the same
+  /// shard until the shard budget holds. Oversized entries are dropped.
+  void Insert(const QueryKey& key, std::shared_ptr<const QueryResult> result);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const QueryKey& key) const {
+      return static_cast<size_t>(key.Hash());
+    }
+  };
+  struct Entry {
+    QueryKey key;
+    std::shared_ptr<const QueryResult> result;
+    uint64_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<QueryKey, std::list<Entry>::iterator, KeyHash> map;
+    uint64_t bytes = 0;
+  };
+
+  Shard* ShardFor(const QueryKey& key);
+
+  uint64_t capacity_bytes_;
+  uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> inserts_{0};
+};
+
+}  // namespace algebra
+}  // namespace cure
+
+#endif  // CURE_ALGEBRA_RESULT_CACHE_H_

@@ -1,10 +1,12 @@
 #include "query/workload.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "common/histogram.h"
 #include "common/stopwatch.h"
 #include "gen/random.h"
+#include "schema/lattice.h"
 
 namespace cure {
 namespace query {
@@ -42,6 +44,103 @@ std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
     }
   }
   return nodes;
+}
+
+std::vector<DrillSession> DrillDownSessions(const schema::CubeSchema& schema,
+                                            size_t num_sessions,
+                                            size_t steps_per_session,
+                                            uint64_t seed) {
+  gen::Rng rng(seed);
+  const schema::Lattice lattice(&schema);
+  const schema::NodeIdCodec& codec = lattice.codec();
+  std::vector<int> apex_levels(static_cast<size_t>(schema.num_dims()));
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    apex_levels[static_cast<size_t>(d)] = codec.all_level(d);
+  }
+  const schema::NodeId apex = codec.Encode(apex_levels);
+
+  std::vector<DrillSession> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    DrillSession session;
+    if (steps_per_session == 0) {
+      sessions.push_back(std::move(session));
+      continue;
+    }
+    schema::NodeId node = apex;
+    std::vector<CureQueryEngine::Slice> slices;
+    session.push_back(DrillStep{node, slices});
+    while (session.size() < steps_per_session) {
+      // Preference order by the drawn action; impossible actions (apex has
+      // nothing to roll up, a leaf node nothing to drill) fall through.
+      const double p = rng.NextDouble();
+      const char* order = p < 0.5 ? "dnr" : (p < 0.8 ? "ndr" : "rdn");
+      bool applied = false;
+      for (const char* action = order; *action != '\0' && !applied; ++action) {
+        std::vector<int> candidates;
+        switch (*action) {
+          case 'd': {  // DRILL: one dimension finer.
+            for (int d = 0; d < schema.num_dims(); ++d) {
+              if (lattice.DrillDownDim(node, d).ok()) candidates.push_back(d);
+            }
+            if (candidates.empty()) break;
+            const int dim = static_cast<int>(
+                candidates[rng.NextRange(candidates.size())]);
+            node = lattice.DrillDownDim(node, dim).value();
+            applied = true;
+            break;
+          }
+          case 'n': {  // NARROW: slice a grouped dimension at its level.
+            const std::vector<int> levels = codec.Decode(node);
+            for (int d = 0; d < schema.num_dims(); ++d) {
+              if (levels[static_cast<size_t>(d)] == codec.all_level(d)) continue;
+              bool already = false;
+              for (const CureQueryEngine::Slice& slice : slices) {
+                if (slice.dim == d) already = true;
+              }
+              const uint32_t cardinality =
+                  schema.dim(d).level(levels[static_cast<size_t>(d)]).cardinality;
+              if (!already && cardinality > 0) candidates.push_back(d);
+            }
+            if (candidates.empty()) break;
+            const int dim = static_cast<int>(
+                candidates[rng.NextRange(candidates.size())]);
+            const int level = levels[static_cast<size_t>(dim)];
+            CureQueryEngine::Slice slice;
+            slice.dim = dim;
+            slice.level = level;
+            slice.code = static_cast<uint32_t>(
+                rng.NextRange(schema.dim(dim).level(level).cardinality));
+            slices.push_back(slice);
+            applied = true;
+            break;
+          }
+          case 'r': {  // ROLLUP: one dimension coarser, its slices dropped
+                       // (a coarser grouping can no longer check them).
+            for (int d = 0; d < schema.num_dims(); ++d) {
+              if (lattice.RollUpDim(node, d).ok()) candidates.push_back(d);
+            }
+            if (candidates.empty()) break;
+            const int dim = static_cast<int>(
+                candidates[rng.NextRange(candidates.size())]);
+            node = lattice.RollUpDim(node, dim).value();
+            for (size_t i = slices.size(); i-- > 0;) {
+              if (slices[i].dim == dim) {
+                slices.erase(slices.begin() + static_cast<ptrdiff_t>(i));
+              }
+            }
+            applied = true;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      session.push_back(DrillStep{node, slices});
+    }
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
 }
 
 Result<QrtStats> MeasureQrt(

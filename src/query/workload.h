@@ -22,6 +22,31 @@ std::vector<schema::NodeId> RandomNodeWorkload(const schema::NodeIdCodec& codec,
                                                size_t count, uint64_t seed,
                                                bool unique = false);
 
+/// One step of an analyst drill-down session: the node to query plus the
+/// slice predicates accumulated so far.
+struct DrillStep {
+  schema::NodeId node = 0;
+  std::vector<CureQueryEngine::Slice> slices;
+};
+
+/// One session: a sequence of steps, each one lattice-adjacent to its
+/// predecessor (finer, coarser, or same node with a narrower slice).
+using DrillSession = std::vector<DrillStep>;
+
+/// Generates `num_sessions` analyst drill-down traces of `steps_per_session`
+/// steps each. Every session starts at the apex (ALL on every dimension)
+/// and at each step either DRILLs one dimension finer (p=0.5), NARROWS by
+/// adding a slice on a currently-grouped dimension (p=0.3), or ROLLs one
+/// dimension back up, dropping its slices (p=0.2); impossible actions fall
+/// back to the next one. Successive steps are therefore exactly the
+/// descendant-heavy access pattern a semantic result cache exploits: a
+/// step's answer is usually derivable from the finer results already
+/// cached by the steps around it.
+std::vector<DrillSession> DrillDownSessions(const schema::CubeSchema& schema,
+                                            size_t num_sessions,
+                                            size_t steps_per_session,
+                                            uint64_t seed);
+
 /// Query response time over a workload: average plus latency percentiles
 /// (from a LogHistogram over microseconds, shared with the serving layer's
 /// metrics).

@@ -6,10 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "serve/line_transport.h"
 
@@ -17,6 +19,16 @@ namespace cure {
 namespace router {
 
 namespace {
+
+/// Pooled connections kept per backend address; enough for a scatter
+/// thread per replica at typical fan-outs without hoarding fds.
+constexpr size_t kMaxPooledPerBackend = 4;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Applies `seconds` as both SO_RCVTIMEO and SO_SNDTIMEO (which also bounds
 /// connect(2) on Linux). 0 leaves the socket fully blocking.
@@ -52,6 +64,46 @@ Result<int> Connect(const BackendAddress& addr, double timeout_seconds) {
   return fd;
 }
 
+/// One request/response exchange on an open connection. Does NOT close the
+/// fd on success; closes it on any failure. `*got_bytes` reports whether
+/// the backend produced any response bytes — the retry-once policy only
+/// resends requests the backend provably never started answering.
+Result<std::string> ExchangeOnFd(int fd, const BackendAddress& addr,
+                                 const std::string& line, bool* got_bytes) {
+  *got_bytes = false;
+  const std::string request = line + "\n";
+  if (!serve::WriteAllToFd(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::IoError("send to " + addr.ToString() + " failed");
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("recv from " + addr.ToString() + ": " + err);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::IoError("backend " + addr.ToString() +
+                             " closed the connection mid-response");
+    }
+    *got_bytes = true;
+    response.append(buffer, static_cast<size_t>(n));
+    if (response == ".\n" ||
+        (response.size() >= 3 &&
+         response.compare(response.size() - 3, 3, "\n.\n") == 0)) {
+      break;
+    }
+  }
+  // Strip the ".\n" terminator line.
+  response.erase(response.size() - 2);
+  return response;
+}
+
 /// Maps a protocol code name ("IOError", "DataLoss", ...) back onto its
 /// StatusCode; unknown names collapse to kInternal so a newer backend's
 /// error still fails closed rather than silently succeeding.
@@ -72,44 +124,89 @@ StatusCode ParseStatusCodeName(const std::string& name) {
 
 }  // namespace
 
+BackendClient::~BackendClient() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (auto& [key, conns] : pool_) {
+    for (const PooledConn& conn : conns) ::close(conn.fd);
+  }
+  pool_.clear();
+}
+
+int BackendClient::AcquirePooled(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  auto it = pool_.find(key);
+  if (it == pool_.end()) return -1;
+  std::vector<PooledConn>& conns = it->second;
+  const int64_t now_us = NowMicros();
+  // Most recently used first: its server-side peer is the least likely to
+  // have been idle-reaped.
+  while (!conns.empty()) {
+    const PooledConn conn = conns.back();
+    conns.pop_back();
+    if (idle_timeout_seconds_ > 0 &&
+        static_cast<double>(now_us - conn.last_used_us) * 1e-6 >
+            idle_timeout_seconds_) {
+      ::close(conn.fd);
+      discards_idle_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    return conn.fd;
+  }
+  return -1;
+}
+
+void BackendClient::ReleasePooled(const std::string& key, int fd) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  std::vector<PooledConn>& conns = pool_[key];
+  if (conns.size() >= kMaxPooledPerBackend) {
+    ::close(conns.front().fd);  // oldest = most likely already reaped
+    conns.erase(conns.begin());
+  }
+  conns.push_back(PooledConn{fd, NowMicros()});
+}
+
+BackendClient::PoolStats BackendClient::pool_stats() const {
+  PoolStats stats;
+  stats.connects = connects_.load(std::memory_order_relaxed);
+  stats.reuses = reuses_.load(std::memory_order_relaxed);
+  stats.discards_idle = discards_idle_.load(std::memory_order_relaxed);
+  stats.retries_stale = retries_stale_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (const auto& [key, conns] : pool_) stats.open += conns.size();
+  return stats;
+}
+
 Result<std::string> BackendClient::RoundTrip(const BackendAddress& addr,
                                              const std::string& line) const {
-  auto fd_result = Connect(addr, timeout_seconds_);
-  if (!fd_result.ok()) return fd_result.status();
-  const int fd = fd_result.value();
+  const std::string key = addr.ToString();
+  int fd = AcquirePooled(key);
+  bool reused = fd >= 0;
+  if (reused) reuses_.fetch_add(1, std::memory_order_relaxed);
 
-  const std::string request = line + "\nQUIT\n";
-  if (!serve::WriteAllToFd(fd, request.data(), request.size())) {
-    ::close(fd);
-    return Status::IoError("send to " + addr.ToString() + " failed");
-  }
-
-  std::string response;
-  char buffer[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const std::string err = std::strerror(errno);
-      ::close(fd);
-      return Status::IoError("recv from " + addr.ToString() + ": " + err);
+    if (fd < 0) {
+      auto fd_result = Connect(addr, timeout_seconds_);
+      if (!fd_result.ok()) return fd_result.status();
+      fd = fd_result.value();
+      connects_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (n == 0) {
-      ::close(fd);
-      return Status::IoError("backend " + addr.ToString() +
-                             " closed the connection mid-response");
+    bool got_bytes = false;
+    Result<std::string> response = ExchangeOnFd(fd, addr, line, &got_bytes);
+    if (response.ok()) {
+      ReleasePooled(key, fd);
+      return response;
     }
-    response.append(buffer, static_cast<size_t>(n));
-    if (response == ".\n" ||
-        (response.size() >= 3 &&
-         response.compare(response.size() - 3, 3, "\n.\n") == 0)) {
-      break;
+    // ExchangeOnFd closed the fd. A pooled connection that died before
+    // producing a single byte was almost certainly reaped while idle —
+    // retry once on a fresh connection; anything else is a real failure.
+    fd = -1;
+    if (reused && !got_bytes) {
+      retries_stale_.fetch_add(1, std::memory_order_relaxed);
+      reused = false;
+      continue;
     }
+    return response.status();
   }
-  ::close(fd);
-  // Strip the ".\n" terminator line.
-  response.erase(response.size() - 2);
-  return response;
 }
 
 BackendReply ParseBackendReply(const std::string& response) {

@@ -1,7 +1,10 @@
 #ifndef CURE_ROUTER_BACKEND_CLIENT_H_
 #define CURE_ROUTER_BACKEND_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,10 +14,12 @@
 namespace cure {
 namespace router {
 
-/// One backend's answer to a QUERY/ICEBERG/SLICE line, parsed from the
-/// protocol framing:
-///   OK <count> <checksum-hex> <HIT|MISS> trace=<id>\n <rows...> .\n
+/// One backend's answer to a query verb line, parsed from the protocol
+/// framing:
+///   OK <count> <checksum-hex> <token> trace=<id>\n <rows...> .\n
 ///   ERR <CodeName> <message>\n .\n
+/// where <token> is HIT | SEMANTIC | MISS (cure_serve) or SCATTER / BATCH
+/// (a downstream router).
 struct BackendReply {
   /// OK, or the backend's error mapped back onto its StatusCode (an
   /// unrecognized code name maps to kInternal). Transport failures
@@ -27,7 +32,8 @@ struct BackendReply {
   uint64_t trace_id = 0;
   bool cache_hit = false;
   /// Tab-separated body rows, one per result row, dictionary-decoded by the
-  /// backend (dims as strings, aggregates as decimal int64).
+  /// backend (dims as strings, aggregates as decimal int64). For a BATCH
+  /// reply this includes the "= ..." section header lines.
   std::vector<std::string> rows;
 };
 
@@ -39,18 +45,33 @@ struct BackendFreshness {
   double staleness_seconds = 0;
 };
 
-/// Blocking one-shot line-protocol client for cure_serve backends. Each
-/// call opens a fresh connection, sends one command followed by QUIT, and
-/// reads until the ".\n" terminator. Connections are not pooled — the
-/// router's scatter path opens one per (shard, attempt), which keeps
-/// failover trivially correct (no half-dead pooled sockets) at loopback
-/// latencies far below a query's execution cost.
+/// Blocking line-protocol client for cure_serve backends with per-address
+/// connection pooling. A round trip checks the pool for an idle connection
+/// to the address first; on miss it connects fresh. The command is sent
+/// WITHOUT a trailing QUIT (the server keeps the connection open between
+/// lines), the response is read up to the ".\n" terminator, and the healthy
+/// connection is returned to the pool. Failover stays correct: any
+/// transport error closes the connection instead of pooling it, and a
+/// reused connection that dies before yielding a single response byte (the
+/// server restarted or reaped it) is retried ONCE on a fresh connection —
+/// a request that already produced bytes is never resent.
 class BackendClient {
  public:
   /// `timeout_seconds` bounds connect, each send and each receive
   /// individually (SO_SNDTIMEO/SO_RCVTIMEO); 0 = no timeout.
-  explicit BackendClient(double timeout_seconds = 5.0)
-      : timeout_seconds_(timeout_seconds) {}
+  /// `idle_timeout_seconds` discards pooled connections idle longer than
+  /// this on acquire (they are likely server-side reaped); 0 = keep
+  /// forever.
+  explicit BackendClient(double timeout_seconds = 5.0,
+                         double idle_timeout_seconds = 30.0)
+      : timeout_seconds_(timeout_seconds),
+        idle_timeout_seconds_(idle_timeout_seconds) {}
+
+  /// Closes every pooled connection.
+  ~BackendClient();
+
+  BackendClient(const BackendClient&) = delete;
+  BackendClient& operator=(const BackendClient&) = delete;
 
   /// Sends `line` and returns the raw response text up to and excluding the
   /// ".\n" terminator. kIoError on any transport failure.
@@ -67,11 +88,42 @@ class BackendClient {
   /// is unreachable.
   Result<BackendFreshness> ProbeStats(const BackendAddress& addr) const;
 
+  struct PoolStats {
+    uint64_t connects = 0;       ///< fresh TCP connects
+    uint64_t reuses = 0;         ///< round trips served by a pooled connection
+    uint64_t discards_idle = 0;  ///< pooled connections dropped as too idle
+    uint64_t retries_stale = 0;  ///< reused connections found dead, retried
+    uint64_t open = 0;           ///< connections sitting in the pool now
+  };
+  PoolStats pool_stats() const;
+
  private:
+  struct PooledConn {
+    int fd = -1;
+    int64_t last_used_us = 0;
+  };
+
+  /// Pops a pooled connection for `key`, discarding idle-expired ones;
+  /// -1 when the pool has none.
+  int AcquirePooled(const std::string& key) const;
+  /// Returns a healthy connection to the pool (bounded per backend; the
+  /// oldest connection is closed when full).
+  void ReleasePooled(const std::string& key, int fd) const;
+
   double timeout_seconds_;
+  double idle_timeout_seconds_;
+
+  // The pool is logically an optimization invisible to callers, so the
+  // round-trip methods stay const.
+  mutable std::mutex pool_mu_;
+  mutable std::map<std::string, std::vector<PooledConn>> pool_;
+  mutable std::atomic<uint64_t> connects_{0};
+  mutable std::atomic<uint64_t> reuses_{0};
+  mutable std::atomic<uint64_t> discards_idle_{0};
+  mutable std::atomic<uint64_t> retries_stale_{0};
 };
 
-/// Parses "OK <count> <checksum-hex> <HIT|MISS> trace=<id>" + body rows or
+/// Parses "OK <count> <checksum-hex> <token> trace=<id>" + body rows or
 /// "ERR <CodeName> <message>" into a BackendReply. Exposed for tests.
 BackendReply ParseBackendReply(const std::string& response);
 

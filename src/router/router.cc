@@ -8,7 +8,9 @@
 #include <sstream>
 #include <utility>
 
+#include "algebra/rollup.h"
 #include "common/trace.h"
+#include "schema/lattice.h"
 #include "serve/protocol.h"
 
 namespace cure {
@@ -332,96 +334,14 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
   }
   backend_line += " trace=" + std::to_string(trace_id);
 
-  // Scatter: one task per shard, each picking its own replica.
-  std::vector<std::future<Status>> futures;
-  std::vector<Result<BackendReply>> replies(
-      static_cast<size_t>(map_.num_shards()),
-      Status::Internal("shard reply missing"));
-  {
-    CURE_TRACE_SPAN("cure.router.scatter", "trace_id", trace_id, "shards",
-                    static_cast<uint64_t>(map_.num_shards()));
-    futures.reserve(replies.size());
-    for (int s = 0; s < map_.num_shards(); ++s) {
-      futures.push_back(pool_->Submit([this, s, &backend_line, &replies] {
-        replies[s] = QueryShard(s, backend_line);
-        return Status::OK();
-      }));
-    }
-    for (auto& f : futures) f.get();
-  }
-
-  // The grouped columns, in dimension order — the shape of every row.
-  const std::vector<int> levels = codec_.Decode(*node);
-  std::vector<std::pair<int, int>> columns;
-  for (int d = 0; d < codec_.num_dims(); ++d) {
-    if (levels[d] != codec_.all_level(d)) columns.emplace_back(d, levels[d]);
-  }
-  const size_t num_aggrs = static_cast<size_t>(schema_->num_aggregates());
-
-  // Gather: fold every shard's partial relation into the merger.
-  PartialMerger merger(*schema_);
-  {
-    CURE_TRACE_SPAN("cure.router.merge", "trace_id", trace_id);
-    std::vector<uint32_t> dims(columns.size());
-    std::vector<int64_t> aggrs(num_aggrs);
-    for (int s = 0; s < map_.num_shards(); ++s) {
-      const Result<BackendReply>& reply = replies[s];
-      const Status status = reply.ok() ? reply->status : reply.status();
-      if (!status.ok()) {
-        queries_errors_->Inc();
-        query_latency_us_->Record(NowMicros() - start_us);
-        return ErrResponse(status);
-      }
-      for (const std::string& row : reply->rows) {
-        const std::vector<std::string> fields = SplitRow(row);
-        if (fields.size() != columns.size() + num_aggrs) {
-          queries_errors_->Inc();
-          query_latency_us_->Record(NowMicros() - start_us);
-          return ErrResponse(
-              StatusCode::kInternal,
-              "shard " + std::to_string(s) + " returned a row with " +
-                  std::to_string(fields.size()) + " fields, expected " +
-                  std::to_string(columns.size() + num_aggrs));
-        }
-        for (size_t i = 0; i < columns.size(); ++i) {
-          if (encoder_ != nullptr) {
-            Result<uint32_t> code =
-                encoder_(columns[i].first, columns[i].second, fields[i]);
-            if (!code.ok()) {
-              queries_errors_->Inc();
-              query_latency_us_->Record(NowMicros() - start_us);
-              return ErrResponse(code.status());
-            }
-            dims[i] = code.value();
-          } else {
-            dims[i] = static_cast<uint32_t>(
-                std::strtoul(fields[i].c_str(), nullptr, 10));
-          }
-        }
-        for (size_t y = 0; y < num_aggrs; ++y) {
-          int64_t value = 0;
-          if (!ParseInt64(fields[columns.size() + y], &value)) {
-            queries_errors_->Inc();
-            query_latency_us_->Record(NowMicros() - start_us);
-            return ErrResponse(StatusCode::kInternal,
-                               "shard " + std::to_string(s) +
-                                   " returned a non-numeric aggregate '" +
-                                   fields[columns.size() + y] + "'");
-          }
-          aggrs[y] = value;
-        }
-        merger.Add(dims, aggrs.data());
-      }
-    }
-  }
-
   query::ResultSink sink(/*retain=*/true);
-  const Status finish =
-      merger.Finish(count_aggregate_, min_count, &sink);
-  if (!finish.ok()) {
+  std::vector<std::pair<int, int>> columns;
+  const Status gathered =
+      ScatterGather(*node, backend_line, min_count, &sink, &columns);
+  if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
-    return ErrResponse(finish);
+    return ErrResponse(gathered);
   }
 
   char header[96];
@@ -430,7 +350,84 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
                 static_cast<unsigned long long>(sink.checksum()),
                 static_cast<unsigned long long>(trace_id));
   std::string out = header;
-  for (const query::ResultSink::Row& row : sink.rows()) {
+  out += FormatRowsText(sink.rows(), columns);
+  out += ".\n";
+  query_latency_us_->Record(NowMicros() - start_us);
+  return out;
+}
+
+std::vector<Result<BackendReply>> CureRouter::Scatter(
+    const std::string& backend_line) {
+  std::vector<std::future<Status>> futures;
+  std::vector<Result<BackendReply>> replies(
+      static_cast<size_t>(map_.num_shards()),
+      Status::Internal("shard reply missing"));
+  CURE_TRACE_SPAN("cure.router.scatter", "shards",
+                  static_cast<uint64_t>(map_.num_shards()));
+  futures.reserve(replies.size());
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    futures.push_back(pool_->Submit([this, s, &backend_line, &replies] {
+      replies[s] = QueryShard(s, backend_line);
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) f.get();
+  return replies;
+}
+
+std::vector<std::pair<int, int>> CureRouter::GroupedColumns(
+    schema::NodeId node) const {
+  const std::vector<int> levels = codec_.Decode(node);
+  std::vector<std::pair<int, int>> columns;
+  for (int d = 0; d < codec_.num_dims(); ++d) {
+    if (levels[d] != codec_.all_level(d)) columns.emplace_back(d, levels[d]);
+  }
+  return columns;
+}
+
+Status CureRouter::MergeShardRows(
+    int shard, const std::vector<std::string>& rows,
+    const std::vector<std::pair<int, int>>& columns,
+    PartialMerger* merger) const {
+  const size_t num_aggrs = static_cast<size_t>(schema_->num_aggregates());
+  std::vector<uint32_t> dims(columns.size());
+  std::vector<int64_t> aggrs(num_aggrs);
+  for (const std::string& row : rows) {
+    const std::vector<std::string> fields = SplitRow(row);
+    if (fields.size() != columns.size() + num_aggrs) {
+      return Status::Internal(
+          "shard " + std::to_string(shard) + " returned a row with " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(columns.size() + num_aggrs));
+    }
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (encoder_ != nullptr) {
+        CURE_ASSIGN_OR_RETURN(
+            dims[i], encoder_(columns[i].first, columns[i].second, fields[i]));
+      } else {
+        dims[i] =
+            static_cast<uint32_t>(std::strtoul(fields[i].c_str(), nullptr, 10));
+      }
+    }
+    for (size_t y = 0; y < num_aggrs; ++y) {
+      int64_t value = 0;
+      if (!ParseInt64(fields[columns.size() + y], &value)) {
+        return Status::Internal("shard " + std::to_string(shard) +
+                                " returned a non-numeric aggregate '" +
+                                fields[columns.size() + y] + "'");
+      }
+      aggrs[y] = value;
+    }
+    merger->Add(dims, aggrs.data());
+  }
+  return Status::OK();
+}
+
+std::string CureRouter::FormatRowsText(
+    const std::vector<query::ResultSink::Row>& rows,
+    const std::vector<std::pair<int, int>>& columns) const {
+  std::string out;
+  for (const query::ResultSink::Row& row : rows) {
     std::string line;
     for (size_t i = 0; i < row.dims.size(); ++i) {
       if (!line.empty()) line += '\t';
@@ -447,6 +444,338 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
     out += line;
     out += '\n';
   }
+  return out;
+}
+
+Status CureRouter::ScatterGather(schema::NodeId node,
+                                 const std::string& backend_line,
+                                 int64_t min_count, query::ResultSink* sink,
+                                 std::vector<std::pair<int, int>>* columns) {
+  const std::vector<Result<BackendReply>> replies = Scatter(backend_line);
+  *columns = GroupedColumns(node);
+  PartialMerger merger(*schema_);
+  {
+    CURE_TRACE_SPAN("cure.router.merge");
+    for (int s = 0; s < map_.num_shards(); ++s) {
+      const Result<BackendReply>& reply = replies[s];
+      const Status status = reply.ok() ? reply->status : reply.status();
+      if (!status.ok()) return status;
+      CURE_RETURN_IF_ERROR(MergeShardRows(s, reply->rows, *columns, &merger));
+    }
+  }
+  return merger.Finish(count_aggregate_, min_count, sink);
+}
+
+std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in,
+                                       const std::string& cmd) {
+  std::vector<std::string> tokens = tokens_in;
+  uint64_t trace_id = 0;
+  if (!TakeTraceToken(&tokens, &trace_id)) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "trace=<id> requires a positive integer id");
+  }
+  if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
+  CURE_TRACE_SPAN("cure.router.navigate", "trace_id", trace_id);
+  const int64_t start_us = NowMicros();
+  queries_total_->Inc();
+
+  if (tokens.size() < 3) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "usage: " + cmd +
+                           " <node> <dim> [<level=value>...] [MINSUP <n>]");
+  }
+  Result<schema::NodeId> node =
+      serve::ParseNodeSpec(*schema_, codec_, tokens[1]);
+  if (!node.ok()) {
+    queries_errors_->Inc();
+    return ErrResponse(node.status());
+  }
+  int dim = -1;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (schema_->dim(d).name() == tokens[2]) dim = d;
+  }
+  if (dim < 0) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kNotFound,
+                       "no dimension named '" + tokens[2] + "'");
+  }
+  // The navigation step resolves HERE, on the router's own lattice, so the
+  // backends only ever see plain QUERY/SLICE lines (and the landed node is
+  // announced to the client exactly as a single backend would).
+  const schema::Lattice lattice(schema_);
+  Result<schema::NodeId> target = cmd == "ROLLUP"
+                                      ? lattice.RollUpDim(*node, dim)
+                                      : lattice.DrillDownDim(*node, dim);
+  if (!target.ok()) {
+    queries_errors_->Inc();
+    return ErrResponse(target.status());
+  }
+  const std::string spec = serve::FormatNodeSpec(*schema_, codec_, *target);
+
+  // Slices pass through; MINSUP is stripped and applied post-merge.
+  int64_t min_count = 0;
+  std::vector<std::string> slices;
+  for (size_t arg = 3; arg < tokens.size(); ++arg) {
+    if (ToUpper(tokens[arg]) == "MINSUP") {
+      if (arg + 2 != tokens.size() || !ParseInt64(tokens[arg + 1], &min_count) ||
+          min_count < 1) {
+        queries_errors_->Inc();
+        return ErrResponse(StatusCode::kInvalidArgument,
+                           "MINSUP must be followed by a single positive "
+                           "integer at the end of the command");
+      }
+      break;
+    }
+    slices.push_back(tokens[arg]);
+  }
+  if (min_count > 1 && count_aggregate_ < 0) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kFailedPrecondition,
+                       "iceberg queries require a COUNT aggregate in the "
+                       "schema");
+  }
+
+  std::string backend_line = slices.empty() ? "QUERY " : "SLICE ";
+  backend_line += spec;
+  for (const std::string& slice : slices) backend_line += ' ' + slice;
+  backend_line += " trace=" + std::to_string(trace_id);
+
+  query::ResultSink sink(/*retain=*/true);
+  std::vector<std::pair<int, int>> columns;
+  const Status gathered =
+      ScatterGather(*target, backend_line, min_count, &sink, &columns);
+  if (!gathered.ok()) {
+    queries_errors_->Inc();
+    query_latency_us_->Record(NowMicros() - start_us);
+    return ErrResponse(gathered);
+  }
+
+  char header[128];
+  std::snprintf(header, sizeof(header),
+                "OK %llu %016llx SCATTER trace=%llu node=%s\n",
+                static_cast<unsigned long long>(sink.count()),
+                static_cast<unsigned long long>(sink.checksum()),
+                static_cast<unsigned long long>(trace_id), spec.c_str());
+  std::string out = header;
+  out += FormatRowsText(sink.rows(), columns);
+  out += ".\n";
+  query_latency_us_->Record(NowMicros() - start_us);
+  return out;
+}
+
+std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
+  std::vector<std::string> tokens = tokens_in;
+  uint64_t trace_id = 0;
+  if (!TakeTraceToken(&tokens, &trace_id)) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "trace=<id> requires a positive integer id");
+  }
+  if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
+  CURE_TRACE_SPAN("cure.router.topk", "trace_id", trace_id);
+  const int64_t start_us = NowMicros();
+  queries_total_->Inc();
+
+  int64_t topk = 0;
+  if (tokens.size() < 3 || !ParseInt64(tokens[2], &topk) || topk < 1) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "usage: TOPK <node> <k> [<level=value>...] with a "
+                       "positive k");
+  }
+  Result<schema::NodeId> node =
+      serve::ParseNodeSpec(*schema_, codec_, tokens[1]);
+  if (!node.ok()) {
+    queries_errors_->Inc();
+    return ErrResponse(node.status());
+  }
+  std::vector<std::string> slices;
+  for (size_t arg = 3; arg < tokens.size(); ++arg) {
+    if (ToUpper(tokens[arg]) == "MINSUP") {
+      queries_errors_->Inc();
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "TOPK does not take MINSUP");
+    }
+    slices.push_back(tokens[arg]);
+  }
+
+  // Top-k membership is not per-shard-decidable (a group can be globally
+  // hot while cold on every shard), so the FULL query is scattered and the
+  // selection happens after the merge — exactly like MINSUP.
+  std::string backend_line = slices.empty() ? "QUERY " : "SLICE ";
+  backend_line += tokens[1];
+  for (const std::string& slice : slices) backend_line += ' ' + slice;
+  backend_line += " trace=" + std::to_string(trace_id);
+
+  query::ResultSink sink(/*retain=*/true);
+  std::vector<std::pair<int, int>> columns;
+  const Status gathered =
+      ScatterGather(*node, backend_line, /*min_count=*/0, &sink, &columns);
+  if (!gathered.ok()) {
+    queries_errors_->Inc();
+    query_latency_us_->Record(NowMicros() - start_us);
+    return ErrResponse(gathered);
+  }
+
+  const int order_aggregate = count_aggregate_ >= 0 ? count_aggregate_ : 0;
+  const std::vector<query::ResultSink::Row> selected = algebra::SelectTopK(
+      sink.rows(), static_cast<size_t>(topk), order_aggregate);
+  query::ResultSink top(/*retain=*/true);
+  for (const query::ResultSink::Row& row : selected) {
+    top.Emit(row.dims.data(), static_cast<int>(row.dims.size()),
+             row.aggrs.data(), static_cast<int>(row.aggrs.size()));
+  }
+
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu\n",
+                static_cast<unsigned long long>(top.count()),
+                static_cast<unsigned long long>(top.checksum()),
+                static_cast<unsigned long long>(trace_id));
+  std::string out = header;
+  out += FormatRowsText(top.rows(), columns);
+  out += ".\n";
+  query_latency_us_->Record(NowMicros() - start_us);
+  return out;
+}
+
+std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
+  std::vector<std::string> tokens = tokens_in;
+  uint64_t trace_id = 0;
+  if (!TakeTraceToken(&tokens, &trace_id)) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "trace=<id> requires a positive integer id");
+  }
+  if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
+  CURE_TRACE_SPAN("cure.router.batch", "trace_id", trace_id, "nodes",
+                  static_cast<uint64_t>(tokens.size() - 1));
+  const int64_t start_us = NowMicros();
+  queries_total_->Inc();
+
+  if (tokens.size() < 2) {
+    queries_errors_->Inc();
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "usage: BATCH <node> [<node>...]");
+  }
+  std::vector<schema::NodeId> nodes;
+  std::vector<std::string> specs;  // canonical, as the backends echo them
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    Result<schema::NodeId> node =
+        serve::ParseNodeSpec(*schema_, codec_, tokens[i]);
+    if (!node.ok()) {
+      queries_errors_->Inc();
+      return ErrResponse(node.status());
+    }
+    nodes.push_back(*node);
+    specs.push_back(serve::FormatNodeSpec(*schema_, codec_, *node));
+  }
+
+  // The whole batch is forwarded to every shard in ONE round trip (the
+  // backends keep their most-detailed-first execution order, so their
+  // semantic caches still chain within the batch); each section is then
+  // merged independently, exactly as if it had been scattered on its own.
+  std::string backend_line = "BATCH";
+  for (const std::string& spec : specs) backend_line += ' ' + spec;
+  backend_line += " trace=" + std::to_string(trace_id);
+  const std::vector<Result<BackendReply>> replies = Scatter(backend_line);
+
+  std::vector<std::vector<std::pair<int, int>>> columns(nodes.size());
+  std::vector<std::unique_ptr<PartialMerger>> mergers;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    columns[i] = GroupedColumns(nodes[i]);
+    mergers.push_back(std::make_unique<PartialMerger>(*schema_));
+  }
+
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    const Result<BackendReply>& reply = replies[s];
+    const Status status = reply.ok() ? reply->status : reply.status();
+    if (!status.ok()) {
+      queries_errors_->Inc();
+      query_latency_us_->Record(NowMicros() - start_us);
+      return ErrResponse(status);
+    }
+    // Sections arrive in input order, each framed by its "= <spec> <count>
+    // <checksum> <token>" header; the count prefix delimits its rows.
+    size_t row = 0, section = 0;
+    while (row < reply->rows.size()) {
+      std::istringstream head(reply->rows[row]);
+      std::string marker, spec, checksum_hex, token;
+      uint64_t count = 0;
+      if (!(head >> marker >> spec >> count >> checksum_hex >> token) ||
+          marker != "=") {
+        queries_errors_->Inc();
+        query_latency_us_->Record(NowMicros() - start_us);
+        return ErrResponse(StatusCode::kInternal,
+                           "shard " + std::to_string(s) +
+                               " returned a malformed BATCH section header '" +
+                               reply->rows[row] + "'");
+      }
+      if (section >= nodes.size() || spec != specs[section]) {
+        queries_errors_->Inc();
+        query_latency_us_->Record(NowMicros() - start_us);
+        return ErrResponse(StatusCode::kInternal,
+                           "shard " + std::to_string(s) +
+                               " returned unexpected BATCH section '" + spec +
+                               "'");
+      }
+      ++row;
+      if (row + count > reply->rows.size()) {
+        queries_errors_->Inc();
+        query_latency_us_->Record(NowMicros() - start_us);
+        return ErrResponse(StatusCode::kInternal,
+                           "shard " + std::to_string(s) +
+                               " truncated BATCH section '" + spec + "'");
+      }
+      const std::vector<std::string> body(
+          reply->rows.begin() + static_cast<ptrdiff_t>(row),
+          reply->rows.begin() + static_cast<ptrdiff_t>(row + count));
+      const Status merged =
+          MergeShardRows(s, body, columns[section], mergers[section].get());
+      if (!merged.ok()) {
+        queries_errors_->Inc();
+        query_latency_us_->Record(NowMicros() - start_us);
+        return ErrResponse(merged);
+      }
+      row += count;
+      ++section;
+    }
+    if (section != nodes.size()) {
+      queries_errors_->Inc();
+      query_latency_us_->Record(NowMicros() - start_us);
+      return ErrResponse(StatusCode::kInternal,
+                         "shard " + std::to_string(s) + " returned " +
+                             std::to_string(section) + " BATCH sections, "
+                             "expected " + std::to_string(nodes.size()));
+    }
+  }
+
+  std::string sections_out;
+  uint64_t combined_checksum = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    query::ResultSink sink(/*retain=*/true);
+    const Status finish =
+        mergers[i]->Finish(count_aggregate_, /*min_count=*/0, &sink);
+    if (!finish.ok()) {
+      queries_errors_->Inc();
+      query_latency_us_->Record(NowMicros() - start_us);
+      return ErrResponse(finish);
+    }
+    combined_checksum ^= sink.checksum();
+    char section_header[128];
+    std::snprintf(section_header, sizeof(section_header),
+                  "= %s %llu %016llx SCATTER\n", specs[i].c_str(),
+                  static_cast<unsigned long long>(sink.count()),
+                  static_cast<unsigned long long>(sink.checksum()));
+    sections_out += section_header;
+    sections_out += FormatRowsText(sink.rows(), columns[i]);
+  }
+
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx BATCH trace=%llu\n",
+                static_cast<unsigned long long>(nodes.size()),
+                static_cast<unsigned long long>(combined_checksum),
+                static_cast<unsigned long long>(trace_id));
+  std::string out = header;
+  out += sections_out;
   out += ".\n";
   query_latency_us_->Record(NowMicros() - start_us);
   return out;
@@ -492,6 +821,16 @@ void CureRouter::UpdateDerivedMetrics() const {
   metrics_.gauge("pool_queue_depth")
       ->Set(static_cast<double>(pool_->queue_depth()));
   metrics_.gauge("pool_busy_workers")->Set(pool_->busy_workers());
+  const BackendClient::PoolStats conns = client_.pool_stats();
+  metrics_.gauge("backend_pool_connects")
+      ->Set(static_cast<double>(conns.connects));
+  metrics_.gauge("backend_pool_reuses")
+      ->Set(static_cast<double>(conns.reuses));
+  metrics_.gauge("backend_pool_discards_idle")
+      ->Set(static_cast<double>(conns.discards_idle));
+  metrics_.gauge("backend_pool_retries_stale")
+      ->Set(static_cast<double>(conns.retries_stale));
+  metrics_.gauge("backend_pool_open")->Set(static_cast<double>(conns.open));
 }
 
 void CureRouter::MergeBackendLatency(LogHistogram* out) const {
@@ -530,10 +869,13 @@ std::string CureRouter::HandleLine(const std::string& line) {
   if (cmd == "QUERY" || cmd == "ICEBERG" || cmd == "SLICE") {
     return HandleQuery(tokens, cmd);
   }
+  if (cmd == "ROLLUP" || cmd == "DRILL") return HandleNavigate(tokens, cmd);
+  if (cmd == "TOPK") return HandleTopK(tokens);
+  if (cmd == "BATCH") return HandleBatch(tokens);
   return ErrResponse(StatusCode::kInvalidArgument,
                      "unknown command '" + tokens[0] +
-                         "' (expected QUERY, ICEBERG, SLICE, STATS, METRICS, "
-                         "HEALTH or QUIT)");
+                         "' (expected QUERY, ICEBERG, SLICE, ROLLUP, DRILL, "
+                         "TOPK, BATCH, STATS, METRICS, HEALTH or QUIT)");
 }
 
 void CureRouter::OverrideReplicaFreshnessForTest(int shard, int replica,

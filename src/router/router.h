@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -82,7 +83,14 @@ class CureRouter {
   ///
   /// Verbs: QUERY/ICEBERG/SLICE (scattered; responses read
   /// "OK <count> <checksum-hex> SCATTER trace=<id>" plus merged rows),
-  /// STATS, METRICS (Prometheus, cure_router_ prefix), HEALTH (one line per
+  /// ROLLUP/DRILL (the navigation step is resolved HERE on the lattice,
+  /// then scattered as a plain query; the landed node is echoed as a
+  /// trailing `node=<spec>` header token), TOPK (scattered as the full
+  /// query — top-k membership is not per-shard-decidable — and selected
+  /// after the merge, like MINSUP), BATCH (the whole line is forwarded to
+  /// every shard in one round trip and each section merged independently;
+  /// sections read "= <spec> <count> <checksum-hex> SCATTER"), STATS,
+  /// METRICS (Prometheus, cure_router_ prefix), HEALTH (one line per
   /// replica: "shard <s> replica <r> <addr> <UP|DOWN|EJECTED> version=<v>
   /// staleness=<s>").
   std::string HandleLine(const std::string& line);
@@ -130,8 +138,36 @@ class CureRouter {
   /// Candidate replica order for a shard (see class comment).
   std::vector<int> PickOrder(int shard);
 
+  /// Scatters `backend_line` to every shard (one pool task per shard, each
+  /// picking its own replica with failover).
+  std::vector<Result<BackendReply>> Scatter(const std::string& backend_line);
+
+  /// The grouped (dim, level) columns of a node, in dimension order — the
+  /// shape of its result rows.
+  std::vector<std::pair<int, int>> GroupedColumns(schema::NodeId node) const;
+
+  /// Re-encodes one shard's decoded rows and folds them into `merger`.
+  Status MergeShardRows(int shard, const std::vector<std::string>& rows,
+                        const std::vector<std::pair<int, int>>& columns,
+                        PartialMerger* merger) const;
+
+  /// Dictionary-decoded tab-separated lines for merged rows.
+  std::string FormatRowsText(
+      const std::vector<query::ResultSink::Row>& rows,
+      const std::vector<std::pair<int, int>>& columns) const;
+
+  /// Scatter + gather + post-merge iceberg for one node query; the merged,
+  /// deterministic relation lands in `sink` (retained rows).
+  Status ScatterGather(schema::NodeId node, const std::string& backend_line,
+                       int64_t min_count, query::ResultSink* sink,
+                       std::vector<std::pair<int, int>>* columns);
+
   std::string HandleQuery(const std::vector<std::string>& tokens,
                           const std::string& cmd);
+  std::string HandleNavigate(const std::vector<std::string>& tokens,
+                             const std::string& cmd);
+  std::string HandleTopK(const std::vector<std::string>& tokens);
+  std::string HandleBatch(const std::vector<std::string>& tokens);
   std::string HealthText();
   void UpdateDerivedMetrics() const;
   /// Merges every per-backend latency histogram into `out` (stack-local

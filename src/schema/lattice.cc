@@ -1,5 +1,7 @@
 #include "schema/lattice.h"
 
+#include <algorithm>
+
 namespace cure {
 namespace schema {
 
@@ -20,6 +22,52 @@ std::vector<NodeId> Lattice::AllNodes() const {
   nodes.reserve(codec_.num_nodes());
   for (NodeId id = 0; id < codec_.num_nodes(); ++id) nodes.push_back(id);
   return nodes;
+}
+
+Result<NodeId> Lattice::RollUpDim(NodeId node, int dim) const {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  std::vector<int> levels = codec_.Decode(node);
+  const int all = codec_.all_level(dim);
+  if (levels[dim] == all) {
+    return Status::InvalidArgument("dimension " + schema_->dim(dim).name() +
+                                   " is already at ALL");
+  }
+  const std::vector<int>& parents =
+      schema_->dim(dim).level(levels[dim]).parents;
+  if (parents.empty()) {
+    levels[dim] = all;
+  } else {
+    levels[dim] = *std::min_element(parents.begin(), parents.end());
+  }
+  return codec_.Encode(levels);
+}
+
+Result<NodeId> Lattice::DrillDownDim(NodeId node, int dim) const {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  std::vector<int> levels = codec_.Decode(node);
+  const Dimension& dimension = schema_->dim(dim);
+  if (levels[dim] == codec_.all_level(dim)) {
+    levels[dim] = dimension.plan_roots().front();
+    return codec_.Encode(levels);
+  }
+  int child = -1;
+  for (int l = 0; l < dimension.num_levels(); ++l) {
+    const std::vector<int>& parents = dimension.level(l).parents;
+    if (std::find(parents.begin(), parents.end(), levels[dim]) !=
+        parents.end()) {
+      child = std::max(child, l);
+    }
+  }
+  if (child < 0) {
+    return Status::InvalidArgument("dimension " + dimension.name() +
+                                   " is already at its leaf level");
+  }
+  levels[dim] = child;
+  return codec_.Encode(levels);
 }
 
 int Lattice::NumGroupingDims(NodeId id) const {

@@ -36,6 +36,21 @@ class Lattice {
   /// Number of grouping attributes (non-ALL dimensions) of a node.
   int NumGroupingDims(NodeId id) const;
 
+  /// One roll-up step along `dim`: the node whose `dim` level moves to the
+  /// lowest-indexed direct parent (for a linear hierarchy, one step
+  /// coarser), or to ALL when the current level is maximal. Error when the
+  /// dimension is already at ALL — there is nothing coarser. Powers the
+  /// serving layer's ROLLUP verb.
+  Result<NodeId> RollUpDim(NodeId node, int dim) const;
+
+  /// One drill-down step along `dim`, the inverse walk: from ALL the
+  /// dimension enters at its first plan root (the coarsest level); from any
+  /// other level it moves to the highest-indexed level whose parents
+  /// include the current one. Error at the leaf level — there is nothing
+  /// finer. Powers the serving layer's DRILL verb. RollUpDim(DrillDownDim(
+  /// n, d), d) == n along linear hierarchies.
+  Result<NodeId> DrillDownDim(NodeId node, int dim) const;
+
   /// Exact number of result tuples of a node, by brute-force distinct
   /// counting over leaf-level rows provided by a callback. Test helper.
   const CubeSchema& schema() const { return *schema_; }

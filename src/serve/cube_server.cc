@@ -1,7 +1,9 @@
 #include "serve/cube_server.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,6 +15,35 @@
 namespace cure {
 namespace serve {
 
+namespace {
+
+/// Rows the engine would touch to answer `node` from the cube directly —
+/// the cost gate for semantic derivation. Row-id-bearing relations (TT, and
+/// NT without dims_in_nt) count double: each row is a fact-table
+/// dereference on top of the scan. A node with no storage estimates 0, so
+/// derivation is skipped and the (trivially cheap) engine answers.
+uint64_t EngineScanRowsEstimate(const engine::CureCube& cube,
+                                schema::NodeId node) {
+  const cube::CubeStore::NodeData* data = cube.store().node(node);
+  if (data == nullptr) return 0;
+  const bool nt_derefs = !cube.store().options().dims_in_nt;
+  uint64_t rows = 0;
+  if (data->has_nt) rows += data->nt.num_rows() * (nt_derefs ? 2 : 1);
+  if (data->has_tt) rows += data->tt.num_rows() * 2;
+  if (data->tt_bitmap != nullptr) rows += data->tt_bitmap->Count() * 2;
+  if (data->has_cat) rows += data->cat.num_rows();
+  if (data->has_plain) rows += data->plain.num_rows();
+  return rows;
+}
+
+/// A derived row costs several engine rows: the roll-up re-aggregates
+/// through a hash table while the engine streams a materialized relation.
+/// The gate passed to DeriveFromCache scales the estimate down accordingly,
+/// so derivation only replaces engine scans it genuinely undercuts.
+constexpr uint64_t kDerivationRowCostFactor = 4;
+
+}  // namespace
+
 CubeServer::CubeServer(
     const engine::CureCube* cube, maintain::LiveCube* live,
     const CubeServerOptions& options,
@@ -21,7 +52,8 @@ CubeServer::CubeServer(
       live_(live),
       options_(options),
       static_snapshot_(std::move(static_snapshot)),
-      cache_(options.cache_bytes, options.cache_shards),
+      cache_(&this->schema(), options.cache_bytes, options.cache_shards,
+             options.semantic_cache),
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {
   const schema::CubeSchema& schema = this->schema();
   for (int y = 0; y < schema.num_aggregates(); ++y) {
@@ -152,7 +184,10 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
                          << " cache_us=" << (cache_done_us - key_done_us)
                          << " execute_us=" << (execute_done_us - cache_done_us)
                          << " rows=" << response.count
-                         << (response.cache_hit ? " cache=HIT" : " cache=MISS");
+                         << (response.cache_hit
+                                 ? " cache=HIT"
+                                 : response.semantic_hit ? " cache=SEMANTIC"
+                                                         : " cache=MISS");
     }
   };
 
@@ -178,6 +213,40 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
       response.count = cached->count;
       response.checksum = cached->checksum;
       response.result = std::move(cached);
+      cache_done_us = watch.ElapsedMicros();
+      execute_done_us = cache_done_us;
+      finish(/*record_latency=*/true);
+      return response;
+    }
+  }
+
+  // Exact key missed: try to derive the answer from a cached ancestor
+  // result (containment + roll-up, DESIGN.md §15) before paying for a cube
+  // scan. The derivation's checksum is bit-identical to the engine path's.
+  if (cache_.semantic_enabled()) {
+    CURE_TRACE_SPAN("cure.serve.semantic_lookup", "trace_id",
+                    response.trace_id);
+    // Two-level cost gate. Below semantic_min_scan_rows the probe itself is
+    // the pessimization, so it is skipped entirely; above it, candidates
+    // whose cached rows exceed the scaled estimate are pruned inside
+    // DeriveFromCache (0 would mean "ungated"; the floor of 1 still admits
+    // identical-containment reuse).
+    uint64_t scan_budget = 0;
+    bool probe = true;
+    if (snapshot->cube != nullptr && options_.semantic_min_scan_rows > 0) {
+      const uint64_t estimate =
+          EngineScanRowsEstimate(*snapshot->cube, request.node);
+      probe = estimate >= options_.semantic_min_scan_rows;
+      scan_budget =
+          std::max<uint64_t>(estimate / kDerivationRowCostFactor, 1);
+    }
+    std::optional<SemanticCache::Derivation> derived;
+    if (probe) derived = cache_.DeriveFromCache(*key, scan_budget);
+    if (derived) {
+      response.semantic_hit = true;
+      response.count = derived->result->count;
+      response.checksum = derived->result->checksum;
+      response.result = std::move(derived->result);
       cache_done_us = watch.ElapsedMicros();
       execute_done_us = cache_done_us;
       finish(/*record_latency=*/true);
@@ -286,7 +355,7 @@ void CubeServer::UpdateDerivedMetrics() const {
   // Satellite: every point-in-time stat flows through the registry (one
   // uniform rendering path for STATS and METRICS) instead of ad-hoc
   // snprintf assembly.
-  const QueryCache::Stats stats = cache_.stats();
+  const QueryCache::Stats stats = cache_.exact()->stats();
   metrics_.gauge("cache_enabled")->Set(cache_.enabled() ? 1 : 0);
   metrics_.gauge("cache_hits")->Set(static_cast<double>(stats.hits));
   metrics_.gauge("cache_misses")->Set(static_cast<double>(stats.misses));
@@ -294,6 +363,21 @@ void CubeServer::UpdateDerivedMetrics() const {
   metrics_.gauge("cache_inserts")->Set(static_cast<double>(stats.inserts));
   metrics_.gauge("cache_bytes")->Set(static_cast<double>(stats.bytes));
   metrics_.gauge("cache_entries")->Set(static_cast<double>(stats.entries));
+  const SemanticCache::Stats sem = cache_.stats();
+  metrics_.gauge("cache_semantic_enabled")
+      ->Set(cache_.semantic_enabled() ? 1 : 0);
+  metrics_.gauge("cache_semantic_hits")
+      ->Set(static_cast<double>(sem.semantic_hits));
+  metrics_.gauge("cache_semantic_misses")
+      ->Set(static_cast<double>(sem.semantic_misses));
+  metrics_.gauge("cache_rollup_rows")
+      ->Set(static_cast<double>(sem.rollup_rows));
+  metrics_.gauge("cache_derived_rows")
+      ->Set(static_cast<double>(sem.derived_rows));
+  metrics_.gauge("cache_index_nodes")
+      ->Set(static_cast<double>(sem.index_nodes));
+  metrics_.gauge("cache_index_keys")
+      ->Set(static_cast<double>(sem.index_keys));
   metrics_.gauge("in_flight")->Set(static_cast<double>(in_flight()));
 
   // Satellite: thread-pool queue depth and worker utilization.

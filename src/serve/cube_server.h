@@ -30,6 +30,17 @@ struct CubeServerOptions {
   /// Result-cache byte budget; 0 disables the cache.
   uint64_t cache_bytes = 0;
   int cache_shards = 8;
+  /// Semantic answering: when the exact key misses, try to derive the
+  /// result from a cached ancestor via the containment algebra (DESIGN.md
+  /// §15). false degrades to the plain exact-key cache (--no-semantic).
+  bool semantic_cache = true;
+  /// Minimum engine scan estimate (rows, per EngineScanRowsEstimate) below
+  /// which the semantic probe is skipped outright: when the engine answers
+  /// a node nearly for free, even a failed derivation attempt costs more
+  /// than the scan it tried to avoid. 0 disables the cost gate entirely —
+  /// every exact miss probes, and candidates are not pruned by row count
+  /// (used by tests and small cubes where derivation is always worthwhile).
+  uint64_t semantic_min_scan_rows = 4096;
   /// Pinned fraction of the fact relation (Fig. 17 semantics).
   double fact_cache_fraction = 1.0;
   /// Default per-query deadline measured from Submit(); 0 = none. A query
@@ -73,6 +84,9 @@ struct QueryResponse {
   /// Rows, when retained or served from cache; may be null otherwise.
   std::shared_ptr<const QueryResult> result;
   bool cache_hit = false;
+  /// Answered by rolling up a cached ancestor result (implies a cache miss
+  /// on the exact key; mutually exclusive with cache_hit).
+  bool semantic_hit = false;
   double latency_seconds = 0;
   /// Cube snapshot version the query ran against (0 for a static cube).
   uint64_t version = 0;
@@ -141,7 +155,10 @@ class CubeServer {
   std::string PrometheusText() const;
 
   MetricsRegistry* metrics() { return &metrics_; }
-  QueryCache* cache() { return &cache_; }
+  /// The exact-key layer of the result cache.
+  QueryCache* cache() { return cache_.exact(); }
+  /// The full semantic cache (containment index + roll-up derivation).
+  SemanticCache* semantic_cache() { return &cache_; }
   maintain::LiveCube* live() { return live_; }
   const schema::CubeSchema& schema() const {
     return live_ != nullptr ? live_->schema() : cube_->schema();
@@ -189,7 +206,9 @@ class CubeServer {
   CubeServerOptions options_;
   std::shared_ptr<const maintain::CubeSnapshot> static_snapshot_;
   int count_aggregate_ = -1;
-  QueryCache cache_;
+  // Depends on schema(): declared after cube_/live_ so the constructor's
+  // member-init order hands it a live schema pointer.
+  SemanticCache cache_;
   // mutable: StatsText()/PrometheusText() are logically const but sample
   // point-in-time gauges into the registry right before rendering.
   mutable MetricsRegistry metrics_;

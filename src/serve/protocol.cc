@@ -64,6 +64,19 @@ Result<schema::NodeId> ParseNodeSpec(const schema::CubeSchema& schema,
   return codec.Encode(levels);
 }
 
+std::string FormatNodeSpec(const schema::CubeSchema& schema,
+                           const schema::NodeIdCodec& codec,
+                           schema::NodeId node) {
+  const std::vector<int> levels = codec.Decode(node);
+  std::string out;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (levels[d] == codec.all_level(d)) continue;
+    if (!out.empty()) out += ',';
+    out += schema.dim(d).level(levels[d]).name;
+  }
+  return out.empty() ? "ALL" : out;
+}
+
 Result<query::CureQueryEngine::Slice> ParseSliceSpec(
     const schema::CubeSchema& schema, const std::string& spec,
     const SliceValueResolver& resolver) {

@@ -24,6 +24,14 @@ Result<schema::NodeId> ParseNodeSpec(const schema::CubeSchema& schema,
                                      const schema::NodeIdCodec& codec,
                                      const std::string& text);
 
+/// Inverse of ParseNodeSpec: renders a node id as its comma-separated level
+/// names ("ALL" for the apex). Round-trips through ParseNodeSpec. Used by
+/// the ROLLUP/DRILL response header (`node=<spec>`) and the BATCH section
+/// headers.
+std::string FormatNodeSpec(const schema::CubeSchema& schema,
+                           const schema::NodeIdCodec& codec,
+                           schema::NodeId node);
+
 /// Resolves a slice value string to a dimension code at (dim, level) —
 /// typically a dictionary lookup when the cube has string dimensions.
 using SliceValueResolver =

@@ -1,113 +1,21 @@
 #ifndef CURE_SERVE_QUERY_CACHE_H_
 #define CURE_SERVE_QUERY_CACHE_H_
 
-#include <atomic>
-#include <cstdint>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
-#include <vector>
+// The result cache was promoted to src/algebra/ where the semantic layer
+// (containment + roll-up derivation) builds on it; the key gained a
+// canonical epoch-free core (algebra::QueryDesc). This header stays as a
+// compatibility alias for serve-layer code and tests.
 
-#include "query/node_query.h"
-#include "schema/node_id.h"
+#include "algebra/result_cache.h"
+#include "algebra/semantic_cache.h"
 
 namespace cure {
 namespace serve {
 
-/// Cache key of one node query: the queried lattice node, the slice
-/// predicates in canonical (sorted) order, the iceberg threshold, and the
-/// cube epoch the query ran against. Two requests with equal keys are
-/// guaranteed identical results over an immutable cube snapshot, which is
-/// what makes result caching sound; stamping the snapshot version into the
-/// key invalidates every entry of an older cube at refresh time without a
-/// stop-the-world purge (stale epochs simply stop being looked up and age
-/// out through LRU eviction).
-struct QueryKey {
-  schema::NodeId node = 0;
-  std::vector<query::CureQueryEngine::Slice> slices;  // sorted by (dim, level, code)
-  int count_aggregate = -1;  ///< -1 when not an iceberg query
-  int64_t min_count = 0;     ///< 0 when not an iceberg query
-  uint64_t epoch = 0;        ///< cube snapshot version (0 = static cube)
-
-  /// Sorts the slices so logically equal requests collide.
-  void Canonicalize();
-
-  bool operator==(const QueryKey& other) const;
-  uint64_t Hash() const;
-};
-
-/// An immutable, shareable query result: tuple count, order-independent
-/// checksum, and the materialized rows. Entries are handed out by
-/// shared_ptr, so an eviction never invalidates a response in flight.
-struct QueryResult {
-  uint64_t count = 0;
-  uint64_t checksum = 0;
-  std::vector<query::ResultSink::Row> rows;
-
-  /// Approximate heap footprint used against the cache's byte budget.
-  uint64_t ByteSize() const;
-};
-
-/// Sharded LRU result cache with a global byte-capacity budget split evenly
-/// across shards. Each shard is an independent mutex + LRU list + hash map,
-/// so concurrent lookups on different shards never contend; counters are
-/// relaxed atomics. Entries larger than a shard's budget are not cached.
-class QueryCache {
- public:
-  /// `capacity_bytes` == 0 disables the cache (lookups always miss, inserts
-  /// are dropped). `num_shards` is rounded up to a power of two.
-  explicit QueryCache(uint64_t capacity_bytes, int num_shards = 8);
-
-  bool enabled() const { return capacity_bytes_ > 0; }
-  uint64_t capacity_bytes() const { return capacity_bytes_; }
-
-  /// Returns the cached result or nullptr; promotes the entry to MRU.
-  std::shared_ptr<const QueryResult> Lookup(const QueryKey& key);
-
-  /// Inserts (or replaces) the entry, evicting LRU entries of the same
-  /// shard until the shard budget holds. Oversized entries are dropped.
-  void Insert(const QueryKey& key, std::shared_ptr<const QueryResult> result);
-
-  struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t inserts = 0;
-    uint64_t bytes = 0;
-    uint64_t entries = 0;
-  };
-  Stats stats() const;
-
- private:
-  struct KeyHash {
-    size_t operator()(const QueryKey& key) const {
-      return static_cast<size_t>(key.Hash());
-    }
-  };
-  struct Entry {
-    QueryKey key;
-    std::shared_ptr<const QueryResult> result;
-    uint64_t bytes = 0;
-  };
-  struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<QueryKey, std::list<Entry>::iterator, KeyHash> map;
-    uint64_t bytes = 0;
-  };
-
-  Shard* ShardFor(const QueryKey& key);
-
-  uint64_t capacity_bytes_;
-  uint64_t shard_capacity_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> inserts_{0};
-};
+using ::cure::algebra::QueryCache;
+using ::cure::algebra::QueryKey;
+using ::cure::algebra::QueryResult;
+using ::cure::algebra::SemanticCache;
 
 }  // namespace serve
 }  // namespace cure

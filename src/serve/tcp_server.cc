@@ -1,5 +1,6 @@
 #include "serve/tcp_server.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -7,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/rollup.h"
 #include "common/trace.h"
+#include "schema/lattice.h"
 
 namespace cure {
 namespace serve {
@@ -155,11 +158,13 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
                       : "NOOP");
     return header;
   }
-  if (cmd != "QUERY" && cmd != "ICEBERG" && cmd != "SLICE") {
+  if (cmd != "QUERY" && cmd != "ICEBERG" && cmd != "SLICE" &&
+      cmd != "ROLLUP" && cmd != "DRILL" && cmd != "TOPK" && cmd != "BATCH") {
     return ErrResponse(StatusCode::kInvalidArgument,
                        "unknown command '" + tokens[0] +
-                           "' (expected QUERY, ICEBERG, SLICE, APPEND, FLUSH, "
-                           "STATS, METRICS or QUIT)");
+                           "' (expected QUERY, ICEBERG, SLICE, ROLLUP, DRILL, "
+                           "TOPK, BATCH, APPEND, FLUSH, STATS, METRICS or "
+                           "QUIT)");
   }
 
   QueryRequest request;
@@ -174,10 +179,25 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
                            " city,category");
   }
 
+  if (cmd == "BATCH") {
+    std::vector<schema::NodeId> nodes;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      Result<schema::NodeId> node =
+          ParseNodeSpec(server_->schema(), server_->codec(), tokens[i]);
+      if (!node.ok()) return ErrResponse(node.status());
+      nodes.push_back(*node);
+    }
+    return HandleBatch(nodes, request.trace_id);
+  }
+
   Result<schema::NodeId> node =
       ParseNodeSpec(server_->schema(), server_->codec(), tokens[1]);
   if (!node.ok()) return ErrResponse(node.status());
   request.node = *node;
+
+  // Trailing header token announcing where a navigation verb landed.
+  std::string extra_token;
+  int64_t topk = 0;
 
   size_t arg = 2;
   if (cmd == "ICEBERG") {
@@ -190,14 +210,50 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
                          "minsup '" + tokens[2] + "' is not a positive integer");
     }
     arg = 3;
-  } else if (cmd == "SLICE") {
+  } else if (cmd == "ROLLUP" || cmd == "DRILL") {
     if (tokens.size() < 3) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "usage: " + cmd +
+                             " <node> <dim> [<level=value>...] [MINSUP <n>]");
+    }
+    const schema::CubeSchema& schema = server_->schema();
+    int dim = -1;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (schema.dim(d).name() == tokens[2]) dim = d;
+    }
+    if (dim < 0) {
+      return ErrResponse(StatusCode::kNotFound,
+                         "no dimension named '" + tokens[2] + "'");
+    }
+    const schema::Lattice lattice(&schema);
+    Result<schema::NodeId> target =
+        cmd == "ROLLUP" ? lattice.RollUpDim(request.node, dim)
+                        : lattice.DrillDownDim(request.node, dim);
+    if (!target.ok()) return ErrResponse(target.status());
+    request.node = *target;
+    extra_token =
+        " node=" + FormatNodeSpec(schema, server_->codec(), request.node);
+    arg = 3;
+  } else if (cmd == "TOPK") {
+    if (tokens.size() < 3 || !ParseInt64(tokens[2], &topk) || topk < 1) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "usage: TOPK <node> <k> [<level=value>...] with a "
+                         "positive k");
+    }
+    arg = 3;
+  }
+  if (cmd == "SLICE" || cmd == "ROLLUP" || cmd == "DRILL" || cmd == "TOPK") {
+    if (cmd == "SLICE" && tokens.size() < 3) {
       return ErrResponse(
           StatusCode::kInvalidArgument,
           "usage: SLICE <node> <level=value>... [MINSUP <n>]");
     }
     while (arg < tokens.size()) {
       if (ToUpper(tokens[arg]) == "MINSUP") {
+        if (cmd == "TOPK") {
+          return ErrResponse(StatusCode::kInvalidArgument,
+                             "TOPK does not take MINSUP");
+        }
         if (arg + 2 != tokens.size() ||
             !ParseInt64(tokens[arg + 1], &request.min_count) ||
             request.min_count < 1) {
@@ -214,7 +270,7 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
       request.slices.push_back(*slice);
       ++arg;
     }
-    if (request.slices.empty()) {
+    if (cmd == "SLICE" && request.slices.empty()) {
       return ErrResponse(StatusCode::kInvalidArgument,
                          "SLICE requires at least one level=value predicate");
     }
@@ -224,52 +280,139 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
                        "unexpected argument '" + tokens[arg] + "'");
   }
 
+  const schema::NodeId query_node = request.node;
   QueryResponse response = server_->Submit(std::move(request)).get();
   if (!response.status.ok()) return ErrResponse(response.status);
-  return FormatQueryResponse(*node, response);
+
+  if (cmd == "TOPK") {
+    // Selection happens over the full, already-deterministic result, so
+    // TOPK answers are identical whether the rows came from the engine, an
+    // exact cache hit, or a semantic derivation.
+    if (response.result == nullptr) {
+      return ErrResponse(StatusCode::kInternal,
+                         "TOPK requires materialized rows");
+    }
+    const int order_aggregate =
+        server_->count_aggregate() >= 0 ? server_->count_aggregate() : 0;
+    std::vector<query::ResultSink::Row> rows = algebra::SelectTopK(
+        response.result->rows, static_cast<size_t>(topk), order_aggregate);
+    query::ResultSink sink(/*retain=*/true);
+    for (const query::ResultSink::Row& row : rows) {
+      sink.Emit(row.dims.data(), static_cast<int>(row.dims.size()),
+                row.aggrs.data(), static_cast<int>(row.aggrs.size()));
+    }
+    auto selected = std::make_shared<QueryResult>();
+    selected->count = sink.count();
+    selected->checksum = sink.checksum();
+    selected->rows = sink.TakeRows();
+    response.count = selected->count;
+    response.checksum = selected->checksum;
+    response.result = std::move(selected);
+  }
+
+  return FormatQueryResponse(query_node, response, extra_token);
+}
+
+std::string TcpLineServer::HandleBatch(
+    const std::vector<schema::NodeId>& nodes, uint64_t trace_id) {
+  if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
+  // Most-detailed-first execution order: once a fine node's result is
+  // cached, every coarser member of the batch can be answered from it by
+  // the semantic layer instead of its own cube scan. Sections are still
+  // emitted in input order.
+  std::vector<size_t> order(nodes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const schema::Lattice lattice(&server_->schema());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lattice.NumGroupingDims(nodes[a]) > lattice.NumGroupingDims(nodes[b]);
+  });
+
+  std::vector<std::string> sections(nodes.size());
+  uint64_t combined_checksum = 0;
+  for (const size_t idx : order) {
+    QueryRequest request;
+    request.node = nodes[idx];
+    request.retain_rows = true;
+    request.trace_id = trace_id;
+    QueryResponse response = server_->Submit(std::move(request)).get();
+    if (!response.status.ok()) return ErrResponse(response.status);
+    combined_checksum ^= response.checksum;
+    char section_header[128];
+    std::snprintf(
+        section_header, sizeof(section_header), "= %s %llu %016llx %s\n",
+        FormatNodeSpec(server_->schema(), server_->codec(), nodes[idx]).c_str(),
+        static_cast<unsigned long long>(response.count),
+        static_cast<unsigned long long>(response.checksum),
+        response.cache_hit ? "HIT"
+                           : response.semantic_hit ? "SEMANTIC" : "MISS");
+    sections[idx] = section_header;
+    if (response.result != nullptr) {
+      sections[idx] += FormatRows(nodes[idx], *response.result);
+    }
+  }
+
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx BATCH trace=%llu\n",
+                static_cast<unsigned long long>(nodes.size()),
+                static_cast<unsigned long long>(combined_checksum),
+                static_cast<unsigned long long>(trace_id));
+  std::string out = header;
+  for (const std::string& section : sections) out += section;
+  out += ".\n";
+  return out;
 }
 
 std::string TcpLineServer::FormatQueryResponse(
-    schema::NodeId node, const QueryResponse& response) const {
+    schema::NodeId node, const QueryResponse& response,
+    const std::string& extra_token) const {
   CURE_TRACE_SPAN("cure.serve.encode", "trace_id", response.trace_id);
   // The trace id is echoed so a slow response can be matched against the
   // slow-query log and exported trace spans.
   char header[96];
-  std::snprintf(header, sizeof(header), "OK %llu %016llx %s trace=%llu\n",
+  std::snprintf(header, sizeof(header), "OK %llu %016llx %s trace=%llu",
                 static_cast<unsigned long long>(response.count),
                 static_cast<unsigned long long>(response.checksum),
-                response.cache_hit ? "HIT" : "MISS",
+                response.cache_hit ? "HIT"
+                                   : response.semantic_hit ? "SEMANTIC"
+                                                           : "MISS",
                 static_cast<unsigned long long>(response.trace_id));
   std::string out = header;
+  out += extra_token;
+  out += '\n';
 
-  if (response.result != nullptr) {
-    // Result rows carry one code per *grouped* dimension, in dimension
-    // order; recover the (dim, level) of each column from the node id.
-    const schema::NodeIdCodec& codec = server_->codec();
-    const std::vector<int> levels = codec.Decode(node);
-    std::vector<std::pair<int, int>> columns;
-    for (int d = 0; d < codec.num_dims(); ++d) {
-      if (levels[d] != codec.all_level(d)) columns.emplace_back(d, levels[d]);
-    }
-    for (const query::ResultSink::Row& row : response.result->rows) {
-      std::string line;
-      for (size_t i = 0; i < row.dims.size(); ++i) {
-        if (!line.empty()) line += '\t';
-        if (decoder_ != nullptr && i < columns.size()) {
-          line += decoder_(columns[i].first, columns[i].second, row.dims[i]);
-        } else {
-          line += std::to_string(row.dims[i]);
-        }
-      }
-      for (const int64_t aggr : row.aggrs) {
-        if (!line.empty()) line += '\t';
-        line += std::to_string(aggr);
-      }
-      out += line;
-      out += '\n';
-    }
-  }
+  if (response.result != nullptr) out += FormatRows(node, *response.result);
   out += ".\n";
+  return out;
+}
+
+std::string TcpLineServer::FormatRows(schema::NodeId node,
+                                      const QueryResult& result) const {
+  // Result rows carry one code per *grouped* dimension, in dimension
+  // order; recover the (dim, level) of each column from the node id.
+  const schema::NodeIdCodec& codec = server_->codec();
+  const std::vector<int> levels = codec.Decode(node);
+  std::vector<std::pair<int, int>> columns;
+  for (int d = 0; d < codec.num_dims(); ++d) {
+    if (levels[d] != codec.all_level(d)) columns.emplace_back(d, levels[d]);
+  }
+  std::string out;
+  for (const query::ResultSink::Row& row : result.rows) {
+    std::string line;
+    for (size_t i = 0; i < row.dims.size(); ++i) {
+      if (!line.empty()) line += '\t';
+      if (decoder_ != nullptr && i < columns.size()) {
+        line += decoder_(columns[i].first, columns[i].second, row.dims[i]);
+      } else {
+        line += std::to_string(row.dims[i]);
+      }
+    }
+    for (const int64_t aggr : row.aggrs) {
+      if (!line.empty()) line += '\t';
+      line += std::to_string(aggr);
+    }
+    out += line;
+    out += '\n';
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/cube_server.h"
@@ -32,6 +33,35 @@ struct TcpServerOptions {
 ///   QUERY <node>                      e.g. QUERY city,category  |  QUERY ALL
 ///   ICEBERG <node> <minsup>           count-iceberg query
 ///   SLICE <node> <level=value>... [MINSUP <n>]   sliced (optionally iceberg)
+///   ROLLUP <node> <dim> [<level=value>...] [MINSUP <n>]
+///                                     one roll-up step along <dim> (to the
+///                                     next coarser level, or ALL from the
+///                                     top); queries the landed node, which
+///                                     is echoed as a trailing `node=<spec>`
+///                                     header token
+///   DRILL <node> <dim> [<level=value>...] [MINSUP <n>]
+///                                     the inverse step (one level finer;
+///                                     from ALL the dimension enters at its
+///                                     coarsest level)
+///   TOPK <node> <k> [<level=value>...]
+///                                     the k groups with the largest COUNT
+///                                     (deterministic ties: ascending dim
+///                                     codes), selected server-side from the
+///                                     full result so the selection is
+///                                     identical no matter which path —
+///                                     engine, exact hit or semantic
+///                                     derivation — produced the rows
+///   BATCH <node> [<node>...]          several whole-node queries in one
+///                                     round trip, executed most-detailed-
+///                                     first so coarser members can be
+///                                     answered semantically from earlier
+///                                     ones. Response: "OK <n> <xor-of-
+///                                     section-checksums-hex> BATCH
+///                                     trace=<id>", then per requested node
+///                                     (input order) a section header
+///                                     "= <spec> <count> <checksum-hex>
+///                                     <HIT|SEMANTIC|MISS>" followed by
+///                                     exactly <count> rows
 ///   APPEND <int>...                   live mode: append k rows, each row
 ///                                     D leaf codes then M measures; durable
 ///                                     (WAL-fsynced) on OK. Response:
@@ -41,12 +71,14 @@ struct TcpServerOptions {
 ///                                     <DELTA|REBUILD|NOOP>"
 ///   STATS                             metrics text dump
 ///   QUIT                              closes the connection
-/// QUERY/ICEBERG/SLICE accept an optional trailing `trace=<id>` token: the
+/// Every query verb accepts an optional trailing `trace=<id>` token: the
 /// supplied id is adopted for the query's trace spans and echoed back in
 /// the response header, so a scatter–gathering router's fan-out shares one
 /// trace id end-to-end instead of each backend minting its own.
-/// Query responses: "OK <count> <checksum-hex> <HIT|MISS> trace=<id>" then
-/// one tab-separated row per line. Errors: "ERR <CodeName> <message>".
+/// Query responses: "OK <count> <checksum-hex> <HIT|SEMANTIC|MISS>
+/// trace=<id>" then one tab-separated row per line; SEMANTIC marks a result
+/// derived from a cached ancestor by the containment algebra (bit-identical
+/// to the engine path). Errors: "ERR <CodeName> <message>".
 class TcpLineServer {
  public:
   /// Decodes a dimension code for row output (e.g. dictionary lookup);
@@ -85,7 +117,12 @@ class TcpLineServer {
         resolver_(std::move(resolver)) {}
 
   std::string FormatQueryResponse(schema::NodeId node,
-                                  const QueryResponse& response) const;
+                                  const QueryResponse& response,
+                                  const std::string& extra_token) const;
+  /// Dictionary-decoded tab-separated result rows (no header/terminator).
+  std::string FormatRows(schema::NodeId node, const QueryResult& result) const;
+  std::string HandleBatch(const std::vector<schema::NodeId>& nodes,
+                          uint64_t trace_id);
 
   CubeServer* server_;
   ValueDecoder decoder_;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/cure.h"
@@ -599,6 +601,186 @@ TEST(RouterClusterTest, ScatterGatherMatchesSingleNodeAndSurvivesReplicaKill) {
   const std::string metrics = fx.router->HandleLine("METRICS");
   EXPECT_NE(metrics.find("cure_router_queries_total"), std::string::npos);
   EXPECT_NE(metrics.find("cure_router_backend_all_latency"), std::string::npos);
+}
+
+/// Body lines of a BATCH response with provenance normalized away: the
+/// trailing cache token on "= " section headers legitimately differs
+/// between the router (SCATTER) and a single server (HIT/SEMANTIC/MISS),
+/// and derivation emits rows in lexicographic rather than engine order.
+std::vector<std::string> NormalizedBatchRows(const std::string& response) {
+  std::vector<std::string> rows;
+  std::istringstream in(response);
+  std::string line;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, line))) << response;
+  while (std::getline(in, line)) {
+    if (line == ".") break;
+    if (line.rfind("= ", 0) == 0) line.erase(line.find_last_of(' '));
+    rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(RouterClusterTest, NavigationTopKAndBatchMatchSingleNode) {
+  ClusterFixture fx(1600, 13);
+
+  // ROLLUP/DRILL resolve on the router's own lattice and then scatter like
+  // QUERY/SLICE — byte-identical to the single-node server's same verb.
+  const std::vector<std::string> nav = {
+      "DRILL ALL A",
+      "DRILL A_L2 B",
+      "ROLLUP A_L0,B_L0 A",
+      "ROLLUP A_L0,B_L0,C_L0 B B_L1=1",
+      "ROLLUP A_L0,B_L0 A MINSUP 2",
+      "TOPK A_L0,B_L0 5",
+      "TOPK A_L1 3",
+      "TOPK ALL 1",
+  };
+  for (const std::string& line : nav) fx.ExpectMatchesSingleNode(line);
+
+  // The landed node is announced in the header and the body matches a plain
+  // QUERY of that node.
+  const std::string rollup = fx.router->HandleLine("ROLLUP A_L0 A");
+  EXPECT_NE(rollup.find(" node=A_L1"), std::string::npos) << rollup;
+  const ParsedResponse via_rollup = ParseResponse(rollup);
+  const ParsedResponse via_query =
+      ParseResponse(fx.router->HandleLine("QUERY A_L1"));
+  EXPECT_EQ(via_rollup.checksum, via_query.checksum);
+  EXPECT_EQ(via_rollup.rows, via_query.rows);
+
+  // TOPK repeats deterministically through the scatter path (the header
+  // carries a freshly minted trace id; the body must be byte-identical).
+  const auto body = [](const std::string& response) {
+    return response.substr(response.find('\n') + 1);
+  };
+  EXPECT_EQ(body(fx.router->HandleLine("TOPK A_L0,B_L0 5")),
+            body(fx.router->HandleLine("TOPK A_L0,B_L0 5")));
+
+  // BATCH: same sections, same per-section rows, same xor'd top checksum.
+  const std::string batch_line = "BATCH A_L1 A_L0,B_L0 ALL";
+  const std::string via_router = fx.router->HandleLine(batch_line);
+  const std::string direct = fx.whole_tcp->HandleLine(batch_line);
+  EXPECT_EQ(via_router.rfind("OK 3 ", 0), 0u) << via_router;
+  EXPECT_NE(via_router.find(" BATCH "), std::string::npos) << via_router;
+  {
+    std::istringstream router_header(via_router), direct_header(direct);
+    std::string ok_r, ok_d;
+    uint64_t count_r = 0, count_d = 0;
+    std::string checksum_r, checksum_d;
+    router_header >> ok_r >> count_r >> checksum_r;
+    direct_header >> ok_d >> count_d >> checksum_d;
+    EXPECT_EQ(count_r, count_d);
+    EXPECT_EQ(checksum_r, checksum_d);
+  }
+  EXPECT_EQ(NormalizedBatchRows(via_router), NormalizedBatchRows(direct));
+  // Sections come back in input order regardless of execution order.
+  const size_t at_a1 = via_router.find("= A_L1 ");
+  const size_t at_fine = via_router.find("= A_L0,B_L0 ");
+  const size_t at_all = via_router.find("= ALL ");
+  ASSERT_NE(at_a1, std::string::npos) << via_router;
+  ASSERT_NE(at_fine, std::string::npos) << via_router;
+  ASSERT_NE(at_all, std::string::npos) << via_router;
+  EXPECT_LT(at_a1, at_fine);
+  EXPECT_LT(at_fine, at_all);
+
+  // Navigation off the lattice edge and malformed verbs fail on the router
+  // itself, before any backend is touched.
+  EXPECT_EQ(fx.router->HandleLine("ROLLUP ALL A").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(fx.router->HandleLine("DRILL A_L0 A").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(fx.router->HandleLine("ROLLUP A_L0 Z").rfind("ERR NotFound", 0), 0u);
+  EXPECT_EQ(
+      fx.router->HandleLine("TOPK A_L0 5 MINSUP 2").rfind("ERR InvalidArgument", 0),
+      0u);
+  EXPECT_EQ(fx.router->HandleLine("TOPK A_L0 0").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(fx.router->HandleLine("BATCH").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ(fx.router->HandleLine("BATCH bogus").rfind("ERR ", 0), 0u);
+
+  // After this many scatters the backend connection pool must have cycled:
+  // both expositions carry the pool series and reuses are non-zero.
+  const std::string metrics = fx.router->HandleLine("METRICS");
+  EXPECT_NE(metrics.find("cure_router_backend_pool_connects"),
+            std::string::npos);
+  uint64_t reuses = 0;
+  std::istringstream metric_lines(metrics);
+  for (std::string line; std::getline(metric_lines, line);) {
+    std::istringstream fields(line);
+    std::string name;
+    if (fields >> name && name == "cure_router_backend_pool_reuses") {
+      fields >> reuses;
+    }
+  }
+  EXPECT_GT(reuses, 0u) << metrics;
+  EXPECT_NE(fx.router->HandleLine("STATS").find("backend_pool_reuses"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ connection pooling
+
+TEST(BackendClientTest, ReusesPooledConnectionsAcrossRoundTrips) {
+  FakeBackend backend("OK 0 0000000000000000 MISS trace=1\n.\n");
+  router::BackendClient client(5.0, 30.0);
+  const BackendAddress addr{"127.0.0.1", backend.port()};
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.RoundTrip(addr, "QUERY ALL");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  const auto stats = client.pool_stats();
+  EXPECT_EQ(stats.connects, 1u);
+  EXPECT_EQ(stats.reuses, 2u);
+  EXPECT_EQ(stats.open, 1u);
+  EXPECT_EQ(stats.discards_idle, 0u);
+  EXPECT_EQ(stats.retries_stale, 0u);
+  EXPECT_EQ(backend.queries_seen(), 3);
+}
+
+TEST(BackendClientTest, DiscardsIdleExpiredConnectionsOnAcquire) {
+  FakeBackend backend("OK 0 0000000000000000 MISS trace=1\n.\n");
+  router::BackendClient client(5.0, /*idle_timeout_seconds=*/1e-6);
+  const BackendAddress addr{"127.0.0.1", backend.port()};
+  ASSERT_TRUE(client.RoundTrip(addr, "QUERY ALL").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(client.RoundTrip(addr, "QUERY ALL").ok());
+  const auto stats = client.pool_stats();
+  EXPECT_EQ(stats.connects, 2u);
+  EXPECT_EQ(stats.reuses, 0u);
+  EXPECT_EQ(stats.discards_idle, 1u);
+}
+
+TEST(BackendClientTest, RetriesOnceWhenPooledConnectionWentStale) {
+  // A pooled connection whose server restarted dies before producing any
+  // response byte; the round trip must transparently reconnect and succeed.
+  const std::string response = "OK 0 0000000000000000 MISS trace=1\n.\n";
+  auto first = LineTransport::Start(
+      [&](const std::string&) { return response; }, LineTransportOptions{});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const int port = (*first)->port();
+
+  router::BackendClient client(5.0, 30.0);
+  const BackendAddress addr{"127.0.0.1", port};
+  ASSERT_TRUE(client.RoundTrip(addr, "QUERY ALL").ok());
+  ASSERT_EQ(client.pool_stats().open, 1u);
+
+  (*first)->Stop();  // reaps the pooled connection server-side
+  LineTransportOptions same_port;
+  same_port.port = port;
+  auto second = LineTransport::Start(
+      [&](const std::string&) { return response; }, same_port);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  auto retried = client.RoundTrip(addr, "QUERY ALL");
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  const auto stats = client.pool_stats();
+  EXPECT_EQ(stats.retries_stale, 1u);
+  EXPECT_EQ(stats.connects, 2u);
+
+  // With nobody listening at all, the stale retry burns once and fails —
+  // a request is never resent more than one time.
+  (*second)->Stop();
+  EXPECT_FALSE(client.RoundTrip(addr, "QUERY ALL").ok());
+  EXPECT_EQ(client.pool_stats().retries_stale, 2u);
 }
 
 TEST(RouterClusterTest, ServesOverItsOwnLoopbackTransport) {

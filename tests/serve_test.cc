@@ -4,11 +4,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/histogram.h"
@@ -720,6 +723,262 @@ TEST(TcpLineServerTest, HandleLineRejectsMalformedCommands) {
             0u);
   // A well-formed line still works through the same entry point.
   EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2").rfind("OK ", 0), 0u);
+}
+
+// ------------------------------------------------- semantic cache serving
+
+namespace {
+
+/// Response body (everything after the header line).
+std::string Body(const std::string& response) {
+  return response.substr(response.find('\n') + 1);
+}
+
+/// Parses "OK <count> <checksum-hex> ..." from a response header.
+bool ParseOkHeader(const std::string& response, unsigned long long* count,
+                   std::string* checksum) {
+  char checksum_buf[32] = {0};
+  if (std::sscanf(response.c_str(), "OK %llu %31s", count, checksum_buf) != 2) {
+    return false;
+  }
+  *checksum = checksum_buf;
+  return true;
+}
+
+}  // namespace
+
+TEST(TcpLineServerTest, NavigationVerbsResolveOnTheLattice) {
+  ServerFixture fx(400, 33);
+  CubeServerOptions options;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  // DRILL from the apex enters dimension A at its coarsest level, and the
+  // header announces where the navigation landed.
+  std::string response = (*tcp)->HandleLine("DRILL ALL A");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find(" node=A_L2\n"), std::string::npos) << response;
+
+  // ROLLUP one step up from A_L0 lands on A_L1 with rows byte-identical to
+  // querying the landed node directly.
+  const std::string direct = (*tcp)->HandleLine("QUERY A_L1");
+  response = (*tcp)->HandleLine("ROLLUP A_L0 A");
+  EXPECT_NE(response.find(" node=A_L1"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), Body(direct));
+
+  // Slices and MINSUP ride along and are applied at the landed node.
+  const std::string expected =
+      (*tcp)->HandleLine("SLICE A_L0,B_L1 B_L1=1 MINSUP 2");
+  response = (*tcp)->HandleLine("ROLLUP A_L0,B_L0 B B_L1=1 MINSUP 2");
+  EXPECT_NE(response.find(" node=A_L0,B_L1"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), Body(expected));
+
+  // Navigation off the lattice edge and unknown dimensions are errors.
+  EXPECT_EQ((*tcp)->HandleLine("ROLLUP ALL A").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ((*tcp)->HandleLine("DRILL A_L0 A").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ((*tcp)->HandleLine("ROLLUP A_L0 Z").rfind("ERR NotFound", 0), 0u);
+  EXPECT_EQ((*tcp)->HandleLine("ROLLUP A_L0").rfind("ERR InvalidArgument", 0),
+            0u);
+}
+
+TEST(TcpLineServerTest, TopKSelectsDeterministically) {
+  ServerFixture fx(500, 34);
+  CubeServerOptions options;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  const std::string response = (*tcp)->HandleLine("TOPK A_L0,B_L0 5");
+  ASSERT_EQ(response.rfind("OK 5 ", 0), 0u) << response;
+  // 5 rows + "." terminator line.
+  EXPECT_EQ(std::count(response.begin(), response.end(), '\n'), 7);
+
+  // The second run is served from the cache (exact or semantic); selection
+  // over the full deterministic result makes the response body identical.
+  const std::string again = (*tcp)->HandleLine("TOPK A_L0,B_L0 5");
+  EXPECT_EQ(Body(again), Body(response));
+
+  // k larger than the result returns everything.
+  unsigned long long full_count = 0;
+  std::string checksum;
+  ASSERT_TRUE(
+      ParseOkHeader((*tcp)->HandleLine("QUERY B_L0"), &full_count, &checksum));
+  unsigned long long top_count = 0;
+  ASSERT_TRUE(ParseOkHeader((*tcp)->HandleLine("TOPK B_L0 1000000"), &top_count,
+                            &checksum));
+  EXPECT_EQ(top_count, full_count);
+
+  EXPECT_EQ((*tcp)->HandleLine("TOPK A_L0 0").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ((*tcp)
+                ->HandleLine("TOPK A_L0 3 MINSUP 2")
+                .rfind("ERR InvalidArgument", 0),
+            0u);
+}
+
+TEST(TcpLineServerTest, BatchRunsSectionsInInputOrder) {
+  ServerFixture fx(400, 35);
+  CubeServerOptions options;
+  options.cache_bytes = 4 << 20;
+  // The fixture cube is tiny; without this the probe-skip threshold would
+  // route every member to the (cheap) engine instead of deriving.
+  options.semantic_min_scan_rows = 0;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  const std::string response =
+      (*tcp)->HandleLine("BATCH A_L1 A_L0,B_L0 ALL");
+  ASSERT_EQ(response.rfind("OK 3 ", 0), 0u) << response;
+  EXPECT_NE(response.find(" BATCH trace="), std::string::npos) << response;
+
+  // Sections appear in input order; their checksums XOR to the top header's.
+  std::istringstream in(response);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  unsigned long long combined = 0;
+  {
+    char checksum_buf[32] = {0};
+    unsigned long long n = 0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "OK %llu %31s", &n, checksum_buf), 2);
+    combined = std::strtoull(checksum_buf, nullptr, 16);
+  }
+  std::vector<std::string> specs;
+  unsigned long long xor_sections = 0, section_rows = 0, seen_rows = 0;
+  while (std::getline(in, line)) {
+    if (line == ".") break;
+    if (line.rfind("= ", 0) == 0) {
+      EXPECT_EQ(seen_rows, section_rows) << line;
+      char spec[64] = {0}, checksum_buf[32] = {0}, token[16] = {0};
+      ASSERT_EQ(std::sscanf(line.c_str(), "= %63s %llu %31s %15s", spec,
+                            &section_rows, checksum_buf, token),
+                4);
+      specs.push_back(spec);
+      xor_sections ^= std::strtoull(checksum_buf, nullptr, 16);
+      seen_rows = 0;
+    } else {
+      ++seen_rows;
+    }
+  }
+  EXPECT_EQ(seen_rows, section_rows);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], "A_L1");
+  EXPECT_EQ(specs[1], "A_L0,B_L0");
+  EXPECT_EQ(specs[2], "ALL");
+  EXPECT_EQ(xor_sections, combined);
+
+  // The batch executed most-detailed-first, so the coarse members were
+  // answered from the fine one's just-cached result.
+  EXPECT_GT(server->semantic_cache()->stats().semantic_hits, 0u);
+
+  EXPECT_EQ((*tcp)->HandleLine("BATCH").rfind("ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ((*tcp)->HandleLine("BATCH bogus").rfind("ERR NotFound", 0), 0u);
+}
+
+/// The ISSUE's core soundness bar: every semantically-answered response must
+/// be byte-identical (rows AND order-independent checksum) to the cache-off
+/// engine path.
+TEST(TcpLineServerTest, DrillDownSessionIsByteIdenticalToCacheOff) {
+  ServerFixture fx(700, 36);
+  CubeServerOptions semantic_options;
+  semantic_options.cache_bytes = 8 << 20;
+  // Small fixture cube: disable the probe-skip threshold so derivations
+  // fire (production sizes clear it naturally).
+  semantic_options.semantic_min_scan_rows = 0;
+  std::unique_ptr<CubeServer> semantic_server = fx.MakeServer(semantic_options);
+  auto semantic_tcp =
+      TcpLineServer::Start(semantic_server.get(), TcpServerOptions{});
+  ASSERT_TRUE(semantic_tcp.ok());
+  CubeServerOptions off_options;
+  off_options.cache_bytes = 0;  // every query runs the engine
+  std::unique_ptr<CubeServer> off_server = fx.MakeServer(off_options);
+  auto off_tcp = TcpLineServer::Start(off_server.get(), TcpServerOptions{});
+  ASSERT_TRUE(off_tcp.ok());
+
+  // An analyst drill-down session: start coarse, drill in, narrow, roll
+  // back up, revisit. Later steps are derivable from earlier, finer ones.
+  const char* kSession[] = {
+      "QUERY A_L0,B_L0,C_L0",  // the fine anchor lands in the cache first
+      "QUERY ALL",
+      "DRILL ALL A",
+      "DRILL A_L2 B",
+      "SLICE A_L2,B_L1 B_L1=1",
+      "DRILL A_L2,B_L1 A",
+      "ROLLUP A_L1,B_L1 B",
+      "QUERY A_L1,B_L1,C_L0",
+      "ROLLUP A_L1,B_L1,C_L0 C",
+      "SLICE A_L1,B_L0 A_L2=1 MINSUP 2",
+      "TOPK A_L1,C_L0 4",
+      "BATCH A_L0 A_L1 A_L2 ALL",
+  };
+  // The response rows as a sorted multiset, with the HIT|SEMANTIC|MISS
+  // token stripped from BATCH section headers — exactly the normalization
+  // the CI smoke test applies before diffing. Row ORDER may differ between
+  // the engine and derivation paths; the row SET and the
+  // order-independent checksums must not.
+  auto sorted_rows = [](const std::string& response) {
+    std::vector<std::string> rows;
+    std::istringstream in(Body(response));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line == ".") continue;
+      if (line.rfind("= ", 0) == 0) {
+        line.erase(line.find_last_of(' '));  // cache token
+      }
+      rows.push_back(line);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  for (const char* command : kSession) {
+    const std::string with = (*semantic_tcp)->HandleLine(command);
+    const std::string without = (*off_tcp)->HandleLine(command);
+    ASSERT_EQ(with.rfind("OK ", 0), 0u) << command << " -> " << with;
+    EXPECT_EQ(sorted_rows(with), sorted_rows(without)) << command;
+    unsigned long long count_with = 0, count_without = 0;
+    std::string checksum_with, checksum_without;
+    ASSERT_TRUE(ParseOkHeader(with, &count_with, &checksum_with));
+    ASSERT_TRUE(ParseOkHeader(without, &count_without, &checksum_without));
+    EXPECT_EQ(count_with, count_without) << command;
+    EXPECT_EQ(checksum_with, checksum_without) << command;
+  }
+
+  // The session genuinely exercised the semantic path on the cached server
+  // and never on the cache-off one.
+  EXPECT_GT(semantic_server->semantic_cache()->stats().semantic_hits, 0u);
+  EXPECT_EQ(off_server->semantic_cache()->stats().semantic_hits, 0u);
+
+  // METRICS exports the semantic series.
+  const std::string metrics = (*semantic_tcp)->HandleLine("METRICS");
+  EXPECT_NE(metrics.find("cure_serve_cache_semantic_hits"), std::string::npos);
+  EXPECT_NE(metrics.find("cure_serve_cache_rollup_rows"), std::string::npos);
+}
+
+/// --no-semantic (semantic_cache = false) degrades to the exact-key cache:
+/// still correct, never derives.
+TEST(TcpLineServerTest, SemanticDisabledStillServesExactly) {
+  ServerFixture fx(300, 37);
+  CubeServerOptions options;
+  options.cache_bytes = 4 << 20;
+  options.semantic_cache = false;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  const std::string fine = (*tcp)->HandleLine("QUERY A_L0,B_L0");
+  ASSERT_EQ(fine.rfind("OK ", 0), 0u);
+  const std::string coarse = (*tcp)->HandleLine("QUERY A_L1");
+  ASSERT_EQ(coarse.rfind("OK ", 0), 0u);
+  EXPECT_NE(coarse.find(" MISS "), std::string::npos) << coarse;
+  const std::string again = (*tcp)->HandleLine("QUERY A_L1");
+  EXPECT_NE(again.find(" HIT "), std::string::npos) << again;
+  EXPECT_EQ(server->semantic_cache()->stats().semantic_hits, 0u);
+  EXPECT_EQ(server->semantic_cache()->stats().semantic_misses, 0u);
 }
 
 // A response far larger than the socket buffer must arrive complete: the

@@ -2,9 +2,16 @@
 // directory (as written by `cure_tool build`).
 //
 //   cure_serve <cubedir> [--port P] [--threads N] [--cache-mb M]
-//              [--max-inflight N] [--deadline-ms D] [--slow-ms D]
-//              [--live] [--wal PATH] [--refresh-rows N] [--refresh-ms D]
-//              [--no-delta]
+//              [--no-semantic] [--semantic-min-rows N] [--max-inflight N]
+//              [--deadline-ms D] [--slow-ms D] [--live] [--wal PATH]
+//              [--refresh-rows N] [--refresh-ms D] [--no-delta]
+//
+// With --cache-mb > 0 the result cache also answers queries semantically —
+// deriving them from cached results of more detailed nodes via the
+// containment algebra (DESIGN.md §15); --no-semantic degrades it to the
+// plain exact-key cache. --semantic-min-rows tunes the derivation cost
+// gate (the engine scan estimate below which a probe is skipped); 0
+// disables the gate — useful on small cubes where derivation always wins.
 //
 // Binds 127.0.0.1 (port 0 = ephemeral, printed on startup) and serves until
 // stdin closes. Protocol: see serve/tcp_server.h.
@@ -34,9 +41,10 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cure_serve <cubedir> [--port P] [--threads N] "
-               "[--cache-mb M] [--max-inflight N] [--deadline-ms D]\n"
-               "                 [--slow-ms D] [--live] [--wal PATH] "
-               "[--refresh-rows N] [--refresh-ms D] [--no-delta]\n");
+               "[--cache-mb M] [--no-semantic] [--semantic-min-rows N]\n"
+               "                 [--max-inflight N] [--deadline-ms D] "
+               "[--slow-ms D] [--live] [--wal PATH] [--refresh-rows N] "
+               "[--refresh-ms D] [--no-delta]\n");
   return 2;
 }
 
@@ -60,6 +68,12 @@ int main(int argc, char** argv) {
       server_options.num_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
       server_options.cache_bytes = std::strtoull(argv[++i], nullptr, 10) << 20;
+    } else if (std::strcmp(argv[i], "--no-semantic") == 0) {
+      server_options.semantic_cache = false;
+    } else if (std::strcmp(argv[i], "--semantic-min-rows") == 0 &&
+               i + 1 < argc) {
+      server_options.semantic_min_scan_rows =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
       server_options.max_inflight = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
