@@ -1,10 +1,13 @@
 #include "router/backend_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -13,6 +16,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/net_fault.h"
 #include "serve/line_transport.h"
 
 namespace cure {
@@ -30,24 +34,41 @@ int64_t NowMicros() {
       .count();
 }
 
-/// Applies `seconds` as both SO_RCVTIMEO and SO_SNDTIMEO (which also bounds
-/// connect(2) on Linux). 0 leaves the socket fully blocking.
-void SetSocketTimeout(int fd, double seconds) {
-  if (seconds <= 0) return;
+/// Applies `seconds` as both SO_RCVTIMEO and SO_SNDTIMEO. 0 leaves the
+/// socket fully blocking. A failed setsockopt must surface: silently
+/// proceeding would leave the socket unbounded and a dead backend could
+/// hang a scatter thread forever.
+Status ApplyTimeout(int fd, const BackendAddress& addr, double seconds) {
+  if (seconds <= 0) return Status::OK();
   struct timeval tv;
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec =
       static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError("setsockopt(timeout) for " + addr.ToString() +
+                           ": " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 Result<int> Connect(const BackendAddress& addr, double timeout_seconds) {
+  const std::string endpoint = addr.ToString();
+  // Fault shim: an injected connect fault fires before the syscall, so a
+  // "refused" plan behaves like nothing is listening on the port.
+  const int injected = net::NetFaultInjector::Instance().Consult("connect",
+                                                                 endpoint);
+  if (injected != 0) {
+    if (injected == ETIMEDOUT) {
+      return Status::DeadlineExceeded("connect " + endpoint + " timed out");
+    }
+    return Status::IoError("connect " + endpoint + ": " +
+                           std::strerror(injected));
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
-  SetSocketTimeout(fd, timeout_seconds);
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(static_cast<uint16_t>(addr.port));
@@ -56,10 +77,64 @@ Result<int> Connect(const BackendAddress& addr, double timeout_seconds) {
     return Status::InvalidArgument("backend host '" + addr.host +
                                    "' is not an IPv4 address");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+  // SO_SNDTIMEO does not reliably bound connect(2) everywhere, so the
+  // connect itself uses non-blocking + poll with the deadline and the
+  // socket is restored to blocking afterwards.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    return Status::IoError("connect " + addr.ToString() + ": " + err);
+    return Status::IoError("fcntl(O_NONBLOCK) for " + endpoint + ": " + err);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno != EINPROGRESS) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("connect " + endpoint + ": " + err);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int timeout_ms = -1;
+    if (timeout_seconds > 0) {
+      timeout_ms = std::max(1, static_cast<int>(timeout_seconds * 1000.0));
+    }
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded(
+          "connect " + endpoint + " timed out after " +
+          std::to_string(timeout_ms) + "ms");
+    }
+    if (rc < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("poll(connect " + endpoint + "): " + err);
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+      so_error = errno;
+    }
+    if (so_error != 0) {
+      ::close(fd);
+      return Status::IoError("connect " + endpoint + ": " +
+                             std::strerror(so_error));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fcntl(restore) for " + endpoint + ": " + err);
+  }
+  Status timeouts = ApplyTimeout(fd, addr, timeout_seconds);
+  if (!timeouts.ok()) {
+    ::close(fd);
+    return timeouts;
   }
   return fd;
 }
@@ -71,20 +146,39 @@ Result<int> Connect(const BackendAddress& addr, double timeout_seconds) {
 Result<std::string> ExchangeOnFd(int fd, const BackendAddress& addr,
                                  const std::string& line, bool* got_bytes) {
   *got_bytes = false;
+  const std::string endpoint = addr.ToString();
   const std::string request = line + "\n";
-  if (!serve::WriteAllToFd(fd, request.data(), request.size())) {
+  if (!serve::WriteAllToFd(fd, request.data(), request.size(), endpoint)) {
+    const std::string err = std::strerror(errno);
     ::close(fd);
-    return Status::IoError("send to " + addr.ToString() + " failed");
+    return Status::IoError("send to " + endpoint + " failed: " + err);
   }
   std::string response;
   char buffer[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    ssize_t n;
+    const int injected =
+        net::NetFaultInjector::Instance().Consult("read", endpoint);
+    if (injected != 0) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::recv(fd, buffer, sizeof(buffer), 0);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT) {
+        // SO_RCVTIMEO struck — possibly mid-response, which a generic parse
+        // or EOF error would mislabel. The bytes-read count distinguishes a
+        // backend that never answered from one that stalled partway.
+        ::close(fd);
+        return Status::DeadlineExceeded(
+            "recv from " + endpoint + " timed out mid-response (" +
+            std::to_string(response.size()) + " bytes read)");
+      }
       const std::string err = std::strerror(errno);
       ::close(fd);
-      return Status::IoError("recv from " + addr.ToString() + ": " + err);
+      return Status::IoError("recv from " + endpoint + ": " + err);
     }
     if (n == 0) {
       ::close(fd);
@@ -177,7 +271,16 @@ BackendClient::PoolStats BackendClient::pool_stats() const {
 }
 
 Result<std::string> BackendClient::RoundTrip(const BackendAddress& addr,
-                                             const std::string& line) const {
+                                             const std::string& line,
+                                             double deadline_seconds) const {
+  // A caller deadline tighter than the configured timeout wins: the router
+  // spends one client budget across attempts instead of granting each
+  // attempt the full per-op timeout.
+  double effective_timeout = timeout_seconds_;
+  if (deadline_seconds > 0 &&
+      (effective_timeout <= 0 || deadline_seconds < effective_timeout)) {
+    effective_timeout = deadline_seconds;
+  }
   const std::string key = addr.ToString();
   int fd = AcquirePooled(key);
   bool reused = fd >= 0;
@@ -185,10 +288,20 @@ Result<std::string> BackendClient::RoundTrip(const BackendAddress& addr,
 
   for (;;) {
     if (fd < 0) {
-      auto fd_result = Connect(addr, timeout_seconds_);
+      auto fd_result = Connect(addr, effective_timeout);
       if (!fd_result.ok()) return fd_result.status();
       fd = fd_result.value();
       connects_.fetch_add(1, std::memory_order_relaxed);
+    } else if (deadline_seconds > 0) {
+      // Pooled connections carry the configured timeout; re-tighten to this
+      // call's remaining budget.
+      Status timeouts = ApplyTimeout(fd, addr, effective_timeout);
+      if (!timeouts.ok()) {
+        ::close(fd);
+        fd = -1;
+        reused = false;
+        continue;
+      }
     }
     bool got_bytes = false;
     Result<std::string> response = ExchangeOnFd(fd, addr, line, &got_bytes);
@@ -254,8 +367,9 @@ BackendReply ParseBackendReply(const std::string& response) {
 }
 
 Result<BackendReply> BackendClient::Query(const BackendAddress& addr,
-                                          const std::string& line) const {
-  auto response = RoundTrip(addr, line);
+                                          const std::string& line,
+                                          double deadline_seconds) const {
+  auto response = RoundTrip(addr, line, deadline_seconds);
   if (!response.ok()) return response.status();
   return ParseBackendReply(response.value());
 }

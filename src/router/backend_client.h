@@ -55,10 +55,18 @@ struct BackendFreshness {
 /// reused connection that dies before yielding a single response byte (the
 /// server restarted or reaped it) is retried ONCE on a fresh connection —
 /// a request that already produced bytes is never resent.
+///
+/// Timeout taxonomy (DESIGN.md §16): a connect or receive that runs out of
+/// time — including a timeout striking mid-response — is classified
+/// kDeadlineExceeded (with the endpoint and bytes-read in the message);
+/// refused/reset/closed connections are kIoError. Both are failover-class
+/// for the router, but only deadline errors should charge a caller's
+/// deadline budget.
 class BackendClient {
  public:
   /// `timeout_seconds` bounds connect, each send and each receive
-  /// individually (SO_SNDTIMEO/SO_RCVTIMEO); 0 = no timeout.
+  /// individually (connect via non-blocking connect + poll, send/receive
+  /// via SO_SNDTIMEO/SO_RCVTIMEO); 0 = no timeout.
   /// `idle_timeout_seconds` discards pooled connections idle longer than
   /// this on acquire (they are likely server-side reaped); 0 = keep
   /// forever.
@@ -74,14 +82,19 @@ class BackendClient {
   BackendClient& operator=(const BackendClient&) = delete;
 
   /// Sends `line` and returns the raw response text up to and excluding the
-  /// ".\n" terminator. kIoError on any transport failure.
+  /// ".\n" terminator. kIoError on any transport failure, kDeadlineExceeded
+  /// on a timeout. `deadline_seconds` > 0 tightens the per-op timeout to
+  /// min(timeout, deadline) for this call only — how the router spends one
+  /// client budget across retries instead of multiplying timeouts.
   Result<std::string> RoundTrip(const BackendAddress& addr,
-                                const std::string& line) const;
+                                const std::string& line,
+                                double deadline_seconds = 0) const;
 
   /// Sends a query verb line and parses the framed reply. The outer Result
   /// is the transport layer; reply.status is the backend's verdict.
   Result<BackendReply> Query(const BackendAddress& addr,
-                             const std::string& line) const;
+                             const std::string& line,
+                             double deadline_seconds = 0) const;
 
   /// STATS round trip, parsed into the freshness gauges the replica-pick
   /// policy needs. Doubles as the health probe: an error means the backend

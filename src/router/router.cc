@@ -42,23 +42,6 @@ bool ParseInt64(const std::string& text, int64_t* out) {
   return true;
 }
 
-/// Same contract as the serve layer's trace-token strip: an optional
-/// trailing `trace=<id>` is adopted instead of minting a new id.
-bool TakeTraceToken(std::vector<std::string>* tokens, uint64_t* trace_id) {
-  if (tokens->empty()) return true;
-  const std::string& last = tokens->back();
-  if (last.rfind("trace=", 0) != 0) return true;
-  const std::string value = last.substr(6);
-  char* end = nullptr;
-  const unsigned long long id = std::strtoull(value.c_str(), &end, 10);
-  if (value.empty() || end == value.c_str() || *end != '\0' || id == 0) {
-    return false;
-  }
-  *trace_id = id;
-  tokens->pop_back();
-  return true;
-}
-
 /// Splits a backend result row on tabs.
 std::vector<std::string> SplitRow(const std::string& row) {
   std::vector<std::string> fields;
@@ -80,7 +63,40 @@ int64_t NowMicros() {
       .count();
 }
 
+/// Appends the remaining deadline budget (at least 1ms so a backend never
+/// sees deadline=0, which the protocol rejects) to a backend line.
+std::string WithRemainingDeadline(const std::string& backend_line,
+                                  int64_t deadline_us) {
+  if (deadline_us <= 0) return backend_line;
+  const int64_t remaining_ms = (deadline_us - NowMicros()) / 1000;
+  return backend_line +
+         " deadline=" + std::to_string(remaining_ms < 1 ? 1 : remaining_ms);
+}
+
+/// Header suffix announcing a degraded answer; empty when complete.
+std::string PartialToken(int shards_ok, int shards_total) {
+  if (shards_ok >= shards_total) return "";
+  return " PARTIAL shards=" + std::to_string(shards_ok) + "/" +
+         std::to_string(shards_total);
+}
+
 }  // namespace
+
+/// Scoreboard shared between QueryShard's event loop and its attempt
+/// threads. Everything is guarded by `mu`; `outstanding` counts launched
+/// attempts that have not yet pushed a result.
+struct CureRouter::ShardAttemptState {
+  struct Attempt {
+    Result<BackendReply> reply;
+    int replica = 0;
+    Attempt(Result<BackendReply> r, int rep)
+        : reply(std::move(r)), replica(rep) {}
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Attempt> results;
+  int outstanding = 0;
+};
 
 Result<std::unique_ptr<CureRouter>> CureRouter::Create(
     const schema::CubeSchema* schema, ShardMap map,
@@ -143,6 +159,10 @@ CureRouter::CureRouter(const schema::CubeSchema* schema, ShardMap map,
   replicas_ejected_total_ = metrics_.counter("replicas_ejected_total");
   health_probes_total_ = metrics_.counter("health_probes_total");
   health_probe_failures_total_ = metrics_.counter("health_probe_failures_total");
+  hedges_total_ = metrics_.counter("hedges_total");
+  retries_total_ = metrics_.counter("retries_total");
+  partial_total_ = metrics_.counter("partial_total");
+  breaker_trips_total_ = metrics_.counter("breaker_trips_total");
   query_latency_us_ = metrics_.histogram("query_latency_us");
 }
 
@@ -154,6 +174,12 @@ CureRouter::~CureRouter() {
   health_cv_.notify_all();
   if (health_thread_.joinable()) health_thread_.join();
   pool_.reset();
+  // Hedge losers and deadline-abandoned attempts run detached; wait for
+  // them before members they touch (client_, metrics) are destroyed.
+  {
+    std::unique_lock<std::mutex> lock(attempts_mu_);
+    attempts_cv_.wait(lock, [this] { return outstanding_attempts_ == 0; });
+  }
 }
 
 void CureRouter::ProbeHealth() {
@@ -171,6 +197,10 @@ void CureRouter::ProbeHealth() {
         state.healthy = true;
         state.cube_version = fresh->cube_version;
         state.staleness_seconds = fresh->staleness_seconds;
+        // A reachable backend is breaker evidence too: close it so the
+        // replica rejoins the preferred candidates immediately.
+        state.consecutive_failures = 0;
+        state.open_until_us = 0;
       } else {
         health_probe_failures_total_->Inc();
         state.healthy = false;
@@ -184,91 +214,314 @@ std::vector<int> CureRouter::PickOrder(int shard) {
   const auto& states = replicas_[shard];
   const uint64_t rotation = rr_[shard]++;
   const int n = static_cast<int>(states.size());
-  // Partition into healthy and suspect (unhealthy-but-not-ejected) in
-  // round-robin rotation order, then order the healthy ones by freshness.
-  std::vector<int> healthy, suspect;
+  const int64_t now_us = NowMicros();
+  // Partition, in round-robin rotation order, into: healthy with a closed
+  // breaker (freshness-sorted, preferred), half-open breakers (cooldown
+  // expired — eligible for a probe request), suspects (marked unhealthy but
+  // breaker closed, e.g. by a stale probe), and open breakers (absolute
+  // last resort: trying them beats failing the whole query).
+  std::vector<int> closed, half_open, suspect, open;
   for (int i = 0; i < n; ++i) {
     const int r = static_cast<int>((rotation + i) % n);
-    if (states[r].ejected) continue;
-    (states[r].healthy ? healthy : suspect).push_back(r);
+    const ReplicaState& state = states[r];
+    if (state.ejected) continue;
+    if (state.open_until_us != 0) {
+      (now_us >= state.open_until_us ? half_open : open).push_back(r);
+    } else {
+      (state.healthy ? closed : suspect).push_back(r);
+    }
   }
-  std::stable_sort(healthy.begin(), healthy.end(), [&](int a, int b) {
+  std::stable_sort(closed.begin(), closed.end(), [&](int a, int b) {
     if (states[a].cube_version != states[b].cube_version) {
       return states[a].cube_version > states[b].cube_version;
     }
     return states[a].staleness_seconds < states[b].staleness_seconds;
   });
-  // Suspects stay as last-resort candidates: a probe may be stale, and
-  // trying them beats failing the whole query.
-  healthy.insert(healthy.end(), suspect.begin(), suspect.end());
-  return healthy;
+  closed.insert(closed.end(), half_open.begin(), half_open.end());
+  closed.insert(closed.end(), suspect.begin(), suspect.end());
+  closed.insert(closed.end(), open.begin(), open.end());
+  return closed;
+}
+
+double CureRouter::NextJitter() {
+  // splitmix64 step over a shared atomic state: statistically fine for
+  // de-synchronizing retry storms, no global RNG locks on the query path.
+  uint64_t z = jitter_state_.fetch_add(0x9e3779b97f4a7c15ull,
+                                       std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double CureRouter::HedgeDelaySeconds() const {
+  if (options_.hedge_percentile > 0) {
+    LogHistogram cluster;
+    MergeBackendLatency(&cluster);
+    const LogHistogram::Snapshot snap = cluster.TakeSnapshot();
+    // Percentiles of a handful of samples are noise; fall back to the
+    // fixed delay until the distribution means something.
+    if (snap.count >= 16) {
+      return static_cast<double>(snap.Percentile(options_.hedge_percentile)) *
+             1e-6;
+    }
+  }
+  return options_.hedge_seconds;
+}
+
+void CureRouter::RecordBackendSuccess(int shard, int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = replicas_[shard][replica];
+  state.healthy = true;
+  state.consecutive_failures = 0;
+  state.open_until_us = 0;
+}
+
+void CureRouter::RecordBackendFailure(int shard, int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = replicas_[shard][replica];
+  state.healthy = false;
+  ++state.consecutive_failures;
+  if (options_.breaker_failure_threshold > 0 &&
+      state.consecutive_failures >= options_.breaker_failure_threshold) {
+    // Consecutive failures trip (or, for a failed half-open probe, re-arm)
+    // the breaker; count only the closed→open transitions.
+    const int64_t now_us = NowMicros();
+    if (state.open_until_us == 0) breaker_trips_total_->Inc();
+    state.open_until_us =
+        now_us +
+        static_cast<int64_t>(options_.breaker_cooldown_seconds * 1e6);
+  }
+}
+
+bool CureRouter::PartialEligible(StatusCode code) {
+  // Shard-unavailable classes only: a deterministic request error
+  // (InvalidArgument, NotFound, ...) means every shard would refuse it and
+  // a partial answer would be wrong, not degraded.
+  return code == StatusCode::kIoError || code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss ||
+         code == StatusCode::kResourceExhausted;
 }
 
 Result<BackendReply> CureRouter::QueryShard(int shard,
-                                            const std::string& backend_line) {
+                                            const std::string& backend_line,
+                                            int64_t deadline_us) {
   const std::vector<int> order = PickOrder(shard);
   if (order.empty()) {
     return Status::IoError("shard " + std::to_string(shard) +
                            " has no serving replicas (all ejected)");
   }
-  Status last_error = Status::OK();
-  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
-    const int r = order[attempt];
-    const BackendAddress& addr = map_.shards[shard][r];
-    if (attempt > 0) backend_retries_total_->Inc();
-    backend_rpcs_total_->Inc();
-    CURE_TRACE_SPAN("cure.router.backend_rpc", "shard",
-                    static_cast<uint64_t>(shard), "replica",
-                    static_cast<uint64_t>(r));
-    const int64_t start_us = NowMicros();
-    Result<BackendReply> reply = client_.Query(addr, backend_line);
-    backend_latency_[shard][r]->Record(NowMicros() - start_us);
-    const Status status = reply.ok() ? reply->status : reply.status();
-    if (status.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      replicas_[shard][r].healthy = true;
-      return reply;
-    }
-    if (status.code() == StatusCode::kDataLoss) {
-      // The replica's storage is corrupt; take it out of rotation for good
-      // (a health probe reaching the process again proves nothing about the
-      // data).
-      replicas_ejected_total_->Inc();
-      std::lock_guard<std::mutex> lock(mu_);
-      replicas_[shard][r].ejected = true;
-      replicas_[shard][r].healthy = false;
-      last_error = status;
-      continue;
-    }
-    if (!reply.ok() || status.code() == StatusCode::kIoError) {
-      // Transport failure or backend-reported I/O error: mark unhealthy and
-      // try the next replica.
-      std::lock_guard<std::mutex> lock(mu_);
-      replicas_[shard][r].healthy = false;
-      last_error = status;
-      continue;
-    }
-    // Deterministic request error (InvalidArgument, NotFound, ...): every
-    // replica would answer the same — fail fast without burning retries.
-    return reply;
+  if (deadline_us > 0 && NowMicros() >= deadline_us) {
+    return Status::DeadlineExceeded("shard " + std::to_string(shard) +
+                                    ": deadline exhausted before any attempt");
   }
-  return Status(last_error.code() == StatusCode::kOk ? StatusCode::kIoError
-                                                     : last_error.code(),
-                "shard " + std::to_string(shard) +
-                    " exhausted all replicas: " + last_error.message());
+
+  // Event loop over detached attempt threads: launch, then react to
+  // whichever comes first — a result, the hedge timer, or the deadline.
+  // First OK answer wins; a hedge loser (or an attempt outlasting the
+  // deadline) self-records into the shared scoreboard and is ignored.
+  auto state = std::make_shared<ShardAttemptState>();
+  const int max_launches = 1 + std::max(0, options_.retry_budget);
+  const double hedge_delay = HedgeDelaySeconds();
+  size_t next_candidate = 0;
+  int launches = 0;
+  bool hedged = false;
+  int64_t last_launch_us = 0;
+  double backoff = options_.backoff_initial_seconds;
+  Status last_error = Status::OK();
+
+  auto launch = [&]() {
+    const int r = order[next_candidate++];
+    ++launches;
+    last_launch_us = NowMicros();
+    backend_rpcs_total_->Inc();
+    const std::string attempt_line =
+        WithRemainingDeadline(backend_line, deadline_us);
+    const double attempt_deadline =
+        deadline_us > 0 ? (deadline_us - last_launch_us) * 1e-6 : 0;
+    {
+      std::lock_guard<std::mutex> lock(attempts_mu_);
+      ++outstanding_attempts_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->outstanding;
+    }
+    std::thread([this, shard, r, attempt_line, attempt_deadline, state] {
+      CURE_TRACE_SPAN("cure.router.backend_rpc", "shard",
+                      static_cast<uint64_t>(shard), "replica",
+                      static_cast<uint64_t>(r));
+      const BackendAddress& addr = map_.shards[shard][r];
+      const int64_t start_us = NowMicros();
+      Result<BackendReply> reply =
+          client_.Query(addr, attempt_line, attempt_deadline);
+      backend_latency_[shard][r]->Record(NowMicros() - start_us);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->results.emplace_back(std::move(reply), r);
+        --state->outstanding;
+        state->cv.notify_all();
+      }
+      // Final touch of `this`: the destructor blocks on this counter before
+      // tearing down the members used above.
+      std::lock_guard<std::mutex> lock(attempts_mu_);
+      --outstanding_attempts_;
+      attempts_cv_.notify_all();
+    }).detach();
+  };
+
+  launch();
+  size_t processed = 0;
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    // Drain new results.
+    while (processed < state->results.size()) {
+      ShardAttemptState::Attempt& attempt = state->results[processed++];
+      const int r = attempt.replica;
+      const Status status =
+          attempt.reply.ok() ? attempt.reply->status : attempt.reply.status();
+      if (status.ok()) {
+        // Move out while still locked: an abandoned hedge attempt can push
+        // into (and reallocate) the scoreboard at any moment.
+        Result<BackendReply> winner = std::move(attempt.reply);
+        lock.unlock();
+        RecordBackendSuccess(shard, r);
+        return winner;
+      }
+      if (status.code() == StatusCode::kDataLoss) {
+        // The replica's storage is corrupt; take it out of rotation for
+        // good (a health probe reaching the process again proves nothing
+        // about the data).
+        lock.unlock();
+        replicas_ejected_total_->Inc();
+        {
+          std::lock_guard<std::mutex> state_lock(mu_);
+          replicas_[shard][r].ejected = true;
+          replicas_[shard][r].healthy = false;
+        }
+        last_error = status;
+        lock.lock();
+        continue;
+      }
+      if (!attempt.reply.ok() || status.code() == StatusCode::kIoError ||
+          status.code() == StatusCode::kDeadlineExceeded) {
+        // Failover class: transport failure, backend I/O error, or a spent
+        // per-attempt budget — breaker bookkeeping, then another replica.
+        lock.unlock();
+        RecordBackendFailure(shard, r);
+        last_error = status;
+        lock.lock();
+        continue;
+      }
+      // Deterministic request error (InvalidArgument, NotFound, ...): every
+      // replica would answer the same — fail fast without burning retries.
+      Result<BackendReply> failed = std::move(attempt.reply);
+      lock.unlock();
+      return failed;
+    }
+
+    if (deadline_us > 0 && NowMicros() >= deadline_us) {
+      // Client budget gone; in-flight attempts self-record into the shared
+      // scoreboard and die quietly.
+      return Status::DeadlineExceeded(
+          "shard " + std::to_string(shard) + " deadline exhausted after " +
+          std::to_string(launches) + " attempt(s)" +
+          (last_error.ok() ? "" : ": " + last_error.message()));
+    }
+
+    const bool can_launch =
+        next_candidate < order.size() && launches < max_launches;
+
+    if (state->outstanding == 0) {
+      if (!can_launch) {
+        return Status(last_error.code() == StatusCode::kOk
+                          ? StatusCode::kIoError
+                          : last_error.code(),
+                      "shard " + std::to_string(shard) +
+                          " exhausted all replicas: " + last_error.message());
+      }
+      // Sequential retry: back off (jittered, capped, truncated to the
+      // remaining deadline) before relaunching. Nothing is in flight, so
+      // no result can arrive during the sleep.
+      double sleep_seconds = backoff * (0.5 + 0.5 * NextJitter());
+      if (deadline_us > 0) {
+        const double remaining = (deadline_us - NowMicros()) * 1e-6;
+        if (sleep_seconds > remaining) sleep_seconds = remaining;
+      }
+      if (sleep_seconds > 0) {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_seconds));
+        lock.lock();
+      }
+      backoff = std::min(backoff * 2, options_.backoff_cap_seconds);
+      backend_retries_total_->Inc();
+      retries_total_->Inc();
+      CURE_TRACE_SPAN("cure.router.retry", "shard",
+                      static_cast<uint64_t>(shard), "attempt",
+                      static_cast<uint64_t>(launches));
+      lock.unlock();
+      launch();
+      lock.lock();
+      continue;
+    }
+
+    // An attempt is in flight: wait for its result, the hedge timer, or
+    // the deadline — whichever strikes first.
+    int64_t wake_us = deadline_us > 0 ? deadline_us : 0;
+    bool hedge_armed = false;
+    if (!hedged && hedge_delay >= 0 && can_launch) {
+      const int64_t hedge_at = last_launch_us +
+                               static_cast<int64_t>(hedge_delay * 1e6);
+      if (wake_us == 0 || hedge_at < wake_us) {
+        wake_us = hedge_at;
+        hedge_armed = true;
+      }
+    }
+    const size_t before = state->results.size();
+    if (wake_us == 0) {
+      state->cv.wait(lock,
+                     [&] { return state->results.size() > before; });
+    } else {
+      const int64_t wait_us = wake_us - NowMicros();
+      if (wait_us > 0) {
+        state->cv.wait_for(lock, std::chrono::microseconds(wait_us), [&] {
+          return state->results.size() > before;
+        });
+      }
+      if (hedge_armed && state->results.size() == before &&
+          NowMicros() >= wake_us) {
+        // The primary is slow, not (yet) failed: hedge once to the next
+        // candidate and let the first answer win.
+        hedged = true;
+        hedges_total_->Inc();
+        CURE_TRACE_SPAN("cure.router.hedge", "shard",
+                        static_cast<uint64_t>(shard));
+        lock.unlock();
+        launch();
+        lock.lock();
+      }
+    }
+  }
 }
 
 std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
                                     const std::string& cmd) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
-  if (!TakeTraceToken(&tokens, &trace_id)) {
-    return ErrResponse(StatusCode::kInvalidArgument,
-                       "trace=<id> requires a positive integer id");
+  double deadline_seconds = 0;
+  std::string token_error;
+  if (!serve::TakeRequestTokens(&tokens, &trace_id, &deadline_seconds,
+                                &token_error)) {
+    return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   CURE_TRACE_SPAN("cure.router.query", "trace_id", trace_id);
   const int64_t start_us = NowMicros();
+  const int64_t deadline_us =
+      deadline_seconds > 0
+          ? start_us + static_cast<int64_t>(deadline_seconds * 1e6)
+          : 0;
   queries_total_->Inc();
 
   if (tokens.size() < 2) {
@@ -336,20 +589,26 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
-  const Status gathered =
-      ScatterGather(*node, backend_line, min_count, &sink, &columns);
+  int shards_ok = map_.num_shards();
+  const Status gathered = ScatterGather(*node, backend_line, min_count,
+                                        deadline_us, &sink, &columns,
+                                        &shards_ok);
   if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
     return ErrResponse(gathered);
   }
+  const std::string partial = PartialToken(shards_ok, map_.num_shards());
+  if (!partial.empty()) partial_total_->Inc();
 
   char header[96];
-  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu\n",
+  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu",
                 static_cast<unsigned long long>(sink.count()),
                 static_cast<unsigned long long>(sink.checksum()),
                 static_cast<unsigned long long>(trace_id));
   std::string out = header;
+  out += partial;
+  out += '\n';
   out += FormatRowsText(sink.rows(), columns);
   out += ".\n";
   query_latency_us_->Record(NowMicros() - start_us);
@@ -357,7 +616,7 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
 }
 
 std::vector<Result<BackendReply>> CureRouter::Scatter(
-    const std::string& backend_line) {
+    const std::string& backend_line, int64_t deadline_us) {
   std::vector<std::future<Status>> futures;
   std::vector<Result<BackendReply>> replies(
       static_cast<size_t>(map_.num_shards()),
@@ -366,10 +625,11 @@ std::vector<Result<BackendReply>> CureRouter::Scatter(
                   static_cast<uint64_t>(map_.num_shards()));
   futures.reserve(replies.size());
   for (int s = 0; s < map_.num_shards(); ++s) {
-    futures.push_back(pool_->Submit([this, s, &backend_line, &replies] {
-      replies[s] = QueryShard(s, backend_line);
-      return Status::OK();
-    }));
+    futures.push_back(
+        pool_->Submit([this, s, deadline_us, &backend_line, &replies] {
+          replies[s] = QueryShard(s, backend_line, deadline_us);
+          return Status::OK();
+        }));
   }
   for (auto& f : futures) f.get();
   return replies;
@@ -449,20 +709,37 @@ std::string CureRouter::FormatRowsText(
 
 Status CureRouter::ScatterGather(schema::NodeId node,
                                  const std::string& backend_line,
-                                 int64_t min_count, query::ResultSink* sink,
-                                 std::vector<std::pair<int, int>>* columns) {
-  const std::vector<Result<BackendReply>> replies = Scatter(backend_line);
+                                 int64_t min_count, int64_t deadline_us,
+                                 query::ResultSink* sink,
+                                 std::vector<std::pair<int, int>>* columns,
+                                 int* shards_ok) {
+  const std::vector<Result<BackendReply>> replies =
+      Scatter(backend_line, deadline_us);
   *columns = GroupedColumns(node);
   PartialMerger merger(*schema_);
+  int merged = 0;
+  Status degraded_error = Status::OK();
   {
     CURE_TRACE_SPAN("cure.router.merge");
     for (int s = 0; s < map_.num_shards(); ++s) {
       const Result<BackendReply>& reply = replies[s];
       const Status status = reply.ok() ? reply->status : reply.status();
-      if (!status.ok()) return status;
+      if (!status.ok()) {
+        // Opt-in degradation: an unavailable shard is skipped and the
+        // answer marked PARTIAL; deterministic errors still fail the whole
+        // query (every shard would refuse the same way).
+        if (options_.allow_partial && PartialEligible(status.code())) {
+          degraded_error = status;
+          continue;
+        }
+        return status;
+      }
       CURE_RETURN_IF_ERROR(MergeShardRows(s, reply->rows, *columns, &merger));
+      ++merged;
     }
   }
+  if (merged == 0) return degraded_error;  // nothing survived — still an error
+  if (shards_ok != nullptr) *shards_ok = merged;
   return merger.Finish(count_aggregate_, min_count, sink);
 }
 
@@ -470,13 +747,19 @@ std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in
                                        const std::string& cmd) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
-  if (!TakeTraceToken(&tokens, &trace_id)) {
-    return ErrResponse(StatusCode::kInvalidArgument,
-                       "trace=<id> requires a positive integer id");
+  double deadline_seconds = 0;
+  std::string token_error;
+  if (!serve::TakeRequestTokens(&tokens, &trace_id, &deadline_seconds,
+                                &token_error)) {
+    return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   CURE_TRACE_SPAN("cure.router.navigate", "trace_id", trace_id);
   const int64_t start_us = NowMicros();
+  const int64_t deadline_us =
+      deadline_seconds > 0
+          ? start_us + static_cast<int64_t>(deadline_seconds * 1e6)
+          : 0;
   queries_total_->Inc();
 
   if (tokens.size() < 3) {
@@ -543,21 +826,27 @@ std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
-  const Status gathered =
-      ScatterGather(*target, backend_line, min_count, &sink, &columns);
+  int shards_ok = map_.num_shards();
+  const Status gathered = ScatterGather(*target, backend_line, min_count,
+                                        deadline_us, &sink, &columns,
+                                        &shards_ok);
   if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
     return ErrResponse(gathered);
   }
+  const std::string partial = PartialToken(shards_ok, map_.num_shards());
+  if (!partial.empty()) partial_total_->Inc();
 
   char header[128];
   std::snprintf(header, sizeof(header),
-                "OK %llu %016llx SCATTER trace=%llu node=%s\n",
+                "OK %llu %016llx SCATTER trace=%llu node=%s",
                 static_cast<unsigned long long>(sink.count()),
                 static_cast<unsigned long long>(sink.checksum()),
                 static_cast<unsigned long long>(trace_id), spec.c_str());
   std::string out = header;
+  out += partial;
+  out += '\n';
   out += FormatRowsText(sink.rows(), columns);
   out += ".\n";
   query_latency_us_->Record(NowMicros() - start_us);
@@ -567,13 +856,19 @@ std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in
 std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
-  if (!TakeTraceToken(&tokens, &trace_id)) {
-    return ErrResponse(StatusCode::kInvalidArgument,
-                       "trace=<id> requires a positive integer id");
+  double deadline_seconds = 0;
+  std::string token_error;
+  if (!serve::TakeRequestTokens(&tokens, &trace_id, &deadline_seconds,
+                                &token_error)) {
+    return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   CURE_TRACE_SPAN("cure.router.topk", "trace_id", trace_id);
   const int64_t start_us = NowMicros();
+  const int64_t deadline_us =
+      deadline_seconds > 0
+          ? start_us + static_cast<int64_t>(deadline_seconds * 1e6)
+          : 0;
   queries_total_->Inc();
 
   int64_t topk = 0;
@@ -609,13 +904,17 @@ std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
+  int shards_ok = map_.num_shards();
   const Status gathered =
-      ScatterGather(*node, backend_line, /*min_count=*/0, &sink, &columns);
+      ScatterGather(*node, backend_line, /*min_count=*/0, deadline_us, &sink,
+                    &columns, &shards_ok);
   if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
     return ErrResponse(gathered);
   }
+  const std::string partial = PartialToken(shards_ok, map_.num_shards());
+  if (!partial.empty()) partial_total_->Inc();
 
   const int order_aggregate = count_aggregate_ >= 0 ? count_aggregate_ : 0;
   const std::vector<query::ResultSink::Row> selected = algebra::SelectTopK(
@@ -627,11 +926,13 @@ std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
   }
 
   char header[96];
-  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu\n",
+  std::snprintf(header, sizeof(header), "OK %llu %016llx SCATTER trace=%llu",
                 static_cast<unsigned long long>(top.count()),
                 static_cast<unsigned long long>(top.checksum()),
                 static_cast<unsigned long long>(trace_id));
   std::string out = header;
+  out += partial;
+  out += '\n';
   out += FormatRowsText(top.rows(), columns);
   out += ".\n";
   query_latency_us_->Record(NowMicros() - start_us);
@@ -641,14 +942,20 @@ std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
 std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
-  if (!TakeTraceToken(&tokens, &trace_id)) {
-    return ErrResponse(StatusCode::kInvalidArgument,
-                       "trace=<id> requires a positive integer id");
+  double deadline_seconds = 0;
+  std::string token_error;
+  if (!serve::TakeRequestTokens(&tokens, &trace_id, &deadline_seconds,
+                                &token_error)) {
+    return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   CURE_TRACE_SPAN("cure.router.batch", "trace_id", trace_id, "nodes",
                   static_cast<uint64_t>(tokens.size() - 1));
   const int64_t start_us = NowMicros();
+  const int64_t deadline_us =
+      deadline_seconds > 0
+          ? start_us + static_cast<int64_t>(deadline_seconds * 1e6)
+          : 0;
   queries_total_->Inc();
 
   if (tokens.size() < 2) {
@@ -676,7 +983,8 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
   std::string backend_line = "BATCH";
   for (const std::string& spec : specs) backend_line += ' ' + spec;
   backend_line += " trace=" + std::to_string(trace_id);
-  const std::vector<Result<BackendReply>> replies = Scatter(backend_line);
+  const std::vector<Result<BackendReply>> replies =
+      Scatter(backend_line, deadline_us);
 
   std::vector<std::vector<std::pair<int, int>>> columns(nodes.size());
   std::vector<std::unique_ptr<PartialMerger>> mergers;
@@ -685,14 +993,24 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
     mergers.push_back(std::make_unique<PartialMerger>(*schema_));
   }
 
+  int shards_ok = 0;
+  Status degraded_error = Status::OK();
   for (int s = 0; s < map_.num_shards(); ++s) {
     const Result<BackendReply>& reply = replies[s];
     const Status status = reply.ok() ? reply->status : reply.status();
     if (!status.ok()) {
+      // Same degradation rule as ScatterGather: a whole unavailable shard
+      // may be skipped under allow_partial (every section loses its rows
+      // uniformly); anything else fails the batch.
+      if (options_.allow_partial && PartialEligible(status.code())) {
+        degraded_error = status;
+        continue;
+      }
       queries_errors_->Inc();
       query_latency_us_->Record(NowMicros() - start_us);
       return ErrResponse(status);
     }
+    ++shards_ok;
     // Sections arrive in input order, each framed by its "= <spec> <count>
     // <checksum> <token>" header; the count prefix delimits its rows.
     size_t row = 0, section = 0;
@@ -747,6 +1065,13 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
                              "expected " + std::to_string(nodes.size()));
     }
   }
+  if (shards_ok == 0) {
+    queries_errors_->Inc();
+    query_latency_us_->Record(NowMicros() - start_us);
+    return ErrResponse(degraded_error);
+  }
+  const std::string partial = PartialToken(shards_ok, map_.num_shards());
+  if (!partial.empty()) partial_total_->Inc();
 
   std::string sections_out;
   uint64_t combined_checksum = 0;
@@ -770,11 +1095,13 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
   }
 
   char header[96];
-  std::snprintf(header, sizeof(header), "OK %llu %016llx BATCH trace=%llu\n",
+  std::snprintf(header, sizeof(header), "OK %llu %016llx BATCH trace=%llu",
                 static_cast<unsigned long long>(nodes.size()),
                 static_cast<unsigned long long>(combined_checksum),
                 static_cast<unsigned long long>(trace_id));
   std::string out = header;
+  out += partial;
+  out += '\n';
   out += sections_out;
   out += ".\n";
   query_latency_us_->Record(NowMicros() - start_us);
@@ -783,17 +1110,23 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
 
 std::string CureRouter::HealthText() {
   std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_us = NowMicros();
   std::string out = "OK\n";
-  char line[192];
+  char line[224];
   for (int s = 0; s < map_.num_shards(); ++s) {
     for (int r = 0; r < map_.num_replicas(s); ++r) {
       const ReplicaState& state = replicas_[s][r];
-      std::snprintf(line, sizeof(line),
-                    "shard %d replica %d %s %s version=%llu staleness=%s\n", s,
-                    r, map_.shards[s][r].ToString().c_str(),
-                    state.ejected ? "EJECTED" : (state.healthy ? "UP" : "DOWN"),
-                    static_cast<unsigned long long>(state.cube_version),
-                    FormatMetricValue(state.staleness_seconds).c_str());
+      const char* breaker =
+          state.open_until_us == 0
+              ? "closed"
+              : (now_us >= state.open_until_us ? "half-open" : "open");
+      std::snprintf(
+          line, sizeof(line),
+          "shard %d replica %d %s %s version=%llu staleness=%s breaker=%s\n",
+          s, r, map_.shards[s][r].ToString().c_str(),
+          state.ejected ? "EJECTED" : (state.healthy ? "UP" : "DOWN"),
+          static_cast<unsigned long long>(state.cube_version),
+          FormatMetricValue(state.staleness_seconds).c_str(), breaker);
       out += line;
     }
   }
@@ -803,15 +1136,25 @@ std::string CureRouter::HealthText() {
 
 void CureRouter::UpdateDerivedMetrics() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_us = NowMicros();
   int healthy = 0, ejected = 0, total = 0;
-  for (const auto& shard : replicas_) {
-    for (const ReplicaState& state : shard) {
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    for (size_t r = 0; r < replicas_[s].size(); ++r) {
+      const ReplicaState& state = replicas_[s][r];
       ++total;
       if (state.ejected) {
         ++ejected;
       } else if (state.healthy) {
         ++healthy;
       }
+      // Breaker state per backend: 0 = closed, 1 = half-open, 2 = open.
+      const double breaker =
+          state.open_until_us == 0 ? 0
+          : (now_us >= state.open_until_us ? 1 : 2);
+      metrics_
+          .gauge("breaker_state_s" + std::to_string(s) + "_r" +
+                 std::to_string(r))
+          ->Set(breaker);
     }
   }
   metrics_.gauge("shards")->Set(map_.num_shards());

@@ -33,6 +33,33 @@ struct RouterOptions {
   double health_period_seconds = 0;
   /// Scatter worker threads (0 = one per shard).
   int num_threads = 0;
+  /// Fixed hedge delay: an attempt still unanswered after this long gets a
+  /// second request to another healthy replica, first answer wins. < 0
+  /// disables hedging (the default — tests and latency-insensitive callers
+  /// keep strictly sequential failover).
+  double hedge_seconds = -1;
+  /// When > 0, the hedge delay is this percentile (e.g. 0.95) of the
+  /// cluster-wide backend latency distribution instead of the fixed delay;
+  /// falls back to hedge_seconds until enough samples accumulate.
+  double hedge_percentile = 0;
+  /// Max relaunches (retries + hedges) beyond the first attempt per shard
+  /// per request. Candidate replicas are still each tried at most once.
+  int retry_budget = 3;
+  /// Capped exponential backoff between sequential retries; jittered to
+  /// avoid synchronized retry storms across scatter threads.
+  double backoff_initial_seconds = 0.005;
+  double backoff_cap_seconds = 0.25;
+  /// Circuit breaker: this many consecutive failover-class failures open a
+  /// replica's breaker for `breaker_cooldown_seconds`; after the cooldown
+  /// it is half-open (eligible as a probe candidate) and one success closes
+  /// it. 0 disables the breaker.
+  int breaker_failure_threshold = 3;
+  double breaker_cooldown_seconds = 2.0;
+  /// Opt-in graceful degradation: when some (but not all) shards fail with
+  /// failover-class errors, answer from the surviving shards with a
+  /// trailing "PARTIAL shards=<k>/<n>" header token instead of ERR. Strict
+  /// (all-or-error) by default.
+  bool allow_partial = false;
 };
 
 /// Sharded, replicated scatter–gather front end over cure_serve backends.
@@ -123,24 +150,57 @@ class CureRouter {
     bool ejected = false;  ///< DataLoss tombstone; never cleared
     uint64_t cube_version = 0;
     double staleness_seconds = 0;
+    /// Circuit breaker (closed → open → half-open → closed): consecutive
+    /// failover-class failures since the last success, and the steady-clock
+    /// instant the open state expires (0 = closed; past = half-open).
+    int consecutive_failures = 0;
+    int64_t open_until_us = 0;
   };
+
+  /// Shared scoreboard between QueryShard's event loop and its (detached)
+  /// attempt threads; held by shared_ptr so a late loser whose request the
+  /// loop already abandoned (deadline, first-wins hedge) self-records
+  /// harmlessly.
+  struct ShardAttemptState;
 
   CureRouter(const schema::CubeSchema* schema, ShardMap map,
              const RouterOptions& options, ValueEncoder encoder,
              ValueDecoder decoder);
 
-  /// Scatters `backend_line` to shard `shard` with replica pick + failover.
-  /// OK replies come back verbatim; the Status reflects either the last
-  /// transport/IOError (all replicas exhausted) or the first deterministic
-  /// backend error.
-  Result<BackendReply> QueryShard(int shard, const std::string& backend_line);
+  /// Scatters `backend_line` to shard `shard` with replica pick, hedging
+  /// and failover. OK replies come back verbatim; the Status reflects
+  /// either the last transport/IOError (all candidates exhausted or budget
+  /// spent), kDeadlineExceeded (client budget gone), or the first
+  /// deterministic backend error. `deadline_us` is the absolute
+  /// steady-clock deadline in microseconds (0 = none); each attempt is sent
+  /// with the REMAINING budget so retries spend one client budget.
+  Result<BackendReply> QueryShard(int shard, const std::string& backend_line,
+                                  int64_t deadline_us);
 
-  /// Candidate replica order for a shard (see class comment).
+  /// Candidate replica order for a shard (see class comment). Breaker-aware:
+  /// healthy closed-breaker replicas (freshness-sorted) first, then
+  /// half-open probe candidates, then suspects, then open-breaker replicas
+  /// as last resort.
   std::vector<int> PickOrder(int shard);
+
+  /// The hedge delay in effect right now, in seconds; < 0 = disabled.
+  double HedgeDelaySeconds() const;
+
+  /// Cheap thread-safe uniform [0, 1) for backoff jitter.
+  double NextJitter();
+
+  /// Breaker + health bookkeeping for a query outcome on (shard, replica).
+  void RecordBackendSuccess(int shard, int replica);
+  void RecordBackendFailure(int shard, int replica);
 
   /// Scatters `backend_line` to every shard (one pool task per shard, each
   /// picking its own replica with failover).
-  std::vector<Result<BackendReply>> Scatter(const std::string& backend_line);
+  std::vector<Result<BackendReply>> Scatter(const std::string& backend_line,
+                                            int64_t deadline_us);
+
+  /// True when a shard error is eligible for partial-result degradation
+  /// (the shard is unavailable, not the request malformed).
+  static bool PartialEligible(StatusCode code);
 
   /// The grouped (dim, level) columns of a node, in dimension order — the
   /// shape of its result rows.
@@ -157,10 +217,15 @@ class CureRouter {
       const std::vector<std::pair<int, int>>& columns) const;
 
   /// Scatter + gather + post-merge iceberg for one node query; the merged,
-  /// deterministic relation lands in `sink` (retained rows).
+  /// deterministic relation lands in `sink` (retained rows). With
+  /// allow_partial, failover-class shard errors are skipped and
+  /// `*shards_ok` reports how many shards were merged (== num_shards when
+  /// complete); a query where EVERY shard failed still errors.
   Status ScatterGather(schema::NodeId node, const std::string& backend_line,
-                       int64_t min_count, query::ResultSink* sink,
-                       std::vector<std::pair<int, int>>* columns);
+                       int64_t min_count, int64_t deadline_us,
+                       query::ResultSink* sink,
+                       std::vector<std::pair<int, int>>* columns,
+                       int* shards_ok);
 
   std::string HandleQuery(const std::vector<std::string>& tokens,
                           const std::string& cmd);
@@ -198,10 +263,22 @@ class CureRouter {
   Counter* replicas_ejected_total_;
   Counter* health_probes_total_;
   Counter* health_probe_failures_total_;
+  Counter* hedges_total_;
+  Counter* retries_total_;
+  Counter* partial_total_;
+  Counter* breaker_trips_total_;
   LogHistogram* query_latency_us_;
   /// Per-backend call latency, indexed like the shard map; registry-owned,
   /// named backend_s<shard>_r<replica>_latency.
   std::vector<std::vector<LogHistogram*>> backend_latency_;
+
+  /// Detached attempt threads still in flight (hedges and abandoned
+  /// deadline losers outlive their QueryShard call); the destructor waits
+  /// for zero before tearing down members those threads touch.
+  mutable std::mutex attempts_mu_;
+  mutable std::condition_variable attempts_cv_;
+  int outstanding_attempts_ = 0;
+  std::atomic<uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
 
   std::thread health_thread_;
   std::mutex health_mu_;

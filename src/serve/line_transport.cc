@@ -11,6 +11,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/net_fault.h"
+
 namespace cure {
 namespace serve {
 
@@ -48,6 +50,25 @@ bool WriteAllToFd(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAllToFd(int fd, const char* data, size_t len,
+                  const std::string& endpoint) {
+  size_t sent = 0;
+  while (sent < len) {
+    size_t chunk = len - sent;
+    const int injected =
+        net::NetFaultInjector::Instance().ConsultWrite(endpoint, &chunk);
+    if (injected != 0) {
+      errno = injected;
+      return false;
+    }
+    const ssize_t n = ::send(fd, data + sent, chunk, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
@@ -96,6 +117,7 @@ Result<std::unique_ptr<LineTransport>> LineTransport::Start(
   }
   self->listen_fd_ = fd;
   self->port_ = static_cast<int>(ntohs(bound.sin_port));
+  self->endpoint_ = "127.0.0.1:" + std::to_string(self->port_);
   self->accept_thread_ = std::thread([raw = self.get()] { raw->AcceptLoop(); });
   return self;
 }
@@ -134,6 +156,13 @@ void LineTransport::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    // Fault shim: an injected accept fault is connection-scoped — the
+    // accepted socket is dropped (the client sees EOF/RST on its first
+    // read) but the accept loop, and so the server, stays alive.
+    if (net::NetFaultInjector::Instance().Consult("accept", endpoint_) != 0) {
+      ::close(fd);
+      continue;
+    }
     if (active_connections_.load(std::memory_order_relaxed) >=
         max_connections_) {
       WriteAllToFd(fd, reject_response_.data(), reject_response_.size());
@@ -168,6 +197,11 @@ void LineTransport::HandleConnection(int fd) {
   char chunk[4096];
   bool open = true;
   while (open && !stopping_.load(std::memory_order_relaxed)) {
+    // Fault shim: an injected read fault closes this connection (the
+    // standard server reaction to a receive error), never the server.
+    if (net::NetFaultInjector::Instance().Consult("read", endpoint_) != 0) {
+      break;
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
@@ -181,7 +215,7 @@ void LineTransport::HandleConnection(int fd) {
         break;
       }
       const std::string response = handler_(line);
-      if (!WriteAllToFd(fd, response.data(), response.size())) {
+      if (!WriteAllToFd(fd, response.data(), response.size(), endpoint_)) {
         open = false;
         break;
       }

@@ -51,6 +51,10 @@ class LineTransport {
   /// The bound port (resolves ephemeral port 0).
   int port() const { return port_; }
 
+  /// "127.0.0.1:<port>" — the endpoint key the network fault injector
+  /// matches server-side ops against.
+  const std::string& endpoint() const { return endpoint_; }
+
   /// Closes the listener and every connection, then joins all threads.
   /// Idempotent.
   void Stop();
@@ -67,6 +71,7 @@ class LineTransport {
   std::string reject_response_;
   int listen_fd_ = -1;
   int port_ = 0;
+  std::string endpoint_;
   int max_connections_ = 64;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
@@ -85,6 +90,14 @@ class LineTransport {
 /// retries EINTR. False on any other error. Shared by the transport and the
 /// tools' one-shot clients.
 bool WriteAllToFd(int fd, const char* data, size_t len);
+
+/// Fault-injectable variant: each send(2) first consults the network fault
+/// injector under `endpoint` — injected short writes shorten the chunk (the
+/// loop heals them, kernel-style), injected errors fail the call. This is
+/// the write shim for both the server transport (endpoint = listen address)
+/// and BackendClient (endpoint = backend address).
+bool WriteAllToFd(int fd, const char* data, size_t len,
+                  const std::string& endpoint);
 
 }  // namespace serve
 }  // namespace cure

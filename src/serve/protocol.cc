@@ -42,6 +42,51 @@ std::vector<std::string> SplitTokens(const std::string& text) {
   return tokens;
 }
 
+bool TakeRequestTokens(std::vector<std::string>* tokens, uint64_t* trace_id,
+                       double* deadline_seconds, std::string* error) {
+  // The control tokens trail the command, so peel from the back; each kind
+  // is consumed at most once and an unknown trailing token stops the scan
+  // (it belongs to the verb's own grammar).
+  bool saw_trace = false;
+  bool saw_deadline = false;
+  while (!tokens->empty()) {
+    const std::string& last = tokens->back();
+    if (!saw_trace && last.rfind("trace=", 0) == 0) {
+      const std::string value = last.substr(6);
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || id == 0) {
+        if (error != nullptr) {
+          *error = "trace=<id> requires a positive integer id";
+        }
+        return false;
+      }
+      *trace_id = id;
+      saw_trace = true;
+      tokens->pop_back();
+      continue;
+    }
+    if (!saw_deadline && last.rfind("deadline=", 0) == 0) {
+      const std::string value = last.substr(9);
+      char* end = nullptr;
+      const unsigned long long ms = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || ms == 0) {
+        if (error != nullptr) {
+          *error = "deadline=<ms> requires a positive integer millisecond "
+                   "budget";
+        }
+        return false;
+      }
+      *deadline_seconds = static_cast<double>(ms) / 1000.0;
+      saw_deadline = true;
+      tokens->pop_back();
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
 Result<schema::NodeId> ParseNodeSpec(const schema::CubeSchema& schema,
                                      const schema::NodeIdCodec& codec,
                                      const std::string& text) {

@@ -16,6 +16,15 @@ namespace serve {
 /// Splits `text` on whitespace (any run of spaces/tabs).
 std::vector<std::string> SplitTokens(const std::string& text);
 
+/// Strips the optional trailing request-control tokens `trace=<id>` and
+/// `deadline=<ms>` (in either order) from a query command's token list.
+/// A well-formed trace id is adopted so a router's fan-out shares one trace
+/// end-to-end; a deadline is the client's remaining budget in milliseconds.
+/// Returns false with *error set on a malformed token; untouched outputs
+/// keep their caller-supplied defaults.
+bool TakeRequestTokens(std::vector<std::string>* tokens, uint64_t* trace_id,
+                       double* deadline_seconds, std::string* error);
+
 /// Parses a node spec — comma-separated hierarchy level names, or "ALL" —
 /// into a node id, e.g. "city,category". Absent dimensions stay at ALL.
 /// This is the <node> operand of the QUERY/ICEBERG/SLICE commands and of

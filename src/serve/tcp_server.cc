@@ -39,25 +39,6 @@ bool ParseInt64(const std::string& text, int64_t* out) {
   return true;
 }
 
-// Strips an optional trailing `trace=<id>` token from a query command's
-// token list; the id (when present and well-formed) is adopted by the
-// query instead of minting a new one, so a router's scattered fan-out
-// shares one trace id end-to-end.
-bool TakeTraceToken(std::vector<std::string>* tokens, uint64_t* trace_id) {
-  if (tokens->empty()) return true;
-  const std::string& last = tokens->back();
-  if (last.rfind("trace=", 0) != 0) return true;
-  const std::string value = last.substr(6);
-  char* end = nullptr;
-  const unsigned long long id = std::strtoull(value.c_str(), &end, 10);
-  if (value.empty() || end == value.c_str() || *end != '\0' || id == 0) {
-    return false;
-  }
-  *trace_id = id;
-  tokens->pop_back();
-  return true;
-}
-
 }  // namespace
 
 Result<std::unique_ptr<TcpLineServer>> TcpLineServer::Start(
@@ -169,9 +150,13 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
 
   QueryRequest request;
   request.retain_rows = true;
-  if (!TakeTraceToken(&tokens, &request.trace_id)) {
-    return ErrResponse(StatusCode::kInvalidArgument,
-                       "trace=<id> requires a positive integer id");
+  // trace= is adopted so the router's fan-out shares one trace id;
+  // deadline= is the client's remaining budget, enforced by CubeServer's
+  // admission queue (a query still queued past it fails kDeadlineExceeded).
+  std::string token_error;
+  if (!TakeRequestTokens(&tokens, &request.trace_id,
+                         &request.deadline_seconds, &token_error)) {
+    return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (tokens.size() < 2) {
     return ErrResponse(StatusCode::kInvalidArgument,
@@ -187,7 +172,7 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
       if (!node.ok()) return ErrResponse(node.status());
       nodes.push_back(*node);
     }
-    return HandleBatch(nodes, request.trace_id);
+    return HandleBatch(nodes, request.trace_id, request.deadline_seconds);
   }
 
   Result<schema::NodeId> node =
@@ -314,7 +299,8 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
 }
 
 std::string TcpLineServer::HandleBatch(
-    const std::vector<schema::NodeId>& nodes, uint64_t trace_id) {
+    const std::vector<schema::NodeId>& nodes, uint64_t trace_id,
+    double deadline_seconds) {
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   // Most-detailed-first execution order: once a fine node's result is
   // cached, every coarser member of the batch can be answered from it by
@@ -334,6 +320,7 @@ std::string TcpLineServer::HandleBatch(
     request.node = nodes[idx];
     request.retain_rows = true;
     request.trace_id = trace_id;
+    request.deadline_seconds = deadline_seconds;
     QueryResponse response = server_->Submit(std::move(request)).get();
     if (!response.status.ok()) return ErrResponse(response.status);
     combined_checksum ^= response.checksum;

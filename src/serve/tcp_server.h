@@ -122,7 +122,7 @@ class TcpLineServer {
   /// Dictionary-decoded tab-separated result rows (no header/terminator).
   std::string FormatRows(schema::NodeId node, const QueryResult& result) const;
   std::string HandleBatch(const std::vector<schema::NodeId>& nodes,
-                          uint64_t trace_id);
+                          uint64_t trace_id, double deadline_seconds);
 
   CubeServer* server_;
   ValueDecoder decoder_;

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -781,6 +788,119 @@ TEST(BackendClientTest, RetriesOnceWhenPooledConnectionWentStale) {
   (*second)->Stop();
   EXPECT_FALSE(client.RoundTrip(addr, "QUERY ALL").ok());
   EXPECT_EQ(client.pool_stats().retries_stale, 2u);
+}
+
+// ------------------------------------------------------- stalled backends
+
+/// A pathological raw-socket backend: accepts, reads the request, answers
+/// with the FIRST HALF of a reply, then holds the connection open forever
+/// without another byte. Exercises the mid-response SO_RCVTIMEO path that a
+/// scripted LineTransport (which always answers completely) cannot.
+class StalledBackend {
+ public:
+  explicit StalledBackend(std::string half_reply)
+      : half_reply_(std::move(half_reply)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_OR_ABORT(listen_fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_OR_ABORT(
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0);
+    ASSERT_OR_ABORT(::listen(listen_fd_, 8) == 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_OR_ABORT(
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+  ~StalledBackend() { Stop(); }
+
+  int port() const { return port_; }
+  void Stop() {
+    if (stopped_.exchange(true)) return;
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    thread_.join();
+    ::close(listen_fd_);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : held_) ::close(fd);
+    held_.clear();
+  }
+
+ private:
+  static void ASSERT_OR_ABORT(bool ok) { ASSERT_TRUE(ok) << strerror(errno); }
+
+  void Serve() {
+    while (!stopped_.load()) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      char buf[256];
+      (void)::recv(fd, buf, sizeof(buf), 0);  // the request line
+      (void)::send(fd, half_reply_.data(), half_reply_.size(), MSG_NOSIGNAL);
+      std::lock_guard<std::mutex> lock(mu_);
+      held_.push_back(fd);  // ...and never speak again
+    }
+  }
+
+  std::string half_reply_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopped_{false};
+  std::mutex mu_;
+  std::vector<int> held_;
+  std::thread thread_;
+};
+
+TEST(BackendClientTest, StallMidResponseClassifiesAsDeadlineExceeded) {
+  StalledBackend stalled("OK 1 00000000");  // header cut mid-checksum
+  router::BackendClient client(/*timeout_seconds=*/0.25);
+  const BackendAddress addr{"127.0.0.1", stalled.port()};
+  auto reply = client.RoundTrip(addr, "QUERY ALL");
+  ASSERT_FALSE(reply.ok());
+  const Status status = reply.status();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status.ToString();
+  const std::string& message = status.message();
+  EXPECT_NE(message.find("127.0.0.1:" + std::to_string(stalled.port())),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("bytes read"), std::string::npos) << message;
+}
+
+TEST(CureRouterTest, HedgeRescuesQueryFromStalledReplica) {
+  StalledBackend stalled("OK 1 00000000");
+  FakeBackend good("OK 1 0000000000000001 MISS trace=1\n10\t2\t3\t7\n.\n");
+  gen::Dataset ds = MakeZipfHier(50, 21);
+  ShardMap map;
+  map.shards = {{{"127.0.0.1", stalled.port()}, {"127.0.0.1", good.port()}}};
+  RouterOptions options;
+  options.backend_timeout_seconds = 1.0;  // the stall alone would eat this
+  options.hedge_seconds = 0.05;           // ...but the hedge fires at 50ms
+  auto router = CureRouter::Create(&ds.schema, map, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  // Pin the stalled replica first so the HEDGE, not replica order, rescues.
+  (*router)->OverrideReplicaFreshnessForTest(0, 0, /*version=*/9, /*stale=*/0);
+  (*router)->OverrideReplicaFreshnessForTest(0, 1, /*version=*/1, /*stale=*/9);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string response = (*router)->HandleLine("QUERY ALL");
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  // Serial check against the good replica's scripted relation: one ALL row
+  // with s=10 c=2 lo=3 hi=7, re-aggregated (sum/count add, min/max keep).
+  EXPECT_EQ(response.rfind("OK 1 ", 0), 0u) << response;
+  EXPECT_NE(response.find("10\t2\t3\t7"), std::string::npos) << response;
+  // The answer must arrive on the hedge's clock, far inside the stall
+  // timeout (generous bound: CI machines wobble, 1.0s stall does not).
+  EXPECT_LT(elapsed_ms, 900) << "hedge did not overlap the stall";
+  EXPECT_GE((*router)->metrics()->counter("hedges_total")->value(), 1u);
+  // First answer wins; the stalled attempt dies quietly in the background
+  // (the router's destructor drains it without touching freed state).
 }
 
 TEST(RouterClusterTest, ServesOverItsOwnLoopbackTransport) {

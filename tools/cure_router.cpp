@@ -3,6 +3,8 @@
 //
 //   cure_router <routerdir> [--map FILE] [--shard host:port[,host:port]]...
 //               [--port P] [--timeout-ms D] [--health-ms D]
+//               [--hedge-ms D] [--retry-budget N] [--allow-partial]
+//               [--breaker-threshold N] [--breaker-cooldown-ms D]
 //
 // <routerdir> is a cluster directory written by `cure_tool shard`: it holds
 // schema.txt, the shared dictionaries and cluster.txt (the shard map; see
@@ -19,12 +21,22 @@
 // cure_serve over the unpartitioned cube. Replica pick is staleness-aware
 // (STATS gauges); IOError fails over, DataLoss ejects. CURE_TRACE=1 records
 // router spans sharing the trace id echoed by the backends.
+//
+// Fault tolerance: --hedge-ms sends a second request to another replica
+// when the first is still unanswered after D ms (first answer wins);
+// --retry-budget caps relaunches per shard per request; --allow-partial
+// answers from the surviving shards with a "PARTIAL shards=<k>/<n>" header
+// token when some shards are down (strict ERR otherwise). A client
+// `deadline=<ms>` token bounds the whole request; retries spend the one
+// budget. CURE_NET_FAULT=op=...;kind=... arms the deterministic network
+// fault injector for chaos drills (see src/common/net_fault.h).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/net_fault.h"
 #include "common/trace.h"
 #include "router/router.h"
 #include "serve/line_transport.h"
@@ -37,7 +49,11 @@ int Usage() {
                "usage: cure_router <routerdir> [--map FILE] "
                "[--shard host:port[,host:port]]...\n"
                "                   [--port P] [--timeout-ms D] "
-               "[--health-ms D]\n");
+               "[--health-ms D]\n"
+               "                   [--hedge-ms D] [--retry-budget N] "
+               "[--allow-partial]\n"
+               "                   [--breaker-threshold N] "
+               "[--breaker-cooldown-ms D]\n");
   return 2;
 }
 
@@ -88,9 +104,24 @@ int main(int argc, char** argv) {
       options.backend_timeout_seconds = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--health-ms") == 0 && i + 1 < argc) {
       options.health_period_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--hedge-ms") == 0 && i + 1 < argc) {
+      options.hedge_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--retry-budget") == 0 && i + 1 < argc) {
+      options.retry_budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      options.allow_partial = true;
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 &&
+               i + 1 < argc) {
+      options.breaker_failure_threshold = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--breaker-cooldown-ms") == 0 &&
+               i + 1 < argc) {
+      options.breaker_cooldown_seconds = std::atof(argv[++i]) / 1000.0;
     } else {
       return Usage();
     }
+  }
+  if (cure::net::NetFaultInjector::ArmFromEnv()) {
+    std::fprintf(stderr, "network fault injector armed from CURE_NET_FAULT\n");
   }
 
   cure::Result<std::string> schema_text =

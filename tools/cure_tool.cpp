@@ -59,8 +59,10 @@ int Usage() {
                "[--plus] [--minsup N] [--trace-out=<file>.json]\n"
                "  cure_tool shard <data.csv> <spec.txt> <outdir> <shards> "
                "[--replicas R] [--port-base P] [--dr] [--plus]\n"
-               "  cure_tool send <host:port> <command>...   (one-shot line-"
-               "protocol client; exit 1 on ERR)\n"
+               "  cure_tool send <host:port> [--timeout-ms D] [--retries N] "
+               "<command>...\n"
+               "        (one-shot line-protocol client; exit 1 on ERR, "
+               "3 on transport failure)\n"
                "  cure_tool info  <outdir>\n"
                "  cure_tool verify <outdir|cube.bin>   (checksum audit; exit "
                "1 on corruption)\n"
@@ -320,21 +322,49 @@ int RunShard(int argc, char** argv) {
 }
 
 // One-shot line-protocol client: sends one command to a cure_serve or
-// cure_router endpoint and prints the response body. Exit 1 on a transport
-// failure or an ERR response — CI's cluster smoke test is built on this.
+// cure_router endpoint and prints the response body. Exit codes separate
+// the failure domains so scripts can branch on them: 0 = OK response,
+// 1 = server-side ERR response, 2 = usage, 3 = transport failure
+// (connect/send/recv, after --retries attempts). --timeout-ms bounds each
+// socket op; --retries re-sends on transport failures only (an ERR came
+// from a live server and would repeat).
 int RunSend(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  Result<cure::router::BackendAddress> addr =
-      cure::router::ParseBackendAddress(argv[2]);
-  if (!addr.ok()) return Fail(addr.status());
+  double timeout_seconds = 30.0;
+  int retries = 0;
+  std::string endpoint;
   std::string line;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_seconds = std::atof(argv[++i]) / 1000.0;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+      continue;
+    }
+    if (endpoint.empty()) {
+      endpoint = argv[i];
+      continue;
+    }
     if (!line.empty()) line += ' ';
     line += argv[i];
   }
-  cure::router::BackendClient client(/*timeout_seconds=*/30.0);
+  if (endpoint.empty() || line.empty()) return Usage();
+  Result<cure::router::BackendAddress> addr =
+      cure::router::ParseBackendAddress(endpoint);
+  if (!addr.ok()) {
+    Fail(addr.status());
+    return 3;
+  }
+  cure::router::BackendClient client(timeout_seconds);
   Result<std::string> response = client.RoundTrip(*addr, line);
-  if (!response.ok()) return Fail(response.status());
+  for (int attempt = 0; !response.ok() && attempt < retries; ++attempt) {
+    response = client.RoundTrip(*addr, line);
+  }
+  if (!response.ok()) {
+    Fail(response.status());
+    return 3;
+  }
   std::fputs(response->c_str(), stdout);
   return response->rfind("ERR", 0) == 0 ? 1 : 0;
 }
