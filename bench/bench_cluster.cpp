@@ -85,7 +85,7 @@ bool ParseHeader(const std::string& response, Expected* out) {
   return true;
 }
 
-void RunCluster() {
+void RunCluster(JsonReport* json) {
   const int64_t scale = ScaleEnv(4);
   const uint64_t tuples = 1000000 / static_cast<uint64_t>(scale);
   const size_t num_queries = static_cast<size_t>(QueriesEnv(48));
@@ -205,13 +205,23 @@ void RunCluster() {
     std::printf("%-8d %10.0f %10" PRId64 " %10" PRId64 " %10" PRId64
                 " %10" PRId64 "\n",
                 shards, qps, snap.p50, snap.p95, snap.p99, snap.max);
+    json->BeginSeries("shards=" + std::to_string(shards));
+    json->Add("qps", qps);
+    json->Add("p50_us", static_cast<double>(snap.p50));
+    json->Add("p95_us", static_cast<double>(snap.p95));
+    json->Add("p99_us", static_cast<double>(snap.p99));
+    json->Add("max_us", static_cast<double>(snap.max));
+    json->Add("queries", static_cast<double>(snap.count));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_out = ParseJsonOutArg(argc, argv);
   PrintHeader("cure_router scatter-gather cluster (QPS vs shard count)");
-  RunCluster();
+  JsonReport json("cluster");
+  RunCluster(&json);
+  if (!json_out.empty()) json.WriteOrDie(json_out);
   return 0;
 }

@@ -4,6 +4,10 @@
 //      atomic load — the price every instrumented call site pays forever)
 //   2. a Zipf cube build with tracing off vs on
 //   3. a CubeServer::Execute workload with tracing off vs on
+//   4. the `profile=1` request token on the line protocol: queries with no
+//      token (the disarmed per-request profiler — a token scan plus one
+//      relaxed Tracer::enabled() load) vs queries that ask for the
+//      "% profile" stage breakdown
 //
 // The enabled-mode run's trace is exported and validated with the in-tree
 // Chrome-trace checker (the same one behind `cure_tool tracecheck`).
@@ -18,6 +22,7 @@
 #include "common/trace.h"
 #include "query/workload.h"
 #include "serve/cube_server.h"
+#include "serve/tcp_server.h"
 #include "storage/file_io.h"
 
 using namespace cure;         // NOLINT
@@ -34,6 +39,19 @@ double MeasureBuild(const gen::Dataset& ds, bool trace) {
   auto cube = engine::BuildCure(ds.schema, input, options);
   CURE_CHECK(cube.ok()) << cube.status().ToString();
   return (*cube)->stats().build_seconds;
+}
+
+/// Renders a node id as the line protocol's spec ("A_L1,B_L0" / "ALL").
+std::string NodeSpec(const schema::CubeSchema& schema,
+                     const schema::NodeIdCodec& codec, schema::NodeId id) {
+  const std::vector<int> levels = codec.Decode(id);
+  std::string spec;
+  for (size_t d = 0; d < levels.size(); ++d) {
+    if (levels[d] == schema.dim(static_cast<int>(d)).all_level()) continue;
+    if (!spec.empty()) spec += ',';
+    spec += schema.dim(static_cast<int>(d)).level(levels[d]).name;
+  }
+  return spec.empty() ? "ALL" : spec;
 }
 
 }  // namespace
@@ -124,7 +142,52 @@ int main() {
                 (1.0 - qps_on / qps_off) * 100.0);
   }
 
-  // 4. Export the build+serve trace and hold it to the same bar CI does.
+  // 4. The per-request profiler's switch: the same workload through the
+  // line protocol with and without the `profile=1` token, tracer off as in
+  // production. The no-token side is the disarmed path every routed query
+  // pays (token scan + one relaxed Tracer::enabled() load); the armed side
+  // adds the "% profile" stage-breakdown rendering.
+  {
+    auto tcp =
+        serve::TcpLineServer::Start(server->get(), serve::TcpServerOptions{});
+    CURE_CHECK(tcp.ok()) << tcp.status().ToString();
+    std::vector<std::string> plain;
+    std::vector<std::string> profiled;
+    for (schema::NodeId node : workload) {
+      const std::string spec = NodeSpec(ds.schema, codec, node);
+      plain.push_back("QUERY " + spec);
+      profiled.push_back("QUERY " + spec + " profile=1");
+    }
+    PrintSubHeader("profile token: " + std::to_string(workload.size()) +
+                   " unique node queries per pass (tracer off)");
+    double qps_plain = 0, qps_profiled = 0;
+    for (const bool profile : {false, true}) {
+      const std::vector<std::string>& request_lines = profile ? profiled : plain;
+      for (const std::string& line : request_lines) {  // warm-up
+        CURE_CHECK((*tcp)->HandleLine(line).rfind("OK", 0) == 0);
+      }
+      Stopwatch watch;
+      uint64_t queries = 0;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const std::string& line : request_lines) {
+          const std::string response = (*tcp)->HandleLine(line);
+          CURE_CHECK(response.rfind("OK", 0) == 0) << response;
+          ++queries;
+        }
+      }
+      const double qps = queries / watch.ElapsedSeconds();
+      (profile ? qps_profiled : qps_plain) = qps;
+      std::printf("%-22s %10.0f qps\n",
+                  profile ? "profile=1" : "no profile token", qps);
+    }
+    if (qps_plain > 0) {
+      std::printf("profile-armed overhead: %+.1f%% qps\n",
+                  (1.0 - qps_profiled / qps_plain) * 100.0);
+    }
+    (*tcp)->Stop();
+  }
+
+  // 5. Export the build+serve trace and hold it to the same bar CI does.
   Tracer::Instance().Disable();
   const std::string path = "/tmp/cure_bench_observability_trace.json";
   CURE_CHECK_OK(Tracer::Instance().WriteChromeTrace(path));
@@ -144,6 +207,8 @@ int main() {
       "\nShape check: the disabled fast path is a few ns per call site and "
       "disabled-mode build/serve throughput is within noise (<2%%) of an "
       "uninstrumented binary; enabled tracing costs single-digit percent on "
-      "the serve path and more on the build path (per-edge spans).\n");
+      "the serve path and more on the build path (per-edge spans). The "
+      "disarmed profile token costs nothing measurable per request; armed, "
+      "it pays only the \"%% profile\" rendering.\n");
   return 0;
 }

@@ -24,7 +24,8 @@ struct Expected {
   uint64_t checksum = 0;
 };
 
-void RunDataset(const gen::Dataset& ds, size_t num_queries, int rounds) {
+void RunDataset(const gen::Dataset& ds, size_t num_queries, int rounds,
+                JsonReport* json) {
   engine::FactInput input{.table = &ds.table};
   engine::CureOptions options;
   CureBuildResult built = BuildCureVariant("CURE", ds.schema, input, options,
@@ -99,18 +100,28 @@ void RunDataset(const gen::Dataset& ds, size_t num_queries, int rounds) {
                   FormatSeconds(lat.p95 * 1e-6).c_str(),
                   FormatSeconds(lat.p99 * 1e-6).c_str(),
                   FormatSeconds(lat.max * 1e-6).c_str());
+      json->BeginSeries("clients=" + std::to_string(clients) +
+                        ",cache=" + (cache_on ? "on" : "off"));
+      json->Add("qps", static_cast<double>(total) / elapsed);
+      json->Add("p50_us", static_cast<double>(lat.p50));
+      json->Add("p95_us", static_cast<double>(lat.p95));
+      json->Add("p99_us", static_cast<double>(lat.p99));
+      json->Add("max_us", static_cast<double>(lat.max));
     }
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_out = ParseJsonOutArg(argc, argv);
   PrintHeader("Serving layer — concurrent query throughput and latency");
   const uint64_t divisor = 32 * static_cast<uint64_t>(ScaleEnv(1));
   const size_t num_queries = static_cast<size_t>(QueriesEnv(100));
   const int rounds = 3;
-  RunDataset(gen::MakeCovTypeProxy(divisor), num_queries, rounds);
+  JsonReport json("serve_concurrency");
+  RunDataset(gen::MakeCovTypeProxy(divisor), num_queries, rounds, &json);
+  if (!json_out.empty()) json.WriteOrDie(json_out);
   std::printf(
       "\nShape check: QPS grows with client threads until the 4 query "
       "workers saturate; enabling the result cache collapses p50 for repeat "

@@ -3,7 +3,9 @@
 
 // Shared helpers for the figure/table reproduction benches. Every bench
 // binary runs stand-alone with no arguments and prints the series of one or
-// more of the paper's figures. Environment knobs:
+// more of the paper's figures; the serving/cluster benches additionally
+// accept `--json-out=<file>` to dump their measurements as a flat JSON
+// baseline (committed as BENCH_*.json, diffed by CI). Environment knobs:
 //   CURE_BENCH_SCALE   — divides dataset sizes (default per bench; 1 =
 //                        the paper's published sizes where feasible)
 //   CURE_BENCH_QUERIES — number of random node queries for QRT figures
@@ -130,6 +132,75 @@ inline double SpillCure(engine::CureCube* cube, const std::string& path) {
   Stopwatch watch;
   CURE_CHECK_OK(cube->SpillStoreToDisk(path));
   return watch.ElapsedSeconds();
+}
+
+/// Accumulates bench measurements for `--json-out=<file>`: one flat JSON
+/// document {"bench": <name>, "series": [{"name": ..., "<metric>": N, ...}]}
+/// so baselines can be committed (BENCH_*.json) and diffed mechanically.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void BeginSeries(const std::string& name) { series_.push_back({name, {}}); }
+
+  /// Adds a metric to the series opened by the last BeginSeries call.
+  void Add(const std::string& metric, double value) {
+    CURE_CHECK(!series_.empty()) << "Add() before BeginSeries()";
+    series_.back().metrics.emplace_back(metric, value);
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n  \"series\": [";
+    for (size_t i = 0; i < series_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + series_[i].name + "\"";
+      for (const auto& metric : series_[i].metrics) {
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.6g", metric.second);
+        out += ", \"" + metric.first + "\": " + value;
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the report; exits nonzero on I/O failure so CI catches it.
+  void WriteOrDie(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    CURE_CHECK(file != nullptr) << "cannot open " << path;
+    const std::string text = Render();
+    CURE_CHECK(std::fwrite(text.data(), 1, text.size(), file) == text.size())
+        << "short write to " << path;
+    CURE_CHECK(std::fclose(file) == 0) << "close failed for " << path;
+    std::printf("\njson baseline written to %s\n", path.c_str());
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string bench_;
+  std::vector<Series> series_;
+};
+
+/// Parses the one flag benches accept. Returns the `--json-out=` path ("" if
+/// absent); any other argument prints usage and exits, keeping the benches'
+/// no-surprise CLI contract.
+inline std::string ParseJsonOutArg(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kFlag = "--json-out=";
+    if (arg.rfind(kFlag, 0) == 0 && arg.size() > kFlag.size()) {
+      path = arg.substr(kFlag.size());
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out=<file>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return path;
 }
 
 inline int64_t ScaleEnv(int64_t def) { return EnvInt64("CURE_BENCH_SCALE", def); }

@@ -55,6 +55,23 @@ void LogHistogram::Merge(const LogHistogram& other) {
   }
 }
 
+void LogHistogram::Merge(const Snapshot& snapshot) {
+  uint64_t merged = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = snapshot.buckets[i];
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  sum_.fetch_add(snapshot.sum, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (snapshot.max > prev &&
+         !max_.compare_exchange_weak(prev, snapshot.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 LogHistogram::Snapshot LogHistogram::TakeSnapshot() const {
   Snapshot snap;
   for (int i = 0; i < kNumBuckets; ++i) {

@@ -67,6 +67,13 @@ class LogHistogram {
   };
   Snapshot TakeSnapshot() const;
 
+  /// Merge(other) for a captured Snapshot — the federation path: a router
+  /// reconstructing a backend's histogram from its `# BUCKETS` wire
+  /// exposition folds the parsed snapshot in here. Count is derived from
+  /// the snapshot's buckets; same bucket-exact merge semantics as
+  /// Merge(const LogHistogram&).
+  void Merge(const Snapshot& snapshot);
+
   /// Bucket of `value` (value >= 0).
   static int BucketIndex(int64_t value);
   /// Smallest value mapping to bucket `index` — the reported quantile value.

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cure {
 
@@ -165,7 +166,85 @@ void AppendPrometheusHistogram(const std::string& name,
                                static_cast<double>(snap.count));
 }
 
-std::string MetricsRegistry::PrometheusText(const std::string& prefix) const {
+void AppendHistogramBuckets(const std::string& name,
+                            const LogHistogram& histogram, std::string* out) {
+  const LogHistogram::Snapshot snap = histogram.TakeSnapshot();
+  if (snap.count == 0) return;
+  char buf[64];
+  *out += "# BUCKETS " + SanitizeMetricName(name);
+  std::snprintf(buf, sizeof(buf), " sum=%" PRId64 " max=%" PRId64, snap.sum,
+                snap.max);
+  *out += buf;
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %d:%" PRIu64, i, snap.buckets[i]);
+    *out += buf;
+  }
+  *out += '\n';
+}
+
+bool ParseHistogramBuckets(const std::string& line, std::string* name,
+                           LogHistogram::Snapshot* snapshot) {
+  static constexpr char kPrefix[] = "# BUCKETS ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  size_t pos = sizeof(kPrefix) - 1;
+  const size_t name_end = line.find(' ', pos);
+  if (name_end == std::string::npos || name_end == pos) return false;
+  const std::string parsed_name = line.substr(pos, name_end - pos);
+  pos = name_end;
+
+  LogHistogram::Snapshot snap;
+  bool saw_sum = false;
+  bool saw_max = false;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    std::string token = line.substr(pos, end - pos);
+    pos = end;
+    if (!token.empty() && token.back() == '\n') token.pop_back();
+    if (token.empty()) continue;
+    char* parse_end = nullptr;
+    if (token.rfind("sum=", 0) == 0) {
+      snap.sum = std::strtoll(token.c_str() + 4, &parse_end, 10);
+      if (parse_end == token.c_str() + 4 || *parse_end != '\0') return false;
+      saw_sum = true;
+      continue;
+    }
+    if (token.rfind("max=", 0) == 0) {
+      snap.max = std::strtoll(token.c_str() + 4, &parse_end, 10);
+      if (parse_end == token.c_str() + 4 || *parse_end != '\0') return false;
+      saw_max = true;
+      continue;
+    }
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    const long long index = std::strtoll(token.c_str(), &parse_end, 10);
+    if (parse_end != token.c_str() + colon || index < 0 ||
+        index >= LogHistogram::kNumBuckets) {
+      return false;
+    }
+    const char* count_start = token.c_str() + colon + 1;
+    const unsigned long long bucket_count =
+        std::strtoull(count_start, &parse_end, 10);
+    if (parse_end == count_start || *parse_end != '\0') return false;
+    snap.buckets[static_cast<size_t>(index)] += bucket_count;
+    snap.count += bucket_count;
+  }
+  if (!saw_sum || !saw_max) return false;
+  snap.avg = snap.count > 0 ? static_cast<double>(snap.sum) /
+                                  static_cast<double>(snap.count)
+                            : 0.0;
+  snap.p50 = snap.Percentile(0.50);
+  snap.p95 = snap.Percentile(0.95);
+  snap.p99 = snap.Percentile(0.99);
+  if (name != nullptr) *name = parsed_name;
+  if (snapshot != nullptr) *snapshot = snap;
+  return true;
+}
+
+std::string MetricsRegistry::PrometheusText(const std::string& prefix,
+                                            bool include_buckets) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
@@ -186,6 +265,9 @@ std::string MetricsRegistry::PrometheusText(const std::string& prefix) const {
   }
   for (const auto& [name, histogram] : histograms_) {
     AppendPrometheusHistogram(prefix + name + "_us", *histogram, &out);
+    if (include_buckets) {
+      AppendHistogramBuckets(prefix + name + "_us", *histogram, &out);
+    }
   }
   return out;
 }

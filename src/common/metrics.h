@@ -83,6 +83,25 @@ void AppendPrometheusHistogram(const std::string& name,
                                const LogHistogram& histogram,
                                std::string* out);
 
+/// Appends one exposition comment line carrying the histogram's raw bucket
+/// counts (sparse; only non-zero buckets):
+///   `# BUCKETS <name> sum=<sum> max=<max> <index>:<count> ...`
+/// Prometheus scrapers ignore it (it is a comment); the router's METRICS
+/// federation parses it back with ParseHistogramBuckets so cluster-level
+/// quantiles come from a true bucket-exact LogHistogram::Merge instead of
+/// averaging per-backend percentiles. Nothing is appended for an empty
+/// histogram.
+void AppendHistogramBuckets(const std::string& name,
+                            const LogHistogram& histogram, std::string* out);
+
+/// Parses one AppendHistogramBuckets line (with or without the trailing
+/// newline) back into the metric name and a Snapshot whose count/avg/pXX
+/// are derived from the parsed buckets. Returns false when `line` is not a
+/// well-formed `# BUCKETS` line (wrong prefix, bad numbers, bucket index
+/// out of range).
+bool ParseHistogramBuckets(const std::string& line, std::string* name,
+                           LogHistogram::Snapshot* snapshot);
+
 /// Lock-cheap metrics registry: named atomic counters, gauges and
 /// log-bucketed latency histograms (microseconds). Registration takes a
 /// mutex; after that the hot path touches only relaxed atomics through the
@@ -109,8 +128,11 @@ class MetricsRegistry {
   /// (e.g. "cure_serve_"); names are sanitized to the metric-name grammar.
   /// Counters render as `counter`, gauges as `gauge` (non-finite gauge
   /// values are skipped entirely), histograms as `summary` blocks with
-  /// quantile labels and `_sum`/`_count` children.
-  std::string PrometheusText(const std::string& prefix = std::string()) const;
+  /// quantile labels and `_sum`/`_count` children. `include_buckets` adds a
+  /// `# BUCKETS` comment line per histogram (raw bucket counts, the METRICS
+  /// federation wire format — see AppendHistogramBuckets).
+  std::string PrometheusText(const std::string& prefix = std::string(),
+                             bool include_buckets = false) const;
 
  private:
   mutable std::mutex mu_;

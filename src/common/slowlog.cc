@@ -1,0 +1,44 @@
+#include "common/slowlog.h"
+
+namespace cure {
+
+void SlowQueryLog::Record(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(line));
+  } else {
+    ring_[seq_ % capacity_] = std::move(line);
+  }
+  ++seq_;
+}
+
+std::string SlowQueryLog::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // seq_ - 1 is the newest entry; walk backwards over the held window.
+  // Displayed numbers are 1-based ("#<n>" = the n-th entry ever recorded),
+  // so the newest line's number always equals the `total` count.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const uint64_t seq = seq_ - 1 - i;
+    out += '#';
+    out += std::to_string(seq + 1);
+    out += ' ';
+    out += ring_[seq % capacity_];
+    out += '\n';
+  }
+  out += "total " + std::to_string(seq_) + " capacity " +
+         std::to_string(capacity_) + "\n";
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace cure

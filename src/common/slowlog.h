@@ -1,0 +1,54 @@
+#ifndef CURE_COMMON_SLOWLOG_H_
+#define CURE_COMMON_SLOWLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cure {
+
+/// Bounded flight recorder for slow-query profiles: a mutex-guarded ring of
+/// the last `capacity` over-threshold entries, each one pre-formatted line.
+/// Both `cure_serve` and `cure_router` keep one and dump it through their
+/// SLOWLOG protocol verb — the in-memory tail of the slow-query WARN log,
+/// queryable without ssh'ing to the box. Entries are overwritten oldest
+/// first; Dump() renders newest first so the incident you are chasing is on
+/// top.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Appends one profile line (no trailing newline), evicting the oldest
+  /// entry when full.
+  void Record(std::string line);
+
+  /// Newest-first dump, one entry per line, each prefixed with its 1-based
+  /// recording sequence number (`#<seq> <line>`, so the newest number
+  /// equals the total ever recorded); ends with a summary line
+  /// `total <recorded> capacity <n>`. Empty ring renders just the summary.
+  std::string Dump() const;
+
+  /// Entries currently held (<= capacity).
+  size_t size() const;
+  /// Entries ever recorded (monotonic, not bounded by capacity).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> ring_;  ///< ring_[seq % capacity_]
+  uint64_t seq_ = 0;               ///< next sequence number to assign
+};
+
+}  // namespace cure
+
+#endif  // CURE_COMMON_SLOWLOG_H_

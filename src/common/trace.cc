@@ -130,6 +130,38 @@ void Tracer::Record(const TraceEvent& event) {
   ++buffer->written;
 }
 
+std::vector<TraceEvent> Tracer::EventsForTraceId(uint64_t trace_id) const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> matched;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    const size_t capacity = buffer->ring.size();
+    const size_t count =
+        static_cast<size_t>(std::min<uint64_t>(buffer->written, capacity));
+    const size_t start = buffer->written > capacity ? buffer->next : 0;
+    for (size_t i = 0; i < count; ++i) {
+      const TraceEvent& event = buffer->ring[(start + i) % capacity];
+      const bool hit =
+          (event.arg0_name != nullptr &&
+           std::strcmp(event.arg0_name, "trace_id") == 0 &&
+           event.arg0 == trace_id) ||
+          (event.arg1_name != nullptr &&
+           std::strcmp(event.arg1_name, "trace_id") == 0 &&
+           event.arg1 == trace_id);
+      if (hit) matched.push_back(event);
+    }
+  }
+  std::sort(matched.begin(), matched.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return matched;
+}
+
 uint64_t Tracer::recorded_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

@@ -85,6 +85,13 @@ class Tracer {
   /// protocol responses. Never returns 0.
   uint64_t NextTraceId();
 
+  /// Copies every recorded event carrying an integer arg named "trace_id"
+  /// whose value equals `trace_id`, oldest first. Exporter-path cost (locks
+  /// each thread buffer); empty when nothing matched. Lets a server attach
+  /// the spans of one request to its profile reply without exporting the
+  /// whole ring.
+  std::vector<TraceEvent> EventsForTraceId(uint64_t trace_id) const;
+
   /// Total events currently held across all ring buffers.
   uint64_t recorded_events() const;
   /// Events overwritten by ring-buffer wrap since the last Reset().

@@ -361,7 +361,11 @@ BackendReply ParseBackendReply(const std::string& response) {
   std::string row;
   while (std::getline(in, row)) {
     if (!row.empty() && row.back() == '\r') row.pop_back();
-    reply.rows.push_back(std::move(row));
+    if (row.rfind("% ", 0) == 0) {
+      reply.profile_lines.push_back(std::move(row));
+    } else {
+      reply.rows.push_back(std::move(row));
+    }
   }
   return reply;
 }

@@ -35,6 +35,11 @@ struct BackendReply {
   /// backend (dims as strings, aggregates as decimal int64). For a BATCH
   /// reply this includes the "= ..." section header lines.
   std::vector<std::string> rows;
+  /// Profile annotations the backend attached when the request carried
+  /// `profile=1` — body lines prefixed "% " ("% profile ..." stage
+  /// breakdown, "% span ..." tracer events), diverted out of `rows` so row
+  /// merging and checksum verification never see them.
+  std::vector<std::string> profile_lines;
 };
 
 /// Freshness probe result parsed from a backend's STATS body.

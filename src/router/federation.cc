@@ -1,0 +1,116 @@
+#include "router/federation.h"
+
+#include <sstream>
+
+#include "common/metrics.h"
+
+namespace cure {
+namespace router {
+
+bool RelabelSampleLine(const std::string& line, int shard, int replica,
+                       std::string* name, std::string* relabeled) {
+  // Split off the value at the LAST space: label values may contain spaces,
+  // the value never does.
+  const size_t value_at = line.find_last_of(' ');
+  if (value_at == std::string::npos || value_at == 0 ||
+      value_at + 1 >= line.size()) {
+    return false;
+  }
+  const std::string series = line.substr(0, value_at);
+  const std::string value = line.substr(value_at + 1);
+  const std::string inject = "shard=\"" + std::to_string(shard) +
+                             "\",replica=\"" + std::to_string(replica) + "\"";
+  const size_t brace = series.find('{');
+  std::string parsed_name =
+      brace == std::string::npos ? series : series.substr(0, brace);
+  if (parsed_name.empty() || !IsValidMetricName(parsed_name)) return false;
+  std::string out;
+  if (brace == std::string::npos) {
+    out = series + "{" + inject + "} " + value;
+  } else {
+    // Existing labels: splice ours in right after the '{'.
+    out = series.substr(0, brace + 1) + inject + "," +
+          series.substr(brace + 1) + " " + value;
+  }
+  if (name != nullptr) *name = std::move(parsed_name);
+  if (relabeled != nullptr) *relabeled = std::move(out);
+  return true;
+}
+
+void MetricsFederator::AddBackend(int shard, int replica,
+                                  const std::string& exposition) {
+  ++scraped_;
+  std::istringstream in(exposition);
+  std::string line;
+  std::string pending_type_name, pending_type;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.rfind("# BUCKETS ", 0) == 0) {
+      std::string bucket_name;
+      LogHistogram::Snapshot snapshot;
+      if (ParseHistogramBuckets(line, &bucket_name, &snapshot)) {
+        auto [it, inserted] = merged_.try_emplace(bucket_name);
+        if (inserted) it->second = std::make_unique<LogHistogram>();
+        it->second->Merge(snapshot);
+      }
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      fields >> pending_type_name >> pending_type;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    std::string metric_name, relabeled;
+    if (!RelabelSampleLine(line, shard, replica, &metric_name, &relabeled)) {
+      continue;
+    }
+    MetricGroup& group = groups_[metric_name];
+    if (group.type.empty() && metric_name == pending_type_name) {
+      group.type = pending_type;
+    }
+    group.samples += relabeled;
+    group.samples += '\n';
+  }
+}
+
+void MetricsFederator::AddUnreachable(int shard, int replica,
+                                      const std::string& address,
+                                      const std::string& error) {
+  ++failed_;
+  std::string note = error;
+  for (char& c : note) {
+    if (c == '\n') c = ' ';
+  }
+  notes_ += "# backend shard=" + std::to_string(shard) +
+            " replica=" + std::to_string(replica) + " " + address +
+            " unreachable: " + note + "\n";
+}
+
+std::string MetricsFederator::Render() const {
+  std::string out = "# cluster federation: scraped=" +
+                    std::to_string(scraped_) +
+                    " failed=" + std::to_string(failed_) + "\n";
+  for (const auto& [name, group] : groups_) {
+    if (!group.type.empty()) {
+      out += "# TYPE " + name + " " + group.type + "\n";
+    }
+    out += group.samples;
+  }
+  for (const auto& [name, histogram] : merged_) {
+    // cure_serve_query_latency_us -> cure_cluster_query_latency_us; a name
+    // without the serve prefix keeps itself under the cluster namespace.
+    static constexpr char kServePrefix[] = "cure_serve_";
+    const std::string cluster_name =
+        name.rfind(kServePrefix, 0) == 0
+            ? "cure_cluster_" + name.substr(sizeof(kServePrefix) - 1)
+            : "cure_cluster_" + name;
+    AppendPrometheusHistogram(cluster_name, *histogram, &out);
+  }
+  out += notes_;
+  return out;
+}
+
+}  // namespace router
+}  // namespace cure

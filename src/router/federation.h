@@ -1,0 +1,69 @@
+#ifndef CURE_ROUTER_FEDERATION_H_
+#define CURE_ROUTER_FEDERATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace cure {
+namespace router {
+
+/// Merges per-backend Prometheus expositions into one cluster-wide view —
+/// the text half of `METRICS cluster` (DESIGN.md §17). The router scrapes
+/// every serving replica's METRICS body and folds each in here:
+///
+///  - every backend sample is re-emitted with `shard`/`replica` labels
+///    added, grouped by metric name with its `# TYPE` header, so one scrape
+///    of the router yields the whole cluster's series;
+///  - `# BUCKETS` comment lines (AppendHistogramBuckets's wire format) are
+///    parsed back into snapshots and merged bucket-exactly via
+///    LogHistogram::Merge, then rendered as `cure_cluster_*` summary
+///    blocks — cluster quantiles from true bucket merges, not averaged
+///    per-backend percentiles;
+///  - unreachable backends are recorded as comment lines instead of
+///    silently vanishing from the output.
+///
+/// Pure text-in/text-out, no networking: the router owns the scraping.
+class MetricsFederator {
+ public:
+  /// Folds one backend's Prometheus exposition body in.
+  void AddBackend(int shard, int replica, const std::string& exposition);
+
+  /// Records a backend that could not be scraped.
+  void AddUnreachable(int shard, int replica, const std::string& address,
+                      const std::string& error);
+
+  int backends_scraped() const { return scraped_; }
+  int backends_failed() const { return failed_; }
+
+  /// Renders the federated exposition: scrape summary comment, re-labelled
+  /// per-backend series grouped by metric, cluster-merged histogram
+  /// summaries, unreachable-backend comments.
+  std::string Render() const;
+
+ private:
+  struct MetricGroup {
+    std::string type;     ///< from "# TYPE" (may stay empty)
+    std::string samples;  ///< re-labelled sample lines, newline-terminated
+  };
+
+  std::map<std::string, MetricGroup> groups_;
+  /// Cluster-merged histograms keyed by the backend-side metric name.
+  std::map<std::string, std::unique_ptr<LogHistogram>> merged_;
+  std::string notes_;
+  int scraped_ = 0;
+  int failed_ = 0;
+};
+
+/// Rewrites one sample line (`name value` or `name{labels} value`) with
+/// `shard`/`replica` labels prepended to the label set. Returns false when
+/// the line is not a well-formed sample. Exposed for tests.
+bool RelabelSampleLine(const std::string& line, int shard, int replica,
+                       std::string* name, std::string* relabeled);
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_FEDERATION_H_

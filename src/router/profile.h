@@ -1,0 +1,105 @@
+#ifndef CURE_ROUTER_PROFILE_H_
+#define CURE_ROUTER_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cure {
+namespace router {
+
+/// Cluster query profile model — the router-side half of distributed query
+/// profiling (DESIGN.md §17). The PROFILE verb re-runs a wrapped query with
+/// `profile=1` on every backend line, records every replica attempt against
+/// the query's own timeline, and merges the backends' stage breakdowns with
+/// the router's scatter/merge timings into one ClusterProfile. The profile
+/// renders as machine-parseable text (the PROFILE reply body) and exports
+/// as a Chrome/Perfetto trace with one track per backend, each aligned to
+/// the router's attempt timeline.
+
+/// One replica attempt inside a shard's scatter: when it launched and ended
+/// relative to the query start, and how it fared.
+struct AttemptRecord {
+  int replica = 0;
+  /// "primary" (first launch), "retry" (sequential relaunch after failure)
+  /// or "hedge" (speculative duplicate of a slow primary).
+  std::string kind = "primary";
+  /// "won" (first OK answer), "failover" (failed, another replica tried),
+  /// "data-loss" (ejected), "fail-fast" (deterministic error returned),
+  /// "lost" (still in flight when the shard resolved — a hedge loser or a
+  /// deadline-abandoned attempt) or "breaker-skip" (never launched because
+  /// its breaker was open and a healthier replica answered first).
+  std::string outcome = "lost";
+  /// Microseconds from query start; end_us == 0 for attempts that never
+  /// produced a result before the shard resolved (lost / breaker-skip).
+  int64_t launch_us = 0;
+  int64_t end_us = 0;
+};
+
+/// Per-shard view: the attempt log plus the winning backend's "% " profile
+/// lines ("% profile ..." stage breakdown, "% span ..." tracer events).
+struct ShardProfile {
+  int shard = 0;
+  bool ok = false;
+  std::vector<AttemptRecord> attempts;
+  std::vector<std::string> backend_lines;
+};
+
+/// The merged cluster-level profile for one routed query.
+struct ClusterProfile {
+  uint64_t trace_id = 0;
+  /// The wrapped command as received (e.g. "QUERY city,sku").
+  std::string command;
+  uint64_t result_count = 0;
+  uint64_t result_checksum = 0;
+  int shards_total = 0;
+  int shards_ok = 0;
+  /// Router stage timings in microseconds: whole handler, the scatter
+  /// (launch through last gather), and the row merge.
+  int64_t total_us = 0;
+  int64_t scatter_us = 0;
+  int64_t merge_us = 0;
+  std::vector<ShardProfile> shards;
+};
+
+/// Stage durations parsed out of a backend's "% profile ..." line.
+struct BackendStageBreakdown {
+  bool valid = false;
+  int64_t queue_wait_us = 0;
+  int64_t key_us = 0;
+  int64_t cache_us = 0;
+  int64_t execute_us = 0;
+  int64_t encode_us = 0;
+  int64_t total_us = 0;
+  std::string cache;  ///< HIT | SEMANTIC | MISS
+};
+BackendStageBreakdown ParseBackendProfileLine(const std::string& line);
+
+/// Renders the PROFILE reply body (everything between the OK header and the
+/// "." terminator). Line-oriented and diff-stable:
+///   command <cmd...>
+///   cluster shards=<n> shards_ok=<k> total_us=<t> scatter_us=<s>
+///           merge_us=<m> count=<c> checksum=<hex>      (one line)
+///   shard <s> ok=<0|1> attempts=<n>
+///   shard <s> attempt replica=<r> kind=<k> outcome=<o> launch_us=<l>
+///           end_us=<e>                                 (one line each)
+///   shard <s> % profile ... / shard <s> % span ...     (backend lines)
+std::string FormatClusterProfile(const ClusterProfile& profile);
+
+/// Parses a FormatClusterProfile body back into the model (how cure_tool
+/// turns a PROFILE reply into a Chrome trace). Unknown lines are skipped;
+/// returns false only when no "cluster" summary line is present.
+bool ParseClusterProfile(const std::string& text, ClusterProfile* profile);
+
+/// Serializes the profile as Chrome trace JSON (validates under
+/// ValidateChromeTrace): a router track carrying the query/scatter/merge
+/// spans, plus one track per shard carrying its attempt spans and the
+/// winning backend's stage spans laid out from that attempt's launch
+/// offset — every track shares the query-start origin, so backend work
+/// lines up under the router timeline in the viewer.
+std::string ClusterProfileToChromeTrace(const ClusterProfile& profile);
+
+}  // namespace router
+}  // namespace cure
+
+#endif  // CURE_ROUTER_PROFILE_H_

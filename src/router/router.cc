@@ -10,6 +10,7 @@
 
 #include "algebra/rollup.h"
 #include "common/trace.h"
+#include "router/federation.h"
 #include "schema/lattice.h"
 #include "serve/protocol.h"
 
@@ -305,7 +306,9 @@ bool CureRouter::PartialEligible(StatusCode code) {
 
 Result<BackendReply> CureRouter::QueryShard(int shard,
                                             const std::string& backend_line,
-                                            int64_t deadline_us) {
+                                            int64_t deadline_us,
+                                            ShardProfile* profile,
+                                            int64_t profile_base_us) {
   const std::vector<int> order = PickOrder(shard);
   if (order.empty()) {
     return Status::IoError("shard " + std::to_string(shard) +
@@ -314,6 +317,23 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
   if (deadline_us > 0 && NowMicros() >= deadline_us) {
     return Status::DeadlineExceeded("shard " + std::to_string(shard) +
                                     ": deadline exhausted before any attempt");
+  }
+  if (profile != nullptr) {
+    // Pre-note candidates whose breaker is open right now: if they never
+    // launch, the profile shows WHY the picker passed them over. A later
+    // launch (last-resort pick) overwrites the record in place.
+    profile->shard = shard;
+    const int64_t now_us = NowMicros();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int r : order) {
+      if (replicas_[shard][r].open_until_us > now_us) {
+        AttemptRecord record;
+        record.replica = r;
+        record.kind = "skip";
+        record.outcome = "breaker-skip";
+        profile->attempts.push_back(std::move(record));
+      }
+    }
   }
 
   // Event loop over detached attempt threads: launch, then react to
@@ -330,10 +350,43 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
   double backoff = options_.backoff_initial_seconds;
   Status last_error = Status::OK();
 
-  auto launch = [&]() {
+  // The attempt log is written ONLY by this event-loop thread (launch and
+  // result processing), never by the detached attempt threads — no locking
+  // beyond what the loop already holds.
+  auto note_launch = [&](int r, const char* kind, int64_t launch_at_us) {
+    if (profile == nullptr) return;
+    for (AttemptRecord& record : profile->attempts) {
+      if (record.replica == r) {
+        record.kind = kind;
+        record.outcome = "lost";
+        record.launch_us = launch_at_us - profile_base_us;
+        return;
+      }
+    }
+    AttemptRecord record;
+    record.replica = r;
+    record.kind = kind;
+    record.outcome = "lost";
+    record.launch_us = launch_at_us - profile_base_us;
+    profile->attempts.push_back(std::move(record));
+  };
+  auto note_outcome = [&](int r, const char* outcome) {
+    if (profile == nullptr) return;
+    for (AttemptRecord& record : profile->attempts) {
+      if (record.replica == r && record.end_us == 0 &&
+          record.outcome == "lost") {
+        record.outcome = outcome;
+        record.end_us = NowMicros() - profile_base_us;
+        return;
+      }
+    }
+  };
+
+  auto launch = [&](const char* kind) {
     const int r = order[next_candidate++];
     ++launches;
     last_launch_us = NowMicros();
+    note_launch(r, kind, last_launch_us);
     backend_rpcs_total_->Inc();
     const std::string attempt_line =
         WithRemainingDeadline(backend_line, deadline_us);
@@ -370,7 +423,7 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
     }).detach();
   };
 
-  launch();
+  launch("primary");
   size_t processed = 0;
   std::unique_lock<std::mutex> lock(state->mu);
   for (;;) {
@@ -384,10 +437,21 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
         // Move out while still locked: an abandoned hedge attempt can push
         // into (and reallocate) the scoreboard at any moment.
         Result<BackendReply> winner = std::move(attempt.reply);
+        note_outcome(r, "won");
+        if (profile != nullptr) {
+          profile->ok = true;
+          profile->backend_lines = winner->profile_lines;
+        }
         lock.unlock();
         RecordBackendSuccess(shard, r);
         return winner;
       }
+      note_outcome(r, status.code() == StatusCode::kDataLoss ? "data-loss"
+                   : (!attempt.reply.ok() ||
+                      status.code() == StatusCode::kIoError ||
+                      status.code() == StatusCode::kDeadlineExceeded)
+                       ? "failover"
+                       : "fail-fast");
       if (status.code() == StatusCode::kDataLoss) {
         // The replica's storage is corrupt; take it out of rotation for
         // good (a health probe reaching the process again proves nothing
@@ -461,7 +525,7 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
                       static_cast<uint64_t>(shard), "attempt",
                       static_cast<uint64_t>(launches));
       lock.unlock();
-      launch();
+      launch("retry");
       lock.lock();
       continue;
     }
@@ -498,7 +562,7 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
         CURE_TRACE_SPAN("cure.router.hedge", "shard",
                         static_cast<uint64_t>(shard));
         lock.unlock();
-        launch();
+        launch("hedge");
         lock.lock();
       }
     }
@@ -506,7 +570,8 @@ Result<BackendReply> CureRouter::QueryShard(int shard,
 }
 
 std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
-                                    const std::string& cmd) {
+                                    const std::string& cmd,
+                                    ClusterProfile* profile) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
   double deadline_seconds = 0;
@@ -586,16 +651,26 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
     backend_line += token;
   }
   backend_line += " trace=" + std::to_string(trace_id);
+  if (profile != nullptr) backend_line += " profile=1";
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
   int shards_ok = map_.num_shards();
-  const Status gathered = ScatterGather(*node, backend_line, min_count,
-                                        deadline_us, &sink, &columns,
-                                        &shards_ok);
+  const Status gathered =
+      ScatterGather(*node, backend_line, min_count, deadline_us, &sink,
+                    &columns, &shards_ok, profile, start_us);
+  const int64_t total_us = NowMicros() - start_us;
+  if (profile != nullptr) {
+    profile->trace_id = trace_id;
+    profile->shards_total = map_.num_shards();
+    profile->total_us = total_us;
+    profile->result_count = sink.count();
+    profile->result_checksum = sink.checksum();
+  }
+  MaybeRecordSlow(cmd.c_str(), trace_id, total_us, shards_ok, gathered);
   if (!gathered.ok()) {
     queries_errors_->Inc();
-    query_latency_us_->Record(NowMicros() - start_us);
+    query_latency_us_->Record(total_us);
     return ErrResponse(gathered);
   }
   const std::string partial = PartialToken(shards_ok, map_.num_shards());
@@ -616,20 +691,32 @@ std::string CureRouter::HandleQuery(const std::vector<std::string>& tokens_in,
 }
 
 std::vector<Result<BackendReply>> CureRouter::Scatter(
-    const std::string& backend_line, int64_t deadline_us) {
+    const std::string& backend_line, int64_t deadline_us,
+    ClusterProfile* profile, int64_t profile_base_us) {
   std::vector<std::future<Status>> futures;
   std::vector<Result<BackendReply>> replies(
       static_cast<size_t>(map_.num_shards()),
       Status::Internal("shard reply missing"));
   CURE_TRACE_SPAN("cure.router.scatter", "shards",
                   static_cast<uint64_t>(map_.num_shards()));
+  if (profile != nullptr) {
+    // One pre-sized slot per shard so the pool tasks never touch a shared
+    // vector concurrently.
+    profile->shards.assign(static_cast<size_t>(map_.num_shards()),
+                           ShardProfile());
+    for (int s = 0; s < map_.num_shards(); ++s) profile->shards[s].shard = s;
+  }
   futures.reserve(replies.size());
   for (int s = 0; s < map_.num_shards(); ++s) {
-    futures.push_back(
-        pool_->Submit([this, s, deadline_us, &backend_line, &replies] {
-          replies[s] = QueryShard(s, backend_line, deadline_us);
-          return Status::OK();
-        }));
+    ShardProfile* shard_profile =
+        profile != nullptr ? &profile->shards[s] : nullptr;
+    futures.push_back(pool_->Submit([this, s, deadline_us, &backend_line,
+                                     &replies, shard_profile,
+                                     profile_base_us] {
+      replies[s] = QueryShard(s, backend_line, deadline_us, shard_profile,
+                              profile_base_us);
+      return Status::OK();
+    }));
   }
   for (auto& f : futures) f.get();
   return replies;
@@ -712,13 +799,19 @@ Status CureRouter::ScatterGather(schema::NodeId node,
                                  int64_t min_count, int64_t deadline_us,
                                  query::ResultSink* sink,
                                  std::vector<std::pair<int, int>>* columns,
-                                 int* shards_ok) {
+                                 int* shards_ok, ClusterProfile* profile,
+                                 int64_t profile_base_us) {
+  const int64_t scatter_start_us = NowMicros();
   const std::vector<Result<BackendReply>> replies =
-      Scatter(backend_line, deadline_us);
+      Scatter(backend_line, deadline_us, profile, profile_base_us);
+  if (profile != nullptr) {
+    profile->scatter_us = NowMicros() - scatter_start_us;
+  }
   *columns = GroupedColumns(node);
   PartialMerger merger(*schema_);
   int merged = 0;
   Status degraded_error = Status::OK();
+  const int64_t merge_start_us = NowMicros();
   {
     CURE_TRACE_SPAN("cure.router.merge");
     for (int s = 0; s < map_.num_shards(); ++s) {
@@ -738,13 +831,18 @@ Status CureRouter::ScatterGather(schema::NodeId node,
       ++merged;
     }
   }
+  if (profile != nullptr) {
+    profile->merge_us = NowMicros() - merge_start_us;
+    profile->shards_ok = merged;
+  }
   if (merged == 0) return degraded_error;  // nothing survived — still an error
   if (shards_ok != nullptr) *shards_ok = merged;
   return merger.Finish(count_aggregate_, min_count, sink);
 }
 
 std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in,
-                                       const std::string& cmd) {
+                                       const std::string& cmd,
+                                       ClusterProfile* profile) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
   double deadline_seconds = 0;
@@ -823,13 +921,23 @@ std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in
   backend_line += spec;
   for (const std::string& slice : slices) backend_line += ' ' + slice;
   backend_line += " trace=" + std::to_string(trace_id);
+  if (profile != nullptr) backend_line += " profile=1";
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
   int shards_ok = map_.num_shards();
-  const Status gathered = ScatterGather(*target, backend_line, min_count,
-                                        deadline_us, &sink, &columns,
-                                        &shards_ok);
+  const Status gathered =
+      ScatterGather(*target, backend_line, min_count, deadline_us, &sink,
+                    &columns, &shards_ok, profile, start_us);
+  if (profile != nullptr) {
+    profile->trace_id = trace_id;
+    profile->shards_total = map_.num_shards();
+    profile->total_us = NowMicros() - start_us;
+    profile->result_count = sink.count();
+    profile->result_checksum = sink.checksum();
+  }
+  MaybeRecordSlow(cmd.c_str(), trace_id, NowMicros() - start_us, shards_ok,
+                  gathered);
   if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
@@ -853,7 +961,8 @@ std::string CureRouter::HandleNavigate(const std::vector<std::string>& tokens_in
   return out;
 }
 
-std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
+std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in,
+                                   ClusterProfile* profile) {
   std::vector<std::string> tokens = tokens_in;
   uint64_t trace_id = 0;
   double deadline_seconds = 0;
@@ -901,13 +1010,23 @@ std::string CureRouter::HandleTopK(const std::vector<std::string>& tokens_in) {
   backend_line += tokens[1];
   for (const std::string& slice : slices) backend_line += ' ' + slice;
   backend_line += " trace=" + std::to_string(trace_id);
+  if (profile != nullptr) backend_line += " profile=1";
 
   query::ResultSink sink(/*retain=*/true);
   std::vector<std::pair<int, int>> columns;
   int shards_ok = map_.num_shards();
   const Status gathered =
       ScatterGather(*node, backend_line, /*min_count=*/0, deadline_us, &sink,
-                    &columns, &shards_ok);
+                    &columns, &shards_ok, profile, start_us);
+  if (profile != nullptr) {
+    profile->trace_id = trace_id;
+    profile->shards_total = map_.num_shards();
+    profile->total_us = NowMicros() - start_us;
+    profile->result_count = sink.count();
+    profile->result_checksum = sink.checksum();
+  }
+  MaybeRecordSlow("TOPK", trace_id, NowMicros() - start_us, shards_ok,
+                  gathered);
   if (!gathered.ok()) {
     queries_errors_->Inc();
     query_latency_us_->Record(NowMicros() - start_us);
@@ -1104,8 +1223,62 @@ std::string CureRouter::HandleBatch(const std::vector<std::string>& tokens_in) {
   out += '\n';
   out += sections_out;
   out += ".\n";
+  MaybeRecordSlow("BATCH", trace_id, NowMicros() - start_us, shards_ok,
+                  Status::OK());
   query_latency_us_->Record(NowMicros() - start_us);
   return out;
+}
+
+std::string CureRouter::HandleProfile(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "usage: PROFILE <QUERY|ICEBERG|SLICE|ROLLUP|DRILL|"
+                       "TOPK> ...");
+  }
+  const std::vector<std::string> inner(tokens.begin() + 1, tokens.end());
+  const std::string cmd = ToUpper(inner[0]);
+  ClusterProfile profile;
+  std::string response;
+  if (cmd == "QUERY" || cmd == "ICEBERG" || cmd == "SLICE") {
+    response = HandleQuery(inner, cmd, &profile);
+  } else if (cmd == "ROLLUP" || cmd == "DRILL") {
+    response = HandleNavigate(inner, cmd, &profile);
+  } else if (cmd == "TOPK") {
+    response = HandleTopK(inner, &profile);
+  } else {
+    return ErrResponse(StatusCode::kInvalidArgument,
+                       "PROFILE wraps QUERY, ICEBERG, SLICE, ROLLUP, DRILL "
+                       "or TOPK, not '" + inner[0] + "'");
+  }
+  // A failed wrapped query keeps its ERR verbatim — the caller learns the
+  // real error, not a profile of a non-answer.
+  if (response.rfind("ERR", 0) == 0) return response;
+  std::string command;
+  for (const std::string& token : inner) {
+    if (!command.empty()) command += ' ';
+    command += token;
+  }
+  profile.command = command;
+  char header[96];
+  std::snprintf(header, sizeof(header), "OK %llu %016llx PROFILE trace=%llu\n",
+                static_cast<unsigned long long>(profile.result_count),
+                static_cast<unsigned long long>(profile.result_checksum),
+                static_cast<unsigned long long>(profile.trace_id));
+  return header + FormatClusterProfile(profile) + ".\n";
+}
+
+void CureRouter::MaybeRecordSlow(const char* verb, uint64_t trace_id,
+                                 int64_t total_us, int shards_ok,
+                                 const Status& status) {
+  if (options_.slow_query_seconds <= 0) return;
+  if (total_us < static_cast<int64_t>(options_.slow_query_seconds * 1e6)) {
+    return;
+  }
+  slowlog_.Record("trace=" + std::to_string(trace_id) + " verb=" + verb +
+                  " status=" + StatusCodeName(status.code()) +
+                  " total_us=" + std::to_string(total_us) +
+                  " shards_ok=" + std::to_string(shards_ok) + "/" +
+                  std::to_string(map_.num_shards()));
 }
 
 std::string CureRouter::HealthText() {
@@ -1136,7 +1309,6 @@ std::string CureRouter::HealthText() {
 
 void CureRouter::UpdateDerivedMetrics() const {
   std::lock_guard<std::mutex> lock(mu_);
-  const int64_t now_us = NowMicros();
   int healthy = 0, ejected = 0, total = 0;
   for (size_t s = 0; s < replicas_.size(); ++s) {
     for (size_t r = 0; r < replicas_[s].size(); ++r) {
@@ -1147,14 +1319,9 @@ void CureRouter::UpdateDerivedMetrics() const {
       } else if (state.healthy) {
         ++healthy;
       }
-      // Breaker state per backend: 0 = closed, 1 = half-open, 2 = open.
-      const double breaker =
-          state.open_until_us == 0 ? 0
-          : (now_us >= state.open_until_us ? 1 : 2);
-      metrics_
-          .gauge("breaker_state_s" + std::to_string(s) + "_r" +
-                 std::to_string(r))
-          ->Set(breaker);
+      // Breaker state is rendered by PrometheusText() as one labelled
+      // series instead of a metric NAME per replica (a 16×4 cluster would
+      // mint 64 metric names and clutter every dashboard's series browser).
     }
   }
   metrics_.gauge("shards")->Set(map_.num_shards());
@@ -1197,6 +1364,59 @@ std::string CureRouter::PrometheusText() const {
   LogHistogram cluster;
   MergeBackendLatency(&cluster);
   AppendPrometheusHistogram("cure_router_backend_all_latency", cluster, &out);
+  // Breaker state as ONE series with shard/replica labels (0 = closed,
+  // 1 = half-open, 2 = open) — constant metric-name cardinality no matter
+  // how big the map is. HEALTH keeps the human-readable per-replica view.
+  out += "# TYPE cure_router_breaker_state gauge\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now_us = NowMicros();
+    for (size_t s = 0; s < replicas_.size(); ++s) {
+      for (size_t r = 0; r < replicas_[s].size(); ++r) {
+        const ReplicaState& state = replicas_[s][r];
+        const double breaker =
+            state.open_until_us == 0 ? 0
+            : (now_us >= state.open_until_us ? 1 : 2);
+        out += PrometheusSampleLine("cure_router_breaker_state",
+                                    {{"shard", std::to_string(s)},
+                                     {"replica", std::to_string(r)}},
+                                    breaker);
+      }
+    }
+  }
+  return out;
+}
+
+std::string CureRouter::ClusterMetricsText() {
+  std::string out = PrometheusText();
+  // Scrape every non-ejected replica; the federator re-labels the samples
+  // and merges the `# BUCKETS` histograms cluster-wide. Ejected replicas
+  // are skipped on purpose (their data is condemned); unreachable ones are
+  // reported as comments rather than silently dropped.
+  MetricsFederator federator;
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    for (int r = 0; r < map_.num_replicas(s); ++r) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (replicas_[s][r].ejected) continue;
+      }
+      const BackendAddress& addr = map_.shards[s][r];
+      Result<std::string> scraped = client_.RoundTrip(addr, "METRICS");
+      if (!scraped.ok()) {
+        federator.AddUnreachable(s, r, addr.ToString(),
+                                 scraped.status().message());
+        continue;
+      }
+      // Strip the protocol's "OK" status line; the exposition body follows.
+      std::string body = std::move(scraped).value();
+      const size_t first_newline = body.find('\n');
+      if (body.rfind("OK", 0) == 0 && first_newline != std::string::npos) {
+        body.erase(0, first_newline + 1);
+      }
+      federator.AddBackend(s, r, body);
+    }
+  }
+  out += federator.Render();
   return out;
 }
 
@@ -1207,8 +1427,15 @@ std::string CureRouter::HandleLine(const std::string& line) {
   }
   const std::string cmd = ToUpper(tokens[0]);
   if (cmd == "STATS") return "OK\n" + StatsText() + ".\n";
-  if (cmd == "METRICS") return "OK\n" + PrometheusText() + ".\n";
+  if (cmd == "METRICS") {
+    if (tokens.size() == 2 && ToUpper(tokens[1]) == "CLUSTER") {
+      return "OK\n" + ClusterMetricsText() + ".\n";
+    }
+    return "OK\n" + PrometheusText() + ".\n";
+  }
+  if (cmd == "SLOWLOG") return "OK\n" + slowlog_.Dump() + ".\n";
   if (cmd == "HEALTH") return HealthText();
+  if (cmd == "PROFILE") return HandleProfile(tokens);
   if (cmd == "QUERY" || cmd == "ICEBERG" || cmd == "SLICE") {
     return HandleQuery(tokens, cmd);
   }
@@ -1218,7 +1445,8 @@ std::string CureRouter::HandleLine(const std::string& line) {
   return ErrResponse(StatusCode::kInvalidArgument,
                      "unknown command '" + tokens[0] +
                          "' (expected QUERY, ICEBERG, SLICE, ROLLUP, DRILL, "
-                         "TOPK, BATCH, STATS, METRICS, HEALTH or QUIT)");
+                         "TOPK, BATCH, PROFILE, STATS, METRICS, SLOWLOG, "
+                         "HEALTH or QUIT)");
 }
 
 void CureRouter::OverrideReplicaFreshnessForTest(int shard, int replica,

@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/slowlog.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "router/backend_client.h"
 #include "router/merge.h"
+#include "router/profile.h"
 #include "router/shard_map.h"
 #include "schema/cube_schema.h"
 #include "schema/node_id.h"
@@ -60,6 +62,9 @@ struct RouterOptions {
   /// trailing "PARTIAL shards=<k>/<n>" header token instead of ERR. Strict
   /// (all-or-error) by default.
   bool allow_partial = false;
+  /// Slow-query flight recorder: queries slower than this land in the
+  /// SLOWLOG ring (one line each, newest first). 0 disables recording.
+  double slow_query_seconds = 0;
 };
 
 /// Sharded, replicated scatter–gather front end over cure_serve backends.
@@ -116,10 +121,16 @@ class CureRouter {
   /// query — top-k membership is not per-shard-decidable — and selected
   /// after the merge, like MINSUP), BATCH (the whole line is forwarded to
   /// every shard in one round trip and each section merged independently;
-  /// sections read "= <spec> <count> <checksum-hex> SCATTER"), STATS,
-  /// METRICS (Prometheus, cure_router_ prefix), HEALTH (one line per
-  /// replica: "shard <s> replica <r> <addr> <UP|DOWN|EJECTED> version=<v>
-  /// staleness=<s>").
+  /// sections read "= <spec> <count> <checksum-hex> SCATTER"), PROFILE
+  /// (wraps QUERY/ICEBERG/SLICE/ROLLUP/DRILL/TOPK; re-runs it with
+  /// `profile=1` on every backend line and answers with the cluster
+  /// profile — per-shard attempt log plus backend stage breakdowns —
+  /// instead of rows; see profile.h), STATS, METRICS (Prometheus,
+  /// cure_router_ prefix; `METRICS cluster` additionally scrapes every
+  /// serving replica and appends the federated shard/replica-labelled
+  /// exposition — see federation.h), SLOWLOG (the slow-query ring,
+  /// newest first), HEALTH (one line per replica: "shard <s> replica <r>
+  /// <addr> <UP|DOWN|EJECTED> version=<v> staleness=<s>").
   std::string HandleLine(const std::string& line);
 
   /// Probes every non-ejected replica's STATS once, updating health and
@@ -132,8 +143,16 @@ class CureRouter {
   /// STATS body: registry text plus the per-backend latency histograms
   /// merged into one cluster-wide histogram (backend_all_latency_*).
   std::string StatsText() const;
-  /// Prometheus exposition with the cure_router_ prefix.
+  /// Prometheus exposition with the cure_router_ prefix. Breaker state is
+  /// published as ONE series with shard/replica labels
+  /// (cure_router_breaker_state{shard="s",replica="r"}: 0 = closed,
+  /// 1 = half-open, 2 = open) instead of a metric name per replica.
   std::string PrometheusText() const;
+  /// `METRICS cluster` body: the router's own exposition plus a federated
+  /// scrape of every serving replica (see MetricsFederator).
+  std::string ClusterMetricsText();
+
+  SlowQueryLog* slowlog() { return &slowlog_; }
 
   /// ---- Test seams ----
   /// Overrides a replica's freshness (and marks it healthy) so replica-pick
@@ -174,8 +193,13 @@ class CureRouter {
   /// deterministic backend error. `deadline_us` is the absolute
   /// steady-clock deadline in microseconds (0 = none); each attempt is sent
   /// with the REMAINING budget so retries spend one client budget.
+  /// When `profile` is non-null, every replica attempt is recorded into it
+  /// (launch/end offsets relative to `profile_base_us`, kind, outcome) and
+  /// the winner's "% " profile lines are copied over.
   Result<BackendReply> QueryShard(int shard, const std::string& backend_line,
-                                  int64_t deadline_us);
+                                  int64_t deadline_us,
+                                  ShardProfile* profile = nullptr,
+                                  int64_t profile_base_us = 0);
 
   /// Candidate replica order for a shard (see class comment). Breaker-aware:
   /// healthy closed-breaker replicas (freshness-sorted) first, then
@@ -194,9 +218,12 @@ class CureRouter {
   void RecordBackendFailure(int shard, int replica);
 
   /// Scatters `backend_line` to every shard (one pool task per shard, each
-  /// picking its own replica with failover).
+  /// picking its own replica with failover). A non-null `profile` collects
+  /// the per-shard attempt logs (its `shards` vector is filled here).
   std::vector<Result<BackendReply>> Scatter(const std::string& backend_line,
-                                            int64_t deadline_us);
+                                            int64_t deadline_us,
+                                            ClusterProfile* profile = nullptr,
+                                            int64_t profile_base_us = 0);
 
   /// True when a shard error is eligible for partial-result degradation
   /// (the shard is unavailable, not the request malformed).
@@ -225,15 +252,30 @@ class CureRouter {
                        int64_t min_count, int64_t deadline_us,
                        query::ResultSink* sink,
                        std::vector<std::pair<int, int>>* columns,
-                       int* shards_ok);
+                       int* shards_ok, ClusterProfile* profile = nullptr,
+                       int64_t profile_base_us = 0);
 
+  /// The query handlers optionally fill a ClusterProfile: a non-null
+  /// `profile` switches the backend lines to `profile=1` and records the
+  /// router's own stage timings alongside the attempt logs. The returned
+  /// response text is unchanged — HandleProfile discards the rows and
+  /// renders the profile instead.
   std::string HandleQuery(const std::vector<std::string>& tokens,
-                          const std::string& cmd);
+                          const std::string& cmd,
+                          ClusterProfile* profile = nullptr);
   std::string HandleNavigate(const std::vector<std::string>& tokens,
-                             const std::string& cmd);
-  std::string HandleTopK(const std::vector<std::string>& tokens);
+                             const std::string& cmd,
+                             ClusterProfile* profile = nullptr);
+  std::string HandleTopK(const std::vector<std::string>& tokens,
+                         ClusterProfile* profile = nullptr);
   std::string HandleBatch(const std::vector<std::string>& tokens);
+  /// PROFILE <cmd>...: cluster-wide EXPLAIN ANALYZE (see HandleLine doc).
+  std::string HandleProfile(const std::vector<std::string>& tokens);
   std::string HealthText();
+  /// Records one finished query into the slow-query ring when it exceeded
+  /// the configured threshold.
+  void MaybeRecordSlow(const char* verb, uint64_t trace_id, int64_t total_us,
+                       int shards_ok, const Status& status);
   void UpdateDerivedMetrics() const;
   /// Merges every per-backend latency histogram into `out` (stack-local
   /// cluster view; avoids double-accumulation in the registry).
@@ -256,6 +298,7 @@ class CureRouter {
 
   // mutable: StatsText()/PrometheusText() sample gauges before rendering.
   mutable MetricsRegistry metrics_;
+  SlowQueryLog slowlog_;
   Counter* queries_total_;
   Counter* queries_errors_;
   Counter* backend_rpcs_total_;

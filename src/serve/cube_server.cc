@@ -171,10 +171,17 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
   const auto finish = [&](bool record_latency) {
     const int64_t total_us = watch.ElapsedMicros();
     response.latency_seconds = static_cast<double>(total_us) * 1e-6;
+    response.key_us = key_done_us;
+    response.cache_us = std::max<int64_t>(cache_done_us - key_done_us, 0);
+    response.execute_us =
+        std::max<int64_t>(execute_done_us - cache_done_us, 0);
     if (record_latency) latency_us_->Record(total_us);
     if (options_.slow_query_seconds > 0 &&
         response.latency_seconds > options_.slow_query_seconds) {
       slow_queries_total_->Inc();
+      const char* cache_token = response.cache_hit        ? "HIT"
+                                : response.semantic_hit   ? "SEMANTIC"
+                                                          : "MISS";
       CURE_LOG(kWarning) << "slow query trace=" << response.trace_id
                          << " node=" << request.node
                          << " version=" << response.version
@@ -183,11 +190,20 @@ QueryResponse CubeServer::ExecuteInternal(const QueryRequest& request) {
                          << " key_us=" << key_done_us
                          << " cache_us=" << (cache_done_us - key_done_us)
                          << " execute_us=" << (execute_done_us - cache_done_us)
-                         << " rows=" << response.count
-                         << (response.cache_hit
-                                 ? " cache=HIT"
-                                 : response.semantic_hit ? " cache=SEMANTIC"
-                                                         : " cache=MISS");
+                         << " rows=" << response.count << " cache="
+                         << cache_token;
+      // Same breakdown into the flight recorder, one line per query, in the
+      // profile section's key=value grammar so SLOWLOG output is machine-
+      // parseable with the same scanner.
+      slowlog_.Record(
+          "trace=" + std::to_string(response.trace_id) +
+          " node=" + std::to_string(request.node) +
+          " status=" + std::string(StatusCodeName(response.status.code())) +
+          " total_us=" + std::to_string(total_us) +
+          " key_us=" + std::to_string(key_done_us) +
+          " cache_us=" + std::to_string(cache_done_us - key_done_us) +
+          " execute_us=" + std::to_string(execute_done_us - cache_done_us) +
+          " rows=" + std::to_string(response.count) + " cache=" + cache_token);
     }
   };
 
@@ -343,6 +359,7 @@ std::future<QueryResponse> CubeServer::Submit(QueryRequest request) {
           "query spent its deadline in the admission queue");
     } else {
       response = ExecuteInternal(request);
+      response.queue_wait_us = wait_us;
     }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     promise->set_value(std::move(response));
@@ -448,12 +465,19 @@ std::string CubeServer::StatsText() const {
 
 std::string CubeServer::PrometheusText() const {
   UpdateDerivedMetrics();
-  std::string out = metrics_.PrometheusText("cure_serve_");
+  // include_buckets: the `# BUCKETS` comment lines feed the router's
+  // METRICS-cluster federation (bucket-exact histogram merge).
+  std::string out =
+      metrics_.PrometheusText("cure_serve_", /*include_buckets=*/true);
   if (live_ != nullptr) {
     AppendPrometheusHistogram("cure_serve_refresh_latency_us",
                               live_->refresh_latency_us(), &out);
+    AppendHistogramBuckets("cure_serve_refresh_latency_us",
+                           live_->refresh_latency_us(), &out);
     AppendPrometheusHistogram("cure_serve_wal_replay_us",
                               live_->wal_replay_us(), &out);
+    AppendHistogramBuckets("cure_serve_wal_replay_us", live_->wal_replay_us(),
+                           &out);
   }
   // Process-global storage series (file I/O, external sort, ...) — already
   // prefixed cure_storage_.

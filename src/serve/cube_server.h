@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slowlog.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/cure.h"
@@ -75,6 +76,10 @@ struct QueryRequest {
   /// so every backend's spans share the fan-out's id); 0 mints a fresh
   /// process-unique id.
   uint64_t trace_id = 0;
+  /// Request a per-stage profile in the response (`profile=1` token). The
+  /// stage checkpoints are recorded unconditionally — this flag only
+  /// controls whether the transport renders them back to the client.
+  bool profile = false;
 };
 
 struct QueryResponse {
@@ -93,6 +98,13 @@ struct QueryResponse {
   /// Process-unique id correlating this query across trace spans, the
   /// slow-query log and the protocol response header (`trace=<id>`).
   uint64_t trace_id = 0;
+  /// Per-stage breakdown in microseconds (always filled; the protocol layer
+  /// renders them only when the request carried `profile=1`). queue_wait_us
+  /// is filled by Submit's worker — Execute() leaves it 0.
+  int64_t queue_wait_us = 0;
+  int64_t key_us = 0;      ///< request canonicalization + cache-key build
+  int64_t cache_us = 0;    ///< exact-key lookup + semantic derive attempt
+  int64_t execute_us = 0;  ///< engine scan/aggregate (0 on a cache hit)
 };
 
 /// Long-lived concurrent serving layer over a CURE cube: per-snapshot
@@ -155,6 +167,9 @@ class CubeServer {
   std::string PrometheusText() const;
 
   MetricsRegistry* metrics() { return &metrics_; }
+  /// Flight recorder of the last N over-threshold query profiles (the
+  /// SLOWLOG verb's body; populated when slow_query_seconds > 0).
+  SlowQueryLog* slowlog() { return &slowlog_; }
   /// The exact-key layer of the result cache.
   QueryCache* cache() { return cache_.exact(); }
   /// The full semantic cache (containment index + roll-up derivation).
@@ -212,6 +227,7 @@ class CubeServer {
   // mutable: StatsText()/PrometheusText() are logically const but sample
   // point-in-time gauges into the registry right before rendering.
   mutable MetricsRegistry metrics_;
+  SlowQueryLog slowlog_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<int64_t> in_flight_{0};
   std::function<void()> worker_hook_;

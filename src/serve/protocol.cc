@@ -43,14 +43,29 @@ std::vector<std::string> SplitTokens(const std::string& text) {
 }
 
 bool TakeRequestTokens(std::vector<std::string>* tokens, uint64_t* trace_id,
-                       double* deadline_seconds, std::string* error) {
+                       double* deadline_seconds, std::string* error,
+                       bool* profile) {
   // The control tokens trail the command, so peel from the back; each kind
   // is consumed at most once and an unknown trailing token stops the scan
   // (it belongs to the verb's own grammar).
   bool saw_trace = false;
   bool saw_deadline = false;
+  bool saw_profile = false;
   while (!tokens->empty()) {
     const std::string& last = tokens->back();
+    if (!saw_profile && last.rfind("profile=", 0) == 0) {
+      const std::string value = last.substr(8);
+      if (value != "1") {
+        if (error != nullptr) {
+          *error = "profile=<v> supports only profile=1";
+        }
+        return false;
+      }
+      if (profile != nullptr) *profile = true;
+      saw_profile = true;
+      tokens->pop_back();
+      continue;
+    }
     if (!saw_trace && last.rfind("trace=", 0) == 0) {
       const std::string value = last.substr(6);
       char* end = nullptr;

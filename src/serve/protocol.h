@@ -16,14 +16,16 @@ namespace serve {
 /// Splits `text` on whitespace (any run of spaces/tabs).
 std::vector<std::string> SplitTokens(const std::string& text);
 
-/// Strips the optional trailing request-control tokens `trace=<id>` and
-/// `deadline=<ms>` (in either order) from a query command's token list.
-/// A well-formed trace id is adopted so a router's fan-out shares one trace
-/// end-to-end; a deadline is the client's remaining budget in milliseconds.
-/// Returns false with *error set on a malformed token; untouched outputs
-/// keep their caller-supplied defaults.
+/// Strips the optional trailing request-control tokens `trace=<id>`,
+/// `deadline=<ms>` and `profile=1` (in any order) from a query command's
+/// token list. A well-formed trace id is adopted so a router's fan-out
+/// shares one trace end-to-end; a deadline is the client's remaining budget
+/// in milliseconds; `profile=1` asks the server to attach a per-request
+/// stage profile to the reply. Returns false with *error set on a malformed
+/// token; untouched outputs keep their caller-supplied defaults.
 bool TakeRequestTokens(std::vector<std::string>* tokens, uint64_t* trace_id,
-                       double* deadline_seconds, std::string* error);
+                       double* deadline_seconds, std::string* error,
+                       bool* profile = nullptr);
 
 /// Parses a node spec — comma-separated hierarchy level names, or "ALL" —
 /// into a node id, e.g. "city,category". Absent dimensions stay at ALL.

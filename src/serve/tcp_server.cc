@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "algebra/rollup.h"
+#include "common/stopwatch.h"
 #include "common/trace.h"
 #include "schema/lattice.h"
 
@@ -80,6 +81,13 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
     // series); scrape with e.g. `printf 'METRICS\nQUIT\n' | nc host port`.
     return "OK\n" + server_->PrometheusText() + ".\n";
   }
+  if (cmd == "SLOWLOG") {
+    if (tokens.size() != 1) {
+      return ErrResponse(StatusCode::kInvalidArgument,
+                         "SLOWLOG takes no arguments");
+    }
+    return "OK\n" + server_->slowlog()->Dump() + ".\n";
+  }
   if (cmd == "APPEND") {
     const schema::CubeSchema& schema = server_->schema();
     const size_t width =
@@ -144,8 +152,8 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
     return ErrResponse(StatusCode::kInvalidArgument,
                        "unknown command '" + tokens[0] +
                            "' (expected QUERY, ICEBERG, SLICE, ROLLUP, DRILL, "
-                           "TOPK, BATCH, APPEND, FLUSH, STATS, METRICS or "
-                           "QUIT)");
+                           "TOPK, BATCH, APPEND, FLUSH, STATS, METRICS, "
+                           "SLOWLOG or QUIT)");
   }
 
   QueryRequest request;
@@ -155,7 +163,8 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
   // admission queue (a query still queued past it fails kDeadlineExceeded).
   std::string token_error;
   if (!TakeRequestTokens(&tokens, &request.trace_id,
-                         &request.deadline_seconds, &token_error)) {
+                         &request.deadline_seconds, &token_error,
+                         &request.profile)) {
     return ErrResponse(StatusCode::kInvalidArgument, token_error);
   }
   if (tokens.size() < 2) {
@@ -172,7 +181,8 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
       if (!node.ok()) return ErrResponse(node.status());
       nodes.push_back(*node);
     }
-    return HandleBatch(nodes, request.trace_id, request.deadline_seconds);
+    return HandleBatch(nodes, request.trace_id, request.deadline_seconds,
+                       request.profile);
   }
 
   Result<schema::NodeId> node =
@@ -266,6 +276,7 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
   }
 
   const schema::NodeId query_node = request.node;
+  const bool profile = request.profile;
   QueryResponse response = server_->Submit(std::move(request)).get();
   if (!response.status.ok()) return ErrResponse(response.status);
 
@@ -295,12 +306,12 @@ std::string TcpLineServer::HandleLine(const std::string& line) {
     response.result = std::move(selected);
   }
 
-  return FormatQueryResponse(query_node, response, extra_token);
+  return FormatQueryResponse(query_node, response, extra_token, profile);
 }
 
 std::string TcpLineServer::HandleBatch(
     const std::vector<schema::NodeId>& nodes, uint64_t trace_id,
-    double deadline_seconds) {
+    double deadline_seconds, bool profile) {
   if (trace_id == 0) trace_id = Tracer::Instance().NextTraceId();
   // Most-detailed-first execution order: once a fine node's result is
   // cached, every coarser member of the batch can be answered from it by
@@ -314,6 +325,7 @@ std::string TcpLineServer::HandleBatch(
   });
 
   std::vector<std::string> sections(nodes.size());
+  std::string profile_section;
   uint64_t combined_checksum = 0;
   for (const size_t idx : order) {
     QueryRequest request;
@@ -324,17 +336,25 @@ std::string TcpLineServer::HandleBatch(
     QueryResponse response = server_->Submit(std::move(request)).get();
     if (!response.status.ok()) return ErrResponse(response.status);
     combined_checksum ^= response.checksum;
+    const std::string spec =
+        FormatNodeSpec(server_->schema(), server_->codec(), nodes[idx]);
     char section_header[128];
     std::snprintf(
         section_header, sizeof(section_header), "= %s %llu %016llx %s\n",
-        FormatNodeSpec(server_->schema(), server_->codec(), nodes[idx]).c_str(),
+        spec.c_str(),
         static_cast<unsigned long long>(response.count),
         static_cast<unsigned long long>(response.checksum),
         response.cache_hit ? "HIT"
                            : response.semantic_hit ? "SEMANTIC" : "MISS");
     sections[idx] = section_header;
+    int64_t encode_us = 0;
     if (response.result != nullptr) {
+      Stopwatch encode_watch;
       sections[idx] += FormatRows(nodes[idx], *response.result);
+      encode_us = encode_watch.ElapsedMicros();
+    }
+    if (profile) {
+      profile_section += FormatProfileSection(response, encode_us, spec);
     }
   }
 
@@ -345,13 +365,14 @@ std::string TcpLineServer::HandleBatch(
                 static_cast<unsigned long long>(trace_id));
   std::string out = header;
   for (const std::string& section : sections) out += section;
+  out += profile_section;
   out += ".\n";
   return out;
 }
 
 std::string TcpLineServer::FormatQueryResponse(
     schema::NodeId node, const QueryResponse& response,
-    const std::string& extra_token) const {
+    const std::string& extra_token, bool profile) const {
   CURE_TRACE_SPAN("cure.serve.encode", "trace_id", response.trace_id);
   // The trace id is echoed so a slow response can be matched against the
   // slow-query log and exported trace spans.
@@ -367,8 +388,50 @@ std::string TcpLineServer::FormatQueryResponse(
   out += extra_token;
   out += '\n';
 
-  if (response.result != nullptr) out += FormatRows(node, *response.result);
+  int64_t encode_us = 0;
+  if (response.result != nullptr) {
+    Stopwatch encode_watch;
+    out += FormatRows(node, *response.result);
+    encode_us = encode_watch.ElapsedMicros();
+  }
+  if (profile) out += FormatProfileSection(response, encode_us, "");
   out += ".\n";
+  return out;
+}
+
+std::string TcpLineServer::FormatProfileSection(
+    const QueryResponse& response, int64_t encode_us,
+    const std::string& node_label) const {
+  // "% "-prefixed lines ride behind the rows so row-diffing clients and the
+  // router's row merge can skip them wholesale (DESIGN.md §17). One
+  // key=value grammar shared with the slow-query log.
+  std::string out = "% profile stage=serve trace=" +
+                    std::to_string(response.trace_id);
+  if (!node_label.empty()) out += " node=" + node_label;
+  out += " queue_wait_us=" + std::to_string(response.queue_wait_us) +
+         " key_us=" + std::to_string(response.key_us) +
+         " cache_us=" + std::to_string(response.cache_us) +
+         " execute_us=" + std::to_string(response.execute_us) +
+         " encode_us=" + std::to_string(encode_us) + " total_us=" +
+         std::to_string(static_cast<int64_t>(response.latency_seconds * 1e6)) +
+         " cache=";
+  out += response.cache_hit ? "HIT"
+         : response.semantic_hit ? "SEMANTIC"
+                                 : "MISS";
+  out += " version=" + std::to_string(response.version);
+  out += '\n';
+  if (Tracer::enabled()) {
+    // The request's own spans, tagged by trace id, newest ring contents
+    // only — the in-band sibling of the Chrome-trace export.
+    for (const TraceEvent& event :
+         Tracer::Instance().EventsForTraceId(response.trace_id)) {
+      if (event.type != TraceEventType::kComplete) continue;
+      out += "% span name=";
+      out += event.name != nullptr ? event.name : "(null)";
+      out += " ts_us=" + std::to_string(event.ts_us) +
+             " dur_us=" + std::to_string(event.dur_us) + '\n';
+    }
+  }
   return out;
 }
 

@@ -70,11 +70,19 @@ struct TcpServerOptions {
 ///                                     Response: "OK <version> <applied>
 ///                                     <DELTA|REBUILD|NOOP>"
 ///   STATS                             metrics text dump
+///   SLOWLOG                           flight recorder: the last N
+///                                     over-threshold query profiles
+///                                     (newest first; see --slow-ms)
 ///   QUIT                              closes the connection
 /// Every query verb accepts an optional trailing `trace=<id>` token: the
 /// supplied id is adopted for the query's trace spans and echoed back in
 /// the response header, so a scatter–gathering router's fan-out shares one
-/// trace id end-to-end instead of each backend minting its own.
+/// trace id end-to-end instead of each backend minting its own. A trailing
+/// `profile=1` token appends a profile section after the rows: one
+/// "% profile ..." line with the per-stage breakdown in microseconds
+/// (queue_wait/key/cache/execute/encode/total), then — when the tracer is
+/// armed — one "% span name=<n> ts_us=<t> dur_us=<d>" line per recorded
+/// span tagged with the request's trace id (DESIGN.md §17).
 /// Query responses: "OK <count> <checksum-hex> <HIT|SEMANTIC|MISS>
 /// trace=<id>" then one tab-separated row per line; SEMANTIC marks a result
 /// derived from a cached ancestor by the containment algebra (bit-identical
@@ -118,11 +126,19 @@ class TcpLineServer {
 
   std::string FormatQueryResponse(schema::NodeId node,
                                   const QueryResponse& response,
-                                  const std::string& extra_token) const;
+                                  const std::string& extra_token,
+                                  bool profile) const;
   /// Dictionary-decoded tab-separated result rows (no header/terminator).
   std::string FormatRows(schema::NodeId node, const QueryResult& result) const;
+  /// One "% profile ..." line (plus "% span ..." lines when the tracer is
+  /// armed) for a finished query; `encode_us` is the row-formatting time,
+  /// `node_label` tags BATCH members ("" elsewhere).
+  std::string FormatProfileSection(const QueryResponse& response,
+                                   int64_t encode_us,
+                                   const std::string& node_label) const;
   std::string HandleBatch(const std::vector<schema::NodeId>& nodes,
-                          uint64_t trace_id, double deadline_seconds);
+                          uint64_t trace_id, double deadline_seconds,
+                          bool profile);
 
   CubeServer* server_;
   ValueDecoder decoder_;

@@ -149,6 +149,78 @@ TEST(LogHistogramTest, MergeCombinesBucketsCountSumAndMax) {
   EXPECT_EQ(fresh.TakeSnapshot().max, expected.max);
 }
 
+TEST(LogHistogramTest, PercentileOfEmptySnapshotIsZero) {
+  const LogHistogram::Snapshot snap = LogHistogram().TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Percentile(0.0), 0);
+  EXPECT_EQ(snap.Percentile(0.5), 0);
+  EXPECT_EQ(snap.Percentile(1.0), 0);
+  EXPECT_EQ(snap.p50, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_DOUBLE_EQ(snap.avg, 0.0);
+}
+
+TEST(LogHistogramTest, SingleBucketPercentilesAllLandOnIt) {
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(7);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Percentile(q), 7) << "q=" << q;
+  }
+  EXPECT_EQ(snap.max, 7);
+  EXPECT_DOUBLE_EQ(snap.avg, 7.0);
+}
+
+TEST(LogHistogramTest, PercentileClampsOutOfRangeQuantiles) {
+  LogHistogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  // Quantiles outside [0, 1] clamp to p0/p100 instead of misbehaving.
+  EXPECT_EQ(snap.Percentile(-3.0), snap.Percentile(0.0));
+  EXPECT_EQ(snap.Percentile(17.0), snap.Percentile(1.0));
+  // p0 is the smallest observation's bucket; p100 lands in the bucket of
+  // the maximum (its lower bound, so ≤ max within one sub-bucket).
+  EXPECT_EQ(snap.Percentile(0.0), 1);
+  const int64_t p100 = snap.Percentile(1.0);
+  EXPECT_LE(p100, snap.max);
+  EXPECT_EQ(LogHistogram::BucketIndex(p100),
+            LogHistogram::BucketIndex(snap.max));
+}
+
+TEST(LogHistogramTest, SnapshotMergeMatchesLiveMerge) {
+  // The federation path reconstructs a backend histogram from its wire
+  // buckets and folds the snapshot in; that must be bucket-identical to
+  // merging the live histogram.
+  LogHistogram via_live, via_snapshot, b;
+  for (int64_t v = 1; v <= 500; ++v) {
+    via_live.Record(v * 3);
+    via_snapshot.Record(v * 3);
+  }
+  for (int64_t v = 1; v <= 400; ++v) b.Record(v * 7);
+  via_live.Merge(b);
+  via_snapshot.Merge(b.TakeSnapshot());
+  const LogHistogram::Snapshot live = via_live.TakeSnapshot();
+  const LogHistogram::Snapshot snap = via_snapshot.TakeSnapshot();
+  EXPECT_EQ(live.buckets, snap.buckets);
+  EXPECT_EQ(live.count, snap.count);
+  EXPECT_EQ(live.sum, snap.sum);
+  EXPECT_EQ(live.max, snap.max);
+  EXPECT_EQ(live.p50, snap.p50);
+  EXPECT_EQ(live.p99, snap.p99);
+  // Percentiles after the merge reflect the combined distribution: the
+  // maximum came from b (400 * 7), beyond either input's own median.
+  EXPECT_EQ(snap.max, 2800);
+  EXPECT_EQ(LogHistogram::BucketIndex(snap.Percentile(1.0)),
+            LogHistogram::BucketIndex(2800));
+
+  // Merging an empty snapshot is a no-op.
+  via_snapshot.Merge(LogHistogram().TakeSnapshot());
+  const LogHistogram::Snapshot after = via_snapshot.TakeSnapshot();
+  EXPECT_EQ(after.buckets, snap.buckets);
+  EXPECT_EQ(after.count, snap.count);
+  EXPECT_EQ(after.sum, snap.sum);
+}
+
 TEST(LogHistogramTest, ConcurrentRecordsAllLand) {
   LogHistogram h;
   constexpr int kThreads = 4;
@@ -550,6 +622,46 @@ TEST(ProtocolTest, ParseSliceSpec) {
   EXPECT_EQ(resolved->code, 1u);
 }
 
+TEST(ProtocolTest, TakeRequestTokensPeelsControlTokens) {
+  std::vector<std::string> tokens = {"QUERY", "A_L0", "profile=1"};
+  uint64_t trace_id = 0;
+  double deadline = 0;
+  std::string error;
+  bool profile = false;
+  ASSERT_TRUE(serve::TakeRequestTokens(&tokens, &trace_id, &deadline, &error,
+                                       &profile));
+  EXPECT_TRUE(profile);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"QUERY", "A_L0"}));
+
+  // All three control tokens peel in any order.
+  tokens = {"QUERY", "A_L0", "profile=1", "deadline=250", "trace=9"};
+  profile = false;
+  ASSERT_TRUE(serve::TakeRequestTokens(&tokens, &trace_id, &deadline, &error,
+                                       &profile));
+  EXPECT_TRUE(profile);
+  EXPECT_EQ(trace_id, 9u);
+  EXPECT_DOUBLE_EQ(deadline, 0.25);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"QUERY", "A_L0"}));
+
+  // Only profile=1 is valid — anything else is a hard error, not silence.
+  tokens = {"QUERY", "A_L0", "profile=2"};
+  EXPECT_FALSE(serve::TakeRequestTokens(&tokens, &trace_id, &deadline, &error,
+                                        &profile));
+  EXPECT_NE(error.find("profile"), std::string::npos) << error;
+
+  // Absent token leaves the caller's default untouched; a null out-param
+  // (callers that don't support profiling) is tolerated.
+  tokens = {"QUERY", "A_L0"};
+  profile = false;
+  ASSERT_TRUE(serve::TakeRequestTokens(&tokens, &trace_id, &deadline, &error,
+                                       &profile));
+  EXPECT_FALSE(profile);
+  tokens = {"QUERY", "A_L0", "profile=1"};
+  ASSERT_TRUE(
+      serve::TakeRequestTokens(&tokens, &trace_id, &deadline, &error));
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
 // --------------------------------------------------------------- tcp server
 
 /// Minimal blocking line-protocol client for loopback tests.
@@ -698,6 +810,76 @@ TEST(TcpLineServerTest, EchoesClientSuppliedTraceId) {
             0u);
   EXPECT_EQ((*tcp)->HandleLine("QUERY A_L2 trace=0")
                 .rfind("ERR InvalidArgument", 0),
+            0u);
+}
+
+TEST(TcpLineServerTest, ProfileTokenAppendsStageBreakdown) {
+  ServerFixture fx(300, 31);
+  CubeServerOptions options;
+  options.cache_bytes = 1 << 20;
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  const std::string response =
+      (*tcp)->HandleLine("QUERY A_L1 trace=31337 profile=1");
+  ASSERT_EQ(response.rfind("OK ", 0), 0u) << response;
+  unsigned long long count = 0;
+  ASSERT_EQ(std::sscanf(response.c_str(), "OK %llu", &count), 1);
+  const size_t at = response.find("\n% profile stage=serve trace=31337 ");
+  ASSERT_NE(at, std::string::npos) << response;
+  for (const char* field :
+       {"queue_wait_us=", "key_us=", "cache_us=", "execute_us=", "encode_us=",
+        "total_us=", "cache=MISS", "version="}) {
+    EXPECT_NE(response.find(field, at), std::string::npos) << field;
+  }
+  // The profile section rides BEHIND the rows: the header count must match
+  // the non-"% " body lines exactly (a row-merging router skips "% " lines).
+  std::istringstream in(response);
+  std::string line;
+  size_t rows = 0, profile_lines = 0;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // header
+  while (std::getline(in, line) && line != ".") {
+    if (line.rfind("% ", 0) == 0) {
+      ++profile_lines;
+    } else {
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, count);
+  EXPECT_GE(profile_lines, 1u);
+
+  // A repeat is a cache hit, and the profile says so.
+  const std::string hit = (*tcp)->HandleLine("QUERY A_L1 profile=1");
+  EXPECT_NE(hit.find("% profile"), std::string::npos) << hit;
+  EXPECT_NE(hit.find("cache=HIT"), std::string::npos) << hit;
+
+  // Without the token nothing profile-shaped is attached.
+  EXPECT_EQ((*tcp)->HandleLine("QUERY A_L1").find("% profile"),
+            std::string::npos);
+}
+
+TEST(TcpLineServerTest, SlowlogRecordsOverThresholdQueries) {
+  ServerFixture fx(300, 32);
+  CubeServerOptions options;
+  options.slow_query_seconds = 1e-9;  // Everything is over threshold.
+  std::unique_ptr<CubeServer> server = fx.MakeServer(options);
+  auto tcp = TcpLineServer::Start(server.get(), TcpServerOptions{});
+  ASSERT_TRUE(tcp.ok());
+
+  // Empty flight recorder: just the summary line.
+  std::string dump = (*tcp)->HandleLine("SLOWLOG");
+  ASSERT_EQ(dump.rfind("OK\n", 0), 0u) << dump;
+  EXPECT_NE(dump.find("total 0 capacity "), std::string::npos) << dump;
+
+  ASSERT_EQ((*tcp)->HandleLine("QUERY A_L1 trace=606").rfind("OK ", 0), 0u);
+  dump = (*tcp)->HandleLine("SLOWLOG");
+  EXPECT_NE(dump.find("#1 "), std::string::npos) << dump;
+  EXPECT_NE(dump.find("trace=606"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("total_us="), std::string::npos) << dump;
+  EXPECT_NE(dump.find("execute_us="), std::string::npos) << dump;
+
+  EXPECT_EQ((*tcp)->HandleLine("SLOWLOG now").rfind("ERR InvalidArgument", 0),
             0u);
 }
 

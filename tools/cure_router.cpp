@@ -5,6 +5,7 @@
 //               [--port P] [--timeout-ms D] [--health-ms D]
 //               [--hedge-ms D] [--retry-budget N] [--allow-partial]
 //               [--breaker-threshold N] [--breaker-cooldown-ms D]
+//               [--slow-ms D]
 //
 // <routerdir> is a cluster directory written by `cure_tool shard`: it holds
 // schema.txt, the shared dictionaries and cluster.txt (the shard map; see
@@ -30,6 +31,13 @@
 // `deadline=<ms>` token bounds the whole request; retries spend the one
 // budget. CURE_NET_FAULT=op=...;kind=... arms the deterministic network
 // fault injector for chaos drills (see src/common/net_fault.h).
+//
+// Observability: PROFILE <cmd>... re-runs the wrapped query with profiling
+// armed on every backend and answers with the cluster profile (per-shard
+// attempt log + backend stage breakdowns; see DESIGN.md §17); METRICS
+// cluster federates every replica's Prometheus exposition with
+// shard/replica labels; --slow-ms D records queries slower than D ms into
+// a bounded ring dumped by SLOWLOG.
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +61,7 @@ int Usage() {
                "                   [--hedge-ms D] [--retry-budget N] "
                "[--allow-partial]\n"
                "                   [--breaker-threshold N] "
-               "[--breaker-cooldown-ms D]\n");
+               "[--breaker-cooldown-ms D] [--slow-ms D]\n");
   return 2;
 }
 
@@ -116,6 +124,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--breaker-cooldown-ms") == 0 &&
                i + 1 < argc) {
       options.breaker_cooldown_seconds = std::atof(argv[++i]) / 1000.0;
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      options.slow_query_seconds = std::atof(argv[++i]) / 1000.0;
     } else {
       return Usage();
     }
@@ -203,8 +213,8 @@ int main(int argc, char** argv) {
   std::printf(")\n");
   std::printf(
       "commands: QUERY <node> | ICEBERG <node> <minsup> | "
-      "SLICE <node> <level=value>... [MINSUP n] | STATS | METRICS | "
-      "HEALTH | QUIT\n");
+      "SLICE <node> <level=value>... [MINSUP n] | PROFILE <cmd>... | "
+      "STATS | METRICS [cluster] | SLOWLOG | HEALTH | QUIT\n");
   std::fflush(stdout);
   char line[256];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {

@@ -16,10 +16,14 @@
 // Binds 127.0.0.1 (port 0 = ephemeral, printed on startup) and serves until
 // stdin closes. Protocol: see serve/tcp_server.h.
 //
-// Observability: the METRICS verb returns Prometheus text exposition;
-// --slow-ms (or CURE_SLOW_QUERY_MS) logs queries slower than the threshold
-// with a per-stage breakdown; CURE_TRACE=1 + CURE_TRACE_OUT=<file>.json
-// records spans for every request and writes a Chrome trace at exit.
+// Observability: the METRICS verb returns Prometheus text exposition
+// (including `# BUCKETS` histogram lines for the router's cluster
+// federation); --slow-ms (or CURE_SLOW_QUERY_MS) logs queries slower than
+// the threshold with a per-stage breakdown AND records them into a bounded
+// ring dumped by the SLOWLOG verb; a `profile=1` request token attaches a
+// "% profile ..." stage breakdown (queue wait, key, cache, execute,
+// encode) to that reply; CURE_TRACE=1 + CURE_TRACE_OUT=<file>.json records
+// spans for every request and writes a Chrome trace at exit.
 //
 // --live turns on live maintenance: the fact table is loaded into memory,
 // the delta WAL (default <cubedir>/wal.bin) is replayed, a fresh cube is

@@ -35,6 +35,7 @@
 #include "etl/schema_io.h"
 #include "query/node_query.h"
 #include "router/backend_client.h"
+#include "router/profile.h"
 #include "router/shard_map.h"
 #include "serve/protocol.h"
 #include "storage/file_io.h"
@@ -63,6 +64,12 @@ int Usage() {
                "<command>...\n"
                "        (one-shot line-protocol client; exit 1 on ERR, "
                "3 on transport failure)\n"
+               "  cure_tool profile <host:port> [--trace-out=<file>.json] "
+               "<command>...\n"
+               "        (PROFILE via a router; --trace-out exports the "
+               "merged cluster profile as a Chrome trace)\n"
+               "  cure_tool slowlog <host:port>        (dump a server's or "
+               "router's slow-query ring)\n"
                "  cure_tool info  <outdir>\n"
                "  cure_tool verify <outdir|cube.bin>   (checksum audit; exit "
                "1 on corruption)\n"
@@ -361,6 +368,77 @@ int RunSend(int argc, char** argv) {
   for (int attempt = 0; !response.ok() && attempt < retries; ++attempt) {
     response = client.RoundTrip(*addr, line);
   }
+  if (!response.ok()) {
+    Fail(response.status());
+    return 3;
+  }
+  std::fputs(response->c_str(), stdout);
+  return response->rfind("ERR", 0) == 0 ? 1 : 0;
+}
+
+// PROFILE client: sends `PROFILE <command>...` to a router, prints the
+// cluster profile, and optionally converts it into a Chrome trace whose
+// per-backend tracks are aligned to the router's attempt timeline.
+int RunProfile(int argc, char** argv) {
+  double timeout_seconds = 30.0;
+  std::string trace_out;
+  std::string endpoint;
+  std::string line = "PROFILE";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_seconds = std::atof(argv[++i]) / 1000.0;
+      continue;
+    }
+    if (ParseTraceOut(argc, argv, &i, &trace_out)) continue;
+    if (endpoint.empty()) {
+      endpoint = argv[i];
+      continue;
+    }
+    line += ' ';
+    line += argv[i];
+  }
+  if (endpoint.empty() || line == "PROFILE") return Usage();
+  Result<cure::router::BackendAddress> addr =
+      cure::router::ParseBackendAddress(endpoint);
+  if (!addr.ok()) {
+    Fail(addr.status());
+    return 3;
+  }
+  cure::router::BackendClient client(timeout_seconds);
+  Result<std::string> response = client.RoundTrip(*addr, line);
+  if (!response.ok()) {
+    Fail(response.status());
+    return 3;
+  }
+  std::fputs(response->c_str(), stdout);
+  if (response->rfind("ERR", 0) == 0) return 1;
+  if (!trace_out.empty()) {
+    cure::router::ClusterProfile profile;
+    if (!cure::router::ParseClusterProfile(*response, &profile)) {
+      return Fail(Status::InvalidArgument(
+          "response carries no cluster profile (is " + endpoint +
+          " a cure_router?)"));
+    }
+    Status written = cure::etl::WriteStringToFile(
+        trace_out, cure::router::ClusterProfileToChromeTrace(profile));
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "cluster trace: %d shards -> %s\n",
+                 profile.shards_total, trace_out.c_str());
+  }
+  return 0;
+}
+
+// SLOWLOG client: dumps a cure_serve or cure_router slow-query ring.
+int RunSlowlog(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<cure::router::BackendAddress> addr =
+      cure::router::ParseBackendAddress(argv[2]);
+  if (!addr.ok()) {
+    Fail(addr.status());
+    return 3;
+  }
+  cure::router::BackendClient client(30.0);
+  Result<std::string> response = client.RoundTrip(*addr, "SLOWLOG");
   if (!response.ok()) {
     Fail(response.status());
     return 3;
@@ -675,6 +753,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "shard") == 0) return RunShard(argc, argv);
   if (std::strcmp(argv[1], "send") == 0) return RunSend(argc, argv);
+  if (std::strcmp(argv[1], "profile") == 0) return RunProfile(argc, argv);
+  if (std::strcmp(argv[1], "slowlog") == 0) return RunSlowlog(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return RunVerify(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
